@@ -1,0 +1,200 @@
+(** Benchmark harness.
+
+    Two parts, together regenerating every paper-derived table and figure:
+
+    1. The experiment tables (E1..E7 from DESIGN.md) — step counts, space,
+       covering adversary, wraparound, tradeoff products — printed by the
+       shared {!Aba_experiments.Experiments} runners.  These are the
+       quantities the paper's theorems are about, measured in the
+       simulator's step model where they are exact.
+    2. Bechamel wall-clock benchmarks of the runtime ([Atomic]-based)
+       ports — one group per theorem/figure — plus a multicore throughput
+       table for the Treiber stack variants.  Wall-clock numbers depend on
+       the host; the step-model tables above are the primary result. *)
+
+open Bechamel
+open Toolkit
+
+(* ----- Bechamel plumbing ----- *)
+
+let benchmark_and_print name tests =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~stabilize:false ()
+  in
+  let raw = Benchmark.all cfg instances (Test.make_grouped ~name tests) in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  Printf.printf "\n%s (ns/op):\n" name;
+  let rows =
+    Hashtbl.fold
+      (fun key ols acc ->
+        let nanos =
+          match Analyze.OLS.estimates ols with
+          | Some [ t ] -> t
+          | Some _ | None -> nan
+        in
+        (key, nanos) :: acc)
+      results []
+  in
+  List.iter
+    (fun (key, nanos) -> Printf.printf "  %-44s %10.1f\n" key nanos)
+    (List.sort compare rows)
+
+let staged f = Staged.stage f
+
+(* ----- Runtime micro-benchmarks, one group per theorem/figure ----- *)
+
+(* Theorem 3 / Figure 4: O(1) DRead/DWrite, flat across n. *)
+let thm3_fig4_tests =
+  List.concat_map
+    (fun n ->
+      let r = Aba_runtime.Rt_aba.Fig4.create ~n 0 in
+      ignore (Aba_runtime.Rt_aba.Fig4.dread r ~pid:1);
+      [
+        Test.make
+          ~name:(Printf.sprintf "fig4.dread n=%d" n)
+          (staged (fun () -> ignore (Aba_runtime.Rt_aba.Fig4.dread r ~pid:1)));
+        Test.make
+          ~name:(Printf.sprintf "fig4.dwrite n=%d" n)
+          (staged (fun () -> Aba_runtime.Rt_aba.Fig4.dwrite r ~pid:0 7));
+      ])
+    [ 2; 8; 32 ]
+
+(* Theorem 2 / Figure 3: one bounded CAS word; uncontended ops are cheap,
+   the O(n) loops only bite under contention (shown in the step tables). *)
+let thm2_fig3_tests =
+  List.concat_map
+    (fun n ->
+      let l = Aba_runtime.Rt_llsc.Packed_fig3.create ~n ~init:0 in
+      [
+        Test.make
+          ~name:(Printf.sprintf "fig3.ll+sc n=%d" n)
+          (staged (fun () ->
+               ignore (Aba_runtime.Rt_llsc.Packed_fig3.ll l ~pid:1);
+               ignore (Aba_runtime.Rt_llsc.Packed_fig3.sc l ~pid:1 5)));
+        Test.make
+          ~name:(Printf.sprintf "fig3.vl n=%d" n)
+          (staged (fun () ->
+               ignore (Aba_runtime.Rt_llsc.Packed_fig3.vl l ~pid:1)));
+      ])
+    [ 2; 8; 32 ]
+
+(* Moir-style boxed LL/SC (the unbounded comparison point, [26]). *)
+let moir_tests =
+  let l = Aba_runtime.Rt_llsc.Boxed.create ~n:8 ~init:0 in
+  [
+    Test.make ~name:"moir.ll+sc n=8"
+      (staged (fun () ->
+           ignore (Aba_runtime.Rt_llsc.Boxed.ll l ~pid:1);
+           ignore (Aba_runtime.Rt_llsc.Boxed.sc l ~pid:1 5)));
+  ]
+
+(* Theorem 4 / Figure 5 + intro: ABA-detecting register flavours. *)
+let aba_register_tests =
+  let stamped = Aba_runtime.Rt_aba.Stamped.create ~n:8 0 in
+  let from_llsc = Aba_runtime.Rt_aba.From_llsc.create ~n:8 ~init:0 in
+  [
+    Test.make ~name:"stamped.dread n=8"
+      (staged (fun () ->
+           ignore (Aba_runtime.Rt_aba.Stamped.dread stamped ~pid:1)));
+    Test.make ~name:"stamped.dwrite n=8"
+      (staged (fun () -> Aba_runtime.Rt_aba.Stamped.dwrite stamped ~pid:0 7));
+    Test.make ~name:"thm2.dread n=8"
+      (staged (fun () ->
+           ignore (Aba_runtime.Rt_aba.From_llsc.dread from_llsc ~pid:1)));
+    Test.make ~name:"thm2.dwrite n=8"
+      (staged (fun () ->
+           Aba_runtime.Rt_aba.From_llsc.dwrite from_llsc ~pid:0 7));
+  ]
+
+(* Motivation: Treiber stack push+pop latency per protection. *)
+let treiber_tests =
+  List.map
+    (fun (name, protection) ->
+      let s = Aba_runtime.Rt_treiber.create ~protection ~capacity:64 ~n:8 in
+      Test.make ~name:(Printf.sprintf "treiber.%s push+pop" name)
+        (staged (fun () ->
+             ignore (Aba_runtime.Rt_treiber.push s ~pid:1 42);
+             ignore (Aba_runtime.Rt_treiber.pop s ~pid:1))))
+    [
+      ("naive", Aba_runtime.Rt_treiber.Tag_bits 0);
+      ("tag16", Aba_runtime.Rt_treiber.Tag_bits 16);
+      ("llsc", Aba_runtime.Rt_treiber.Llsc);
+    ]
+
+(* Motivation: MS queue enqueue+dequeue latency, naive vs counted. *)
+let msqueue_tests =
+  List.map
+    (fun (name, tag_bits) ->
+      let q = Aba_runtime.Rt_ms_queue.create ~tag_bits ~capacity:64 in
+      Test.make ~name:(Printf.sprintf "msqueue.%s enq+deq" name)
+        (staged (fun () ->
+             ignore (Aba_runtime.Rt_ms_queue.enqueue q 42);
+             ignore (Aba_runtime.Rt_ms_queue.dequeue q))))
+    [ ("naive", 0); ("tag16", 16) ]
+
+(* Ablation: Figure 3's O(n) retry loops under interference, as exact
+   simulator step counts (the wall clock cannot see scheduling). *)
+let ablation_fig3 () =
+  print_endline "\nAblation: figure 3 under interference (simulator steps)";
+  Printf.printf "%-6s %14s %14s\n" "n" "LL worst steps" "SC worst steps";
+  List.iter
+    (fun n ->
+      let m =
+        Aba_lowerbound.Tradeoff.measure_llsc ~label:"fig3"
+          Aba_core.Instances.llsc_fig3 ~n
+      in
+      Printf.printf "%-6d %14d %14d\n" n m.Aba_lowerbound.Tradeoff.worst_ll
+        m.Aba_lowerbound.Tradeoff.worst_sc)
+    [ 3; 4; 8; 16; 24; 32 ]
+
+(* Multicore throughput (ops/s) for the stack variants. *)
+let multicore_treiber ~domains ~ops () =
+  Printf.printf
+    "\nMulticore Treiber throughput (%d domains x %d ops, %d cores):\n"
+    domains ops (Aba_runtime.Harness.available_parallelism ());
+  List.iter
+    (fun (name, protection) ->
+      let s =
+        Aba_runtime.Rt_treiber.create ~protection ~capacity:1024 ~n:domains
+      in
+      let t0 = Unix.gettimeofday () in
+      let _ =
+        Aba_runtime.Harness.run_domains ~n:domains (fun d ->
+            for i = 1 to ops do
+              ignore (Aba_runtime.Rt_treiber.push s ~pid:d i);
+              ignore (Aba_runtime.Rt_treiber.pop s ~pid:d)
+            done)
+      in
+      let dt = Unix.gettimeofday () -. t0 in
+      Printf.printf "  %-8s %10.0f ops/s\n" name
+        (float_of_int (2 * domains * ops) /. dt))
+    [
+      ("naive", Aba_runtime.Rt_treiber.Tag_bits 0);
+      ("tag16", Aba_runtime.Rt_treiber.Tag_bits 16);
+      ("llsc", Aba_runtime.Rt_treiber.Llsc);
+    ]
+
+let () =
+  (* Part 1: the paper-derived experiment tables (exact, step-model). *)
+  Aba_experiments.Experiments.run_space [ 3; 4; 6; 8 ];
+  Aba_experiments.Experiments.run_covering [ 3; 4 ];
+  Aba_experiments.Experiments.run_wraparound ();
+  Aba_experiments.Experiments.run_tradeoff [ 4; 8 ];
+  Aba_experiments.Experiments.run_steps [ 3; 4; 6; 8; 12; 16 ];
+  Aba_experiments.Experiments.run_explore ();
+  Aba_experiments.Experiments.run_ablation ();
+  Aba_experiments.Experiments.run_stack ~domains:4 ~ops:5_000 ();
+  ablation_fig3 ();
+  (* Part 2: wall-clock benchmarks of the runtime ports. *)
+  print_endline "\n=== Wall-clock micro-benchmarks (Bechamel) ===";
+  benchmark_and_print "thm3-figure4-runtime" thm3_fig4_tests;
+  benchmark_and_print "thm2-figure3-runtime" thm2_fig3_tests;
+  benchmark_and_print "moir-unbounded-runtime" moir_tests;
+  benchmark_and_print "aba-registers-runtime" aba_register_tests;
+  benchmark_and_print "treiber-runtime" treiber_tests;
+  benchmark_and_print "msqueue-runtime" msqueue_tests;
+  multicore_treiber ~domains:4 ~ops:50_000 ()

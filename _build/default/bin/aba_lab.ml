@@ -1,0 +1,82 @@
+(** aba-lab — experiment driver.
+
+    Each subcommand regenerates one of the paper-derived experiment tables
+    listed in DESIGN.md (E1..E8); [all] runs the full battery that
+    EXPERIMENTS.md records. *)
+
+open Aba_experiments.Experiments
+(* ----- command line ----- *)
+
+open Cmdliner
+
+let ns_arg =
+  let doc = "Process counts to sweep (comma separated)." in
+  Arg.(value & opt (list int) [ 3; 4; 6; 8 ] & info [ "n" ] ~doc)
+
+let cmd_of name doc run =
+  Cmd.v (Cmd.info name ~doc) Term.(const run $ const ())
+
+let space_cmd =
+  Cmd.v (Cmd.info "space" ~doc:"Space usage table (E3/E5).")
+    Term.(const run_space $ ns_arg)
+
+let covering_cmd =
+  let ns = Arg.(value & opt (list int) [ 3; 4 ] & info [ "n" ] ~doc:"sizes") in
+  Cmd.v (Cmd.info "covering" ~doc:"Lemma 1 covering adversary (E1).")
+    Term.(const run_covering $ ns)
+
+let wraparound_cmd = cmd_of "wraparound" "Tag wraparound search (E6)."
+    run_wraparound
+
+let tradeoff_cmd =
+  Cmd.v (Cmd.info "tradeoff" ~doc:"Time-space tradeoff table (E2/E5).")
+    Term.(const run_tradeoff $ ns_arg)
+
+let steps_cmd =
+  let ns =
+    Arg.(value & opt (list int) [ 3; 4; 6; 8; 12; 16 ] & info [ "n" ]
+           ~doc:"sizes")
+  in
+  Cmd.v (Cmd.info "steps" ~doc:"Step complexity growth series (E2).")
+    Term.(const run_steps $ ns)
+
+let stack_cmd =
+  let domains =
+    Arg.(value & opt int 4 & info [ "domains" ] ~doc:"concurrent domains")
+  in
+  let ops =
+    Arg.(value & opt int 20_000 & info [ "ops" ] ~doc:"operations per domain")
+  in
+  Cmd.v (Cmd.info "stack" ~doc:"Treiber stack reuse corruption (E7).")
+    Term.(const (fun domains ops -> run_stack ~domains ~ops ()) $ domains $ ops)
+
+let explore_cmd =
+  cmd_of "explore" "Exhaustive schedule exploration summary (E9)." run_explore
+
+let ablate_cmd =
+  cmd_of "ablate" "Ablations: fig3 retry bound, fig4 sequence domain."
+    run_ablation
+
+let all_cmd =
+  let run () =
+    run_space [ 3; 4; 6; 8 ];
+    run_covering [ 3; 4 ];
+    run_wraparound ();
+    run_tradeoff [ 4; 8 ];
+    run_steps [ 3; 4; 6; 8; 12; 16 ];
+    run_explore ();
+    run_ablation ();
+    run_stack ~domains:4 ~ops:20_000 ()
+  in
+  cmd_of "all" "Run the full experiment battery." run
+
+let main =
+  Cmd.group
+    (Cmd.info "aba-lab" ~version:"1.0"
+       ~doc:"Experiments for the PODC 2015 ABA prevention/detection paper.")
+    [
+      space_cmd; covering_cmd; wraparound_cmd; tradeoff_cmd; steps_cmd;
+      explore_cmd; ablate_cmd; stack_cmd; all_cmd;
+    ]
+
+let () = exit (Cmd.eval main)

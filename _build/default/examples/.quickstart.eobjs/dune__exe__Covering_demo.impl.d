@@ -1,0 +1,1 @@
+examples/covering_demo.ml: Aba_core Aba_lowerbound Covering Format Instances Printf

@@ -1,0 +1,1 @@
+examples/event_signal.ml: Aba_apps Aba_core Aba_primitives Instances Printf

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Aba_core Aba_sim Instances List Printf

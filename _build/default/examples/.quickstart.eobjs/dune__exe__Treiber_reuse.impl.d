@@ -1,0 +1,1 @@
+examples/treiber_reuse.ml: Aba_apps Aba_core Aba_primitives Aba_runtime Aba_sim Aba_spec Array Format Instances List Printf Result String

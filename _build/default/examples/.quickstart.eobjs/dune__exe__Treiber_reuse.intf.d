@@ -1,0 +1,1 @@
+examples/treiber_reuse.mli:

@@ -1,0 +1,46 @@
+(* The Lemma 1 covering adversary, live.
+
+   Theorem 1(a) says an ABA-detecting register built from bounded plain
+   registers needs at least n-1 of them.  The proof is a covering argument;
+   this executable RUNS that argument:
+
+   - against Figure 4 (a correct implementation) the adversary drives the
+     system into a configuration where each reader process is poised to
+     write to a distinct register — producing the covering whose existence
+     the proof guarantees;
+   - against a register that "cheats" on space by using a wrap-around tag,
+     the adversary instead corners it into a machine-checked wrong answer:
+     a read that must report intervening writes but does not;
+   - the two escape hatches — unbounded base objects, or conditional
+     (CAS) primitives — are also exhibited.
+
+   Run with: dune exec examples/covering_demo.exe *)
+
+open Aba_core
+open Aba_lowerbound
+
+let run label builder ~n =
+  Printf.printf "\n-- %s (n = %d) --\n" label n;
+  let outcome, stats = Covering.run ~max_iterations_per_level:4000 builder ~n in
+  Format.printf "  %a@." Covering.pp_outcome outcome;
+  Printf.printf "  (%d shared-memory steps, %d adversary iterations, %d \
+                 replays)\n"
+    stats.Covering.total_steps stats.Covering.total_iterations
+    stats.Covering.replays
+
+let () =
+  print_endline
+    "Running the Lemma 1 adversary: block-writes, register-configuration\n\
+     repetition detection, deterministic replay, solo reads.";
+  run "figure 4 (honest: n+1 registers)" Instances.aba_fig4 ~n:4;
+  run "figure 4, larger system" Instances.aba_fig4 ~n:5;
+  run "bounded tag mod 3 (cheats on space)"
+    (Instances.aba_bounded_tag ~tag_bound:3)
+    ~n:3;
+  run "unbounded tag (escape hatch #1)" Instances.aba_unbounded ~n:3;
+  run "theorem 2 / CAS-based (escape hatch #2)" Instances.aba_thm2 ~n:3;
+  print_endline
+    "\nReading the outcomes: a covering of n-1 distinct registers is the\n\
+     lower bound made tangible; the VIOLATION is the clean/dirty confusion\n\
+     from the proof, exhibited as a concrete wrong flag; the escapes show\n\
+     why the theorem needs its hypotheses (bounded, register-only)."

@@ -1,0 +1,1 @@
+lib/apps/event_flag.ml: Aba_core Aba_primitives Array Bounded Instances Mem_intf

@@ -1,0 +1,1 @@
+lib/apps/event_flag.mli: Aba_core Aba_primitives Mem_intf Pid

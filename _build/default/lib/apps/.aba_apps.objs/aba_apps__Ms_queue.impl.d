@@ -1,0 +1,1 @@
+lib/apps/ms_queue.ml: Aba_primitives Array Bounded List Mem_intf Printf Queue

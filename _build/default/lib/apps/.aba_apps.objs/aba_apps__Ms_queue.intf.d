@@ -1,0 +1,1 @@
+lib/apps/ms_queue.mli: Aba_primitives Mem_intf Pid

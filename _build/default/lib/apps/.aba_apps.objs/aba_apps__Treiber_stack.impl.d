@@ -1,0 +1,1 @@
+lib/apps/treiber_stack.ml: Aba_core Aba_primitives Array Bounded Instances List Mem_intf Pid Printf Queue

@@ -1,0 +1,1 @@
+lib/apps/treiber_stack.mli: Aba_core Aba_primitives Mem_intf Pid

@@ -1,0 +1,52 @@
+open Aba_primitives
+open Aba_core
+
+type flavour = Plain | Detecting of Instances.aba_builder
+
+module Make (M : Mem_intf.S) = struct
+  type impl =
+    | I_plain of { cell : int M.register; last : int array }
+    | I_detecting of Instances.aba
+
+  type t = impl
+
+  let create ~flavour ~n =
+    match flavour with
+    | Plain ->
+        I_plain
+          {
+            cell =
+              M.make_register
+                ~bound:(Bounded.int_range ~lo:0 ~hi:1)
+                ~name:"flag" ~show:string_of_int 0;
+            last = Array.make n 0;
+          }
+    | Detecting builder ->
+        I_detecting
+          (Instances.aba_with_mem
+             ~value_bound:(Bounded.int_range ~lo:(-1) ~hi:1)
+             builder
+             (module M : Mem_intf.S)
+             ~n)
+
+  let write t ~pid v =
+    match t with
+    | I_plain { cell; _ } -> M.write cell v
+    | I_detecting inst -> inst.Instances.dwrite pid v
+
+  let signal t ~pid = write t ~pid 1
+  let reset t ~pid = write t ~pid 0
+
+  let poll t ~pid =
+    match t with
+    | I_plain { cell; last } ->
+        let v = M.read cell in
+        let changed = v <> last.(pid) in
+        last.(pid) <- v;
+        changed
+    | I_detecting inst ->
+        let _, flag = inst.Instances.dread pid in
+        flag
+
+  let space _ = M.space ()
+end

@@ -1,0 +1,37 @@
+(** Reusable event flags — the busy-waiting motivation of the paper's
+    introduction.
+
+    Mutual-exclusion and barrier algorithms signal events by changing a
+    register's value; waiters poll the register.  Resetting the register for
+    reuse re-creates the old value, and a waiter whose poll straddles the
+    signal/reset pair misses the event — an ABA.  Built on an ABA-detecting
+    register the poll cannot miss: the detection flag reports the
+    intervening writes regardless of the value.
+
+    [poll] returns [true] iff a signal (or reset) happened since the calling
+    process's previous poll.  The [Plain] flavour compares values and
+    exhibits the lost-event ABA; any correct ABA-detecting register flavour
+    does not. *)
+
+open Aba_primitives
+
+type flavour =
+  | Plain  (** value comparison on an ordinary register: misses events *)
+  | Detecting of Aba_core.Instances.aba_builder
+
+module Make (M : Mem_intf.S) : sig
+  type t
+
+  val create : flavour:flavour -> n:int -> t
+
+  val signal : t -> pid:Pid.t -> unit
+  (** Set the flag (write 1). *)
+
+  val reset : t -> pid:Pid.t -> unit
+  (** Clear the flag for reuse (write 0 — the initial value again). *)
+
+  val poll : t -> pid:Pid.t -> bool
+  (** Did anything happen since my previous poll? *)
+
+  val space : t -> (string * string) list
+end

@@ -1,0 +1,131 @@
+open Aba_primitives
+
+type protection = Naive | Tagged of int | Tagged_unbounded
+
+module Make (M : Mem_intf.S) = struct
+  (* Every pointer (head, tail, each next) is an (index, tag) pair.  The
+     protection variant only changes how tags evolve: [Naive] never bumps
+     them (so the tag is inert and the CAS is an untagged index CAS),
+     [Tagged m] bumps modulo [m], [Tagged_unbounded] bumps forever —
+     Michael and Scott's counted pointers. *)
+  type t = {
+    bump : int -> int;
+    head : (int * int) M.cas;
+    tail : (int * int) M.cas;
+    nexts : (int * int) M.cas array;
+    values : int M.register array;
+    free : int Queue.t;
+  }
+
+  let show_ptr (i, tag) = Printf.sprintf "(%d,#%d)" i tag
+
+  let create ~protection ~capacity ~initial =
+    let k = List.length initial in
+    if k > capacity then invalid_arg "Ms_queue.create: initial exceeds capacity";
+    let slots = capacity + 1 in
+    let bump =
+      match protection with
+      | Naive -> fun _ -> 0
+      | Tagged m -> fun t -> (t + 1) mod m
+      | Tagged_unbounded -> fun t -> t + 1
+    in
+    let ptr_bound =
+      match protection with
+      | Naive -> Some (Bounded.pair (Bounded.int_range ~lo:(-1) ~hi:(slots - 1))
+                         (Bounded.int_mod 1))
+      | Tagged m ->
+          Some
+            (Bounded.pair
+               (Bounded.int_range ~lo:(-1) ~hi:(slots - 1))
+               (Bounded.int_mod m))
+      | Tagged_unbounded -> None
+    in
+    let value_bound = Bounded.int_range ~lo:(-1) ~hi:4095 in
+    (* Node 0 is the initial dummy; nodes 1..k hold [initial]. *)
+    let values =
+      Array.init slots (fun i ->
+          let v =
+            if 1 <= i && i <= k then List.nth initial (i - 1) else -1
+          in
+          M.make_register ~bound:value_bound
+            ~name:(Printf.sprintf "val[%d]" i)
+            ~show:string_of_int v)
+    in
+    let nexts =
+      Array.init slots (fun i ->
+          let nxt = if i < k then i + 1 else -1 in
+          M.make_cas ?bound:ptr_bound ~writable:true
+            ~name:(Printf.sprintf "nxt[%d]" i)
+            ~show:show_ptr (nxt, 0))
+    in
+    let head =
+      M.make_cas ?bound:ptr_bound ~name:"head" ~show:show_ptr (0, 0)
+    in
+    let tail =
+      M.make_cas ?bound:ptr_bound ~name:"tail" ~show:show_ptr (k, 0)
+    in
+    let free = Queue.create () in
+    for i = k + 1 to slots - 1 do
+      Queue.add i free
+    done;
+    { bump; head; tail; nexts; values; free }
+
+  let enqueue t ~pid:_ v =
+    match Queue.take_opt t.free with
+    | None -> false
+    | Some i ->
+        M.write t.values.(i) v;
+        (* Reset the fresh node's link, bumping its tag so that CASes armed
+           against the node's previous life fail (counted pointers). *)
+        let _, old_tag = M.cas_read t.nexts.(i) in
+        M.cas_write t.nexts.(i) (-1, t.bump old_tag);
+        let rec attempt () =
+          let (t_idx, t_tag) as tail_seen = M.cas_read t.tail in
+          let (n_idx, n_tag) as next_seen = M.cas_read t.nexts.(t_idx) in
+          if n_idx = -1 then begin
+            if
+              M.cas t.nexts.(t_idx) ~expect:next_seen
+                ~update:(i, t.bump n_tag)
+            then begin
+              (* Swing the tail; failure means someone helped already. *)
+              ignore (M.cas t.tail ~expect:tail_seen ~update:(i, t.bump t_tag));
+              true
+            end
+            else attempt ()
+          end
+          else begin
+            (* Tail is lagging: help it forward, then retry. *)
+            ignore
+              (M.cas t.tail ~expect:tail_seen ~update:(n_idx, t.bump t_tag));
+            attempt ()
+          end
+        in
+        attempt ()
+
+  let dequeue t ~pid:_ =
+    let rec attempt () =
+      let (h_idx, h_tag) as head_seen = M.cas_read t.head in
+      let (t_idx, t_tag) as tail_seen = M.cas_read t.tail in
+      let n_idx, _ = M.cas_read t.nexts.(h_idx) in
+      if h_idx = t_idx then
+        if n_idx = -1 then None
+        else begin
+          ignore (M.cas t.tail ~expect:tail_seen ~update:(n_idx, t.bump t_tag));
+          attempt ()
+        end
+      else begin
+        (* Read the value before the CAS: afterwards the new dummy [n_idx]
+           may be dequeued and recycled by others. *)
+        let v = M.read t.values.(n_idx) in
+        if M.cas t.head ~expect:head_seen ~update:(n_idx, t.bump h_tag)
+        then begin
+          Queue.add h_idx t.free;
+          Some v
+        end
+        else attempt ()
+      end
+    in
+    attempt ()
+
+  let space _ = M.space ()
+end

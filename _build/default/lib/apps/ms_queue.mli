@@ -1,0 +1,34 @@
+(** Index-based Michael–Scott queue with node reuse ([24] in the paper).
+
+    The classic lock-free FIFO queue with a dummy node.  As with the
+    Treiber stack, nodes are recycled through a free list, so the [CAS]es
+    on [head], [tail] and the [next] pointers are all exposed to ABA when
+    indices repeat.  Michael and Scott's original algorithm pairs every
+    pointer with a modification counter — the "tagging" technique whose
+    bounded variant the paper's introduction critiques; both the bounded
+    and unbounded forms are provided, along with the unprotected one.
+
+    The LL/SC methodology (Figure 3) is demonstrated on the Treiber stack;
+    it applies to the queue pointwise in the same way. *)
+
+open Aba_primitives
+
+type protection =
+  | Naive
+  | Tagged of int  (** tag modulo the given bound on every pointer *)
+  | Tagged_unbounded
+
+module Make (M : Mem_intf.S) : sig
+  type t
+
+  val create : protection:protection -> capacity:int -> initial:int list -> t
+  (** [capacity] counts payload nodes; the dummy node is extra.  [initial]
+      is enqueued left-to-right at creation time. *)
+
+  val enqueue : t -> pid:Pid.t -> int -> bool
+  (** [false] if the pool is exhausted. *)
+
+  val dequeue : t -> pid:Pid.t -> int option
+
+  val space : t -> (string * string) list
+end

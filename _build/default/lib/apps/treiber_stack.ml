@@ -1,0 +1,224 @@
+open Aba_primitives
+open Aba_core
+
+type protection =
+  | Naive
+  | Tagged of int
+  | Tagged_unbounded
+  | Llsc of Instances.llsc_builder
+  | Hazard
+
+module Make (M : Mem_intf.S) = struct
+  (* All head variants are driven through the same witness-based interface:
+     [read_head] returns the top index plus an opaque witness, and
+     [cas_head] succeeds only if the head is "unchanged since the witness" —
+     where each protection has its own (possibly ABA-prone) meaning of
+     unchanged. *)
+  type head_ops = {
+    read_head : Pid.t -> int * (int * int);  (* index, witness *)
+    cas_head : Pid.t -> witness:int * int -> update:int -> bool;
+    head_space : unit -> (string * string) list;
+  }
+
+  (* Hazard-pointer state (Michael [20,21]): [announce.(q)] is written only
+     by process [q] and holds the node its in-flight pop protects; retired
+     nodes wait until a scan finds them unannounced. *)
+  type hazard_state = {
+    announce : int M.register array;
+    retired : int Queue.t;
+  }
+
+  type t = {
+    head : head_ops;
+    values : int M.register array;
+    nexts : int M.register array;
+    free : int Queue.t;  (* FIFO recycling, model-atomic (see .mli) *)
+    hazard : hazard_state option;
+  }
+
+  let show_pair (i, tag) = Printf.sprintf "(%d,#%d)" i tag
+
+  let naive_head ~capacity init =
+    let bound = Bounded.int_range ~lo:(-1) ~hi:(capacity - 1) in
+    let cell = M.make_cas ~bound ~name:"head" ~show:string_of_int init in
+    {
+      read_head =
+        (fun _ ->
+          let i = M.cas_read cell in
+          (i, (i, 0)));
+      cas_head =
+        (fun _ ~witness:(expect, _) ~update ->
+          M.cas cell ~expect ~update);
+      head_space = (fun () -> M.space ());
+    }
+
+  let tagged_head ~capacity ~modulus init =
+    let bound =
+      match modulus with
+      | Some m ->
+          Some
+            (Bounded.pair
+               (Bounded.int_range ~lo:(-1) ~hi:(capacity - 1))
+               (Bounded.int_mod m))
+      | None -> None
+    in
+    let cell = M.make_cas ?bound ~name:"head" ~show:show_pair (init, 0) in
+    let bump tag =
+      match modulus with Some m -> (tag + 1) mod m | None -> tag + 1
+    in
+    {
+      read_head =
+        (fun _ ->
+          let i, tag = M.cas_read cell in
+          (i, (i, tag)));
+      cas_head =
+        (fun _ ~witness:(i, tag) ~update ->
+          M.cas cell ~expect:(i, tag) ~update:(update, bump tag));
+      head_space = (fun () -> M.space ());
+    }
+
+  let llsc_head ~capacity ~n builder init =
+    let value_bound = Bounded.int_range ~lo:(-1) ~hi:(capacity - 1) in
+    let inst =
+      Instances.llsc_with_mem ~value_bound ~init builder
+        (module M : Mem_intf.S) ~n
+    in
+    {
+      read_head = (fun pid -> (inst.Instances.ll pid, (0, 0)));
+      cas_head =
+        (fun pid ~witness:_ ~update -> inst.Instances.sc pid update);
+      head_space = inst.Instances.llsc_space;
+    }
+
+  let create ~protection ~capacity ~n ~initial =
+    if List.length initial > capacity then
+      invalid_arg "Treiber_stack.create: initial list exceeds capacity";
+    let k = List.length initial in
+    let value_bound = Bounded.int_range ~lo:(-1) ~hi:4095 in
+    let next_bound = Bounded.int_range ~lo:(-1) ~hi:(capacity - 1) in
+    let values =
+      Array.init capacity (fun i ->
+          let v = match List.nth_opt initial i with Some v -> v | None -> -1 in
+          M.make_register ~bound:value_bound
+            ~name:(Printf.sprintf "val[%d]" i)
+            ~show:string_of_int v)
+    in
+    let nexts =
+      Array.init capacity (fun i ->
+          let nxt = if i < k - 1 then i + 1 else -1 in
+          M.make_register ~bound:next_bound
+            ~name:(Printf.sprintf "nxt[%d]" i)
+            ~show:string_of_int nxt)
+    in
+    let free = Queue.create () in
+    for i = k to capacity - 1 do
+      Queue.add i free
+    done;
+    let init_head = if k = 0 then -1 else 0 in
+    let head =
+      match protection with
+      | Naive | Hazard -> naive_head ~capacity init_head
+      | Tagged m -> tagged_head ~capacity ~modulus:(Some m) init_head
+      | Tagged_unbounded -> tagged_head ~capacity ~modulus:None init_head
+      | Llsc builder -> llsc_head ~capacity ~n builder init_head
+    in
+    let hazard =
+      match protection with
+      | Hazard ->
+          Some
+            {
+              announce =
+                Array.init n (fun q ->
+                    M.make_register ~bound:next_bound
+                      ~name:(Printf.sprintf "H[%d]" q)
+                      ~show:string_of_int (-1));
+              retired = Queue.create ();
+            }
+      | Naive | Tagged _ | Tagged_unbounded | Llsc _ -> None
+    in
+    { head; values; nexts; free; hazard }
+
+  (* Allocation: prefer known-safe nodes; otherwise scan the hazard
+     announcements (n shared reads — the price of the technique) and move
+     every unannounced retired node back to the safe pool. *)
+  let alloc t =
+    match Queue.take_opt t.free with
+    | Some i -> Some i
+    | None -> (
+        match t.hazard with
+        | None -> None
+        | Some hz ->
+            let announced =
+              Array.to_list (Array.map M.read hz.announce)
+            in
+            for _ = 1 to Queue.length hz.retired do
+              let i = Queue.pop hz.retired in
+              if List.mem i announced then Queue.add i hz.retired
+              else Queue.add i t.free
+            done;
+            Queue.take_opt t.free)
+
+  let retire t ~pid i =
+    match t.hazard with
+    | None -> Queue.add i t.free
+    | Some hz ->
+        M.write hz.announce.(pid) (-1);
+        Queue.add i hz.retired
+
+  (* Hazard-protected pop: announce the observed head, re-validate it, and
+     only then read through it.  The allocator never re-issues an announced
+     node, so a successful CAS cannot be an ABA even without tags. *)
+  let pop_hazard t ~pid hz =
+    let rec attempt () =
+      let h, _ = t.head.read_head pid in
+      if h = -1 then None
+      else begin
+        M.write hz.announce.(pid) h;
+        let h', w' = t.head.read_head pid in
+        if h' <> h then attempt ()
+        else begin
+          let nxt = M.read t.nexts.(h) in
+          if t.head.cas_head pid ~witness:w' ~update:nxt then begin
+            let v = M.read t.values.(h) in
+            retire t ~pid h;
+            Some v
+          end
+          else attempt ()
+        end
+      end
+    in
+    attempt ()
+
+  let push t ~pid v =
+    match alloc t with
+    | None -> false
+    | Some i ->
+        M.write t.values.(i) v;
+        let rec attempt () =
+          let h, w = t.head.read_head pid in
+          M.write t.nexts.(i) h;
+          if t.head.cas_head pid ~witness:w ~update:i then true else attempt ()
+        in
+        attempt ()
+
+  let pop t ~pid =
+    match t.hazard with
+    | Some hz -> pop_hazard t ~pid hz
+    | None ->
+        let rec attempt () =
+          let h, w = t.head.read_head pid in
+          if h = -1 then None
+          else begin
+            let nxt = M.read t.nexts.(h) in
+            if t.head.cas_head pid ~witness:w ~update:nxt then begin
+              let v = M.read t.values.(h) in
+              Queue.add h t.free;
+              Some v
+            end
+            else attempt ()
+          end
+        in
+        attempt ()
+
+  let space t = t.head.head_space ()
+end

@@ -1,0 +1,62 @@
+(** Index-based Treiber stack with node reuse — the introduction's
+    motivating ABA hazard, made deterministic.
+
+    The classic lock-free stack [pop] reads the head node [h] and its
+    successor, then tries [CAS(head, h, next)].  When popped nodes are
+    recycled through a free list (as any allocator must eventually do), the
+    head can return to [h] with a {e different} successor while the [CAS]
+    is in flight — the CAS succeeds and the stack is corrupted: values are
+    lost or popped twice ([24, 29, 31] in the paper).
+
+    Nodes live in a fixed pool and are addressed by index, so the hazard is
+    exactly the bounded-base-object situation the paper studies: the head
+    word cannot hide an unbounded tag.  Four head protections are provided:
+
+    - [Naive] — plain CAS on the node index: ABA-prone;
+    - [Tagged m] — index + tag modulo [m] packed in the CAS object: safe
+      until the tag wraps (the folklore mitigation);
+    - [Tagged_unbounded] — index + unbounded tag: safe, but needs an
+      unbounded base object;
+    - [Llsc b] — head accessed through an LL/SC implementation (e.g.
+      Figure 3 over one bounded CAS): safe with bounded objects, the
+      paper's recommended methodology;
+    - [Hazard] — the plain index CAS of [Naive], made safe by hazard
+      pointers (Michael [20, 21] in the paper's related work): a popper
+      announces the node it is about to detach in a single-writer register
+      and re-validates the head, and the allocator never re-issues an
+      announced node.  Detection is replaced by {e reclamation control};
+      the price is an announce/validate pair on every pop and an
+      [n]-register scan when recycling — application-specific machinery,
+      exactly as the paper characterizes it.
+
+    The allocator itself is deliberately {e not} part of the shared-memory
+    game (it is an atomic FIFO free list): the observable ABA belongs to the
+    stack's head, not to the allocator.  (The [Hazard] variant's hazard
+    scan, in contrast, {e is} shared-memory work, since that is the cost
+    the technique pays.) *)
+
+open Aba_primitives
+
+type protection =
+  | Naive
+  | Tagged of int
+  | Tagged_unbounded
+  | Llsc of Aba_core.Instances.llsc_builder
+  | Hazard
+
+module Make (M : Mem_intf.S) : sig
+  type t
+
+  val create :
+    protection:protection -> capacity:int -> n:int -> initial:int list -> t
+  (** A stack over a pool of [capacity] nodes, pre-filled with [initial]
+      (first element on top).  [n] is the number of processes (needed by
+      the LL/SC protection). *)
+
+  val push : t -> pid:Pid.t -> int -> bool
+  (** [false] if the pool is exhausted. *)
+
+  val pop : t -> pid:Pid.t -> int option
+
+  val space : t -> (string * string) list
+end

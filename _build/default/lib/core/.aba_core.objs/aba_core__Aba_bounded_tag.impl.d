@@ -1,0 +1,1 @@
+lib/core/aba_bounded_tag.ml: Aba_primitives Aba_register_intf Array Bounded Mem_intf Pid Printf

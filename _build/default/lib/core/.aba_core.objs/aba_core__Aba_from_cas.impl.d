@@ -1,0 +1,1 @@
+lib/core/aba_from_cas.ml: Aba_from_llsc Aba_primitives Aba_register_intf Llsc_from_cas

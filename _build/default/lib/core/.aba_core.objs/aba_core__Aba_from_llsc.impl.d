@@ -1,0 +1,1 @@
+lib/core/aba_from_llsc.ml: Aba_primitives Aba_register_intf Array Llsc_intf Printf

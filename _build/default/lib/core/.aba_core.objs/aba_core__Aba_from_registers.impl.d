@@ -1,0 +1,1 @@
+lib/core/aba_from_registers.ml: Aba_primitives Aba_register_intf Array Bounded Mem_intf Pid Printf Seq_pool

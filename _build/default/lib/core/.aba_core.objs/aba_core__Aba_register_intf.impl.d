@@ -1,0 +1,1 @@
+lib/core/aba_register_intf.ml: Aba_primitives Bounded Mem_intf Pid

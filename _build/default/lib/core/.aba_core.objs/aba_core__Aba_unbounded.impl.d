@@ -1,0 +1,1 @@
+lib/core/aba_unbounded.ml: Aba_primitives Aba_register_intf Array Mem_intf Pid Printf

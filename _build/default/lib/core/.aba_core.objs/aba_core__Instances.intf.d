@@ -1,0 +1,1 @@
+lib/core/instances.mli: Aba_primitives Aba_register_intf Aba_sim Bounded Llsc_intf Mem_intf Pid

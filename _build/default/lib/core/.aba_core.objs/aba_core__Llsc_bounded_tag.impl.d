@@ -1,0 +1,1 @@
+lib/core/llsc_bounded_tag.ml: Aba_primitives Array Bounded Llsc_intf Mem_intf Printf

@@ -1,0 +1,1 @@
+lib/core/llsc_intf.ml: Aba_primitives Bounded Mem_intf Pid

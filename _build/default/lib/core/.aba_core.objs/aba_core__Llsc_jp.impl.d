@@ -1,0 +1,1 @@
+lib/core/llsc_jp.ml: Aba_primitives Array Bounded Llsc_intf Mem_intf Pid Printf Seq_pool

@@ -1,0 +1,1 @@
+lib/core/llsc_native.ml: Aba_primitives Bounded Llsc_intf Mem_intf

@@ -1,0 +1,1 @@
+lib/core/llsc_unbounded.ml: Aba_primitives Array Llsc_intf Mem_intf Printf

@@ -1,0 +1,1 @@
+lib/core/seq_pool.mli: Aba_primitives Pid

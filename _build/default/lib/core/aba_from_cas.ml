@@ -1,0 +1,9 @@
+(** Theorem 2, second half: a bounded multi-writer ABA-detecting register
+    from a {e single} bounded CAS object with [O(n)] step complexity —
+    Figure 5 running over Figure 3. *)
+
+module Make (M : Aba_primitives.Mem_intf.S) : Aba_register_intf.S = struct
+  include Aba_from_llsc.Make (Llsc_from_cas.Make (M))
+
+  let algorithm_name = "theorem-2 (1 bounded CAS, O(n) steps; fig5 over fig3)"
+end

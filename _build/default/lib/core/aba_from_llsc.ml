@@ -1,0 +1,49 @@
+(** Figure 5 (Appendix A, Theorem 4): an ABA-detecting register from a
+    single LL/SC/VL object, two shared-memory steps per operation.
+
+    [DWrite x] is an [LL] followed by an [SC x]; the [SC] may fail, in which
+    case the write linearizes immediately before the first successful [SC]
+    that follows the [LL] — the value written is lost behind that later
+    write, which is consistent.  [DRead] first verifies the link with [VL]:
+    success means no [SC] (hence no [DWrite]) linearized since the previous
+    [DRead], so the cached [old] value is current; failure means some
+    [DWrite] linearized, so the [LL] refreshes both the cache and the link.
+
+    Composed with Figure 3 this yields Theorem 2's multi-writer
+    ABA-detecting register from a single bounded CAS object with [O(n)]
+    steps; composed with a native LL/SC/VL base object it is the two-step
+    construction of Theorem 4. *)
+
+module Make (L : Llsc_intf.S) : Aba_register_intf.S = struct
+  let algorithm_name =
+    Printf.sprintf "figure-5 (ABA-detecting register over %s)"
+      L.algorithm_name
+
+  let initial_value = -1
+
+  type t = { obj : L.t; old : int array }
+
+  let create ?value_bound ~n () =
+    let value_bound =
+      match value_bound with
+      | Some b -> Some b
+      | None -> Some (Aba_primitives.Bounded.int_range ~lo:(-1) ~hi:255)
+    in
+    {
+      obj = L.create ?value_bound ~n ();
+      old = Array.make n initial_value;
+    }
+
+  let dwrite t ~pid x =
+    ignore (L.ll t.obj ~pid);
+    ignore (L.sc t.obj ~pid x)
+
+  let dread t ~pid =
+    if L.vl t.obj ~pid then (t.old.(pid), false)
+    else begin
+      t.old.(pid) <- L.ll t.obj ~pid;
+      (t.old.(pid), true)
+    end
+
+  let space t = L.space t.obj
+end

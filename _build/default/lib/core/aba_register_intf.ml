@@ -1,0 +1,39 @@
+(** Interface of ABA-detecting register implementations.
+
+    An ABA-detecting register (the paper's central object) stores a value
+    and supports [DWrite] and [DRead]; [DRead] by process [q] additionally
+    reports whether any [DWrite] occurred since [q]'s previous [DRead]
+    (since the start of the execution, for [q]'s first [DRead]).
+
+    All implementations in this library are {e multi-writer} — any process
+    may call [dwrite] — matching Theorems 2 and 3.  The lower bounds
+    (Theorem 1) already hold for the weaker single-writer object, so they
+    apply a fortiori. *)
+
+open Aba_primitives
+
+module type S = sig
+  val algorithm_name : string
+
+  type t
+
+  val create : ?value_bound:int Bounded.t -> n:int -> unit -> t
+  (** A register for a system of [n] processes, initially holding
+      {!initial_value}.  [value_bound] (default [[-1..255]]) bounds the
+      stored values so that base objects are bounded, as Theorems 1 and 3
+      require; implementations that need unbounded base objects ignore
+      it. *)
+
+  val dwrite : t -> pid:Pid.t -> int -> unit
+
+  val dread : t -> pid:Pid.t -> int * bool
+
+  val space : t -> (string * string) list
+  (** Base objects used, as [(name, domain)] pairs — the measured [m]. *)
+
+  val initial_value : int
+end
+
+(** Implementations are functors over the base-object memory, so the same
+    code runs under the simulator and in direct sequential tests. *)
+module type MAKER = functor (M : Mem_intf.S) -> S

@@ -1,0 +1,60 @@
+(** The trivial ABA-detecting register from a single {e unbounded} register
+    (Introduction).
+
+    The register holds the value together with a stamp [(writer, tag)]
+    that never repeats: each writer maintains a private unbounded counter,
+    so distinct [DWrite]s carry distinct stamps.  A reader detects writes by
+    comparing the stamp with the one seen at its previous [DRead].  Both
+    operations take a single shared-memory step.
+
+    This is the construction that makes the boundedness hypothesis of
+    Theorem 1 necessary: with one unbounded base object, one step suffices,
+    whereas with bounded base objects, space [n - 1] is required. *)
+
+open Aba_primitives
+
+module Make (M : Mem_intf.S) : Aba_register_intf.S = struct
+  let algorithm_name = "unbounded-tag (1 unbounded register, O(1) steps)"
+  let initial_value = -1
+
+  type stamped = { value : int; writer : Pid.t; tag : int }
+
+  type local = {
+    mutable counter : int;  (** next tag for this writer *)
+    mutable last : (Pid.t * int) option;  (** stamp at previous DRead *)
+  }
+
+  type t = { x : stamped option M.register; locals : local array }
+
+  let show = function
+    | None -> "_"
+    | Some { value; writer; tag } ->
+        Printf.sprintf "(%d,p%d,%d)" value writer tag
+
+  let create ?value_bound:_ ~n () =
+    Pid.check ~n 0;
+    {
+      x = M.make_register ~name:"X" ~show None;
+      locals = Array.init n (fun _ -> { counter = 0; last = None });
+    }
+
+  let dwrite t ~pid x =
+    let l = t.locals.(pid) in
+    let tag = l.counter in
+    l.counter <- tag + 1;
+    M.write t.x (Some { value = x; writer = pid; tag })
+
+  let dread t ~pid =
+    let l = t.locals.(pid) in
+    match M.read t.x with
+    | None ->
+        (* No DWrite ever happened; [l.last] is necessarily [None] too. *)
+        (initial_value, false)
+    | Some { value; writer; tag } ->
+        let stamp = Some (writer, tag) in
+        let changed = stamp <> l.last in
+        l.last <- stamp;
+        (value, changed)
+
+  let space _ = M.space ()
+end

@@ -1,0 +1,166 @@
+open Aba_primitives
+
+type aba = {
+  aba_name : string;
+  dread : Pid.t -> int * bool;
+  dwrite : Pid.t -> int -> unit;
+  aba_space : unit -> (string * string) list;
+  aba_initial : int;
+}
+
+type llsc = {
+  llsc_name : string;
+  ll : Pid.t -> int;
+  sc : Pid.t -> int -> bool;
+  vl : Pid.t -> bool;
+  llsc_space : unit -> (string * string) list;
+  llsc_initial : int;
+}
+
+module type ABA_BUILDER = sig
+  module Make : Aba_register_intf.MAKER
+end
+
+module type LLSC_BUILDER = sig
+  module Make : Llsc_intf.MAKER
+end
+
+type aba_builder = (module ABA_BUILDER)
+type llsc_builder = (module LLSC_BUILDER)
+
+let aba_unbounded : aba_builder =
+  (module struct
+    module Make = Aba_unbounded.Make
+  end)
+
+let aba_fig4 : aba_builder =
+  (module struct
+    module Make = Aba_from_registers.Make
+  end)
+
+let aba_thm2 : aba_builder =
+  (module struct
+    module Make = Aba_from_cas.Make
+  end)
+
+let aba_fig5 : aba_builder =
+  (module struct
+    module Make (M : Mem_intf.S) = Aba_from_llsc.Make (Llsc_native.Make (M))
+  end)
+
+let aba_fig5_jp : aba_builder =
+  (module struct
+    module Make (M : Mem_intf.S) = Aba_from_llsc.Make (Llsc_jp.Make (M))
+  end)
+
+let aba_fig4_shrunk ~slack : aba_builder =
+  (module struct
+    module Make =
+      Aba_from_registers.Make_with_ceiling (struct
+        let seq_ceiling ~n = max 0 ((2 * n) + 1 - slack)
+      end)
+  end)
+
+let aba_bounded_tag ~tag_bound : aba_builder =
+  (module struct
+    module Make =
+      Aba_bounded_tag.Make_with_bound (struct
+        let tag_bound = tag_bound
+      end)
+  end)
+
+let llsc_fig3 : llsc_builder =
+  (module struct
+    module Make = Llsc_from_cas.Make
+  end)
+
+let llsc_fig3_retries ~retries : llsc_builder =
+  (module struct
+    module Make =
+      Llsc_from_cas.Make_with_retries (struct
+        let retries = retries
+      end)
+  end)
+
+let llsc_moir : llsc_builder =
+  (module struct
+    module Make = Llsc_unbounded.Make
+  end)
+
+let llsc_jp : llsc_builder =
+  (module struct
+    module Make = Llsc_jp.Make
+  end)
+
+let llsc_native : llsc_builder =
+  (module struct
+    module Make = Llsc_native.Make
+  end)
+
+let llsc_bounded_tag ~tag_bound : llsc_builder =
+  (module struct
+    module Make =
+      Llsc_bounded_tag.Make_with_bound (struct
+        let tag_bound = tag_bound
+      end)
+  end)
+
+let all_aba () =
+  [
+    ("unbounded", aba_unbounded);
+    ("fig4", aba_fig4);
+    ("thm2", aba_thm2);
+    ("fig5", aba_fig5);
+    ("fig5-jp", aba_fig5_jp);
+  ]
+
+let all_llsc () =
+  [
+    ("fig3", llsc_fig3);
+    ("moir", llsc_moir);
+    ("jp", llsc_jp);
+    ("native", llsc_native);
+  ]
+
+let aba_of_impl (type t) (module I : Aba_register_intf.S with type t = t)
+    (obj : t) =
+  {
+    aba_name = I.algorithm_name;
+    dread = (fun pid -> I.dread obj ~pid);
+    dwrite = (fun pid x -> I.dwrite obj ~pid x);
+    aba_space = (fun () -> I.space obj);
+    aba_initial = I.initial_value;
+  }
+
+let llsc_of_impl (type t) (module I : Llsc_intf.S with type t = t) (obj : t) =
+  {
+    llsc_name = I.algorithm_name;
+    ll = (fun pid -> I.ll obj ~pid);
+    sc = (fun pid x -> I.sc obj ~pid x);
+    vl = (fun pid -> I.vl obj ~pid);
+    llsc_space = (fun () -> I.space obj);
+    llsc_initial = I.initial_value;
+  }
+
+let aba_with_mem ?value_bound (module B : ABA_BUILDER)
+    (mem : (module Mem_intf.S)) ~n =
+  let module M = (val mem) in
+  let module I = B.Make (M) in
+  aba_of_impl (module I) (I.create ?value_bound ~n ())
+
+let llsc_with_mem ?value_bound ?init (module B : LLSC_BUILDER)
+    (mem : (module Mem_intf.S)) ~n =
+  let module M = (val mem) in
+  let module I = B.Make (M) in
+  llsc_of_impl (module I) (I.create ?value_bound ?init ~n ())
+
+let aba_in_sim ?value_bound b sim ~n =
+  aba_with_mem ?value_bound b (Aba_sim.Sim_mem.make sim) ~n
+
+let aba_seq ?value_bound b ~n = aba_with_mem ?value_bound b (Seq_mem.make ()) ~n
+
+let llsc_in_sim ?value_bound b sim ~n =
+  llsc_with_mem ?value_bound b (Aba_sim.Sim_mem.make sim) ~n
+
+let llsc_seq ?value_bound b ~n =
+  llsc_with_mem ?value_bound b (Seq_mem.make ()) ~n

@@ -1,0 +1,127 @@
+(** First-class instantiation of the paper's algorithms.
+
+    Experiments, tests and benchmarks are parameterized over
+    implementations.  This module packages each algorithm functor as a
+    value, and instantiates it against a simulator (one fresh memory
+    instance per object, so space accounting is exact) or against the
+    direct sequential memory. *)
+
+open Aba_primitives
+
+(** {1 Instantiated objects} *)
+
+type aba = {
+  aba_name : string;
+  dread : Pid.t -> int * bool;
+  dwrite : Pid.t -> int -> unit;
+  aba_space : unit -> (string * string) list;
+  aba_initial : int;
+}
+
+type llsc = {
+  llsc_name : string;
+  ll : Pid.t -> int;
+  sc : Pid.t -> int -> bool;
+  vl : Pid.t -> bool;
+  llsc_space : unit -> (string * string) list;
+  llsc_initial : int;
+}
+
+(** {1 Builders} *)
+
+module type ABA_BUILDER = sig
+  module Make : Aba_register_intf.MAKER
+end
+
+module type LLSC_BUILDER = sig
+  module Make : Llsc_intf.MAKER
+end
+
+type aba_builder = (module ABA_BUILDER)
+type llsc_builder = (module LLSC_BUILDER)
+
+val aba_unbounded : aba_builder
+(** One unbounded register, O(1) steps (Introduction). *)
+
+val aba_fig4 : aba_builder
+(** Figure 4 / Theorem 3: [n+1] bounded registers, O(1) steps. *)
+
+val aba_thm2 : aba_builder
+(** Theorem 2: one bounded CAS, O(n) steps (Figure 5 over Figure 3). *)
+
+val aba_fig5 : aba_builder
+(** Figure 5 / Theorem 4 over a native LL/SC/VL base object, 2 steps. *)
+
+val aba_fig5_jp : aba_builder
+(** Figure 5 over the Jayanti–Petrovic LL/SC: 1 CAS + n registers, O(1)
+    steps. *)
+
+val aba_bounded_tag : tag_bound:int -> aba_builder
+(** The deliberately flawed mod-[tag_bound] tagging scheme. *)
+
+val aba_fig4_shrunk : slack:int -> aba_builder
+(** Ablation: Figure 4 with its sequence-number ceiling lowered from
+    [2n+1] to [2n+1-slack].  At [slack = 0] this is {!aba_fig4}; beyond
+    that the GetSeq pool can exhaust or the freshness property can break —
+    showing the [2n+2]-value domain is needed. *)
+
+val llsc_fig3 : llsc_builder
+(** Figure 3 / Theorem 2: one bounded CAS, O(n) steps. *)
+
+val llsc_fig3_retries : retries:(n:int -> int) -> llsc_builder
+(** Ablation: Figure 3 with its CAS retry bound replaced by
+    [retries ~n] instead of [n].  Below [n], Claim 6's counting argument
+    breaks and LL may poison its link without any intervening SC — a
+    linearizability violation the explorer can find. *)
+
+val llsc_moir : llsc_builder
+(** One unbounded CAS, O(1) steps ([26]). *)
+
+val llsc_jp : llsc_builder
+(** One bounded CAS + n bounded registers, O(1) steps ([2], [15]). *)
+
+val llsc_native : llsc_builder
+(** A native LL/SC/VL base object (specification-level). *)
+
+val llsc_bounded_tag : tag_bound:int -> llsc_builder
+(** The deliberately flawed bounded-tag LL/SC — Corollary 1's naive
+    counter-attempt, refuted by the tests once [tag_bound] SCs wrap the
+    tag within one link window. *)
+
+val all_aba : unit -> (string * aba_builder) list
+(** The correct ABA-detecting register implementations with short labels. *)
+
+val all_llsc : unit -> (string * llsc_builder) list
+
+(** {1 Instantiation} *)
+
+val aba_with_mem :
+  ?value_bound:int Bounded.t ->
+  aba_builder ->
+  (module Mem_intf.S) ->
+  n:int ->
+  aba
+(** Instantiate against an explicit memory instance (used by code that is
+    itself a functor over {!Mem_intf.S}, e.g. the application data
+    structures). *)
+
+val llsc_with_mem :
+  ?value_bound:int Bounded.t ->
+  ?init:int ->
+  llsc_builder ->
+  (module Mem_intf.S) ->
+  n:int ->
+  llsc
+
+val aba_in_sim :
+  ?value_bound:int Bounded.t -> aba_builder -> Aba_sim.Sim.t -> n:int -> aba
+(** Every shared-memory access of the returned object is a simulator step
+    of the process passed as [pid]. *)
+
+val aba_seq : ?value_bound:int Bounded.t -> aba_builder -> n:int -> aba
+(** Direct semantics; operations execute immediately. *)
+
+val llsc_in_sim :
+  ?value_bound:int Bounded.t -> llsc_builder -> Aba_sim.Sim.t -> n:int -> llsc
+
+val llsc_seq : ?value_bound:int Bounded.t -> llsc_builder -> n:int -> llsc

@@ -1,0 +1,131 @@
+(** Figure 3: LL/SC/VL from a {e single} bounded CAS object, with [O(n)]
+    step complexity (Theorem 2).
+
+    The CAS object [X] stores a pair [(x, a)] where [x] is the value of the
+    implemented object and [a] is an [n]-bit mask; bit [p] of [a] set means
+    "a successful SC may have linearized since [p]'s last LL".  A successful
+    [SC] writes [(y, 2^n - 1)], setting every process's bit; an [LL] by [p]
+    tries to clear its own bit with a CAS.
+
+    The key counting argument (Claim 6): if [p]'s CAS fails [n] times in a
+    row, [X] changed [n] times, and at most [n - 1] of those changes can be
+    bit-clearing CAS's of LL operations (each clears a distinct bit from 1
+    to 0 and only [SC] sets bits back) — so at least one change was a
+    successful [SC], which justifies giving up: [LL] sets the local flag
+    [b], which forces the next [SC]/[VL] of [p] to report an invalid link.
+
+    Step complexity: [LL] at most [2n + 1] steps, [SC] at most [2n] steps,
+    [VL] one step — all [O(n)], matching Corollary 1's lower bound
+    [m >= (n-1)/t] at [m = 1]. *)
+
+open Aba_primitives
+
+(** The CAS retry loops run [Retries.retries ~n] times; Figure 3 uses [n],
+    which Claim 6's counting argument needs — after [n] failures a
+    successful SC must have linearized.  The ablation experiments lower the
+    bound to watch LL give up too early (a VL/SC failing with no
+    intervening SC: a linearizability violation). *)
+module Make_with_retries (Retries : sig
+  val retries : n:int -> int
+end)
+(M : Mem_intf.S) : Llsc_intf.S = struct
+  let algorithm_name = "figure-3 (1 bounded CAS, O(n) steps)"
+  let initial_value = 0
+
+  type xval = { value : int; mask : int }
+
+  type t = {
+    n : int;
+    retries : int;
+    x : xval M.cas;
+    b : bool array;  (** local flag of each process *)
+  }
+
+  let show { value; mask } = Printf.sprintf "(%d,%#x)" value mask
+
+  let create ?(value_bound = Bounded.int_range ~lo:(-1) ~hi:255)
+      ?(init = initial_value) ~n () =
+    if n > 61 then invalid_arg "Llsc_from_cas: n must be at most 61";
+    let bound =
+      Bounded.make
+        ~describe:
+          (Printf.sprintf "(%s * %d-bit mask)" (Bounded.describe value_bound)
+             n)
+        (fun { value; mask } ->
+          Bounded.mem value_bound value && 0 <= mask && mask < 1 lsl n)
+    in
+    {
+      n;
+      retries = Retries.retries ~n;
+      x = M.make_cas ~bound ~name:"X" ~show { value = init; mask = 0 };
+      b = Array.make n false;
+    }
+
+  let bit_set mask p = (mask lsr p) land 1 = 1
+  let all_set n = (1 lsl n) - 1
+
+  (* Lines 14–25. *)
+  let ll t ~pid:p =
+    let { value = x; mask = a } = M.cas_read t.x in
+    if not (bit_set a p) then begin
+      t.b.(p) <- false;
+      x
+    end
+    else begin
+      let rec attempt i =
+        if i > t.retries then begin
+          (* n failed CAS's: a successful SC linearized during this LL
+             (Claim 6); linearize at the initial read and poison the link. *)
+          t.b.(p) <- true;
+          x
+        end
+        else begin
+          let ({ value = x'; mask = a' } as seen) = M.cas_read t.x in
+          (* Only p clears its own bit, so it is still set here. *)
+          assert (bit_set a' p);
+          if
+            M.cas t.x ~expect:seen
+              ~update:{ value = x'; mask = a' - (1 lsl p) }
+          then begin
+            t.b.(p) <- false;
+            x'
+          end
+          else attempt (i + 1)
+        end
+      in
+      attempt 1
+    end
+
+  (* Lines 1–8. *)
+  let sc t ~pid:p y =
+    if t.b.(p) then false
+    else begin
+      let rec attempt i =
+        if i > t.retries then false
+        else begin
+          let ({ value = _; mask = a } as seen) = M.cas_read t.x in
+          if bit_set a p then false
+          else if
+            M.cas t.x ~expect:seen ~update:{ value = y; mask = all_set t.n }
+          then true
+          else attempt (i + 1)
+        end
+      in
+      attempt 1
+    end
+
+  (* Lines 9–13. *)
+  let vl t ~pid:p =
+    let { value = _; mask = a } = M.cas_read t.x in
+    (not (bit_set a p)) && not t.b.(p)
+
+  let space _ = M.space ()
+end
+
+(** Figure 3 as published. *)
+module Make (M : Mem_intf.S) : Llsc_intf.S =
+  Make_with_retries
+    (struct
+      let retries ~n = n
+    end)
+    (M)

@@ -1,0 +1,31 @@
+(** Interface of LL/SC/VL implementations.
+
+    [ll] returns the object's value and links the calling process; [sc x]
+    succeeds — writing [x] — iff no successful [sc] occurred since the
+    caller's last [ll]; [vl] reports link validity without changing state.
+    A process that never performed [ll] holds a valid link until the first
+    successful [sc] (Appendix A convention). *)
+
+open Aba_primitives
+
+module type S = sig
+  val algorithm_name : string
+
+  type t
+
+  val create : ?value_bound:int Bounded.t -> ?init:int -> n:int -> unit -> t
+  (** [init] defaults to {!initial_value}. *)
+
+  val ll : t -> pid:Pid.t -> int
+
+  val sc : t -> pid:Pid.t -> int -> bool
+
+  val vl : t -> pid:Pid.t -> bool
+
+  val space : t -> (string * string) list
+  (** Base objects used, as [(name, domain)] pairs. *)
+
+  val initial_value : int
+end
+
+module type MAKER = functor (M : Mem_intf.S) -> S

@@ -1,0 +1,25 @@
+(** LL/SC/VL provided directly by a base object.
+
+    The paper treats LL/SC/VL objects as possible {e base} objects (e.g.
+    Figure 5 implements an ABA-detecting register {e from} one).  This
+    module wraps such a base object in the {!Llsc_intf.S} interface so that
+    Figure 5 can be instantiated either with a native object (Theorem 4) or
+    with Figure 3's implementation (Theorem 2). *)
+
+open Aba_primitives
+
+module Make (M : Mem_intf.S) : Llsc_intf.S = struct
+  let algorithm_name = "native LL/SC/VL base object"
+  let initial_value = 0
+
+  type t = int M.llsc
+
+  let create ?(value_bound = Bounded.int_range ~lo:(-1) ~hi:255)
+      ?(init = initial_value) ~n:_ () =
+    M.make_llsc ~bound:value_bound ~name:"L" ~show:string_of_int init
+
+  let ll t ~pid = M.ll t ~pid
+  let sc t ~pid v = M.sc t ~pid v
+  let vl t ~pid = M.vl t ~pid
+  let space _ = M.space ()
+end

@@ -1,0 +1,58 @@
+(** Moir-style LL/SC/VL from a single {e unbounded} CAS object ([26]),
+    with constant step complexity.
+
+    The CAS object stores the value together with an unbounded tag that
+    increases with every successful [SC], so an [SC] by [p] succeeds exactly
+    when the object still holds the (value, tag) pair [p] saw at its [LL] —
+    tags never repeat, hence no ABA.  One shared step per operation.
+
+    This is the construction that the boundedness hypothesis of Corollary 1
+    rules out: with a bounded CAS object, [O(1)] steps would need
+    [Omega(n)] objects. *)
+
+open Aba_primitives
+
+module Make (M : Mem_intf.S) : Llsc_intf.S = struct
+  let algorithm_name = "moir (1 unbounded CAS, O(1) steps)"
+  let initial_value = 0
+
+  type tagged = { value : int; tag : int }
+
+  type t = {
+    init : int;
+    x : tagged M.cas;
+    link : tagged option array;  (** local: pair seen at last LL *)
+  }
+
+  let show { value; tag } = Printf.sprintf "(%d,#%d)" value tag
+
+  let create ?value_bound:_ ?(init = initial_value) ~n () =
+    {
+      init;
+      x = M.make_cas ~name:"X" ~show { value = init; tag = 0 };
+      link = Array.make n None;
+    }
+
+  let ll t ~pid =
+    let seen = M.cas_read t.x in
+    t.link.(pid) <- Some seen;
+    seen.value
+
+  let link_of t pid =
+    match t.link.(pid) with
+    | Some l -> l
+    | None ->
+        (* Never linked: valid until the first successful SC, i.e. while
+           the tag is still 0 (Appendix A convention). *)
+        { value = t.init; tag = 0 }
+
+  let sc t ~pid y =
+    let l = link_of t pid in
+    M.cas t.x ~expect:l ~update:{ value = y; tag = l.tag + 1 }
+
+  let vl t ~pid =
+    let l = link_of t pid in
+    M.cas_read t.x = l
+
+  let space _ = M.space ()
+end

@@ -1,0 +1,47 @@
+
+type t = {
+  n : int;
+  ceiling : int;
+  mutable cursor : int;
+  not_available : int option array;
+      (** per announce index: own seq currently announced there *)
+  used_queue : int Queue.t;  (** [n+1] entries; [-1] stands for bottom *)
+}
+
+exception Exhausted
+
+let create ?ceiling ~n () =
+  if n <= 0 then invalid_arg "Seq_pool.create: n must be positive";
+  let ceiling = match ceiling with Some c -> c | None -> (2 * n) + 1 in
+  if ceiling < 0 then invalid_arg "Seq_pool.create: negative ceiling";
+  let used_queue = Queue.create () in
+  for _ = 1 to n + 1 do
+    Queue.add (-1) used_queue
+  done;
+  { n; ceiling; cursor = 0; not_available = Array.make n None; used_queue }
+
+let ceiling t = t.ceiling
+
+let next t ~me ~read_announce =
+  let c = t.cursor in
+  (match read_announce c with
+  | Some (r, s_r) when r = me -> t.not_available.(c) <- Some s_r
+  | Some _ | None -> t.not_available.(c) <- None);
+  t.cursor <- (c + 1) mod t.n;
+  (* |na| <= n and |usedQ| = n+1 exclude at most 2n+1 of the 2n+2
+     candidates, so a free number always exists.  One pass over both
+     exclusion sets keeps the call linear in n. *)
+  let excluded = Array.make (ceiling t + 1) false in
+  Queue.iter (fun u -> if u >= 0 then excluded.(u) <- true) t.used_queue;
+  Array.iter
+    (function Some s -> excluded.(s) <- true | None -> ())
+    t.not_available;
+  let rec first_free s =
+    if s > ceiling t then raise Exhausted
+    else if excluded.(s) then first_free (s + 1)
+    else s
+  in
+  let s = first_free 0 in
+  Queue.add s t.used_queue;
+  ignore (Queue.pop t.used_queue);
+  s

@@ -1,0 +1,1 @@
+lib/experiments/experiments.ml: Aba_apps Aba_core Aba_lowerbound Aba_primitives Aba_runtime Aba_sim Aba_spec Array Covering Format Instances List Printf Result String Tradeoff Workloads Wraparound

@@ -1,0 +1,1 @@
+lib/experiments/workloads.ml: Aba_core Aba_primitives Aba_sim Aba_spec Array Instances List Pid Random

@@ -1,0 +1,1 @@
+lib/experiments/workloads.mli: Aba_core Aba_primitives Aba_sim Aba_spec Event Instances Pid Random

@@ -1,0 +1,64 @@
+open Aba_primitives
+open Aba_core
+
+let apply_aba (inst : Instances.aba) (p : Pid.t)
+    (op : Aba_spec.Aba_register_spec.op) () : Aba_spec.Aba_register_spec.res =
+  match op with
+  | Aba_spec.Aba_register_spec.DRead ->
+      let v, f = inst.Instances.dread p in
+      Aba_spec.Aba_register_spec.Read_result (v, f)
+  | Aba_spec.Aba_register_spec.DWrite x ->
+      inst.Instances.dwrite p x;
+      Aba_spec.Aba_register_spec.Write_done
+
+let apply_llsc (inst : Instances.llsc) (p : Pid.t) (op : Aba_spec.Llsc_spec.op)
+    () : Aba_spec.Llsc_spec.res =
+  match op with
+  | Aba_spec.Llsc_spec.Ll -> Aba_spec.Llsc_spec.Ll_result (inst.Instances.ll p)
+  | Aba_spec.Llsc_spec.Sc x ->
+      Aba_spec.Llsc_spec.Sc_result (inst.Instances.sc p x)
+  | Aba_spec.Llsc_spec.Vl -> Aba_spec.Llsc_spec.Vl_result (inst.Instances.vl p)
+
+let aba_driver builder ~n =
+  let sim = Aba_sim.Sim.create ~n in
+  let inst = Instances.aba_in_sim builder sim ~n in
+  Aba_sim.Driver.create ~sim ~apply:(apply_aba inst)
+
+let llsc_driver builder ~n =
+  let sim = Aba_sim.Sim.create ~n in
+  let inst = Instances.llsc_in_sim builder sim ~n in
+  Aba_sim.Driver.create ~sim ~apply:(apply_llsc inst)
+
+let aba_explore_instance builder ~n () =
+  { Aba_sim.Explore.driver = aba_driver builder ~n }
+
+let llsc_explore_instance builder ~n () =
+  { Aba_sim.Explore.driver = llsc_driver builder ~n }
+
+let random_aba_scripts rng ~n ~ops_per_pid =
+  Array.init n (fun _ ->
+      List.init ops_per_pid (fun _ ->
+          if Random.State.bool rng then Aba_spec.Aba_register_spec.DRead
+          else Aba_spec.Aba_register_spec.DWrite (Random.State.int rng 4)))
+
+let random_llsc_scripts rng ~n ~ops_per_pid =
+  Array.init n (fun _ ->
+      List.init ops_per_pid (fun _ ->
+          match Random.State.int rng 3 with
+          | 0 -> Aba_spec.Llsc_spec.Ll
+          | 1 -> Aba_spec.Llsc_spec.Sc (Random.State.int rng 4)
+          | _ -> Aba_spec.Llsc_spec.Vl))
+
+let aba_random_history builder ~n ~ops_per_pid ~seed =
+  let rng = Random.State.make [| seed |] in
+  let driver = aba_driver builder ~n in
+  let scripts = random_aba_scripts rng ~n ~ops_per_pid in
+  Aba_sim.Driver.run_random driver ~scripts ~seed:(seed * 7919 + 1) ();
+  Aba_sim.Driver.history driver
+
+let llsc_random_history builder ~n ~ops_per_pid ~seed =
+  let rng = Random.State.make [| seed |] in
+  let driver = llsc_driver builder ~n in
+  let scripts = random_llsc_scripts rng ~n ~ops_per_pid in
+  Aba_sim.Driver.run_random driver ~scripts ~seed:(seed * 7919 + 1) ();
+  Aba_sim.Driver.history driver

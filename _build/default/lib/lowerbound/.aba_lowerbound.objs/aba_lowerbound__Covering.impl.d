@@ -1,0 +1,1 @@
+lib/lowerbound/covering.ml: Aba_primitives Aba_sim Format Hashtbl List Pid Printf String Weak_runner

@@ -1,0 +1,1 @@
+lib/lowerbound/covering.mli: Aba_core Aba_primitives Format Pid

@@ -1,0 +1,1 @@
+lib/lowerbound/tradeoff.ml: Aba_core Aba_primitives Aba_sim Instances List

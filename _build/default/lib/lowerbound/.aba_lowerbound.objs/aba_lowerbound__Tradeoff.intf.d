@@ -1,0 +1,1 @@
+lib/lowerbound/tradeoff.mli: Aba_core

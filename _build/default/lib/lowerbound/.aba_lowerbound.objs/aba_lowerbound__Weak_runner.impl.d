@@ -1,0 +1,1 @@
+lib/lowerbound/weak_runner.ml: Aba_core Aba_primitives Aba_sim Array Instances List Option Pid String

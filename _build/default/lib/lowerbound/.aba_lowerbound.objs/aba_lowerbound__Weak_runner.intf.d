@@ -1,0 +1,1 @@
+lib/lowerbound/weak_runner.mli: Aba_core Aba_primitives Aba_sim Pid

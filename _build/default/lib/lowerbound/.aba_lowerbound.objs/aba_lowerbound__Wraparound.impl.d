@@ -1,0 +1,1 @@
+lib/lowerbound/wraparound.ml: Aba_core Aba_primitives Aba_sim Aba_spec Array Instances List Random Result

@@ -1,0 +1,1 @@
+lib/lowerbound/wraparound.mli: Aba_core

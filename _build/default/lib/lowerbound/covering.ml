@@ -1,0 +1,195 @@
+open Aba_primitives
+
+type violation = { at_level : int; flag : bool; writes_missed : int }
+
+type outcome =
+  | Covered of (Pid.t * string) list
+  | Violation of violation
+  | Escaped of { at_level : int }
+  | No_repetition of { at_level : int; iterations : int }
+
+type stats = { total_steps : int; total_iterations : int; replays : int }
+
+exception Found_violation of violation
+exception Found_escape of int
+exception Found_no_repetition of int * int
+
+(* The context carries the current runner; the repetition step replaces it
+   with a replayed copy, and every recursion level goes through the context
+   so the swap is transparent to the callers up the stack. *)
+type ctx = {
+  mutable runner : Weak_runner.t;
+  mutable iterations : int;
+  mutable replays : int;
+  mutable steps_retired : int;
+      (** steps of runners discarded by replays, so stats count all work *)
+  max_iter : int;
+}
+
+type covering = (Pid.t * Aba_sim.Cell.t) list
+
+let covered_cell_ids (cov : covering) =
+  List.map (fun (_, (c : Aba_sim.Cell.t)) -> c.Aba_sim.Cell.id) cov
+
+(* Execute the block-write: each coverer takes exactly its poised write
+   step, in pid order. *)
+let block_write ctx (cov : covering) =
+  List.iter
+    (fun (p, (cell : Aba_sim.Cell.t)) ->
+      (match Weak_runner.poised ctx.runner p with
+      | Some (Aba_sim.Step.Write (c, _)) when c.Aba_sim.Cell.id = cell.id -> ()
+      | _ ->
+          failwith
+            (Printf.sprintf
+               "covering invariant broken: p%d not poised to write %s" p
+               cell.Aba_sim.Cell.name));
+      Weak_runner.step ctx.runner p)
+    cov
+
+(* Run [newcomer] solo from the current configuration until it is poised to
+   write outside [covered] (returning the fresh cell) or finishes its
+   WeakRead (returning [None]). *)
+let solo_until_fresh_write ctx covered newcomer =
+  Weak_runner.invoke_read ctx.runner newcomer;
+  let covered_ids = covered_cell_ids covered in
+  let rec go budget =
+    if budget = 0 then failwith "solo_until_fresh_write: no termination";
+    match Weak_runner.poised ctx.runner newcomer with
+    | None -> None
+    | Some (Aba_sim.Step.Write (cell, _))
+      when not (List.mem cell.Aba_sim.Cell.id covered_ids) ->
+        Some cell
+    | Some _ ->
+        Weak_runner.step ctx.runner newcomer;
+        go (budget - 1)
+  in
+  go 1_000_000
+
+let count_writes sigma =
+  List.length
+    (List.filter
+       (function Weak_runner.Invoke_write _ -> true | _ -> false)
+       sigma)
+
+(* [cover ctx k] drives the system from its current quiescent configuration
+   to one where pids 1..k are poised to write to k distinct registers and
+   process 0 is idle; returns the covering. *)
+let rec cover ctx k : covering =
+  if k = 0 then []
+  else begin
+    let newcomer = k in
+    (* reg-config after the block-write -> (mark of C, mark of D, covering
+       cell ids at C) of the first occurrence *)
+    let seen : (string, int * int * covering) Hashtbl.t = Hashtbl.create 64 in
+    let rec iterate i =
+      if i > ctx.max_iter then raise (Found_no_repetition (k, i - 1));
+      ctx.iterations <- ctx.iterations + 1;
+      let cov = cover ctx (k - 1) in
+      let mark_c = Weak_runner.mark ctx.runner in
+      block_write ctx cov;
+      let mark_d = Weak_runner.mark ctx.runner in
+      let rc = Weak_runner.reg_config ctx.runner in
+      match Hashtbl.find_opt seen rc with
+      | Some (mark_c0, mark_d0, cov0) -> begin
+          (* Repetition: jump back to the first occurrence's C and run the
+             newcomer solo there. *)
+          let sigma =
+            Weak_runner.log_slice ctx.runner ~from:mark_d0 ~upto:mark_d
+          in
+          ctx.replays <- ctx.replays + 1;
+          ctx.steps_retired <-
+            ctx.steps_retired + Weak_runner.total_steps ctx.runner;
+          ctx.runner <- Weak_runner.replay_prefix ctx.runner ~upto:mark_c0;
+          match solo_until_fresh_write ctx cov0 newcomer with
+          | Some fresh_cell -> cov0 @ [ (newcomer, fresh_cell) ]
+          | None -> begin
+              (* The newcomer finished its WeakRead writing only inside the
+                 covered set: re-execute the proof's sigma and observe the
+                 confusion. *)
+              block_write ctx cov0;
+              match
+                List.iter (Weak_runner.apply ctx.runner) sigma;
+                Weak_runner.complete_read ctx.runner newcomer
+              with
+              | flag ->
+                  if flag then raise (Found_escape k)
+                  else
+                    raise
+                      (Found_violation
+                         {
+                           at_level = k;
+                           flag;
+                           writes_missed = count_writes sigma;
+                         })
+              | exception (Invalid_argument _ | Failure _) ->
+                  (* The replayed processes diverged from the recorded
+                     actions: the implementation distinguished D'_i from
+                     D_i, which bounded registers cannot do — conditional
+                     primitives escape Theorem 1(a). *)
+                  raise (Found_escape k)
+            end
+        end
+      | None ->
+          Hashtbl.add seen rc (mark_c, mark_d, cov);
+          (* gamma: finish the readers, then one complete WeakWrite. *)
+          List.iter (fun (p, _) -> Weak_runner.run_solo ctx.runner p) cov;
+          Weak_runner.complete_write ctx.runner 0;
+          iterate (i + 1)
+    in
+    iterate 1
+  end
+
+let run ?(max_iterations_per_level = 2000) builder ~n =
+  if n < 2 then invalid_arg "Covering.run: need n >= 2";
+  let ctx =
+    {
+      runner = Weak_runner.create builder ~n;
+      iterations = 0;
+      replays = 0;
+      steps_retired = 0;
+      max_iter = max_iterations_per_level;
+    }
+  in
+  let outcome =
+    match cover ctx (n - 1) with
+    | cov ->
+        Covered
+          (List.map
+             (fun (p, (c : Aba_sim.Cell.t)) -> (p, c.Aba_sim.Cell.name))
+             cov)
+    | exception Found_violation v -> Violation v
+    | exception Found_escape k -> Escaped { at_level = k }
+    | exception Found_no_repetition (k, iters) ->
+        No_repetition { at_level = k; iterations = iters }
+  in
+  let stats =
+    {
+      total_steps = ctx.steps_retired + Weak_runner.total_steps ctx.runner;
+      total_iterations = ctx.iterations;
+      replays = ctx.replays;
+    }
+  in
+  (outcome, stats)
+
+let pp_outcome ppf = function
+  | Covered cov ->
+      Format.fprintf ppf "covered %d distinct registers: %s" (List.length cov)
+        (String.concat ", "
+           (List.map
+              (fun (p, name) -> Printf.sprintf "p%d->%s" p name)
+              cov))
+  | Violation { at_level; flag; writes_missed } ->
+      Format.fprintf ppf
+        "VIOLATION at level %d: dirty WeakRead returned %b despite %d \
+         complete WeakWrite(s) since the previous read"
+        at_level flag writes_missed
+  | Escaped { at_level } ->
+      Format.fprintf ppf
+        "escaped at level %d (conditional primitives detected the \
+         adversary; outside Theorem 1(a)'s register-only hypothesis)"
+        at_level
+  | No_repetition { at_level; iterations } ->
+      Format.fprintf ppf
+        "no repeated register configuration at level %d after %d \
+         iterations (unbounded base objects)"
+        at_level iterations

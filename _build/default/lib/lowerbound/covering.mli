@@ -1,0 +1,66 @@
+(** The Lemma 1 covering adversary, executable (experiment E1, Theorem 1(a)).
+
+    The proof of Lemma 1 constructs, for every [k <= n-1], a reachable
+    configuration in which [k] reader processes are poised to write to [k]
+    {e distinct} registers while the writer is idle — which forces any
+    solo-terminating implementation of [WeakRead]/[WeakWrite] from bounded
+    registers to use at least [n-1] of them.  This module {e runs} that
+    construction against an implementation:
+
+    + inductively reach a configuration [C_i] where pids [1..k-1] cover
+      [k-1] distinct registers;
+    + execute the block-write, record [reg(D_i)], finish the readers, let
+      the writer complete one [WeakWrite], and iterate;
+    + when a register configuration repeats ([reg(D_i) = reg(D_j)]), jump
+      back to [C_i] (deterministic replay of the action log) and run the
+      next reader solo.
+
+    For a correct implementation the solo reader must get poised to write
+    {e outside} the covered set before finishing — extending the covering,
+    exactly as the proof guarantees.  If instead it finishes its [WeakRead],
+    the adversary completes the proof's contradiction {e concretely}: it
+    re-executes the block-write and the recorded segment [sigma] (which
+    contains at least one complete [WeakWrite]) and lets the reader read
+    again.  A reader that cannot distinguish [D'_i] from [D'_j] returns a
+    [false] flag — a machine-checkable violation of the weak condition.
+
+    Outcomes over the implementation zoo map exactly onto the theory:
+    - Figure 4 → [Covered] with [k = n-1] distinct registers;
+    - bounded-tag → [Violation] (wrong flag exhibited);
+    - CAS-based implementations → [Escaped] (conditional primitives break
+      the hiding step — they are outside Theorem 1(a)'s hypothesis, and
+      need the Lemma 2/3 tradeoff instead);
+    - unbounded-register implementations → [No_repetition] (register
+      configurations never repeat — the other escape hatch). *)
+
+open Aba_primitives
+
+type violation = {
+  at_level : int;  (** the [k] at which the confusion was exhibited *)
+  flag : bool;  (** the flag the dirty read returned (always [false]) *)
+  writes_missed : int;  (** complete WeakWrites inside [sigma] *)
+}
+
+type outcome =
+  | Covered of (Pid.t * string) list
+      (** pids and the distinct registers they cover, length [n-1] *)
+  | Violation of violation
+  | Escaped of { at_level : int }
+  | No_repetition of { at_level : int; iterations : int }
+
+type stats = {
+  total_steps : int;
+  total_iterations : int;  (** loop iterations summed over levels *)
+  replays : int;
+}
+
+val run :
+  ?max_iterations_per_level:int ->
+  Aba_core.Instances.aba_builder ->
+  n:int ->
+  outcome * stats
+(** [run builder ~n] executes the adversary up to coverage [n - 1].
+    [max_iterations_per_level] (default [2000]) bounds the search for a
+    repeated register configuration at each level. *)
+
+val pp_outcome : Format.formatter -> outcome -> unit

@@ -1,0 +1,187 @@
+open Aba_core
+
+type measurement = {
+  label : string;
+  n : int;
+  space : int;
+  bounded : bool;
+  worst_ll : int;
+  worst_sc : int;
+  worst_vl : int;
+  worst_op : int;
+  product : int;
+  bound : int;
+}
+
+type aba_measurement = {
+  a_label : string;
+  a_n : int;
+  a_space : int;
+  a_bounded : bool;
+  worst_dread : int;
+  worst_dwrite : int;
+  a_worst_op : int;
+  a_product : int;
+  a_bound : int;
+}
+
+(* Drive one operation of process [q] to completion, one shared-memory step
+   at a time, invoking [interfere] between consecutive steps; returns the
+   operation's step count. *)
+let run_contended sim q call ~interfere =
+  let promise = Aba_sim.Sim.invoke sim q call in
+  let rec go () =
+    match Aba_sim.Sim.result promise with
+    | Some _ -> Aba_sim.Sim.steps_of promise
+    | None ->
+        Aba_sim.Sim.step sim q;
+        (match Aba_sim.Sim.result promise with
+        | Some _ -> ()
+        | None -> interfere ());
+        go ()
+  in
+  go ()
+
+let run_solo_op sim p call =
+  let promise = Aba_sim.Sim.invoke sim p call in
+  Aba_sim.Sim.run_solo sim p;
+  match Aba_sim.Sim.result promise with Some r -> r | None -> assert false
+
+let all_bounded space_list =
+  List.for_all (fun (_, domain) -> domain <> "unbounded") space_list
+
+let threshold n = (n - 1 + 1) / 2 (* ceil((n-1)/2), Theorem 1(c) *)
+
+let measure_llsc ~label builder ~n =
+  if n < 3 then invalid_arg "Tradeoff.measure_llsc: need n >= 3";
+  let sim = Aba_sim.Sim.create ~n in
+  let inst = Instances.llsc_in_sim builder sim ~n in
+  let q = 1 in
+  let others = List.filter (fun p -> p <> q) (Aba_primitives.Pid.all ~n) in
+  (* Interfering SCs must store pairwise-distinct values: an LL/SC pair that
+     restores the object to its previous contents is an ABA on the CAS
+     object itself, and the measured process's CAS would (correctly!)
+     succeed early. *)
+  let fresh_value = ref 2 in
+  let full_sc_by p =
+    fresh_value := 3 + ((!fresh_value + 1) mod 200);
+    let v = !fresh_value in
+    ignore (run_solo_op sim p (fun () -> inst.Instances.ll p));
+    ignore (run_solo_op sim p (fun () -> inst.Instances.sc p v))
+  in
+  let bare_ll_by p = ignore (run_solo_op sim p (fun () -> inst.Instances.ll p)) in
+  (* Worst LL: every step of [q] is followed by a complete successful SC of
+     a rotating other process, so the object keeps changing and [q]'s bit
+     (for Figure 3) keeps being re-set. *)
+  let rotation = ref others in
+  let rotate () =
+    match !rotation with
+    | [] ->
+        rotation := others;
+        List.hd others
+    | p :: rest ->
+        rotation := rest;
+        p
+  in
+  full_sc_by 0;
+  let worst_ll =
+    run_contended sim q (fun () -> inst.Instances.ll q) ~interfere:(fun () ->
+        full_sc_by (rotate ()))
+  in
+  (* Worst SC: re-arm (successful SC by another process, then a solo LL by
+     [q]), then between [q]'s steps the other processes perform bare LLs —
+     these keep changing the object (clearing their own Figure 3 bits)
+     without invalidating [q]'s link. *)
+  full_sc_by 0;
+  bare_ll_by q;
+  let pending = ref others in
+  let worst_sc =
+    run_contended sim q (fun () -> inst.Instances.sc q 2) ~interfere:(fun () ->
+        match !pending with
+        | [] -> ()
+        | p :: rest ->
+            pending := rest;
+            bare_ll_by p)
+  in
+  (* Worst VL, measured under the same churn as LL. *)
+  full_sc_by 0;
+  bare_ll_by q;
+  let worst_vl =
+    run_contended sim q (fun () -> inst.Instances.vl q) ~interfere:(fun () ->
+        full_sc_by (rotate ()))
+  in
+  let space_list = inst.Instances.llsc_space () in
+  let space = List.length space_list in
+  let worst_op = max worst_ll (max worst_sc worst_vl) in
+  {
+    label;
+    n;
+    space;
+    bounded = all_bounded space_list;
+    worst_ll;
+    worst_sc;
+    worst_vl;
+    worst_op;
+    product = space * worst_op;
+    bound = threshold n;
+  }
+
+let measure_aba ~label builder ~n =
+  if n < 3 then invalid_arg "Tradeoff.measure_aba: need n >= 3";
+  let sim = Aba_sim.Sim.create ~n in
+  let inst = Instances.aba_in_sim builder sim ~n in
+  let q = 1 in
+  let others = List.filter (fun p -> p <> q) (Aba_primitives.Pid.all ~n) in
+  let rotation = ref others in
+  let rotate () =
+    match !rotation with
+    | [] ->
+        rotation := others;
+        List.hd others
+    | p :: rest ->
+        rotation := rest;
+        p
+  in
+  (* As in [measure_llsc], interfering writes use distinct values so they
+     cannot cancel out through a CAS-level ABA. *)
+  let fresh_value = ref 2 in
+  let churn () =
+    fresh_value := 3 + ((!fresh_value + 1) mod 200);
+    let v = !fresh_value in
+    let p = rotate () in
+    ignore (run_solo_op sim p (fun () -> inst.Instances.dwrite p v));
+    ignore (run_solo_op sim p (fun () -> inst.Instances.dread p))
+  in
+  (* Warm up so local caches and announce entries are populated. *)
+  churn ();
+  ignore (run_solo_op sim q (fun () -> inst.Instances.dread q));
+  let measure call =
+    (* Repeat a few times and keep the max: the worst path may need the
+       right starting state (e.g. the reader's Figure 3 bit set), and that
+       state is produced by churning *between* operations — an operation
+       whose first step completes it never sees in-operation
+       interference. *)
+    let worst = ref 0 in
+    for _ = 1 to 4 do
+      churn ();
+      let steps = run_contended sim q call ~interfere:churn in
+      if steps > !worst then worst := steps
+    done;
+    !worst
+  in
+  let worst_dread = measure (fun () -> ignore (inst.Instances.dread q)) in
+  let worst_dwrite = measure (fun () -> inst.Instances.dwrite q 2) in
+  let space_list = inst.Instances.aba_space () in
+  let space = List.length space_list in
+  let a_worst_op = max worst_dread worst_dwrite in
+  {
+    a_label = label;
+    a_n = n;
+    a_space = space;
+    a_bounded = all_bounded space_list;
+    worst_dread;
+    worst_dwrite;
+    a_worst_op;
+    a_product = space * a_worst_op;
+    a_bound = threshold n;
+  }

@@ -1,0 +1,49 @@
+(** Time–space tradeoff measurements (experiments E2, E3, E5; Theorem 1(b,c)
+    and Corollary 1).
+
+    For each implementation the harness measures the number of base objects
+    [m] (exactly, from the instance's space accounting) and the worst
+    per-operation step count [t] observed under a {e contention adversary}:
+    the measured process is advanced one shared-memory step at a time, and
+    between its steps the remaining processes complete whole operations
+    chosen to invalidate its work (successful SCs set its Figure 3 bit;
+    bare LLs keep the CAS object churning while its bit stays clear).
+
+    The lower bounds say [m·t >= (n-1)/2] for implementations from bounded
+    writable CAS objects ([m·t >= n-1] when objects are CAS-only or
+    registers); the table produced here shows Figure 3 ([m = 1],
+    [t = Theta(n)]) and the Jayanti–Petrovic construction ([m = n+1],
+    [t = O(1)]) sitting on that curve, and Moir's unbounded construction
+    ([m = 1], [t = O(1)]) beneath it — possible only because its tag is
+    unbounded. *)
+
+type measurement = {
+  label : string;
+  n : int;
+  space : int;  (** m: number of base objects *)
+  bounded : bool;  (** every base object has a finite domain *)
+  worst_ll : int;
+  worst_sc : int;
+  worst_vl : int;
+  worst_op : int;  (** t: max of the above *)
+  product : int;  (** m * t *)
+  bound : int;  (** the Theorem 1(c) threshold, (n-1+1)/2 rounded up *)
+}
+
+val measure_llsc :
+  label:string -> Aba_core.Instances.llsc_builder -> n:int -> measurement
+
+type aba_measurement = {
+  a_label : string;
+  a_n : int;
+  a_space : int;
+  a_bounded : bool;
+  worst_dread : int;
+  worst_dwrite : int;
+  a_worst_op : int;
+  a_product : int;
+  a_bound : int;
+}
+
+val measure_aba :
+  label:string -> Aba_core.Instances.aba_builder -> n:int -> aba_measurement

@@ -1,0 +1,124 @@
+open Aba_primitives
+open Aba_core
+
+type action = Invoke_read of Pid.t | Invoke_write of Pid.t | Step of Pid.t
+
+type pending = Read of (int * bool) Aba_sim.Sim.promise | Write of unit Aba_sim.Sim.promise
+
+type t = {
+  builder : Instances.aba_builder;
+  n : int;
+  sim : Aba_sim.Sim.t;
+  inst : Instances.aba;
+  pending : pending option array;
+  last_flag : bool option array;
+  mutable log_rev : action list;
+  mutable log_len : int;
+}
+
+let create builder ~n =
+  let sim = Aba_sim.Sim.create ~n in
+  let inst = Instances.aba_in_sim builder sim ~n in
+  {
+    builder;
+    n;
+    sim;
+    inst;
+    pending = Array.make n None;
+    last_flag = Array.make n None;
+    log_rev = [];
+    log_len = 0;
+  }
+
+let n t = t.n
+let sim t = t.sim
+
+let record t a =
+  t.log_rev <- a :: t.log_rev;
+  t.log_len <- t.log_len + 1
+
+let settle t p =
+  match t.pending.(p) with
+  | None -> ()
+  | Some (Read promise) -> (
+      match Aba_sim.Sim.result promise with
+      | Some (_, flag) ->
+          t.pending.(p) <- None;
+          t.last_flag.(p) <- Some flag
+      | None -> ())
+  | Some (Write promise) -> (
+      match Aba_sim.Sim.result promise with
+      | Some () -> t.pending.(p) <- None
+      | None -> ())
+
+let invoke_read t p =
+  (match t.pending.(p) with
+  | Some _ -> invalid_arg "Weak_runner.invoke_read: operation pending"
+  | None -> ());
+  record t (Invoke_read p);
+  let promise = Aba_sim.Sim.invoke t.sim p (fun () -> t.inst.Instances.dread p) in
+  t.pending.(p) <- Some (Read promise);
+  settle t p
+
+let invoke_write t p =
+  (match t.pending.(p) with
+  | Some _ -> invalid_arg "Weak_runner.invoke_write: operation pending"
+  | None -> ());
+  record t (Invoke_write p);
+  let promise =
+    Aba_sim.Sim.invoke t.sim p (fun () -> t.inst.Instances.dwrite p 1)
+  in
+  t.pending.(p) <- Some (Write promise);
+  settle t p
+
+let step t p =
+  record t (Step p);
+  Aba_sim.Sim.step t.sim p;
+  settle t p
+
+let is_idle t p = t.pending.(p) = None
+
+let run_solo t p =
+  let rec go budget =
+    if is_idle t p then ()
+    else if budget = 0 then failwith "Weak_runner.run_solo: no termination"
+    else begin
+      step t p;
+      go (budget - 1)
+    end
+  in
+  go 100_000
+
+let complete_read t p =
+  invoke_read t p;
+  run_solo t p;
+  match t.last_flag.(p) with
+  | Some f -> f
+  | None -> assert false
+
+let complete_write t p =
+  invoke_write t p;
+  run_solo t p
+
+let poised t p = Aba_sim.Sim.poised t.sim p
+let last_flag t p = t.last_flag.(p)
+let reg_config t = String.concat ";" (Aba_sim.Sim.reg_config t.sim)
+let quiescent t = Array.for_all Option.is_none t.pending
+let mark t = t.log_len
+
+let log_slice t ~from ~upto =
+  (* log_rev is newest-first; positions are 0-based from the start. *)
+  let all = List.rev t.log_rev in
+  List.filteri (fun i _ -> from <= i && i < upto) all
+
+let apply t = function
+  | Invoke_read p -> invoke_read t p
+  | Invoke_write p -> invoke_write t p
+  | Step p -> step t p
+
+let replay_prefix t ~upto =
+  let fresh = create t.builder ~n:t.n in
+  List.iter (apply fresh) (log_slice t ~from:0 ~upto);
+  fresh
+
+let total_steps t = Aba_sim.Sim.total_steps t.sim

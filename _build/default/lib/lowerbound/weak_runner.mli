@@ -1,0 +1,77 @@
+(** Replayable driver for the [WeakRead]/[WeakWrite] workload of Section 2.
+
+    The lower-bound constructions run a fixed program shape: process [0]
+    repeatedly calls [WeakWrite] and every other process repeatedly calls
+    [WeakRead] (each [WeakRead] is a [DRead] whose value is discarded, each
+    [WeakWrite] a [DWrite] of a constant).  The adversary interleaves these
+    calls step by step and — crucially — must be able to {e jump back} to an
+    earlier configuration (the proof of Lemma 1 backtracks to [C_i] once a
+    register configuration repeats).
+
+    Because implementations are deterministic, a configuration is determined
+    by the sequence of adversary actions that produced it, so backtracking
+    is realized by replaying a prefix of the recorded action log against a
+    fresh instance. *)
+
+open Aba_primitives
+
+type action = Invoke_read of Pid.t | Invoke_write of Pid.t | Step of Pid.t
+
+type t
+
+val create : Aba_core.Instances.aba_builder -> n:int -> t
+(** Fresh instance in its initial (quiescent) configuration. *)
+
+val n : t -> int
+
+val sim : t -> Aba_sim.Sim.t
+
+(** {1 Actions} — each is recorded in the log. *)
+
+val invoke_read : t -> Pid.t -> unit
+
+val invoke_write : t -> Pid.t -> unit
+(** [WeakWrite]: a [DWrite 1]. *)
+
+val step : t -> Pid.t -> unit
+
+val run_solo : t -> Pid.t -> unit
+(** Step the process until its pending call completes (recording each
+    step). *)
+
+val complete_read : t -> Pid.t -> bool
+(** Invoke a [WeakRead] and run it solo; returns the detection flag. *)
+
+val complete_write : t -> Pid.t -> unit
+
+(** {1 Inspection} *)
+
+val is_idle : t -> Pid.t -> bool
+
+val poised : t -> Pid.t -> Aba_sim.Step.t option
+
+val last_flag : t -> Pid.t -> bool option
+(** Flag returned by [p]'s most recently completed [WeakRead]. *)
+
+val reg_config : t -> string
+(** Rendered [reg(C)] of the current configuration. *)
+
+val quiescent : t -> bool
+
+(** {1 Log and replay} *)
+
+val mark : t -> int
+(** Current position in the action log. *)
+
+val log_slice : t -> from:int -> upto:int -> action list
+(** Actions in log positions [from, upto) — used to capture the [sigma]
+    segment between two configurations before truncating. *)
+
+val replay_prefix : t -> upto:int -> t
+(** A fresh instance on which log positions [0, upto) have been replayed —
+    the configuration the original instance had at mark [upto]. *)
+
+val apply : t -> action -> unit
+(** Re-issue a captured action (used to replay [sigma] segments). *)
+
+val total_steps : t -> int

@@ -1,0 +1,93 @@
+open Aba_core
+
+type directed_result = Missed_after of int | Detected_up_to of int
+
+(* Write once and read (arming the reader's stamp), then perform [k] writes
+   of the same value and read again: the second read must report the
+   intervening writes.  Sequential schedules suffice — wraparound is not a
+   concurrency bug. *)
+let directed_search builder ~n ~max_writes =
+  let reader = 1 in
+  let writer = 0 in
+  let miss k =
+    let inst = Instances.aba_seq builder ~n in
+    inst.Instances.dwrite writer 1;
+    let _, _ = inst.Instances.dread reader in
+    for _ = 1 to k do
+      inst.Instances.dwrite writer 1
+    done;
+    let _, flag = inst.Instances.dread reader in
+    not flag
+  in
+  let rec probe k =
+    if k > max_writes then Detected_up_to max_writes
+    else if miss k then Missed_after k
+    else probe (k + 1)
+  in
+  probe 1
+
+type randomized_result = {
+  histories_checked : int;
+  violation_seed : int option;
+}
+
+module Check = Aba_spec.Lin_check.Make (Aba_spec.Aba_register_spec)
+
+(* Forget the values: a DRead/DWrite history is a WeakRead/WeakWrite
+   history, so the Section 2 weak condition applies as a second, cheaper
+   validator alongside full linearizability. *)
+let weak_view h =
+  List.map
+    (fun e ->
+      match e with
+      | Aba_primitives.Event.Invoke (p, Aba_spec.Aba_register_spec.DRead) ->
+          Aba_primitives.Event.Invoke (p, Aba_spec.Weak_cond.Weak_read)
+      | Aba_primitives.Event.Invoke (p, Aba_spec.Aba_register_spec.DWrite _)
+        ->
+          Aba_primitives.Event.Invoke (p, Aba_spec.Weak_cond.Weak_write)
+      | Aba_primitives.Event.Response
+          (p, Aba_spec.Aba_register_spec.Read_result (_, flag)) ->
+          Aba_primitives.Event.Response (p, Aba_spec.Weak_cond.Flag flag)
+      | Aba_primitives.Event.Response
+          (p, Aba_spec.Aba_register_spec.Write_done) ->
+          Aba_primitives.Event.Response (p, Aba_spec.Weak_cond.Write_done))
+    h
+
+let passes_weak_condition h =
+  match Aba_spec.Weak_cond.check (weak_view h) with
+  | Result.Ok () -> true
+  | Result.Error _ -> false
+
+let randomized_search builder ~n ~ops_per_pid ~seeds =
+  (* Workloads biased towards same-value writes, the ABA-prone case. *)
+  let scripts rng =
+    Array.init n (fun p ->
+        List.init ops_per_pid (fun _ ->
+            if p = 0 || Random.State.int rng 3 = 0 then
+              Aba_spec.Aba_register_spec.DWrite 1
+            else Aba_spec.Aba_register_spec.DRead))
+  in
+  let run_one seed =
+    let rng = Random.State.make [| seed |] in
+    let sim = Aba_sim.Sim.create ~n in
+    let inst = Instances.aba_in_sim builder sim ~n in
+    let driver =
+      Aba_sim.Driver.create ~sim ~apply:(fun p op () ->
+          match op with
+          | Aba_spec.Aba_register_spec.DRead ->
+              let v, f = inst.Instances.dread p in
+              Aba_spec.Aba_register_spec.Read_result (v, f)
+          | Aba_spec.Aba_register_spec.DWrite x ->
+              inst.Instances.dwrite p x;
+              Aba_spec.Aba_register_spec.Write_done)
+    in
+    Aba_sim.Driver.run_random driver ~scripts:(scripts rng) ~seed ();
+    let h = Aba_sim.Driver.history driver in
+    Check.check_ok ~n h && passes_weak_condition h
+  in
+  let rec go seed checked =
+    if seed > seeds then { histories_checked = checked; violation_seed = None }
+    else if run_one seed then go (seed + 1) (checked + 1)
+    else { histories_checked = checked + 1; violation_seed = Some seed }
+  in
+  go 1 0

@@ -1,0 +1,38 @@
+(** Bounded-tag wraparound experiments (experiment E6).
+
+    The introduction discusses the folklore tagging technique and why
+    bounded tags do not solve the ABA problem: tag values wrap around.
+    This module quantifies that:
+
+    - [directed_search] finds, for a given implementation, the smallest
+      number of same-value writes between two reads of one process that
+      goes undetected.  For the mod-[T] tagging scheme the answer is
+      exactly [T]; for the correct implementations there is none.
+    - [randomized_search] drives random concurrent schedules through the
+      simulator and checks every history against the weak condition and
+      the linearizability checker, reporting the first violating seed.
+
+    Together with the exhaustive exploration of the test suite this gives
+    the empirical side of "bounded tags fail, detection needs real space"
+    (Theorem 1 vs. the unbounded escape hatch). *)
+
+type directed_result =
+  | Missed_after of int
+      (** smallest number of writes between two reads that went undetected *)
+  | Detected_up_to of int  (** all probed counts were detected *)
+
+val directed_search :
+  Aba_core.Instances.aba_builder -> n:int -> max_writes:int -> directed_result
+
+type randomized_result = {
+  histories_checked : int;
+  violation_seed : int option;
+      (** seed of the first history that failed the checks, if any *)
+}
+
+val randomized_search :
+  Aba_core.Instances.aba_builder ->
+  n:int ->
+  ops_per_pid:int ->
+  seeds:int ->
+  randomized_result

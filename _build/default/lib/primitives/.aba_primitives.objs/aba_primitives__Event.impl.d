@@ -1,0 +1,1 @@
+lib/primitives/event.ml: Format Hashtbl List Pid

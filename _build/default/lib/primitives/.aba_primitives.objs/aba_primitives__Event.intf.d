@@ -1,0 +1,1 @@
+lib/primitives/event.mli: Format Pid

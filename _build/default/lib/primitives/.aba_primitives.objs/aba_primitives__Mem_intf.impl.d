@@ -1,0 +1,1 @@
+lib/primitives/mem_intf.ml: Bounded Pid

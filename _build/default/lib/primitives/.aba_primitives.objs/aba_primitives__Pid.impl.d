@@ -1,0 +1,1 @@
+lib/primitives/pid.ml: Format Fun List Printf

@@ -1,0 +1,1 @@
+lib/primitives/seq_mem.ml: Bounded Hashtbl Mem_intf Pid Printf

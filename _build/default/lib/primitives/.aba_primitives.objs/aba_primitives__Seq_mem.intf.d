@@ -1,0 +1,1 @@
+lib/primitives/seq_mem.mli: Mem_intf

@@ -1,0 +1,66 @@
+type ('op, 'res) t =
+  | Invoke of Pid.t * 'op
+  | Response of Pid.t * 'res
+
+type ('op, 'res) history = ('op, 'res) t list
+
+let pid = function Invoke (p, _) -> p | Response (p, _) -> p
+let is_invoke = function Invoke _ -> true | Response _ -> false
+
+let well_formed h =
+  (* [pending] maps each pid to whether it has an open invocation. *)
+  let tbl = Hashtbl.create 16 in
+  let ok = ref true in
+  let check_event = function
+    | Invoke (p, _) ->
+        if Hashtbl.mem tbl p then ok := false else Hashtbl.add tbl p ()
+    | Response (p, _) ->
+        if Hashtbl.mem tbl p then Hashtbl.remove tbl p else ok := false
+  in
+  List.iter check_event h;
+  !ok
+
+let complete h =
+  let responded = Hashtbl.create 16 in
+  List.iter
+    (function Response (p, _) -> Hashtbl.add responded p () | Invoke _ -> ())
+    h;
+  (* Walk backwards: an invocation is kept only if a response by the same
+     process occurs later; we consume one pending response per kept
+     invocation. *)
+  let rec keep rev_h acc =
+    match rev_h with
+    | [] -> acc
+    | (Response (p, _) as e) :: rest ->
+        Hashtbl.add responded p ();
+        keep rest (e :: acc)
+    | (Invoke (p, _) as e) :: rest ->
+        if Hashtbl.mem responded p then begin
+          Hashtbl.remove responded p;
+          keep rest (e :: acc)
+        end
+        else keep rest acc
+  in
+  Hashtbl.reset responded;
+  keep (List.rev h) []
+
+let ops_of h =
+  (* Pair each invocation with the next response by the same process. *)
+  let rec result_for p = function
+    | [] -> None
+    | Response (q, r) :: _ when q = p -> Some r
+    | _ :: rest -> result_for p rest
+  in
+  let rec walk = function
+    | [] -> []
+    | Invoke (p, op) :: rest -> (p, op, result_for p rest) :: walk rest
+    | Response _ :: rest -> walk rest
+  in
+  walk h
+
+let pp ~op ~res ppf h =
+  let pp_event ppf = function
+    | Invoke (p, o) -> Format.fprintf ppf "@[inv %a %a@]" Pid.pp p op o
+    | Response (p, r) -> Format.fprintf ppf "@[res %a %a@]" Pid.pp p res r
+  in
+  Format.fprintf ppf "@[<v>%a@]" (Format.pp_print_list pp_event) h

@@ -1,0 +1,41 @@
+(** Histories of method calls on implemented objects.
+
+    A {e history} is the sequence of invocation and response events occurring
+    in an execution (Herlihy & Wing).  Histories are what the
+    linearizability checker consumes, and what the weak correctness
+    condition of Section 2 ([WeakRead]/[WeakWrite]) is defined over.
+
+    Events are polymorphic in the operation and result types, which are
+    supplied by each sequential specification. *)
+
+type ('op, 'res) t =
+  | Invoke of Pid.t * 'op
+  | Response of Pid.t * 'res
+
+type ('op, 'res) history = ('op, 'res) t list
+(** Events in the temporal order in which they occurred. *)
+
+val pid : ('op, 'res) t -> Pid.t
+
+val is_invoke : ('op, 'res) t -> bool
+
+val well_formed : ('op, 'res) history -> bool
+(** A history is well formed when, per process, invocations and responses
+    strictly alternate starting with an invocation (each process is
+    sequential). *)
+
+val complete : ('op, 'res) history -> ('op, 'res) history
+(** [complete h] removes pending invocations (invocations without a matching
+    response).  The checker treats pending calls conservatively by also
+    trying to linearize them; [complete] gives the minimal completion. *)
+
+val ops_of : ('op, 'res) history -> (Pid.t * 'op * 'res option) list
+(** Matched calls in invocation order: each invocation paired with its
+    response result, or [None] if pending at the end of the history. *)
+
+val pp :
+  op:(Format.formatter -> 'op -> unit) ->
+  res:(Format.formatter -> 'res -> unit) ->
+  Format.formatter ->
+  ('op, 'res) history ->
+  unit

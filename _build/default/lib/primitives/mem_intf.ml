@@ -1,0 +1,89 @@
+(** Shared-memory base-object interface.
+
+    The paper's algorithms (Figures 3, 4 and 5) are expressed over three
+    kinds of atomic base objects: read/write registers, (writable) CAS
+    objects, and LL/SC/VL objects.  We write each algorithm once, as a
+    functor over this signature, and instantiate it with:
+
+    - {!Aba_sim.Sim_mem} — the deterministic simulator, where every operation
+      is one scheduler step (used for linearizability checking, adversarial
+      schedules and the lower-bound experiments);
+    - {!Seq_mem} — a direct, single-threaded instance (used for fast
+      sequential unit tests of algorithm-internal invariants).
+
+    Creation functions are not shared-memory steps; they model the initial
+    configuration.  Every object takes a [name] (used in traces, register
+    configurations and space accounting), a [show] function rendering values,
+    and an optional {!Bounded.t} domain.  Objects with a domain refuse values
+    outside it — this is how the boundedness hypothesis of Theorem 1 is
+    enforced at runtime. *)
+
+module type S = sig
+  val mem_name : string
+  (** Identifies the instance in experiment output. *)
+
+  (** {1 Read/write registers} *)
+
+  type 'a register
+
+  val make_register :
+    ?bound:'a Bounded.t -> name:string -> show:('a -> string) -> 'a ->
+    'a register
+
+  val read : 'a register -> 'a
+
+  val write : 'a register -> 'a -> unit
+
+  (** {1 CAS objects}
+
+      A CAS object supports [Read()] and [CAS(x, y)].  A {e writable} CAS
+      object additionally supports [Write()] — the paper states its
+      Theorem 1(c) lower bound for this stronger primitive, which can
+      simulate any conditional read-modify-write operation. *)
+
+  type 'a cas
+
+  val make_cas :
+    ?bound:'a Bounded.t -> ?writable:bool -> name:string ->
+    show:('a -> string) -> 'a -> 'a cas
+  (** [writable] defaults to [false]. *)
+
+  val cas_read : 'a cas -> 'a
+
+  val cas : 'a cas -> expect:'a -> update:'a -> bool
+  (** [cas o ~expect ~update] atomically replaces the value [v] of [o] by
+      [update] and returns [true] if [v = expect] (structurally); otherwise
+      leaves [o] unchanged and returns [false]. *)
+
+  val cas_write : 'a cas -> 'a -> unit
+  (** Unconditional write; raises [Invalid_argument] on a non-writable CAS
+      object. *)
+
+  (** {1 LL/SC/VL objects}
+
+      Used as the {e source} object of Figure 5.  [sc ~pid o v] succeeds iff
+      no successful [sc] on [o] occurred since [pid]'s last [ll]; [vl]
+      reports whether [pid]'s link is still valid without changing state. *)
+
+  type 'a llsc
+
+  val make_llsc :
+    ?bound:'a Bounded.t -> name:string -> show:('a -> string) -> 'a ->
+    'a llsc
+
+  val ll : 'a llsc -> pid:Pid.t -> 'a
+
+  val sc : 'a llsc -> pid:Pid.t -> 'a -> bool
+
+  val vl : 'a llsc -> pid:Pid.t -> bool
+  (** Per the paper's Appendix A convention, [vl] by a process that has never
+      performed [ll] returns [true] as long as no successful [sc] has been
+      executed. *)
+
+  (** {1 Space accounting} *)
+
+  val space : unit -> (string * string) list
+  (** All base objects created through this instance so far, as
+      [(name, domain description)] pairs, in creation order.  This is the
+      measured "m" of the theorems. *)
+end

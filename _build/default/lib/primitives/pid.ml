@@ -1,0 +1,12 @@
+type t = int
+
+let is_valid ~n p = 0 <= p && p < n
+
+let check ~n p =
+  if not (is_valid ~n p) then
+    invalid_arg (Printf.sprintf "Pid.check: pid %d out of range [0,%d)" p n)
+
+let all ~n = List.init n Fun.id
+let readers ~n = List.init (max 0 (n - 1)) (fun i -> i + 1)
+let writer = 0
+let pp ppf p = Format.fprintf ppf "p%d" p

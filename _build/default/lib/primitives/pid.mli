@@ -1,0 +1,26 @@
+(** Process identifiers.
+
+    The paper considers a system of [n] processes with unique IDs in
+    [{0, ..., n-1}].  Throughout the lower-bound constructions process [0]
+    plays the writer role and processes [1 .. n-1] the reader roles, so we
+    keep IDs as plain integers but validate them against the system size. *)
+
+type t = int
+
+val is_valid : n:int -> t -> bool
+(** [is_valid ~n p] holds iff [0 <= p < n]. *)
+
+val check : n:int -> t -> unit
+(** [check ~n p] raises [Invalid_argument] unless [is_valid ~n p]. *)
+
+val all : n:int -> t list
+(** [all ~n] is [[0; 1; ...; n-1]]. *)
+
+val readers : n:int -> t list
+(** [readers ~n] is [[1; ...; n-1]] — the processes that repeatedly call
+    [WeakRead] in the lower-bound executions of Section 2. *)
+
+val writer : t
+(** The dedicated writer process, [0]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,103 @@
+module Make () : Mem_intf.S = struct
+  let mem_name = "seq"
+  let objects : (string * string) list ref = ref []
+
+  let register_object ~name bound_desc =
+    objects := !objects @ [ (name, bound_desc) ]
+
+  let desc_of = function
+    | None -> "unbounded"
+    | Some b -> Bounded.describe b
+
+  let guard bound name v =
+    match bound with
+    | None -> ()
+    | Some b -> Bounded.check ~what:name b v
+
+  type 'a register = {
+    r_name : string;
+    r_bound : 'a Bounded.t option;
+    mutable r_value : 'a;
+  }
+
+  let make_register ?bound ~name ~show:_ init =
+    guard bound name init;
+    register_object ~name (desc_of bound);
+    { r_name = name; r_bound = bound; r_value = init }
+
+  let read r = r.r_value
+
+  let write r v =
+    guard r.r_bound r.r_name v;
+    r.r_value <- v
+
+  type 'a cas = {
+    c_name : string;
+    c_bound : 'a Bounded.t option;
+    c_writable : bool;
+    mutable c_value : 'a;
+  }
+
+  let make_cas ?bound ?(writable = false) ~name ~show:_ init =
+    guard bound name init;
+    register_object ~name (desc_of bound);
+    { c_name = name; c_bound = bound; c_writable = writable; c_value = init }
+
+  let cas_read c = c.c_value
+
+  let cas c ~expect ~update =
+    if c.c_value = expect then begin
+      guard c.c_bound c.c_name update;
+      c.c_value <- update;
+      true
+    end
+    else false
+
+  let cas_write c v =
+    if not c.c_writable then
+      invalid_arg
+        (Printf.sprintf "Seq_mem.cas_write: %s is not a writable CAS object"
+           c.c_name);
+    guard c.c_bound c.c_name v;
+    c.c_value <- v
+
+  type 'a llsc = {
+    l_name : string;
+    l_bound : 'a Bounded.t option;
+    mutable l_value : 'a;
+    mutable l_seq : int;
+    l_link : (Pid.t, int) Hashtbl.t;
+  }
+
+  let make_llsc ?bound ~name ~show:_ init =
+    guard bound name init;
+    register_object ~name (desc_of bound);
+    { l_name = name; l_bound = bound; l_value = init; l_seq = 0;
+      l_link = Hashtbl.create 8 }
+
+  let ll o ~pid =
+    Hashtbl.replace o.l_link pid o.l_seq;
+    o.l_value
+
+  let link_valid o pid =
+    (* A process that never performed LL has a valid link as long as no
+       successful SC occurred (Appendix A convention). *)
+    match Hashtbl.find_opt o.l_link pid with
+    | Some s -> s = o.l_seq
+    | None -> o.l_seq = 0
+
+  let sc o ~pid v =
+    if link_valid o pid then begin
+      guard o.l_bound o.l_name v;
+      o.l_value <- v;
+      o.l_seq <- o.l_seq + 1;
+      true
+    end
+    else false
+
+  let vl o ~pid = link_valid o pid
+
+  let space () = !objects
+end
+
+let make () : (module Mem_intf.S) = (module Make ())

@@ -1,0 +1,10 @@
+(** Direct (single-threaded) instance of {!Mem_intf.S}.
+
+    Every operation executes immediately with the obvious sequential
+    semantics.  This instance is used by fast unit tests that exercise
+    algorithm-internal logic (e.g. the [GetSeq] bookkeeping of Figure 4)
+    without scheduling, and as the reference when differential-testing the
+    simulator instance. *)
+
+val make : unit -> (module Mem_intf.S)
+(** [make ()] returns a fresh instance with its own space accounting. *)

@@ -1,0 +1,15 @@
+type t = exn
+
+type 'a embed = { inj : 'a -> t; prj : t -> 'a option }
+
+let create (type a) () =
+  let module M = struct
+    exception E of a
+  end in
+  { inj = (fun x -> M.E x); prj = (function M.E x -> Some x | _ -> None) }
+
+(* Structural comparison of exceptions compares the constructor (physically)
+   and then the arguments structurally, which is exactly the semantics we
+   want: values from distinct embeddings are never equal, values from the
+   same embedding are equal iff their payloads are. *)
+let equal (u : t) (v : t) = Stdlib.compare u v = 0

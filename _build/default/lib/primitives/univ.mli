@@ -1,0 +1,25 @@
+(** Universal values.
+
+    The simulator stores the contents of base objects in a single untyped
+    store so that schedules, traces and register configurations can be
+    manipulated uniformly.  Each typed base object owns an embedding that
+    injects its values into — and projects them back out of — the universal
+    type.  Projection through the wrong embedding returns [None], so type
+    confusion is impossible.
+
+    Equality of universal values (needed by CAS semantics and by the
+    register-configuration comparisons of Lemma 1) is structural equality of
+    the embedded values; embedded values must therefore be pure data (ints,
+    tuples, options, strings), which all the paper's algorithms satisfy. *)
+
+type t
+
+type 'a embed = private { inj : 'a -> t; prj : t -> 'a option }
+
+val create : unit -> 'a embed
+(** [create ()] makes a fresh embedding.  Two embeddings created separately
+    never project each other's values. *)
+
+val equal : t -> t -> bool
+(** Structural equality on the embedded payloads.  [equal u v] is [false]
+    whenever [u] and [v] come from different embeddings. *)

@@ -1,0 +1,1 @@
+lib/runtime/rt_aba.ml: Aba_core Array Atomic Rt_llsc

@@ -1,0 +1,1 @@
+lib/runtime/rt_free_list.ml: Atomic

@@ -1,0 +1,1 @@
+lib/runtime/rt_llsc.ml: Array Atomic

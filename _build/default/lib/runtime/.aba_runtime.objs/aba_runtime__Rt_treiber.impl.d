@@ -1,0 +1,1 @@
+lib/runtime/rt_treiber.ml: Array Atomic Int List Map Option Printf Result Rt_free_list Rt_llsc String

@@ -1,0 +1,16 @@
+let run_domains ~n body =
+  let ready = Atomic.make 0 in
+  let spawn i =
+    Domain.spawn (fun () ->
+        Atomic.incr ready;
+        (* Start barrier: spin until everyone is up, so the workload
+           actually overlaps even on few cores. *)
+        while Atomic.get ready < n do
+          Domain.cpu_relax ()
+        done;
+        body i)
+  in
+  let domains = List.init n spawn in
+  Array.of_list (List.map Domain.join domains)
+
+let available_parallelism () = Domain.recommended_domain_count ()

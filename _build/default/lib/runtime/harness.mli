@@ -1,0 +1,10 @@
+(** Multicore test/benchmark harness: spawn one domain per simulated
+    process, synchronize their start so contention actually overlaps, and
+    join their results. *)
+
+val run_domains : n:int -> (int -> 'a) -> 'a array
+(** [run_domains ~n body] spawns [n] domains; domain [i] runs [body i]
+    after all domains have reached a common start barrier.  Returns their
+    results indexed by domain. *)
+
+val available_parallelism : unit -> int

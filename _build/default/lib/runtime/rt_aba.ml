@@ -1,0 +1,86 @@
+module Stamped = struct
+  (* The stamp record is freshly allocated on every write; holding the
+     previously seen stamp pins it, so physical inequality is exactly
+     "somebody wrote since then". *)
+  type 'a stamp = { value : 'a }
+
+  type 'a t = { x : 'a stamp Atomic.t; last : 'a stamp array }
+
+  let create ~n init =
+    let first = { value = init } in
+    { x = Atomic.make first; last = Array.make n first }
+
+  let dwrite t ~pid:_ v = Atomic.set t.x { value = v }
+
+  let dread t ~pid =
+    let s = Atomic.get t.x in
+    let changed = s != t.last.(pid) in
+    t.last.(pid) <- s;
+    (s.value, changed)
+end
+
+module Fig4 = struct
+  type 'a xval = { value : 'a; writer : int; seq : int }
+
+  type 'a local = { mutable b : bool; pool : Aba_core.Seq_pool.t }
+
+  type 'a t = {
+    x : 'a xval option Atomic.t;
+    announce : (int * int) option Atomic.t array;
+    locals : 'a local array;
+    initial : 'a;
+  }
+
+  let create ~n init =
+    {
+      x = Atomic.make None;
+      announce = Array.init n (fun _ -> Atomic.make None);
+      locals =
+        Array.init n (fun _ ->
+            { b = false; pool = Aba_core.Seq_pool.create ~n () });
+      initial = init;
+    }
+
+  let dwrite t ~pid v =
+    let l = t.locals.(pid) in
+    let s =
+      Aba_core.Seq_pool.next l.pool ~me:pid ~read_announce:(fun c ->
+          Atomic.get t.announce.(c))
+    in
+    Atomic.set t.x (Some { value = v; writer = pid; seq = s })
+
+  let key = function
+    | None -> None
+    | Some { writer; seq; _ } -> Some (writer, seq)
+
+  let dread t ~pid:q =
+    let l = t.locals.(q) in
+    let xv = Atomic.get t.x in
+    let old_announcement = Atomic.get t.announce.(q) in
+    Atomic.set t.announce.(q) (key xv);
+    let xv' = Atomic.get t.x in
+    let flag = if key xv = old_announcement then l.b else true in
+    l.b <- xv <> xv';
+    let value = match xv with None -> t.initial | Some { value; _ } -> value in
+    (value, flag)
+end
+
+module From_llsc = struct
+  (* Figure 5 over the Figure 3 port: Theorem 2's register from a single
+     bounded CAS word. *)
+  type t = { obj : Rt_llsc.Packed_fig3.t; old : int array }
+
+  let create ~n ~init =
+    { obj = Rt_llsc.Packed_fig3.create ~n ~init; old = Array.make n init }
+
+  let dwrite t ~pid v =
+    ignore (Rt_llsc.Packed_fig3.ll t.obj ~pid);
+    ignore (Rt_llsc.Packed_fig3.sc t.obj ~pid v)
+
+  let dread t ~pid =
+    if Rt_llsc.Packed_fig3.vl t.obj ~pid then (t.old.(pid), false)
+    else begin
+      t.old.(pid) <- Rt_llsc.Packed_fig3.ll t.obj ~pid;
+      (t.old.(pid), true)
+    end
+end

@@ -1,0 +1,37 @@
+(** Runtime (multicore) ABA-detecting registers over OCaml 5 [Atomic].
+
+    - {!Stamped} — the trivial construction from one "unbounded" register:
+      each write installs a fresh stamp record and readers compare stamps
+      physically (allocation is the unbounded tag; the GC keeps held stamps
+      unique).  One atomic operation per call.
+    - {!Fig4} — Figure 4 ported directly: [n + 1] atomic registers holding
+      immutable triples, plain loads and stores only (no CAS anywhere),
+      four loads/stores per [DRead], two per [DWrite].
+    - {!From_llsc} — Figure 5 over {!Rt_llsc.Packed_fig3}: the Theorem 2
+      register from a single (63-bit-bounded) CAS word. *)
+
+module Stamped : sig
+  type 'a t
+
+  val create : n:int -> 'a -> 'a t
+  val dwrite : 'a t -> pid:int -> 'a -> unit
+  val dread : 'a t -> pid:int -> 'a * bool
+end
+
+module Fig4 : sig
+  type 'a t
+
+  val create : n:int -> 'a -> 'a t
+  val dwrite : 'a t -> pid:int -> 'a -> unit
+  val dread : 'a t -> pid:int -> 'a * bool
+end
+
+module From_llsc : sig
+  type t
+
+  val create : n:int -> init:int -> t
+  (** Values are integers in [0 .. 2^(62-n))]. *)
+
+  val dwrite : t -> pid:int -> int -> unit
+  val dread : t -> pid:int -> int * bool
+end

@@ -1,0 +1,16 @@
+type cell = Nil | Cons of { index : int; rest : cell }
+
+type t = cell Atomic.t
+
+let create () = Atomic.make Nil
+
+let rec put t index =
+  let old = Atomic.get t in
+  if not (Atomic.compare_and_set t old (Cons { index; rest = old })) then
+    put t index
+
+let rec take t =
+  match Atomic.get t with
+  | Nil -> None
+  | Cons { index; rest } as old ->
+      if Atomic.compare_and_set t old rest then Some index else take t

@@ -1,0 +1,16 @@
+(** GC-safe lock-free free list of node indices.
+
+    A Treiber stack of freshly allocated cons cells, CASed by physical
+    equality: the holder of the expected cell keeps it alive, so the GC can
+    never re-issue its address — physical CAS on live pointers cannot ABA.
+    Used as the allocator substrate of the runtime index-based structures,
+    so any corruption observed in them is attributable to their own packed
+    words, not to the allocator. *)
+
+type t
+
+val create : unit -> t
+
+val put : t -> int -> unit
+
+val take : t -> int option

@@ -1,0 +1,97 @@
+module Boxed = struct
+  (* Each successful SC installs a freshly allocated record; LL remembers
+     the record itself.  compare_and_set's physical equality then means
+     "no successful SC since my LL" — the held pointer keeps the record
+     alive, so the GC cannot make two distinct generations physically
+     equal. *)
+  type cell = { value : int }
+
+  type t = {
+    x : cell Atomic.t;
+    invalid : cell;  (** sentinel never stored in [x] *)
+    link : cell array;
+  }
+
+  let create ~n ~init =
+    let first = { value = init } in
+    (* Every process starts linked to the first cell, which realizes the
+       Appendix A convention: SC/VL by a process that never performed LL
+       behave as if it had linked at the initial state. *)
+    { x = Atomic.make first; invalid = { value = min_int }; link = Array.make n first }
+
+  let ll t ~pid =
+    let c = Atomic.get t.x in
+    t.link.(pid) <- c;
+    c.value
+
+  let sc t ~pid v =
+    let c = t.link.(pid) in
+    (* Consume the link: a process's own successful SC must invalidate it,
+       and [invalid] is never in [x], so a repeated SC fails. *)
+    t.link.(pid) <- t.invalid;
+    c != t.invalid && Atomic.compare_and_set t.x c { value = v }
+
+  let vl t ~pid = Atomic.get t.x == t.link.(pid)
+end
+
+module Packed_fig3 = struct
+  (* X packs (value, mask): bits [0, n) are the mask, bits [n, 62) the
+     value.  CAS on an immediate int is exact value comparison — precisely
+     a bounded hardware CAS word, ABAs included. *)
+  type t = { n : int; x : int Atomic.t; b : bool array }
+
+  let create ~n ~init =
+    if n < 1 || n > 40 then invalid_arg "Packed_fig3.create: n must be 1..40";
+    if init < 0 || init >= 1 lsl (62 - n) then
+      invalid_arg "Packed_fig3.create: init out of range";
+    { n; x = Atomic.make (init lsl n); b = Array.make n false }
+
+  let mask_of t packed = packed land ((1 lsl t.n) - 1)
+  let value_of t packed = packed lsr t.n
+  let bit_set t packed p = (mask_of t packed lsr p) land 1 = 1
+  let all_set t = (1 lsl t.n) - 1
+
+  let ll t ~pid:p =
+    let packed = Atomic.get t.x in
+    if not (bit_set t packed p) then begin
+      t.b.(p) <- false;
+      value_of t packed
+    end
+    else begin
+      let rec attempt i =
+        if i > t.n then begin
+          t.b.(p) <- true;
+          value_of t packed
+        end
+        else begin
+          let seen = Atomic.get t.x in
+          if Atomic.compare_and_set t.x seen (seen - (1 lsl p)) then begin
+            t.b.(p) <- false;
+            value_of t seen
+          end
+          else attempt (i + 1)
+        end
+      in
+      attempt 1
+    end
+
+  let sc t ~pid:p y =
+    if t.b.(p) then false
+    else begin
+      let rec attempt i =
+        if i > t.n then false
+        else begin
+          let seen = Atomic.get t.x in
+          if bit_set t seen p then false
+          else if Atomic.compare_and_set t.x seen ((y lsl t.n) lor all_set t)
+          then true
+          else attempt (i + 1)
+        end
+      in
+      attempt 1
+    end
+
+  let vl t ~pid:p =
+    let packed = Atomic.get t.x in
+    (not (bit_set t packed p)) && not t.b.(p)
+end

@@ -1,0 +1,39 @@
+(** Runtime (multicore) LL/SC/VL implementations over OCaml 5 [Atomic].
+
+    Two constructions, mirroring the two sides of the paper's boundedness
+    divide:
+
+    - {!Boxed} — Moir-style [26]: the CAS object holds a freshly allocated
+      (value, generation) record and [compare_and_set] compares physically.
+      Because the expected record is held live by the process, the GC cannot
+      recycle its address, so physical comparison cannot suffer an ABA: the
+      allocator plays the role of the unbounded tag.  One atomic operation
+      per LL/SC/VL.
+    - {!Packed_fig3} — Figure 3 ported to a single [int Atomic.t]: the low
+      [n] bits are the process mask, the remaining bits the value.  This is
+      the genuinely {e bounded} construction (a 63-bit word!), with the
+      [O(n)] retry loops of Theorem 2.
+
+    Both are linearizable for up to [n] concurrent users with distinct
+    process ids. *)
+
+module Boxed : sig
+  type t
+
+  val create : n:int -> init:int -> t
+
+  val ll : t -> pid:int -> int
+  val sc : t -> pid:int -> int -> bool
+  val vl : t -> pid:int -> bool
+end
+
+module Packed_fig3 : sig
+  type t
+
+  val create : n:int -> init:int -> t
+  (** Requires [0 <= n <= 40] and [0 <= init < 2^(62-n)]. *)
+
+  val ll : t -> pid:int -> int
+  val sc : t -> pid:int -> int -> bool
+  val vl : t -> pid:int -> bool
+end

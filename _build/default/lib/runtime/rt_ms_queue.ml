@@ -1,0 +1,106 @@
+type t = {
+  tag_bits : int;
+  head : int Atomic.t;
+  tail : int Atomic.t;
+  nexts : int Atomic.t array;
+  values : int array;
+  free : Rt_free_list.t;
+}
+
+(* Pointer layout: index + 1 (so null = -1 maps to 0) shifted past the
+   tag bits; the tag wraps at [2^tag_bits]. *)
+let pack ~tag_bits index tag =
+  ((index + 1) lsl tag_bits) lor (tag land ((1 lsl tag_bits) - 1))
+
+let unpack ~tag_bits packed =
+  ((packed lsr tag_bits) - 1, packed land ((1 lsl tag_bits) - 1))
+
+let create ~tag_bits ~capacity =
+  if tag_bits < 0 || tag_bits > 40 then
+    invalid_arg "Rt_ms_queue.create: bad tag_bits";
+  let slots = capacity + 1 in
+  let free = Rt_free_list.create () in
+  for i = capacity downto 1 do
+    Rt_free_list.put free i
+  done;
+  {
+    tag_bits;
+    (* Node 0 is the initial dummy. *)
+    head = Atomic.make (pack ~tag_bits 0 0);
+    tail = Atomic.make (pack ~tag_bits 0 0);
+    nexts = Array.init slots (fun _ -> Atomic.make (pack ~tag_bits (-1) 0));
+    values = Array.make slots 0;
+    free;
+  }
+
+let enqueue t v =
+  let tag_bits = t.tag_bits in
+  match Rt_free_list.take t.free with
+  | None -> false
+  | Some i ->
+      t.values.(i) <- v;
+      (* Reset the link, bumping its counter so CASes armed against the
+         node's previous life fail. *)
+      let _, old_tag = unpack ~tag_bits (Atomic.get t.nexts.(i)) in
+      Atomic.set t.nexts.(i) (pack ~tag_bits (-1) (old_tag + 1));
+      let rec attempt () =
+        let tail_seen = Atomic.get t.tail in
+        let t_idx, t_tag = unpack ~tag_bits tail_seen in
+        let next_seen = Atomic.get t.nexts.(t_idx) in
+        let n_idx, n_tag = unpack ~tag_bits next_seen in
+        if n_idx = -1 then
+          if
+            Atomic.compare_and_set t.nexts.(t_idx) next_seen
+              (pack ~tag_bits i (n_tag + 1))
+          then begin
+            ignore
+              (Atomic.compare_and_set t.tail tail_seen
+                 (pack ~tag_bits i (t_tag + 1)));
+            true
+          end
+          else attempt ()
+        else begin
+          (* Help the lagging tail forward. *)
+          ignore
+            (Atomic.compare_and_set t.tail tail_seen
+               (pack ~tag_bits n_idx (t_tag + 1)));
+          attempt ()
+        end
+      in
+      attempt ()
+
+let dequeue t =
+  let tag_bits = t.tag_bits in
+  let rec attempt () =
+    let head_seen = Atomic.get t.head in
+    let h_idx, h_tag = unpack ~tag_bits head_seen in
+    let tail_seen = Atomic.get t.tail in
+    let t_idx, t_tag = unpack ~tag_bits tail_seen in
+    let n_idx, _ = unpack ~tag_bits (Atomic.get t.nexts.(h_idx)) in
+    if h_idx = t_idx then
+      if n_idx = -1 then None
+      else begin
+        ignore
+          (Atomic.compare_and_set t.tail tail_seen
+             (pack ~tag_bits n_idx (t_tag + 1)));
+        attempt ()
+      end
+    else if n_idx = -1 then
+      (* Stale snapshot: the observed dummy was recycled (its link reset)
+         between our reads.  Retry with a fresh head. *)
+      attempt ()
+    else begin
+      (* Read the value before the CAS: afterwards the new dummy may be
+         dequeued and recycled by others. *)
+      let v = t.values.(n_idx) in
+      if
+        Atomic.compare_and_set t.head head_seen
+          (pack ~tag_bits n_idx (h_tag + 1))
+      then begin
+        Rt_free_list.put t.free h_idx;
+        Some v
+      end
+      else attempt ()
+    end
+  in
+  attempt ()

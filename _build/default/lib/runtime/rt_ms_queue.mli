@@ -1,0 +1,22 @@
+(** Runtime (multicore) index-based Michael–Scott queue with node reuse.
+
+    The runtime counterpart of {!Aba_apps.Ms_queue}: head, tail and every
+    [next] link are single [int Atomic.t] words packing (node index,
+    [tag_bits]-bit counter).  [tag_bits = 0] is the unprotected queue;
+    Michael and Scott's counted pointers are any positive [tag_bits]
+    (their original algorithm; wraps after [2^tag_bits] fast updates race
+    past a stalled dequeuer).
+
+    Nodes recycle through the GC-safe {!Rt_free_list}, so observed
+    corruption is attributable to the packed words alone.  Audit
+    executions with {!Rt_treiber.check_multiset}. *)
+
+type t
+
+val create : tag_bits:int -> capacity:int -> t
+(** [capacity] payload nodes plus one internal dummy. *)
+
+val enqueue : t -> int -> bool
+(** [false] when the pool is exhausted. *)
+
+val dequeue : t -> int option

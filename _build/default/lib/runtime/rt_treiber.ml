@@ -1,0 +1,111 @@
+type protection = Tag_bits of int | Llsc
+
+module Free_list = Rt_free_list
+
+type head_impl =
+  | Packed of { cell : int Atomic.t; tag_bits : int }
+  | Via_llsc of Rt_llsc.Packed_fig3.t
+
+type t = {
+  head : head_impl;
+  values : int array;
+  nexts : int array;
+  free : Free_list.t;
+}
+
+(* Packed head layout: low [tag_bits] bits are the tag, the rest the node
+   index shifted by one so that index [-1] (empty) maps to [0]. *)
+let pack ~tag_bits index tag =
+  ((index + 1) lsl tag_bits) lor (tag land ((1 lsl tag_bits) - 1))
+
+let unpack ~tag_bits packed =
+  ((packed lsr tag_bits) - 1, packed land ((1 lsl tag_bits) - 1))
+
+let create ~protection ~capacity ~n =
+  let head =
+    match protection with
+    | Tag_bits k ->
+        if k < 0 || k > 40 then invalid_arg "Rt_treiber.create: bad tag_bits";
+        Packed { cell = Atomic.make (pack ~tag_bits:k (-1) 0); tag_bits = k }
+    | Llsc ->
+        (* The LL/SC object stores index + 1 so the empty stack is 0. *)
+        Via_llsc (Rt_llsc.Packed_fig3.create ~n ~init:0)
+  in
+  let free = Free_list.create () in
+  for i = capacity - 1 downto 0 do
+    Free_list.put free i
+  done;
+  {
+    head;
+    values = Array.make capacity 0;
+    nexts = Array.make capacity (-1);
+    free;
+  }
+
+let read_head t ~pid =
+  match t.head with
+  | Packed { cell; tag_bits } ->
+      let packed = Atomic.get cell in
+      let index, _ = unpack ~tag_bits packed in
+      (index, packed)
+  | Via_llsc obj -> (Rt_llsc.Packed_fig3.ll obj ~pid - 1, 0)
+
+let cas_head t ~pid ~witness ~update =
+  match t.head with
+  | Packed { cell; tag_bits } ->
+      let _, tag = unpack ~tag_bits witness in
+      Atomic.compare_and_set cell witness (pack ~tag_bits update (tag + 1))
+  | Via_llsc obj -> Rt_llsc.Packed_fig3.sc obj ~pid (update + 1)
+
+let push t ~pid v =
+  match Free_list.take t.free with
+  | None -> false
+  | Some i ->
+      t.values.(i) <- v;
+      let rec attempt () =
+        let h, witness = read_head t ~pid in
+        t.nexts.(i) <- h;
+        if cas_head t ~pid ~witness ~update:i then true else attempt ()
+      in
+      attempt ()
+
+let pop t ~pid =
+  let rec attempt () =
+    let h, witness = read_head t ~pid in
+    if h = -1 then None
+    else begin
+      let nxt = t.nexts.(h) in
+      if cas_head t ~pid ~witness ~update:nxt then begin
+        let v = t.values.(h) in
+        Free_list.put t.free h;
+        Some v
+      end
+      else attempt ()
+    end
+  in
+  attempt ()
+
+let check_multiset ~pushed ~popped ~remaining =
+  let module Counts = Map.Make (Int) in
+  let count l =
+    List.fold_left
+      (fun m v ->
+        Counts.update v (fun c -> Some (1 + Option.value ~default:0 c)) m)
+      Counts.empty l
+  in
+  let available = count pushed in
+  let consumed = count (popped @ remaining) in
+  let bad =
+    Counts.fold
+      (fun v c acc ->
+        let have = Option.value ~default:0 (Counts.find_opt v available) in
+        if c > have then
+          Printf.sprintf "value %d consumed %d times but pushed %d times" v c
+            have
+          :: acc
+        else acc)
+      consumed []
+  in
+  match bad with
+  | [] -> Result.Ok ()
+  | msgs -> Result.Error (String.concat "; " msgs)

@@ -1,0 +1,35 @@
+(** Runtime (multicore) index-based Treiber stack with node recycling.
+
+    Same hazard as {!Aba_apps.Treiber_stack}, on real hardware words: the
+    head is a single [int Atomic.t] packing (node index, k-bit tag); the
+    nodes live in flat arrays and recycle through a lock-free free list.
+
+    - [tag_bits = 0] — the unprotected stack: pure index CAS, ABA-prone;
+    - [tag_bits = k] — folklore tagging: safe until [2^k] operations race
+      past a stalled pop;
+    - {!Llsc} — head driven through {!Rt_llsc.Packed_fig3}: the paper's
+      LL/SC methodology, bounded and ABA-immune.
+
+    The free list is a GC-safe boxed Treiber stack (physical CAS on live
+    cons cells cannot ABA), so observed corruption is attributable to the
+    main stack's head word alone.
+
+    Use [check_multiset] to audit an execution: with unique pushed values,
+    any duplicate pop or pop of a never-pushed value is an ABA corruption. *)
+
+type t
+
+type protection = Tag_bits of int | Llsc
+
+val create : protection:protection -> capacity:int -> n:int -> t
+
+val push : t -> pid:int -> int -> bool
+(** [false] when the pool is exhausted. *)
+
+val pop : t -> pid:int -> int option
+
+val check_multiset :
+  pushed:int list -> popped:int list -> remaining:int list ->
+  (unit, string) result
+(** Verifies that [popped @ remaining] is a sub-multiset-equal partition of
+    [pushed] with no duplicates created. *)

@@ -1,0 +1,1 @@
+lib/sim/cell.ml: Aba_primitives Hashtbl Pid Univ

@@ -1,0 +1,1 @@
+lib/sim/driver.ml: Aba_primitives Array Event List Option Pid Printf Random Sim

@@ -1,0 +1,1 @@
+lib/sim/driver.mli: Aba_primitives Event Pid Sim

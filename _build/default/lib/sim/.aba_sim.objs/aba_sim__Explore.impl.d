@@ -1,0 +1,1 @@
+lib/sim/explore.ml: Aba_primitives Array Driver Event List Pid

@@ -1,0 +1,1 @@
+lib/sim/sim.ml: Aba_primitives Array Buffer Cell Effect Fun List Pid Printf Step

@@ -1,0 +1,1 @@
+lib/sim/sim.mli: Aba_primitives Cell Pid Step Univ

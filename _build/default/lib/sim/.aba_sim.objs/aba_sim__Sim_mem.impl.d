@@ -1,0 +1,1 @@
+lib/sim/sim_mem.ml: Aba_primitives Bounded Cell List Mem_intf Printf Sim Step Univ

@@ -1,0 +1,1 @@
+lib/sim/step.ml: Aba_primitives Cell Hashtbl Printf Univ

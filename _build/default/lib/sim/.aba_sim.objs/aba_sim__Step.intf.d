@@ -1,0 +1,1 @@
+lib/sim/step.mli: Aba_primitives Cell Pid Univ

@@ -1,0 +1,38 @@
+open Aba_primitives
+
+type kind = Register | Cas_obj | Writable_cas | Llsc_obj
+
+type t = {
+  id : int;
+  name : string;
+  kind : kind;
+  mutable value : Univ.t;
+  show : Univ.t -> string;
+  check_domain : Univ.t -> unit;
+  domain_desc : string;
+  mutable llsc_seq : int;
+  llsc_link : (Pid.t, int) Hashtbl.t;
+}
+
+let make ~id ~name ~kind ~show ~check_domain ~domain_desc ~init =
+  check_domain init;
+  {
+    id;
+    name;
+    kind;
+    value = init;
+    show;
+    check_domain;
+    domain_desc;
+    llsc_seq = 0;
+    llsc_link = Hashtbl.create 8;
+  }
+
+let is_register c = c.kind = Register
+let rendered_value c = c.show c.value
+
+let kind_name = function
+  | Register -> "register"
+  | Cas_obj -> "CAS"
+  | Writable_cas -> "writable CAS"
+  | Llsc_obj -> "LL/SC/VL"

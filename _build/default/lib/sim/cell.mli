@@ -1,0 +1,44 @@
+(** Simulated atomic base objects.
+
+    A cell is one base object of the simulated system: a read/write
+    register, a (writable) CAS object, or an LL/SC/VL object.  Cell contents
+    are universal values ({!Aba_primitives.Univ}); each typed wrapper in
+    {!Sim_mem} owns the embedding.
+
+    Cells render their value to a string ([show]); rendered values are what
+    register configurations ([reg(C)] in Lemma 1) and signatures (Lemma 3)
+    are built from, so they are stable across runs and replays. *)
+
+open Aba_primitives
+
+type kind = Register | Cas_obj | Writable_cas | Llsc_obj
+
+type t = {
+  id : int;  (** Unique within one simulation instance. *)
+  name : string;
+  kind : kind;
+  mutable value : Univ.t;
+  show : Univ.t -> string;
+  check_domain : Univ.t -> unit;
+  domain_desc : string;
+  mutable llsc_seq : int;  (** Successful-SC count, for LL/SC semantics. *)
+  llsc_link : (Pid.t, int) Hashtbl.t;
+}
+
+val make :
+  id:int ->
+  name:string ->
+  kind:kind ->
+  show:(Univ.t -> string) ->
+  check_domain:(Univ.t -> unit) ->
+  domain_desc:string ->
+  init:Univ.t ->
+  t
+
+val is_register : t -> bool
+(** True for plain read/write registers (the objects counted by
+    Theorem 1(a)). *)
+
+val rendered_value : t -> string
+
+val kind_name : kind -> string

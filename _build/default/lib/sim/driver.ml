@@ -1,0 +1,108 @@
+open Aba_primitives
+
+type ('op, 'res) pending_call = { promise : 'res Sim.promise }
+
+type ('op, 'res) t = {
+  sim : Sim.t;
+  apply : Pid.t -> 'op -> unit -> 'res;
+  pending : ('op, 'res) pending_call option array;
+  last_result : 'res option array;
+  last_steps : int array;
+  mutable max_op_steps : int;
+  mutable events_rev : ('op, 'res) Event.t list;
+}
+
+let create ~sim ~apply =
+  let n = Sim.n sim in
+  {
+    sim;
+    apply;
+    pending = Array.make n None;
+    last_result = Array.make n None;
+    last_steps = Array.make n 0;
+    max_op_steps = 0;
+    events_rev = [];
+  }
+
+let sim d = d.sim
+
+let record d e = d.events_rev <- e :: d.events_rev
+
+let complete d p (c : ('op, 'res) pending_call) =
+  match Sim.result c.promise with
+  | None -> ()
+  | Some r ->
+      d.pending.(p) <- None;
+      d.last_result.(p) <- Some r;
+      let steps = Sim.steps_of c.promise in
+      d.last_steps.(p) <- steps;
+      if steps > d.max_op_steps then d.max_op_steps <- steps;
+      record d (Event.Response (p, r))
+
+let invoke d p op =
+  (match d.pending.(p) with
+  | Some _ ->
+      invalid_arg
+        (Printf.sprintf "Driver.invoke: process %d has a pending operation" p)
+  | None -> ());
+  record d (Event.Invoke (p, op));
+  let promise = Sim.invoke d.sim p (d.apply p op) in
+  let call = { promise } in
+  d.pending.(p) <- Some call;
+  complete d p call
+
+let step d p =
+  match d.pending.(p) with
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Driver.step: process %d has no pending operation" p)
+  | Some call ->
+      Sim.step d.sim p;
+      complete d p call
+
+let finish d p =
+  let rec go () =
+    match d.pending.(p) with
+    | None -> ()
+    | Some _ ->
+        step d p;
+        go ()
+  in
+  go ()
+
+let pending d p = Option.is_some d.pending.(p)
+let last_result d p = d.last_result.(p)
+let last_steps d p = d.last_steps.(p)
+let max_op_steps d = d.max_op_steps
+let history d = List.rev d.events_rev
+
+let run_random d ~scripts ~seed ?(max_actions = 1_000_000) () =
+  let n = Sim.n d.sim in
+  if Array.length scripts <> n then
+    invalid_arg "Driver.run_random: scripts array must have length n";
+  let remaining = Array.map (fun l -> ref l) scripts in
+  let rng = Random.State.make [| seed |] in
+  let has_work p = pending d p || !(remaining.(p)) <> [] in
+  let act p =
+    if pending d p then step d p
+    else
+      match !(remaining.(p)) with
+      | [] -> assert false
+      | op :: rest ->
+          remaining.(p) := rest;
+          invoke d p op
+  in
+  let rec go budget =
+    let workers = List.filter has_work (Pid.all ~n) in
+    match workers with
+    | [] -> ()
+    | _ ->
+        if budget = 0 then
+          failwith "Driver.run_random: exceeded action budget"
+        else begin
+          let k = Random.State.int rng (List.length workers) in
+          act (List.nth workers k);
+          go (budget - 1)
+        end
+  in
+  go max_actions

@@ -1,0 +1,63 @@
+(** History-recording driver.
+
+    A driver connects an implementation under test to the simulator: it
+    invokes operations on processes, steps them, and records the resulting
+    invocation/response history in the format consumed by the
+    linearizability checker.
+
+    Responses are recorded immediately after an operation's final step and
+    invocations when [invoke] is called, so drivers that invoke lazily (as
+    {!Explore} does) produce the tightest sound real-time order. *)
+
+open Aba_primitives
+
+type ('op, 'res) t
+
+val create :
+  sim:Sim.t -> apply:(Pid.t -> 'op -> unit -> 'res) -> ('op, 'res) t
+(** [apply p op] is the thunk that executes [op] as process [p] against the
+    implementation under test. *)
+
+val sim : ('op, 'res) t -> Sim.t
+
+val invoke : ('op, 'res) t -> Pid.t -> 'op -> unit
+(** Begin [op] on idle process [p], recording the invocation event.  If the
+    operation completes without any shared-memory step its response is
+    recorded immediately.  Raises [Invalid_argument] if [p] has a pending
+    operation. *)
+
+val step : ('op, 'res) t -> Pid.t -> unit
+(** One shared-memory step of [p]'s pending operation; records the response
+    event if this step completed the operation. *)
+
+val finish : ('op, 'res) t -> Pid.t -> unit
+(** Step [p] until its pending operation (if any) completes. *)
+
+val pending : ('op, 'res) t -> Pid.t -> bool
+
+val last_result : ('op, 'res) t -> Pid.t -> 'res option
+(** Result of [p]'s most recently completed operation. *)
+
+val last_steps : ('op, 'res) t -> Pid.t -> int
+(** Shared-memory step count of [p]'s most recently completed operation —
+    the measured step complexity. *)
+
+val max_op_steps : ('op, 'res) t -> int
+(** Largest step count over all completed operations so far (worst-case
+    step complexity observed). *)
+
+val history : ('op, 'res) t -> ('op, 'res) Event.history
+
+(** {1 Randomized runs} *)
+
+val run_random :
+  ('op, 'res) t ->
+  scripts:'op list array ->
+  seed:int ->
+  ?max_actions:int ->
+  unit ->
+  unit
+(** Run every operation of [scripts] (array indexed by pid) to completion
+    under a uniformly random schedule drawn from [seed].  Invocations are
+    lazy: an idle process's next operation is invoked only when the random
+    schedule picks that process. *)

@@ -1,0 +1,78 @@
+open Aba_primitives
+
+type ('op, 'res) instance = { driver : ('op, 'res) Driver.t }
+
+type ('op, 'res) outcome =
+  | Ok of int
+  | Violation of Pid.t list * ('op, 'res) Event.history
+  | Budget_exhausted of int
+
+exception Stop of int
+exception Found of Pid.t list
+
+(* One action of process [p]: lazily invoke its next scripted operation if
+   it is idle, then execute one shared-memory step (unless the invocation
+   completed with zero steps). *)
+let act driver remaining p =
+  if Driver.pending driver p then Driver.step driver p
+  else
+    match remaining.(p) with
+    | [] -> invalid_arg "Explore.act: process has no work"
+    | op :: rest ->
+        remaining.(p) <- rest;
+        Driver.invoke driver p op;
+        if Driver.pending driver p then Driver.step driver p
+
+let replay make scripts rev_path =
+  let ({ driver } : _ instance) = make () in
+  let remaining = Array.copy scripts in
+  List.iter (act driver remaining) (List.rev rev_path);
+  (driver, remaining)
+
+let exhaustive ~make ~scripts ~check ?(max_schedules = 2_000_000)
+    ?(max_depth = 10_000) () =
+  let n = Array.length scripts in
+  let leaves = ref 0 in
+  let rec dfs rev_path depth =
+    (* A branch exceeding [max_depth] actions indicates a livelocked
+       implementation (e.g. a retry loop that can never succeed): better a
+       loud failure than a silent hang. *)
+    if depth > max_depth then
+      failwith "Explore.exhaustive: branch exceeded max_depth";
+    let driver, remaining = replay make scripts rev_path in
+    let enabled =
+      List.filter
+        (fun p -> Driver.pending driver p || remaining.(p) <> [])
+        (Pid.all ~n)
+    in
+    match enabled with
+    | [] ->
+        incr leaves;
+        if not (check (Driver.history driver)) then
+          raise (Found (List.rev rev_path));
+        if !leaves >= max_schedules then raise (Stop !leaves)
+    | _ -> List.iter (fun p -> dfs (p :: rev_path) (depth + 1)) enabled
+  in
+  match dfs [] 0 with
+  | () -> Ok !leaves
+  | exception Stop k -> Budget_exhausted k
+  | exception Found path ->
+      let driver, remaining = replay make scripts (List.rev path) in
+      ignore remaining;
+      Violation (path, Driver.history driver)
+
+let count_schedules ~n_actions =
+  (* Multinomial coefficient; saturates at max_int on overflow. *)
+  let total = Array.fold_left ( + ) 0 n_actions in
+  let result = ref 1 in
+  let remaining = ref total in
+  Array.iter
+    (fun k ->
+      (* multiply by C(remaining, k) *)
+      for i = 1 to k do
+        let c = (!result * (!remaining - k + i)) / i in
+        result := if c < !result then max_int else c
+      done;
+      remaining := !remaining - k)
+    n_actions;
+  !result

@@ -1,0 +1,51 @@
+(** Bounded exhaustive schedule exploration (stateless model checking).
+
+    Because the algorithms are deterministic and the simulator replayable, a
+    schedule prefix — a sequence of process IDs — determines a configuration
+    exactly.  [exhaustive] therefore enumerates {e all} schedules of a fixed
+    workload by depth-first search, rebuilding the configuration of each
+    node by replaying its prefix against a fresh instance.
+
+    An action of process [p] means: if [p] is idle, lazily invoke its next
+    scripted operation and run to its first shared-memory step; then execute
+    one step.  Operations that take zero shared-memory steps complete within
+    the action.  Histories are built with invoke-at-first-step and
+    respond-at-last-step, the tightest sound real-time order, so a workload
+    that passes [check] on every leaf is correct under {e every} schedule of
+    that workload (at this size).
+
+    This realizes, in the small, the quantification over all schedules used
+    throughout Section 2. *)
+
+open Aba_primitives
+
+type ('op, 'res) instance = {
+  driver : ('op, 'res) Driver.t;
+}
+
+type ('op, 'res) outcome =
+  | Ok of int  (** number of complete schedules explored *)
+  | Violation of Pid.t list * ('op, 'res) Event.history
+      (** offending schedule and its history *)
+  | Budget_exhausted of int  (** schedules explored before giving up *)
+
+val exhaustive :
+  make:(unit -> ('op, 'res) instance) ->
+  scripts:'op list array ->
+  check:(('op, 'res) Event.history -> bool) ->
+  ?max_schedules:int ->
+  ?max_depth:int ->
+  unit ->
+  ('op, 'res) outcome
+(** [exhaustive ~make ~scripts ~check ()] replays every interleaving of the
+    scripted operations.  [make] must build a fresh, deterministic instance
+    (same initial configuration every time).  [check] is applied to the
+    complete history at every leaf; the first failing leaf aborts the search
+    with its schedule.  [max_schedules] (default [2_000_000]) bounds the
+    number of leaves visited; a branch longer than [max_depth] (default
+    [10_000]) actions raises [Failure] — it indicates a livelocked
+    implementation. *)
+
+val count_schedules : n_actions:int array -> int
+(** Number of interleavings of the given per-process action counts
+    (multinomial coefficient) — useful to size workloads before exploring. *)

@@ -1,0 +1,117 @@
+open Aba_primitives
+
+module Make (A : sig
+  val sim : Sim.t
+end) : Mem_intf.S = struct
+  let mem_name = "sim"
+
+  (* Each typed object couples a cell with the embedding of its value type
+     into the universal store.  Projection failures cannot happen as long as
+     each cell is only accessed through its own wrapper, which the type of
+     the wrapper guarantees. *)
+  type 'a typed = { cell : Cell.t; embed : 'a Univ.embed }
+
+  (* Objects created through this instance, newest first.  Several instances
+     may share one simulation (e.g. an algorithm plus the harness around
+     it); [space] reports only this instance's objects so Theorem 1's "m" is
+     measured per implementation. *)
+  let created : Cell.t list ref = ref []
+
+  type 'a register = 'a typed
+  type 'a cas = 'a typed
+  type 'a llsc = 'a typed
+
+  let project (o : 'a typed) (u : Univ.t) : 'a =
+    match o.embed.prj u with
+    | Some v -> v
+    | None ->
+        invalid_arg
+          (Printf.sprintf "Sim_mem: foreign value in cell %s" o.cell.Cell.name)
+
+  let make_typed ?bound ~name ~show ~kind init : 'a typed =
+    let embed = Univ.create () in
+    let show_u u =
+      match embed.Univ.prj u with Some v -> show v | None -> "<foreign>"
+    in
+    let check_domain u =
+      match bound with
+      | None -> ()
+      | Some b -> (
+          match embed.Univ.prj u with
+          | Some v -> Bounded.check ~what:name b v
+          | None ->
+              invalid_arg
+                (Printf.sprintf "Sim_mem: foreign value written to %s" name))
+    in
+    let domain_desc =
+      match bound with None -> "unbounded" | Some b -> Bounded.describe b
+    in
+    let cell =
+      Sim.register_cell A.sim ~name ~kind ~show:show_u ~check_domain
+        ~domain_desc ~init:(embed.Univ.inj init)
+    in
+    created := cell :: !created;
+    { cell; embed }
+
+  let value_outcome o = function
+    | Step.Value u -> project o u
+    | Step.Bool _ | Step.Unit ->
+        invalid_arg "Sim_mem: step returned a non-value outcome"
+
+  let bool_outcome = function
+    | Step.Bool b -> b
+    | Step.Value _ | Step.Unit ->
+        invalid_arg "Sim_mem: step returned a non-bool outcome"
+
+  let make_register ?bound ~name ~show init =
+    make_typed ?bound ~name ~show ~kind:Cell.Register init
+
+  let read (r : 'a register) : 'a =
+    value_outcome r (Sim.perform_step (Step.Read r.cell))
+
+  let write (r : 'a register) (v : 'a) =
+    match Sim.perform_step (Step.Write (r.cell, r.embed.Univ.inj v)) with
+    | Step.Unit -> ()
+    | Step.Value _ | Step.Bool _ ->
+        invalid_arg "Sim_mem: write returned a non-unit outcome"
+
+  let make_cas ?bound ?(writable = false) ~name ~show init =
+    let kind = if writable then Cell.Writable_cas else Cell.Cas_obj in
+    make_typed ?bound ~name ~show ~kind init
+
+  let cas_read (c : 'a cas) : 'a =
+    value_outcome c (Sim.perform_step (Step.Read c.cell))
+
+  let cas (c : 'a cas) ~expect ~update =
+    bool_outcome
+      (Sim.perform_step
+         (Step.Cas (c.cell, c.embed.Univ.inj expect, c.embed.Univ.inj update)))
+
+  let cas_write (c : 'a cas) (v : 'a) =
+    match Sim.perform_step (Step.Write (c.cell, c.embed.Univ.inj v)) with
+    | Step.Unit -> ()
+    | Step.Value _ | Step.Bool _ ->
+        invalid_arg "Sim_mem: write returned a non-unit outcome"
+
+  let make_llsc ?bound ~name ~show init =
+    make_typed ?bound ~name ~show ~kind:Cell.Llsc_obj init
+
+  let ll (o : 'a llsc) ~pid:_ : 'a =
+    value_outcome o (Sim.perform_step (Step.Ll o.cell))
+
+  let sc (o : 'a llsc) ~pid:_ (v : 'a) =
+    bool_outcome (Sim.perform_step (Step.Sc (o.cell, o.embed.Univ.inj v)))
+
+  let vl (o : 'a llsc) ~pid:_ =
+    bool_outcome (Sim.perform_step (Step.Vl o.cell))
+
+  let space () =
+    List.rev_map
+      (fun (c : Cell.t) -> (c.Cell.name, c.Cell.domain_desc))
+      !created
+end
+
+let make sim : (module Mem_intf.S) =
+  (module Make (struct
+    let sim = sim
+  end))

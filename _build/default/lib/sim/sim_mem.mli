@@ -1,0 +1,12 @@
+(** Simulator instance of {!Aba_primitives.Mem_intf.S}.
+
+    [make sim] builds a memory instance whose objects are cells of [sim] and
+    whose operations suspend the calling process at the corresponding
+    {!Step.t}.  Algorithms instantiated with this memory can therefore be
+    driven step-by-step under arbitrary (including adversarial) schedules.
+
+    The [pid] arguments of [ll]/[sc]/[vl] are ignored by this instance: the
+    scheduler knows which process executes each step and uses that identity,
+    so a method call cannot impersonate another process. *)
+
+val make : Sim.t -> (module Aba_primitives.Mem_intf.S)

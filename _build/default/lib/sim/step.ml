@@ -1,0 +1,89 @@
+open Aba_primitives
+
+type t =
+  | Read of Cell.t
+  | Write of Cell.t * Univ.t
+  | Cas of Cell.t * Univ.t * Univ.t
+  | Ll of Cell.t
+  | Sc of Cell.t * Univ.t
+  | Vl of Cell.t
+
+type outcome = Value of Univ.t | Bool of bool | Unit
+
+let cell = function
+  | Read c | Write (c, _) | Cas (c, _, _) | Ll c | Sc (c, _) | Vl c -> c
+
+let is_write = function Write _ -> true | _ -> false
+let is_cas = function Cas _ -> true | _ -> false
+
+let would_succeed = function
+  | Write _ -> true
+  | Cas (c, expect, _) -> Univ.equal c.Cell.value expect
+  | Read _ | Ll _ | Sc _ | Vl _ -> false
+
+let bad_kind step_name (c : Cell.t) =
+  invalid_arg
+    (Printf.sprintf "Step.execute: %s on %s %s" step_name
+       (Cell.kind_name c.kind) c.name)
+
+let link_valid (c : Cell.t) pid =
+  match Hashtbl.find_opt c.llsc_link pid with
+  | Some s -> s = c.llsc_seq
+  | None -> c.llsc_seq = 0
+
+let execute ~pid step =
+  match step with
+  | Read c -> (
+      match c.Cell.kind with
+      | Cell.Register | Cell.Cas_obj | Cell.Writable_cas -> Value c.value
+      | Cell.Llsc_obj -> bad_kind "Read" c)
+  | Write (c, v) -> (
+      match c.Cell.kind with
+      | Cell.Register | Cell.Writable_cas ->
+          c.check_domain v;
+          c.value <- v;
+          Unit
+      | Cell.Cas_obj | Cell.Llsc_obj -> bad_kind "Write" c)
+  | Cas (c, expect, update) -> (
+      match c.Cell.kind with
+      | Cell.Cas_obj | Cell.Writable_cas ->
+          if Univ.equal c.value expect then begin
+            c.check_domain update;
+            c.value <- update;
+            Bool true
+          end
+          else Bool false
+      | Cell.Register | Cell.Llsc_obj -> bad_kind "CAS" c)
+  | Ll c -> (
+      match c.Cell.kind with
+      | Cell.Llsc_obj ->
+          Hashtbl.replace c.llsc_link pid c.llsc_seq;
+          Value c.value
+      | Cell.Register | Cell.Cas_obj | Cell.Writable_cas -> bad_kind "LL" c)
+  | Sc (c, v) -> (
+      match c.Cell.kind with
+      | Cell.Llsc_obj ->
+          if link_valid c pid then begin
+            c.check_domain v;
+            c.value <- v;
+            c.llsc_seq <- c.llsc_seq + 1;
+            Bool true
+          end
+          else Bool false
+      | Cell.Register | Cell.Cas_obj | Cell.Writable_cas -> bad_kind "SC" c)
+  | Vl c -> (
+      match c.Cell.kind with
+      | Cell.Llsc_obj -> Bool (link_valid c pid)
+      | Cell.Register | Cell.Cas_obj | Cell.Writable_cas -> bad_kind "VL" c)
+
+let describe step =
+  let name c = c.Cell.name in
+  match step with
+  | Read c -> Printf.sprintf "read %s" (name c)
+  | Write (c, v) -> Printf.sprintf "write %s := %s" (name c) (c.Cell.show v)
+  | Cas (c, e, u) ->
+      Printf.sprintf "cas %s (%s -> %s)" (name c) (c.Cell.show e)
+        (c.Cell.show u)
+  | Ll c -> Printf.sprintf "ll %s" (name c)
+  | Sc (c, v) -> Printf.sprintf "sc %s := %s" (name c) (c.Cell.show v)
+  | Vl c -> Printf.sprintf "vl %s" (name c)

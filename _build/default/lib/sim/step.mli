@@ -1,0 +1,42 @@
+(** Shared-memory steps.
+
+    A step is one atomic operation on one base object — the unit of
+    scheduling in the paper's model.  A suspended process is {e poised} at
+    exactly one step; the lower-bound adversaries inspect poised steps to
+    decide covering sets ([WCov], [CCov]) and block-writes. *)
+
+open Aba_primitives
+
+type t =
+  | Read of Cell.t
+  | Write of Cell.t * Univ.t
+  | Cas of Cell.t * Univ.t * Univ.t  (** expected, update *)
+  | Ll of Cell.t
+  | Sc of Cell.t * Univ.t
+  | Vl of Cell.t
+
+type outcome = Value of Univ.t | Bool of bool | Unit
+
+val cell : t -> Cell.t
+(** The base object the step operates on. *)
+
+val is_write : t -> bool
+(** True for [Write] steps — membership in [WCov] (Section 2.2). *)
+
+val is_cas : t -> bool
+(** True for [Cas] steps — membership in [CCov] (Section 2.2). *)
+
+val would_succeed : t -> bool
+(** For a [Cas] step, whether it would succeed if executed in the current
+    configuration; [Write] steps always "succeed"; other steps are not
+    conditional and return [false].  Used to build [P]-successful schedules
+    (Lemma 2/3). *)
+
+val execute : pid:Pid.t -> t -> outcome
+(** Atomically apply the step to its cell.  Raises [Invalid_argument] if the
+    step is ill-kinded for the cell (e.g. [Write] on a non-writable CAS
+    object) or the written value is outside the cell's domain. *)
+
+val describe : t -> string
+(** Stable rendering (used in signatures and traces), e.g.
+    ["write X := (1,p0,3)"]. *)

@@ -1,0 +1,1 @@
+lib/spec/aba_register_spec.ml: Aba_primitives Format Int Map Option Pid

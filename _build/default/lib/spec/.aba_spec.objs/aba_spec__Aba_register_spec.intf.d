@@ -1,0 +1,1 @@
+lib/spec/aba_register_spec.mli: Seq_spec

@@ -1,0 +1,1 @@
+lib/spec/lin_check.ml: Aba_primitives Array Event Hashtbl List Pid Seq_spec

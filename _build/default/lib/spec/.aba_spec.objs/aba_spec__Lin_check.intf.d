@@ -1,0 +1,1 @@
+lib/spec/lin_check.mli: Aba_primitives Event Format Pid Seq_spec

@@ -1,0 +1,1 @@
+lib/spec/llsc_spec.ml: Aba_primitives Format Int Map Pid

@@ -1,0 +1,1 @@
+lib/spec/llsc_spec.mli: Seq_spec

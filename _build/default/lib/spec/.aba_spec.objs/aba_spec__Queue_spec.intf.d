@@ -1,0 +1,1 @@
+lib/spec/queue_spec.mli: Seq_spec

@@ -1,0 +1,1 @@
+lib/spec/register_spec.ml: Aba_primitives Format Pid

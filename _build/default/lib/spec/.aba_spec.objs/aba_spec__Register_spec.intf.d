@@ -1,0 +1,1 @@
+lib/spec/register_spec.mli: Seq_spec

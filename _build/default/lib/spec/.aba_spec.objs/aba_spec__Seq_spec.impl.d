@@ -1,0 +1,1 @@
+lib/spec/seq_spec.ml: Aba_primitives Format Pid

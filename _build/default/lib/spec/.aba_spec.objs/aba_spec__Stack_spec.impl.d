@@ -1,0 +1,1 @@
+lib/spec/stack_spec.ml: Aba_primitives Format Pid

@@ -1,0 +1,1 @@
+lib/spec/stack_spec.mli: Seq_spec

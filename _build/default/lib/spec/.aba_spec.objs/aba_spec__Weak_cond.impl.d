@@ -1,0 +1,1 @@
+lib/spec/weak_cond.ml: Aba_primitives Event Format Hashtbl List Pid Result

@@ -1,0 +1,1 @@
+lib/spec/weak_cond.mli: Aba_primitives Event Format Pid

@@ -1,0 +1,34 @@
+open Aba_primitives
+
+module Int_map = Map.Make (Int)
+
+type op = DRead | DWrite of int
+type res = Read_result of int * bool | Write_done
+
+type state = {
+  value : int;
+  writes : int;  (** number of DWrites so far *)
+  seen : int Int_map.t;  (** per pid: [writes] at its last DRead *)
+}
+
+let initial_value = -1
+
+let init ~n:_ = { value = initial_value; writes = 0; seen = Int_map.empty }
+
+let apply st (p : Pid.t) = function
+  | DWrite x -> ({ st with value = x; writes = st.writes + 1 }, Write_done)
+  | DRead ->
+      let last = Option.value ~default:0 (Int_map.find_opt p st.seen) in
+      let flag = st.writes > last in
+      ({ st with seen = Int_map.add p st.writes st.seen },
+       Read_result (st.value, flag))
+
+let equal_res (a : res) (b : res) = a = b
+
+let pp_op ppf = function
+  | DRead -> Format.pp_print_string ppf "DRead"
+  | DWrite x -> Format.fprintf ppf "DWrite(%d)" x
+
+let pp_res ppf = function
+  | Read_result (v, f) -> Format.fprintf ppf "(%d,%b)" v f
+  | Write_done -> Format.pp_print_string ppf "ok"

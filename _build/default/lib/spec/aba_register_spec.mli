@@ -1,0 +1,19 @@
+(** Sequential specification of the multi-writer ABA-detecting register
+    (Section 1, "Results").
+
+    [DWrite x] stores [x].  [DRead] by process [p] returns the current value
+    together with a flag that is [true] iff some [DWrite] occurred since
+    [p]'s previous [DRead] — or, for [p]'s first [DRead], since the
+    beginning of the execution (the convention realized by the paper's own
+    Figure 5 construction). *)
+
+(* record fields use Pid.t via Seq_spec *)
+
+type op = DRead | DWrite of int
+type res = Read_result of int * bool | Write_done
+
+include Seq_spec.S with type op := op and type res := res
+
+val initial_value : int
+(** The value a [DRead] preceding every [DWrite] observes ([-1], standing in
+    for the paper's bottom). *)

@@ -1,0 +1,117 @@
+open Aba_primitives
+
+module Make (S : Seq_spec.S) = struct
+  type verdict = Linearizable | Not_linearizable | Too_large
+
+  type op_record = {
+    id : int;
+    pid : Pid.t;
+    op : S.op;
+    res : S.res option;  (** [None] for pending operations *)
+    inv : int;
+    rsp : int;  (** [max_int] for pending operations *)
+  }
+
+  let parse h =
+    if not (Event.well_formed h) then
+      invalid_arg "Lin_check: history is not well formed";
+    let pending : (Pid.t, op_record) Hashtbl.t = Hashtbl.create 16 in
+    let ops = ref [] in
+    let next_id = ref 0 in
+    List.iteri
+      (fun time e ->
+        match e with
+        | Event.Invoke (p, op) ->
+            let r =
+              { id = !next_id; pid = p; op; res = None; inv = time;
+                rsp = max_int }
+            in
+            incr next_id;
+            Hashtbl.replace pending p r;
+            ops := r :: !ops
+        | Event.Response (p, res) ->
+            let r = Hashtbl.find pending p in
+            Hashtbl.remove pending p;
+            ops :=
+              { r with res = Some res; rsp = time }
+              :: List.filter (fun o -> o.id <> r.id) !ops)
+      h;
+    List.sort (fun a b -> compare a.id b.id) !ops
+
+  (* [blocked_by.(i)] is the set (bitmask) of operations that must linearize
+     before operation [i]: those whose response precedes [i]'s invocation. *)
+  let precedence ops =
+    let arr = Array.of_list ops in
+    let k = Array.length arr in
+    let blocked = Array.make k 0 in
+    Array.iteri
+      (fun i oi ->
+        Array.iteri
+          (fun j oj -> if j <> i && oj.rsp < oi.inv then
+              blocked.(i) <- blocked.(i) lor (1 lsl j))
+          arr)
+      arr;
+    (arr, blocked)
+
+  let search ~n ops =
+    let arr, blocked = precedence ops in
+    let k = Array.length arr in
+    if k > 62 then None
+    else begin
+      let completed_mask =
+        Array.fold_left
+          (fun m o -> if o.res = None then m else m lor (1 lsl o.id))
+          0 arr
+      in
+      let memo : (int * S.state, unit) Hashtbl.t = Hashtbl.create 1024 in
+      (* Returns the linearization suffix if one exists from (mask, st). *)
+      let rec go mask st =
+        if mask land completed_mask = completed_mask then Some []
+        else if Hashtbl.mem memo (mask, st) then None
+        else begin
+          let result = ref None in
+          let try_op i =
+            if !result = None then begin
+              let o = arr.(i) in
+              let bit = 1 lsl i in
+              if mask land bit = 0 && blocked.(i) land lnot mask = 0 then begin
+                let st', r' = S.apply st o.pid o.op in
+                let ok =
+                  match o.res with
+                  | Some r -> S.equal_res r r'
+                  | None -> true  (* pending: any response is acceptable *)
+                in
+                if ok then
+                  match go (mask lor bit) st' with
+                  | Some rest -> result := Some ((o.pid, o.op, r') :: rest)
+                  | None -> ()
+              end
+            end
+          in
+          for i = 0 to k - 1 do
+            try_op i
+          done;
+          if !result = None then Hashtbl.add memo (mask, st) ();
+          !result
+        end
+      in
+      match go 0 (S.init ~n) with
+      | Some w -> Some (Some w)
+      | None -> Some None
+    end
+
+  let witness ~n h =
+    match search ~n (parse h) with
+    | None -> None
+    | Some w -> w
+
+  let check ~n h =
+    match search ~n (parse h) with
+    | None -> Too_large
+    | Some (Some _) -> Linearizable
+    | Some None -> Not_linearizable
+
+  let check_ok ~n h = check ~n h = Linearizable
+
+  let pp_history ppf h = Event.pp ~op:S.pp_op ~res:S.pp_res ppf h
+end

@@ -1,0 +1,40 @@
+(** Linearizability checker (Wing–Gong style search with memoization).
+
+    Given a concurrent history and a sequential specification, decides
+    whether some total order of the operations (a) respects the
+    happens-before order of the history, and (b) replays through the
+    specification producing exactly the observed responses.
+
+    Pending operations (invocations without responses) are handled per the
+    standard definition: each may either be dropped or be linearized with an
+    arbitrary response.
+
+    Complexity is exponential in the number of overlapping operations, with
+    memoization on (set of linearized operations, specification state).
+    Histories of up to a few dozen operations with moderate concurrency
+    check in milliseconds; drivers keep workloads within that envelope. *)
+
+open Aba_primitives
+
+module Make (S : Seq_spec.S) : sig
+  type verdict =
+    | Linearizable
+    | Not_linearizable
+    | Too_large  (** more than 62 operations — not supported *)
+
+  val check : n:int -> (S.op, S.res) Event.history -> verdict
+  (** [check ~n h] decides linearizability of [h] against [S] with initial
+      state [S.init ~n].  Raises [Invalid_argument] if [h] is not well
+      formed (per-process alternation of invocations and responses). *)
+
+  val check_ok : n:int -> (S.op, S.res) Event.history -> bool
+  (** [true] iff [check] returns [Linearizable]. *)
+
+  val witness :
+    n:int -> (S.op, S.res) Event.history -> (Pid.t * S.op * S.res) list option
+  (** A linearization order, if one exists: the operations in the order in
+      which they linearize, with the response each produces.  Pending
+      operations that were dropped do not appear. *)
+
+  val pp_history : Format.formatter -> (S.op, S.res) Event.history -> unit
+end

@@ -1,0 +1,42 @@
+open Aba_primitives
+
+module Int_map = Map.Make (Int)
+
+type op = Ll | Sc of int | Vl
+type res = Ll_result of int | Sc_result of bool | Vl_result of bool
+
+type state = {
+  value : int;
+  version : int;  (** successful-SC count *)
+  link : int Int_map.t;  (** per pid: [version] at its last LL *)
+}
+
+let initial_value = 0
+
+let init ~n:_ = { value = initial_value; version = 0; link = Int_map.empty }
+
+let link_valid st p =
+  match Int_map.find_opt p st.link with
+  | Some v -> v = st.version
+  | None -> st.version = 0
+
+let apply st (p : Pid.t) = function
+  | Ll -> ({ st with link = Int_map.add p st.version st.link },
+           Ll_result st.value)
+  | Sc x ->
+      if link_valid st p then
+        ({ st with value = x; version = st.version + 1 }, Sc_result true)
+      else (st, Sc_result false)
+  | Vl -> (st, Vl_result (link_valid st p))
+
+let equal_res (a : res) (b : res) = a = b
+
+let pp_op ppf = function
+  | Ll -> Format.pp_print_string ppf "LL"
+  | Sc x -> Format.fprintf ppf "SC(%d)" x
+  | Vl -> Format.pp_print_string ppf "VL"
+
+let pp_res ppf = function
+  | Ll_result v -> Format.fprintf ppf "LL->%d" v
+  | Sc_result b -> Format.fprintf ppf "SC->%b" b
+  | Vl_result b -> Format.fprintf ppf "VL->%b" b

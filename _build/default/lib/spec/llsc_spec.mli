@@ -1,0 +1,17 @@
+(** Sequential specification of the LL/SC/VL object (Section 1).
+
+    [LL] returns the current value and establishes a link for the calling
+    process.  [SC x] succeeds — writing [x] — iff no successful [SC]
+    occurred since the caller's last [LL]; [VL] reports that same validity
+    without changing state.  Following the paper's Appendix A convention, a
+    process that never performed [LL] holds a valid link as long as no
+    successful [SC] has been executed. *)
+
+(* record fields use Pid.t via Seq_spec *)
+
+type op = Ll | Sc of int | Vl
+type res = Ll_result of int | Sc_result of bool | Vl_result of bool
+
+include Seq_spec.S with type op := op and type res := res
+
+val initial_value : int

@@ -1,0 +1,33 @@
+open Aba_primitives
+
+type op = Enqueue of int | Dequeue
+type res = Enqueue_done | Dequeued of int option
+
+(* Front list, reversed back list; amortized functional queue. *)
+type state = int list * int list
+
+let init ~n:_ = ([], [])
+
+let apply st (_ : Pid.t) = function
+  | Enqueue x ->
+      let front, back = st in
+      ((front, x :: back), Enqueue_done)
+  | Dequeue -> (
+      match st with
+      | [], [] -> (([], []), Dequeued None)
+      | [], back -> (
+          match List.rev back with
+          | x :: front -> ((front, []), Dequeued (Some x))
+          | [] -> assert false)
+      | x :: front, back -> ((front, back), Dequeued (Some x)))
+
+let equal_res (a : res) (b : res) = a = b
+
+let pp_op ppf = function
+  | Enqueue x -> Format.fprintf ppf "Enq(%d)" x
+  | Dequeue -> Format.pp_print_string ppf "Deq"
+
+let pp_res ppf = function
+  | Enqueue_done -> Format.pp_print_string ppf "ok"
+  | Dequeued None -> Format.pp_print_string ppf "->empty"
+  | Dequeued (Some x) -> Format.fprintf ppf "->%d" x

@@ -1,0 +1,9 @@
+(** Sequential specification of a FIFO queue — used when checking the
+    Michael–Scott queue application of the introduction's motivation. *)
+
+(* record fields use Pid.t via Seq_spec *)
+
+type op = Enqueue of int | Dequeue
+type res = Enqueue_done | Dequeued of int option
+
+include Seq_spec.S with type op := op and type res := res

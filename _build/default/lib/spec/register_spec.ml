@@ -1,0 +1,21 @@
+open Aba_primitives
+
+type op = Read | Write of int
+type res = Read_result of int | Write_done
+type state = int
+
+let init ~n:_ = -1
+
+let apply st (_ : Pid.t) = function
+  | Read -> (st, Read_result st)
+  | Write x -> (x, Write_done)
+
+let equal_res (a : res) (b : res) = a = b
+
+let pp_op ppf = function
+  | Read -> Format.pp_print_string ppf "Read"
+  | Write x -> Format.fprintf ppf "Write(%d)" x
+
+let pp_res ppf = function
+  | Read_result v -> Format.fprintf ppf "->%d" v
+  | Write_done -> Format.pp_print_string ppf "ok"

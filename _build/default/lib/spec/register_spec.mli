@@ -1,0 +1,10 @@
+(** Sequential specification of a plain multi-writer read/write register —
+    the degenerate object an ABA-detecting register extends; used as a
+    sanity baseline for the checker and the simulator. *)
+
+(* record fields use Pid.t via Seq_spec *)
+
+type op = Read | Write of int
+type res = Read_result of int | Write_done
+
+include Seq_spec.S with type op := op and type res := res

@@ -1,0 +1,30 @@
+(** Sequential object specifications.
+
+    A specification gives the meaning of an object type as a deterministic
+    sequential state machine.  Linearizability (Herlihy & Wing, used as the
+    correctness condition for all the paper's algorithms) of a concurrent
+    history is then: some total order of its operations, consistent with the
+    happens-before order, replays through [apply] producing exactly the
+    responses observed.
+
+    [state] must be immutable — the checker explores many interleavings and
+    shares states between branches. *)
+
+open Aba_primitives
+
+module type S = sig
+  type state
+  type op
+  type res
+
+  val init : n:int -> state
+  (** Initial state for a system of [n] processes. *)
+
+  val apply : state -> Pid.t -> op -> state * res
+  (** Sequential semantics of one operation by one process. *)
+
+  val equal_res : res -> res -> bool
+
+  val pp_op : Format.formatter -> op -> unit
+  val pp_res : Format.formatter -> res -> unit
+end

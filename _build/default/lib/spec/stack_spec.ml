@@ -1,0 +1,25 @@
+open Aba_primitives
+
+type op = Push of int | Pop
+type res = Push_done | Popped of int option
+type state = int list
+
+let init ~n:_ = []
+
+let apply st (_ : Pid.t) = function
+  | Push x -> (x :: st, Push_done)
+  | Pop -> (
+      match st with
+      | [] -> ([], Popped None)
+      | x :: rest -> (rest, Popped (Some x)))
+
+let equal_res (a : res) (b : res) = a = b
+
+let pp_op ppf = function
+  | Push x -> Format.fprintf ppf "Push(%d)" x
+  | Pop -> Format.pp_print_string ppf "Pop"
+
+let pp_res ppf = function
+  | Push_done -> Format.pp_print_string ppf "ok"
+  | Popped None -> Format.pp_print_string ppf "->empty"
+  | Popped (Some x) -> Format.fprintf ppf "->%d" x

@@ -1,0 +1,9 @@
+(** Sequential specification of a stack — used when checking the lock-free
+    Treiber stack application of the introduction's motivation. *)
+
+(* record fields use Pid.t via Seq_spec *)
+
+type op = Push of int | Pop
+type res = Push_done | Popped of int option
+
+include Seq_spec.S with type op := op and type res := res

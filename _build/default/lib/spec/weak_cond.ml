@@ -1,0 +1,116 @@
+open Aba_primitives
+
+type op = Weak_read | Weak_write
+type res = Flag of bool | Write_done
+
+type violation = {
+  read_index : int;
+  pid : Pid.t;
+  got : bool;
+  expected : bool;
+  reason : string;
+}
+
+type op_record = {
+  pid : Pid.t;
+  kind : op;
+  flag : bool option;  (** for completed reads *)
+  inv : int;
+  rsp : int;  (** [max_int] when pending *)
+}
+
+let parse h =
+  if not (Event.well_formed h) then
+    invalid_arg "Weak_cond: history is not well formed";
+  let pending : (Pid.t, op * int) Hashtbl.t = Hashtbl.create 16 in
+  let out = ref [] in
+  List.iteri
+    (fun time e ->
+      match e with
+      | Event.Invoke (p, o) -> Hashtbl.replace pending p (o, time)
+      | Event.Response (p, r) ->
+          let kind, inv = Hashtbl.find pending p in
+          Hashtbl.remove pending p;
+          let flag =
+            match r with Flag b -> Some b | Write_done -> None
+          in
+          out := { pid = p; kind; flag; inv; rsp = time } :: !out)
+    h;
+  Hashtbl.iter
+    (fun p (kind, inv) ->
+      out := { pid = p; kind; flag = None; inv; rsp = max_int } :: !out)
+    pending;
+  List.sort (fun a b -> compare a.inv b.inv) !out
+
+let check h =
+  let ops = parse h in
+  let writes = List.filter (fun o -> o.kind = Weak_write) ops in
+  let reads_by p =
+    List.filter (fun o -> o.kind = Weak_read && o.pid = p) ops
+  in
+  let violation = ref None in
+  let check_read (r : op_record) got =
+    let others = List.filter (fun r' -> r'.inv <> r.inv) (reads_by r.pid) in
+    (* The flag is forced to [true] when some completed write happens before
+       [r] and after every other read by the same process. *)
+    let forced_true =
+      List.exists
+        (fun w ->
+          w.rsp < r.inv
+          && List.for_all (fun r' -> r'.rsp < w.inv) others)
+        writes
+    in
+    (* The flag is forced to [false] when no write can linearize between the
+       previous read by this process and [r]: every write either completed
+       before the previous read was invoked, or was invoked after [r]
+       responded.  (For a first read the window opens at the start of the
+       execution.) *)
+    let prev_inv =
+      List.fold_left
+        (fun acc r' -> if r'.rsp < r.inv then max acc r'.inv else acc)
+        (-1) others
+    in
+    let forced_false =
+      List.for_all
+        (fun w -> (prev_inv >= 0 && w.rsp < prev_inv) || w.inv > r.rsp)
+        writes
+    in
+    if forced_true && not got then
+      violation :=
+        Some
+          {
+            read_index = r.rsp;
+            pid = r.pid;
+            got;
+            expected = true;
+            reason =
+              "a WeakWrite happens before this read and after every other \
+               read by this process, yet the flag is false";
+          }
+    else if forced_false && got then
+      violation :=
+        Some
+          {
+            read_index = r.rsp;
+            pid = r.pid;
+            got;
+            expected = false;
+            reason =
+              "no WeakWrite can linearize since this process's previous \
+               read, yet the flag is true";
+          }
+  in
+  List.iter
+    (fun o ->
+      if !violation = None then
+        match (o.kind, o.flag) with
+        | Weak_read, Some got -> check_read o got
+        | Weak_read, None | Weak_write, _ -> ())
+    ops;
+  match !violation with None -> Result.Ok () | Some v -> Result.Error v
+
+let pp_violation ppf (v : violation) =
+  Format.fprintf ppf
+    "@[WeakRead by %a (response at event %d) returned %b but must return \
+     %b:@ %s@]"
+    Pid.pp v.pid v.read_index v.got v.expected v.reason

@@ -1,0 +1,38 @@
+(** The weak correctness condition of Section 2.
+
+    The lower bounds do not require linearizability.  Instead they use two
+    argument-less methods [WeakWrite] and [WeakRead], where a [WeakRead]
+    operation [r] by process [p] must return [true] iff there exists a
+    [WeakWrite] operation [w] such that [w] happens before [r] and every
+    other [WeakRead] by [p] happens before [w].
+
+    This module checks that condition on a recorded history.  The condition
+    determines the required return value only when no [WeakWrite] overlaps
+    the read in question; the histories produced by the lower-bound
+    adversaries are of exactly that shape (reads under scrutiny run solo),
+    and [check] reports [Undetermined] in the remaining cases rather than
+    guessing.
+
+    Any linearizable ABA-detecting register yields correct [WeakRead] /
+    [WeakWrite] methods by taking [DRead]'s flag and discarding values
+    (the reduction at the start of Section 2), which is how the adversaries
+    drive the implementations under test. *)
+
+open Aba_primitives
+
+type op = Weak_read | Weak_write
+type res = Flag of bool | Write_done
+
+type violation = {
+  read_index : int;  (** position of the offending read's response *)
+  pid : Pid.t;
+  got : bool;
+  expected : bool;
+  reason : string;
+}
+
+val check : (op, res) Event.history -> (unit, violation) result
+(** Checks every completed [WeakRead] whose required flag is determined by
+    the happens-before order; ignores the rest. *)
+
+val pp_violation : Format.formatter -> violation -> unit

@@ -1,0 +1,1 @@
+test/test_ablation.ml: Aba_core Aba_experiments Aba_sim Aba_spec Alcotest Array Instances List Printf Seq_pool

@@ -1,0 +1,1 @@
+test/test_apps.ml: Aba_apps Aba_core Aba_primitives Aba_sim Aba_spec Alcotest Array Format Instances List Pid Random String

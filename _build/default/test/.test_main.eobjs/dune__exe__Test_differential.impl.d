@@ -1,0 +1,1 @@
+test/test_differential.ml: Aba_core Aba_spec Alcotest Instances List QCheck2 QCheck_alcotest

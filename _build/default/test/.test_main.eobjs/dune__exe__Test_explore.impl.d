@@ -1,0 +1,1 @@
+test/test_explore.ml: Aba_core Aba_sim Aba_spec Alcotest Array Instances List String Test_support

@@ -1,0 +1,1 @@
+test/test_lin_check.ml: Aba_primitives Aba_spec Alcotest Event List

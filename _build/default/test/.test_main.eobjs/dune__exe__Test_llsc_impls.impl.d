@@ -1,0 +1,1 @@
+test/test_llsc_impls.ml: Aba_core Aba_primitives Aba_sim Aba_spec Alcotest Instances List Printf Test_support

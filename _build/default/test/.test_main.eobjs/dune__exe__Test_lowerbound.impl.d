@@ -1,0 +1,1 @@
+test/test_lowerbound.ml: Aba_core Aba_lowerbound Alcotest Covering Format Instances List Printf Tradeoff Weak_runner Wraparound

@@ -1,0 +1,1 @@
+test/test_primitives.ml: Aba_primitives Alcotest Bounded Event List Pid Seq_mem

@@ -1,0 +1,1 @@
+test/test_properties.ml: Aba_core Aba_primitives Aba_sim Aba_spec Array Bounded Event Hashtbl List QCheck2 QCheck_alcotest Queue Univ

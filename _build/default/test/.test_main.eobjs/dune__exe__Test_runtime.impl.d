@@ -1,0 +1,1 @@
+test/test_runtime.ml: Aba_runtime Alcotest Array Atomic Domain List Result

@@ -1,0 +1,1 @@
+test/test_sim.ml: Aba_primitives Aba_sim Alcotest Bounded Event List Option

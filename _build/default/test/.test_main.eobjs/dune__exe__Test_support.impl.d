@@ -1,0 +1,1 @@
+test/test_support.ml: Aba_experiments Aba_spec Alcotest Format

@@ -1,0 +1,1 @@
+test/test_weak_cond.ml: Aba_primitives Aba_spec Alcotest Event Format Result Weak_cond

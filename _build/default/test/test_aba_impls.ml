@@ -1,0 +1,159 @@
+(** Correctness tests for every ABA-detecting register implementation:
+    sequential behaviour, and linearizability under random schedules in the
+    simulator (experiment E9). *)
+
+open Aba_core
+module Spec = Aba_spec.Aba_register_spec
+
+let correct_builders = Instances.all_aba ()
+
+(* --- Sequential behaviour (direct memory, no scheduling) --- *)
+
+let sequential_basics (label, builder) =
+  let test () =
+    let n = 3 in
+    let inst = Instances.aba_seq builder ~n in
+    let v, f = inst.Instances.dread 1 in
+    Alcotest.(check int) "initial value" inst.Instances.aba_initial v;
+    Alcotest.(check bool) "no write yet" false f;
+    inst.Instances.dwrite 0 7;
+    let v, f = inst.Instances.dread 1 in
+    Alcotest.(check int) "sees written value" 7 v;
+    Alcotest.(check bool) "detects the write" true f;
+    let v, f = inst.Instances.dread 1 in
+    Alcotest.(check int) "value stable" 7 v;
+    Alcotest.(check bool) "no new write" false f;
+    (* A write of the same value must still be detected: that is the whole
+       point of ABA detection. *)
+    inst.Instances.dwrite 0 7;
+    let v, f = inst.Instances.dread 1 in
+    Alcotest.(check int) "same value" 7 v;
+    Alcotest.(check bool) "ABA detected" true f
+  in
+  Alcotest.test_case (label ^ " sequential basics") `Quick test
+
+let sequential_aba_storm (label, builder) =
+  let test () =
+    (* Many writes cycling through few values; every read between writes
+       must raise the flag, reads without intervening writes must not. *)
+    let n = 4 in
+    let inst = Instances.aba_seq builder ~n in
+    for round = 1 to 100 do
+      let writer = round mod n in
+      let reader = (round + 1) mod n in
+      inst.Instances.dwrite writer (round mod 2);
+      let v, f = inst.Instances.dread reader in
+      Alcotest.(check int) "value" (round mod 2) v;
+      Alcotest.(check bool) "flag after write" true f;
+      let _, f = inst.Instances.dread reader in
+      Alcotest.(check bool) "flag without write" false f
+    done
+  in
+  Alcotest.test_case (label ^ " sequential ABA storm") `Quick test
+
+let sequential_multi_reader (label, builder) =
+  let test () =
+    let n = 5 in
+    let inst = Instances.aba_seq builder ~n in
+    inst.Instances.dwrite 0 1;
+    (* Every reader independently detects the same write. *)
+    List.iter
+      (fun q ->
+        let _, f = inst.Instances.dread q in
+        Alcotest.(check bool) (Printf.sprintf "reader %d detects" q) true f)
+      [ 1; 2; 3; 4 ];
+    List.iter
+      (fun q ->
+        let _, f = inst.Instances.dread q in
+        Alcotest.(check bool) (Printf.sprintf "reader %d quiet" q) false f)
+      [ 1; 2; 3; 4 ]
+  in
+  Alcotest.test_case (label ^ " sequential multi-reader") `Quick test
+
+(* --- Linearizability under random schedules --- *)
+
+let random_linearizable ?(n = 3) ?(ops_per_pid = 4) ?(seeds = 60)
+    (label, builder) =
+  let test () =
+    for seed = 1 to seeds do
+      let h =
+        Test_support.aba_random_history builder ~n ~ops_per_pid ~seed
+      in
+      Test_support.check_linearizable_aba ~n h
+    done
+  in
+  Alcotest.test_case
+    (Printf.sprintf "%s linearizable (n=%d, %d ops/pid, %d seeds)" label n
+       ops_per_pid seeds)
+    `Quick test
+
+let random_linearizable_wide (label, builder) =
+  random_linearizable ~n:5 ~ops_per_pid:3 ~seeds:25 (label, builder)
+
+(* --- The flawed bounded-tag implementation must fail --- *)
+
+let bounded_tag_is_flawed () =
+  (* Directed sequential scenario: the writer writes exactly [tag_bound]
+     times between two reads, cycling back to the same value and tag; the
+     reader misses all of them. *)
+  let tag_bound = 4 in
+  let builder = Instances.aba_bounded_tag ~tag_bound in
+  let n = 2 in
+  let inst = Instances.aba_seq builder ~n in
+  inst.Instances.dwrite 0 1;
+  let _, f = inst.Instances.dread 1 in
+  Alcotest.(check bool) "first write detected" true f;
+  for _ = 1 to tag_bound do
+    inst.Instances.dwrite 0 1
+  done;
+  let v, f = inst.Instances.dread 1 in
+  Alcotest.(check int) "value unchanged" 1 v;
+  Alcotest.(check bool) "ABA missed — the flaw" false f
+
+let space_counts () =
+  let n = 6 in
+  let space builder =
+    let sim = Aba_sim.Sim.create ~n in
+    let inst = Instances.aba_in_sim builder sim ~n in
+    List.length (inst.Instances.aba_space ())
+  in
+  (* Theorem 3: Figure 4 uses exactly n+1 registers. *)
+  Alcotest.(check int) "fig4 uses n+1 objects" (n + 1) (space Instances.aba_fig4);
+  (* Theorem 2: one CAS object. *)
+  Alcotest.(check int) "thm2 uses 1 object" 1 (space Instances.aba_thm2);
+  Alcotest.(check int) "fig5 uses 1 object" 1 (space Instances.aba_fig5);
+  Alcotest.(check int) "unbounded uses 1 object" 1
+    (space Instances.aba_unbounded);
+  (* JP machinery: 1 CAS + n registers. *)
+  Alcotest.(check int) "fig5-jp uses n+1 objects" (n + 1)
+    (space Instances.aba_fig5_jp)
+
+let fig4_registers_only () =
+  let n = 4 in
+  let sim = Aba_sim.Sim.create ~n in
+  let _inst = Instances.aba_in_sim Instances.aba_fig4 sim ~n in
+  List.iter
+    (fun (c : Aba_sim.Cell.t) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s is a register" c.Aba_sim.Cell.name)
+        true
+        (Aba_sim.Cell.is_register c))
+    (Aba_sim.Sim.cells sim)
+
+let suite =
+  List.concat
+    [
+      List.map sequential_basics correct_builders;
+      List.map sequential_aba_storm correct_builders;
+      List.map sequential_multi_reader correct_builders;
+      List.map random_linearizable correct_builders;
+      List.map random_linearizable_wide correct_builders;
+      [
+        Alcotest.test_case "bounded-tag misses ABA (sequential)" `Quick
+          bounded_tag_is_flawed;
+        Alcotest.test_case "space usage matches the theorems" `Quick
+          space_counts;
+        Alcotest.test_case "figure 4 uses registers only" `Quick
+          fig4_registers_only;
+      ];
+    ]

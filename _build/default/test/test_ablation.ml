@@ -1,0 +1,118 @@
+(** Ablation tests: removing the constants the proofs rely on breaks the
+    algorithms in observable ways.
+
+    - Figure 3 retries its CAS up to [n] times; Claim 6's counting argument
+      is exactly why [n] suffices to conclude an SC linearized.  With the
+      bound lowered to 1 the explorer exhibits a linearizability violation
+      (a link poisoned with no intervening SC).
+    - Figure 4 draws sequence numbers from [{0..2n+1}]; [|usedQ| = n+1] and
+      [|na| <= n] can exclude up to [2n+1] values, so the domain is the
+      smallest that keeps [GetSeq] total.  Shrinking it cannot break
+      {e safety} (the pool refuses to reuse an announced number) but loses
+      {e wait-freedom}: the pool exhausts. *)
+
+open Aba_core
+module Llsc_check = Aba_spec.Lin_check.Make (Aba_spec.Llsc_spec)
+module Workloads = Aba_experiments.Workloads
+
+let fig3_scripts =
+  [|
+    [ Aba_spec.Llsc_spec.Ll; Aba_spec.Llsc_spec.Sc 1 ];
+    [ Aba_spec.Llsc_spec.Ll; Aba_spec.Llsc_spec.Sc 1 ];
+    [ Aba_spec.Llsc_spec.Sc 2 ];
+  |]
+
+let explore_fig3_with_retries r =
+  let n = Array.length fig3_scripts in
+  let builder = Instances.llsc_fig3_retries ~retries:(fun ~n:_ -> r) in
+  Aba_sim.Explore.exhaustive
+    ~make:(Workloads.llsc_explore_instance builder ~n)
+    ~scripts:fig3_scripts
+    ~check:(Llsc_check.check_ok ~n)
+    ~max_schedules:2_000_000 ()
+
+let fig3_full_bound_verified () =
+  match explore_fig3_with_retries 3 with
+  | Aba_sim.Explore.Ok _ -> ()
+  | o ->
+      Alcotest.failf "retries=n should verify, got %s"
+        (match o with
+        | Aba_sim.Explore.Violation _ -> "violation"
+        | _ -> "budget")
+
+let fig3_starved_bound_breaks () =
+  List.iter
+    (fun r ->
+      match explore_fig3_with_retries r with
+      | Aba_sim.Explore.Violation (_, h) ->
+          Alcotest.(check bool)
+            (Printf.sprintf "retries=%d counterexample is real" r)
+            false
+            (Llsc_check.check_ok ~n:3 h)
+      | Aba_sim.Explore.Ok k ->
+          Alcotest.failf "retries=%d survived all %d schedules" r k
+      | Aba_sim.Explore.Budget_exhausted _ ->
+          Alcotest.fail "exploration budget exhausted")
+    [ 1; 0 ]
+
+let fig4_pool_run builder ~rounds =
+  let n = 3 in
+  let inst = Instances.aba_seq builder ~n in
+  try
+    for _ = 1 to rounds do
+      inst.Instances.dwrite 0 1;
+      let _, f1 = inst.Instances.dread 1 in
+      if not f1 then failwith "missed write";
+      let _, f2 = inst.Instances.dread 1 in
+      if f2 then failwith "spurious flag"
+    done;
+    `Clean
+  with
+  | Seq_pool.Exhausted -> `Exhausted
+  | Failure msg -> `Violation msg
+
+let fig4_full_domain_clean () =
+  match fig4_pool_run Instances.aba_fig4 ~rounds:500 with
+  | `Clean -> ()
+  | `Exhausted -> Alcotest.fail "full domain must never exhaust"
+  | `Violation msg -> Alcotest.failf "full domain violated: %s" msg
+
+let fig4_shrunk_domain_exhausts () =
+  (* At n = 3 the domain is {0..7}; removing 4 values leaves fewer numbers
+     than |usedQ| + |na| can exclude, and the pool eventually dries up.
+     Crucially it NEVER silently misses a write. *)
+  List.iter
+    (fun slack ->
+      match fig4_pool_run (Instances.aba_fig4_shrunk ~slack) ~rounds:500 with
+      | `Exhausted -> ()
+      | `Clean ->
+          Alcotest.failf "slack=%d unexpectedly survived 500 rounds" slack
+      | `Violation msg ->
+          Alcotest.failf "slack=%d broke SAFETY (%s) — must only break \
+                          liveness"
+            slack msg)
+    [ 4; 5; 6 ]
+
+let fig4_small_slack_safe () =
+  (* Mild shrinking may or may not exhaust, but must never be unsafe. *)
+  List.iter
+    (fun slack ->
+      match fig4_pool_run (Instances.aba_fig4_shrunk ~slack) ~rounds:500 with
+      | `Clean | `Exhausted -> ()
+      | `Violation msg ->
+          Alcotest.failf "slack=%d broke safety: %s" slack msg)
+    [ 1; 2; 3 ]
+
+let suite =
+  [
+    Alcotest.test_case "fig3: retry bound n verifies" `Quick
+      fig3_full_bound_verified;
+    Alcotest.test_case "fig3: starved retry bound is refuted" `Quick
+      fig3_starved_bound_breaks;
+    Alcotest.test_case "fig4: full sequence domain stays clean" `Quick
+      fig4_full_domain_clean;
+    Alcotest.test_case "fig4: shrunk domain exhausts (liveness only)" `Quick
+      fig4_shrunk_domain_exhausts;
+    Alcotest.test_case "fig4: mild shrinking never breaks safety" `Quick
+      fig4_small_slack_safe;
+  ]

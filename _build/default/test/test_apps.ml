@@ -1,0 +1,414 @@
+(** Application-level ABA tests (experiments E7, E8): the index-based
+    Treiber stack and Michael–Scott queue corrupt under node reuse when
+    unprotected, and are linearizable when protected by tagging or LL/SC;
+    the plain event flag misses events, the detecting one does not. *)
+
+open Aba_primitives
+open Aba_core
+module Stack_check = Aba_spec.Lin_check.Make (Aba_spec.Stack_spec)
+module Queue_check = Aba_spec.Lin_check.Make (Aba_spec.Queue_spec)
+
+(* --- Harness: stack/queue over the simulator --- *)
+
+type stack_instance = {
+  s_push : Pid.t -> int -> bool;
+  s_pop : Pid.t -> int option;
+  s_driver : (Aba_spec.Stack_spec.op, Aba_spec.Stack_spec.res) Aba_sim.Driver.t;
+}
+
+let make_stack ~protection ~capacity ~n ~initial () =
+  let sim = Aba_sim.Sim.create ~n in
+  let module M = (val Aba_sim.Sim_mem.make sim) in
+  let module S = Aba_apps.Treiber_stack.Make (M) in
+  let stack = S.create ~protection ~capacity ~n ~initial in
+  let apply p op () =
+    match op with
+    | Aba_spec.Stack_spec.Push v ->
+        if not (S.push stack ~pid:p v) then failwith "pool exhausted";
+        Aba_spec.Stack_spec.Push_done
+    | Aba_spec.Stack_spec.Pop -> Aba_spec.Stack_spec.Popped (S.pop stack ~pid:p)
+  in
+  {
+    s_push = (fun p v -> S.push stack ~pid:p v);
+    s_pop = (fun p -> S.pop stack ~pid:p);
+    s_driver = Aba_sim.Driver.create ~sim ~apply;
+  }
+
+(* The checker's initial stack is empty, so pre-filled elements are
+   presented as synthetic pushes that happen before everything else
+   (bottom first). *)
+let with_prefill initial h =
+  let prefix =
+    List.concat_map
+      (fun v ->
+        [
+          Aba_primitives.Event.Invoke (0, Aba_spec.Stack_spec.Push v);
+          Aba_primitives.Event.Response (0, Aba_spec.Stack_spec.Push_done);
+        ])
+      (List.rev initial)
+  in
+  prefix @ h
+
+let stack_linearizable ~n ~initial h =
+  Stack_check.check_ok ~n (with_prefill initial h)
+
+(* --- Deterministic naive-Treiber ABA (directed schedule) --- *)
+
+(* p0's pop reads the head [i0] and its successor [i1], then stalls; p1
+   drains the stack (recycling both nodes) and pushes a new value, which
+   lands on the recycled [i0]; p0's CAS then succeeds against the
+   reincarnated head and installs the long-freed [i1] as top of stack. *)
+let treiber_aba_schedule protection =
+  let initial = [ 1; 2 ] in
+  let inst = make_stack ~protection ~capacity:2 ~n:2 ~initial () in
+  let d = inst.s_driver in
+  Aba_sim.Driver.invoke d 0 Aba_spec.Stack_spec.Pop;
+  Aba_sim.Driver.step d 0;
+  (* read head = node0 *)
+  Aba_sim.Driver.step d 0;
+  (* read next[node0] = node1 *)
+  List.iter
+    (fun op ->
+      Aba_sim.Driver.invoke d 1 op;
+      Aba_sim.Driver.finish d 1)
+    [
+      Aba_spec.Stack_spec.Pop;
+      Aba_spec.Stack_spec.Pop;
+      Aba_spec.Stack_spec.Push 9;
+    ];
+  (* p0's stale CAS fires now, while the recycled node0 is head again. *)
+  Aba_sim.Driver.finish d 0;
+  (* The long-freed node1 is now "top of stack": the next pop re-delivers
+     a value that was already popped. *)
+  Aba_sim.Driver.invoke d 1 Aba_spec.Stack_spec.Pop;
+  Aba_sim.Driver.finish d 1;
+  (stack_linearizable ~n:2 ~initial (Aba_sim.Driver.history d),
+   Aba_sim.Driver.history d)
+
+let treiber_naive_corrupts () =
+  let ok, h = treiber_aba_schedule Aba_apps.Treiber_stack.Naive in
+  if ok then
+    Alcotest.failf "naive stack survived the ABA schedule:@.%s"
+      (Format.asprintf "%a" Stack_check.pp_history h)
+
+let treiber_protected_survive () =
+  List.iter
+    (fun (label, protection) ->
+      let ok, h = treiber_aba_schedule protection in
+      if not ok then
+        Alcotest.failf "%s stack corrupted:@.%s" label
+          (Format.asprintf "%a" Stack_check.pp_history h))
+    [
+      ("tagged-unbounded", Aba_apps.Treiber_stack.Tagged_unbounded);
+      ("llsc-fig3", Aba_apps.Treiber_stack.Llsc Instances.llsc_fig3);
+      ("llsc-moir", Aba_apps.Treiber_stack.Llsc Instances.llsc_moir);
+      ("llsc-jp", Aba_apps.Treiber_stack.Llsc Instances.llsc_jp);
+      ("hazard", Aba_apps.Treiber_stack.Hazard);
+    ]
+
+let treiber_small_tag_wraps () =
+  (* A mod-1 tag never changes: exactly as unprotected. *)
+  let ok, _ = treiber_aba_schedule (Aba_apps.Treiber_stack.Tagged 1) in
+  Alcotest.(check bool) "tag mod 1 is no protection" false ok;
+  (* A big-enough tag bound survives this particular schedule. *)
+  let ok, _ = treiber_aba_schedule (Aba_apps.Treiber_stack.Tagged 64) in
+  Alcotest.(check bool) "tag mod 64 survives here" true ok
+
+(* --- Exhaustive exploration of the stack (small workload) --- *)
+
+let explore_stack ?(capacity = 2) ~scripts protection =
+  let initial = [ 1; 2 ] in
+  let make () =
+    let inst = make_stack ~protection ~capacity ~n:2 ~initial () in
+    { Aba_sim.Explore.driver = inst.s_driver }
+  in
+  Aba_sim.Explore.exhaustive ~make ~scripts
+    ~check:(stack_linearizable ~n:2 ~initial)
+    ~max_schedules:2_000_000 ()
+
+(* The full recycle workload, under which the naive stack has a corrupting
+   schedule (found early by the DFS). *)
+let aba_scripts =
+  [|
+    [ Aba_spec.Stack_spec.Pop ];
+    [
+      Aba_spec.Stack_spec.Pop;
+      Aba_spec.Stack_spec.Pop;
+      Aba_spec.Stack_spec.Push 9;
+      Aba_spec.Stack_spec.Pop;
+    ];
+  |]
+
+(* A smaller workload for the variants that must be exhausted completely:
+   CAS-retry interleavings multiply the schedule count, so full enumeration
+   of the big workload is out of reach for replay-based DFS. *)
+let small_scripts =
+  [|
+    [ Aba_spec.Stack_spec.Pop ];
+    [ Aba_spec.Stack_spec.Pop; Aba_spec.Stack_spec.Push 9 ];
+  |]
+
+let treiber_exploration () =
+  (match explore_stack ~scripts:aba_scripts Aba_apps.Treiber_stack.Naive with
+  | Aba_sim.Explore.Violation _ -> ()
+  | Aba_sim.Explore.Ok k ->
+      Alcotest.failf "naive stack survived all %d schedules" k
+  | Aba_sim.Explore.Budget_exhausted _ -> Alcotest.fail "budget exhausted");
+  List.iter
+    (fun (label, protection) ->
+      (* The hazard variant needs one spare node: a node announced by a
+         stalled pop cannot be recycled, so a 2-node pool can legitimately
+         exhaust mid-schedule. *)
+      let capacity =
+        match protection with Aba_apps.Treiber_stack.Hazard -> 3 | _ -> 2
+      in
+      match explore_stack ~capacity ~scripts:small_scripts protection with
+      | Aba_sim.Explore.Ok _ -> ()
+      | Aba_sim.Explore.Violation (sched, _) ->
+          Alcotest.failf "%s corrupted under schedule %s" label
+            (String.concat "," (List.map string_of_int sched))
+      | Aba_sim.Explore.Budget_exhausted _ ->
+          Alcotest.failf "%s: budget exhausted" label)
+    (* The LL/SC-protected variants are excluded here: their multi-step
+       pops multiply the interleaving count beyond replay-based DFS; they
+       are covered by the directed ABA schedule and the random sweep. *)
+    [
+      ("naive-small", Aba_apps.Treiber_stack.Naive);
+      ("tagged-unbounded", Aba_apps.Treiber_stack.Tagged_unbounded);
+      ("hazard", Aba_apps.Treiber_stack.Hazard);
+    ]
+
+(* --- Sequential stack sanity --- *)
+
+let treiber_sequential () =
+  (* Direct (Seq_mem) semantics: no scheduler involved. *)
+  let module M = (val Aba_primitives.Seq_mem.make ()) in
+  let module S = Aba_apps.Treiber_stack.Make (M) in
+  let stack =
+    S.create ~protection:Aba_apps.Treiber_stack.Tagged_unbounded ~capacity:8
+      ~n:2 ~initial:[]
+  in
+  let pop p = S.pop stack ~pid:p and push p v = S.push stack ~pid:p v in
+  Alcotest.(check (option int)) "empty pop" None (pop 0);
+  Alcotest.(check bool) "push 1" true (push 0 1);
+  Alcotest.(check bool) "push 2" true (push 1 2);
+  Alcotest.(check (option int)) "LIFO" (Some 2) (pop 0);
+  Alcotest.(check (option int)) "LIFO again" (Some 1) (pop 1);
+  Alcotest.(check (option int)) "empty again" None (pop 0);
+  (* Fill the pool, exhaust it, then recycle. *)
+  for i = 1 to 8 do
+    Alcotest.(check bool) "fill" true (push 0 i)
+  done;
+  Alcotest.(check bool) "pool exhausted" false (push 0 99);
+  Alcotest.(check (option int)) "still works" (Some 8) (pop 1);
+  Alcotest.(check bool) "slot recycled" true (push 0 100)
+
+(* --- Michael–Scott queue --- *)
+
+type queue_instance = {
+  q_enq : Pid.t -> int -> bool;
+  q_deq : Pid.t -> int option;
+  q_driver : (Aba_spec.Queue_spec.op, Aba_spec.Queue_spec.res) Aba_sim.Driver.t;
+}
+
+let make_queue ~protection ~capacity ~n ~initial () =
+  let sim = Aba_sim.Sim.create ~n in
+  let module M = (val Aba_sim.Sim_mem.make sim) in
+  let module Q = Aba_apps.Ms_queue.Make (M) in
+  let q = Q.create ~protection ~capacity ~initial in
+  let apply p op () =
+    match op with
+    | Aba_spec.Queue_spec.Enqueue v ->
+        if not (Q.enqueue q ~pid:p v) then failwith "pool exhausted";
+        Aba_spec.Queue_spec.Enqueue_done
+    | Aba_spec.Queue_spec.Dequeue ->
+        Aba_spec.Queue_spec.Dequeued (Q.dequeue q ~pid:p)
+  in
+  {
+    q_enq = (fun p v -> Q.enqueue q ~pid:p v);
+    q_deq = (fun p -> Q.dequeue q ~pid:p);
+    q_driver = Aba_sim.Driver.create ~sim ~apply;
+  }
+
+let queue_prefill initial h =
+  let prefix =
+    List.concat_map
+      (fun v ->
+        [
+          Aba_primitives.Event.Invoke (0, Aba_spec.Queue_spec.Enqueue v);
+          Aba_primitives.Event.Response (0, Aba_spec.Queue_spec.Enqueue_done);
+        ])
+      initial
+  in
+  prefix @ h
+
+let queue_linearizable ~n ~initial h =
+  Queue_check.check_ok ~n (queue_prefill initial h)
+
+let ms_sequential () =
+  let module M = (val Aba_primitives.Seq_mem.make ()) in
+  let module Q = Aba_apps.Ms_queue.Make (M) in
+  let q =
+    Q.create ~protection:Aba_apps.Ms_queue.Tagged_unbounded ~capacity:8
+      ~initial:[]
+  in
+  let deq p = Q.dequeue q ~pid:p and enq p v = Q.enqueue q ~pid:p v in
+  Alcotest.(check (option int)) "empty deq" None (deq 0);
+  Alcotest.(check bool) "enq 1" true (enq 0 1);
+  Alcotest.(check bool) "enq 2" true (enq 1 2);
+  Alcotest.(check bool) "enq 3" true (enq 0 3);
+  Alcotest.(check (option int)) "FIFO 1" (Some 1) (deq 1);
+  Alcotest.(check (option int)) "FIFO 2" (Some 2) (deq 0);
+  Alcotest.(check bool) "enq 4" true (enq 1 4);
+  Alcotest.(check (option int)) "FIFO 3" (Some 3) (deq 0);
+  Alcotest.(check (option int)) "FIFO 4" (Some 4) (deq 0);
+  Alcotest.(check (option int)) "empty again" None (deq 1)
+
+(* Directed MS-queue ABA: p0's dequeue reads head (the dummy, node 0), the
+   tail and its successor's value, then stalls before the CAS; p1 cycles
+   the queue so node 0 is recycled and becomes the dummy again; p0's CAS
+   then succeeds and re-dequeues a long-gone value. *)
+let ms_aba_schedule protection =
+  let initial = [ 1; 2 ] in
+  let inst = make_queue ~protection ~capacity:2 ~n:2 ~initial () in
+  let d = inst.q_driver in
+  Aba_sim.Driver.invoke d 0 Aba_spec.Queue_spec.Dequeue;
+  (* reads: head, tail, next[head], value — stall just before the CAS *)
+  for _ = 1 to 4 do
+    Aba_sim.Driver.step d 0
+  done;
+  List.iter
+    (fun op ->
+      Aba_sim.Driver.invoke d 1 op;
+      Aba_sim.Driver.finish d 1)
+    [
+      Aba_spec.Queue_spec.Dequeue;
+      Aba_spec.Queue_spec.Enqueue 9;
+      Aba_spec.Queue_spec.Dequeue;
+      Aba_spec.Queue_spec.Dequeue;
+    ];
+  Aba_sim.Driver.finish d 0;
+  (queue_linearizable ~n:2 ~initial (Aba_sim.Driver.history d),
+   Aba_sim.Driver.history d)
+
+let ms_naive_corrupts () =
+  let ok, h = ms_aba_schedule Aba_apps.Ms_queue.Naive in
+  if ok then
+    Alcotest.failf "naive queue survived the ABA schedule:@.%s"
+      (Format.asprintf "%a" Queue_check.pp_history h)
+
+let ms_tagged_survives () =
+  List.iter
+    (fun (label, protection) ->
+      let ok, h = ms_aba_schedule protection in
+      if not ok then
+        Alcotest.failf "%s queue corrupted:@.%s" label
+          (Format.asprintf "%a" Queue_check.pp_history h))
+    [
+      ("tagged-unbounded", Aba_apps.Ms_queue.Tagged_unbounded);
+      ("tagged-64", Aba_apps.Ms_queue.Tagged 64);
+    ]
+
+(* --- Random-schedule linearizability for the protected variants --- *)
+
+let stack_random_linearizable () =
+  let initial = [ 1; 2 ] in
+  List.iter
+    (fun (label, protection) ->
+      for seed = 1 to 25 do
+        let inst = make_stack ~protection ~capacity:16 ~n:3 ~initial () in
+        let rng = Random.State.make [| seed |] in
+        let scripts =
+          Array.init 3 (fun _ ->
+              List.init 4 (fun _ ->
+                  if Random.State.bool rng then
+                    Aba_spec.Stack_spec.Push (Random.State.int rng 10)
+                  else Aba_spec.Stack_spec.Pop))
+        in
+        Aba_sim.Driver.run_random inst.s_driver ~scripts ~seed ();
+        let h = Aba_sim.Driver.history inst.s_driver in
+        if not (stack_linearizable ~n:3 ~initial h) then
+          Alcotest.failf "%s stack not linearizable at seed %d" label seed
+      done)
+    [
+      ("tagged-unbounded", Aba_apps.Treiber_stack.Tagged_unbounded);
+      ("llsc-fig3", Aba_apps.Treiber_stack.Llsc Instances.llsc_fig3);
+      ("llsc-jp", Aba_apps.Treiber_stack.Llsc Instances.llsc_jp);
+      ("hazard", Aba_apps.Treiber_stack.Hazard);
+    ]
+
+let queue_random_linearizable () =
+  let initial = [ 1; 2 ] in
+  List.iter
+    (fun (label, protection) ->
+      for seed = 1 to 25 do
+        let inst = make_queue ~protection ~capacity:16 ~n:3 ~initial () in
+        let rng = Random.State.make [| seed |] in
+        let scripts =
+          Array.init 3 (fun _ ->
+              List.init 4 (fun _ ->
+                  if Random.State.bool rng then
+                    Aba_spec.Queue_spec.Enqueue (Random.State.int rng 10)
+                  else Aba_spec.Queue_spec.Dequeue))
+        in
+        Aba_sim.Driver.run_random inst.q_driver ~scripts ~seed ();
+        let h = Aba_sim.Driver.history inst.q_driver in
+        if not (queue_linearizable ~n:3 ~initial h) then
+          Alcotest.failf "%s queue not linearizable at seed %d" label seed
+      done)
+    [ ("tagged-unbounded", Aba_apps.Ms_queue.Tagged_unbounded) ]
+
+(* --- Event flag (E8) --- *)
+
+let event_flag_straddle flavour =
+  (* waiter polls, then signal+reset straddle, then waiter polls again *)
+  let module M = (val Aba_primitives.Seq_mem.make ()) in
+  let module F = Aba_apps.Event_flag.Make (M) in
+  let f = F.create ~flavour ~n:2 in
+  let first = F.poll f ~pid:1 in
+  F.signal f ~pid:0;
+  F.reset f ~pid:0;
+  let second = F.poll f ~pid:1 in
+  (first, second)
+
+let event_flag_plain_misses () =
+  let first, second = event_flag_straddle Aba_apps.Event_flag.Plain in
+  Alcotest.(check bool) "nothing before" false first;
+  Alcotest.(check bool) "event MISSED — the ABA" false second
+
+let event_flag_detecting_catches () =
+  List.iter
+    (fun (label, builder) ->
+      let first, second =
+        event_flag_straddle (Aba_apps.Event_flag.Detecting builder)
+      in
+      Alcotest.(check bool) (label ^ ": nothing before") false first;
+      Alcotest.(check bool) (label ^ ": event caught") true second)
+    (Instances.all_aba ())
+
+let suite =
+  [
+    Alcotest.test_case "treiber: sequential behaviour" `Quick
+      treiber_sequential;
+    Alcotest.test_case "treiber: naive CAS corrupts (directed ABA)" `Quick
+      treiber_naive_corrupts;
+    Alcotest.test_case "treiber: protected variants survive" `Quick
+      treiber_protected_survive;
+    Alcotest.test_case "treiber: tag bound matters" `Quick
+      treiber_small_tag_wraps;
+    Alcotest.test_case "treiber: exhaustive exploration" `Quick
+      treiber_exploration;
+    Alcotest.test_case "treiber: random schedules linearizable" `Quick
+      stack_random_linearizable;
+    Alcotest.test_case "ms-queue: sequential FIFO" `Quick ms_sequential;
+    Alcotest.test_case "ms-queue: naive CAS corrupts (directed ABA)" `Quick
+      ms_naive_corrupts;
+    Alcotest.test_case "ms-queue: tagged variants survive" `Quick
+      ms_tagged_survives;
+    Alcotest.test_case "ms-queue: random schedules linearizable" `Quick
+      queue_random_linearizable;
+    Alcotest.test_case "event flag: plain register misses events" `Quick
+      event_flag_plain_misses;
+    Alcotest.test_case "event flag: ABA-detecting registers catch them"
+      `Quick event_flag_detecting_catches;
+  ]

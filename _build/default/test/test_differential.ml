@@ -1,0 +1,113 @@
+(** Sequential differential testing: under sequential execution the
+    implementations must agree with the specification state machines
+    {e exactly}, operation by operation.  Long random sequences (hundreds of
+    operations, all processes interleaved at method granularity) catch
+    bookkeeping bugs — sequence-pool cycling, announce staleness, local
+    flag management — that short concurrent histories cannot reach. *)
+
+open Aba_core
+module Aba_spec_m = Aba_spec.Aba_register_spec
+module Llsc_spec_m = Aba_spec.Llsc_spec
+
+let qtest ?(count = 100) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+let gen_ops =
+  (* (pid selector, op selector, value) triples; lengths up to ~300. *)
+  QCheck2.Gen.(
+    list_size (int_range 1 300)
+      (triple (int_range 0 100) (int_range 0 100) (int_range 0 7)))
+
+let aba_differential (label, builder) =
+  qtest (label ^ " agrees with the spec sequentially") gen_ops (fun ops ->
+      let n = 4 in
+      let inst = Instances.aba_seq builder ~n in
+      let spec = ref (Aba_spec_m.init ~n) in
+      List.for_all
+        (fun (p_sel, op_sel, v) ->
+          let p = p_sel mod n in
+          if op_sel mod 2 = 0 then begin
+            let st', expected = Aba_spec_m.apply !spec p Aba_spec_m.DRead in
+            spec := st';
+            let value, flag = inst.Instances.dread p in
+            Aba_spec_m.equal_res expected (Aba_spec_m.Read_result (value, flag))
+          end
+          else begin
+            let st', expected =
+              Aba_spec_m.apply !spec p (Aba_spec_m.DWrite v)
+            in
+            spec := st';
+            inst.Instances.dwrite p v;
+            Aba_spec_m.equal_res expected Aba_spec_m.Write_done
+          end)
+        ops)
+
+let llsc_differential (label, builder) =
+  qtest (label ^ " agrees with the spec sequentially") gen_ops (fun ops ->
+      let n = 4 in
+      let inst = Instances.llsc_seq builder ~n in
+      let spec = ref (Llsc_spec_m.init ~n) in
+      List.for_all
+        (fun (p_sel, op_sel, v) ->
+          let p = p_sel mod n in
+          let op =
+            match op_sel mod 3 with
+            | 0 -> Llsc_spec_m.Ll
+            | 1 -> Llsc_spec_m.Sc v
+            | _ -> Llsc_spec_m.Vl
+          in
+          let st', expected = Llsc_spec_m.apply !spec p op in
+          spec := st';
+          let actual =
+            match op with
+            | Llsc_spec_m.Ll -> Llsc_spec_m.Ll_result (inst.Instances.ll p)
+            | Llsc_spec_m.Sc x ->
+                Llsc_spec_m.Sc_result (inst.Instances.sc p x)
+            | Llsc_spec_m.Vl -> Llsc_spec_m.Vl_result (inst.Instances.vl p)
+          in
+          Llsc_spec_m.equal_res expected actual)
+        ops)
+
+(* The flawed implementations must FAIL differential testing — this guards
+   the tests themselves against becoming vacuous. *)
+let flawed_aba_diverges () =
+  let n = 2 in
+  let tag_bound = 2 in
+  let inst = Instances.aba_seq (Instances.aba_bounded_tag ~tag_bound) ~n in
+  let spec = ref (Aba_spec_m.init ~n) in
+  let diverged = ref false in
+  (* write; read; write x tag_bound; read — the read must flag, the flawed
+     register does not. *)
+  let step p op =
+    let st', expected = Aba_spec_m.apply !spec p op in
+    spec := st';
+    let actual =
+      match op with
+      | Aba_spec_m.DRead ->
+          let v, f = inst.Instances.dread p in
+          Aba_spec_m.Read_result (v, f)
+      | Aba_spec_m.DWrite v ->
+          inst.Instances.dwrite p v;
+          Aba_spec_m.Write_done
+    in
+    if not (Aba_spec_m.equal_res expected actual) then diverged := true
+  in
+  step 0 (Aba_spec_m.DWrite 1);
+  step 1 Aba_spec_m.DRead;
+  for _ = 1 to tag_bound do
+    step 0 (Aba_spec_m.DWrite 1)
+  done;
+  step 1 Aba_spec_m.DRead;
+  Alcotest.(check bool) "flawed register diverges from the spec" true
+    !diverged
+
+let suite =
+  List.concat
+    [
+      List.map aba_differential (Instances.all_aba ());
+      List.map llsc_differential (Instances.all_llsc ());
+      [
+        Alcotest.test_case "flawed register caught by differential test"
+          `Quick flawed_aba_diverges;
+      ];
+    ]

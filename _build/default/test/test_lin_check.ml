@@ -1,0 +1,234 @@
+(** Directed unit tests for the linearizability checker on hand-crafted
+    histories whose verdicts are known. *)
+
+open Aba_primitives
+module R = Aba_spec.Register_spec
+module RC = Aba_spec.Lin_check.Make (R)
+module A = Aba_spec.Aba_register_spec
+module AC = Aba_spec.Lin_check.Make (A)
+module L = Aba_spec.Llsc_spec
+module LC = Aba_spec.Lin_check.Make (L)
+
+let ok = Alcotest.(check bool) "linearizable" true
+let bad = Alcotest.(check bool) "not linearizable" false
+
+let empty_history () = ok (RC.check_ok ~n:2 [])
+
+let sequential_register () =
+  ok
+    (RC.check_ok ~n:2
+       [
+         Event.Invoke (0, R.Write 1);
+         Event.Response (0, R.Write_done);
+         Event.Invoke (1, R.Read);
+         Event.Response (1, R.Read_result 1);
+       ])
+
+let stale_read_rejected () =
+  bad
+    (RC.check_ok ~n:2
+       [
+         Event.Invoke (0, R.Write 1);
+         Event.Response (0, R.Write_done);
+         Event.Invoke (1, R.Read);
+         Event.Response (1, R.Read_result (-1));
+       ])
+
+let overlapping_read_may_be_stale () =
+  (* The read overlaps the write, so either result linearizes. *)
+  let h result =
+    [
+      Event.Invoke (1, R.Read);
+      Event.Invoke (0, R.Write 1);
+      Event.Response (0, R.Write_done);
+      Event.Response (1, R.Read_result result);
+    ]
+  in
+  ok (RC.check_ok ~n:2 (h (-1)));
+  ok (RC.check_ok ~n:2 (h 1))
+
+let pending_op_may_have_taken_effect () =
+  (* The write never responds, yet the read may observe it. *)
+  ok
+    (RC.check_ok ~n:2
+       [
+         Event.Invoke (0, R.Write 7);
+         Event.Invoke (1, R.Read);
+         Event.Response (1, R.Read_result 7);
+       ])
+
+let pending_op_need_not_take_effect () =
+  ok
+    (RC.check_ok ~n:2
+       [
+         Event.Invoke (0, R.Write 7);
+         Event.Invoke (1, R.Read);
+         Event.Response (1, R.Read_result (-1));
+       ])
+
+let real_time_order_enforced () =
+  (* Two sequential writes then a read of the first one: invalid. *)
+  bad
+    (RC.check_ok ~n:2
+       [
+         Event.Invoke (0, R.Write 1);
+         Event.Response (0, R.Write_done);
+         Event.Invoke (0, R.Write 2);
+         Event.Response (0, R.Write_done);
+         Event.Invoke (1, R.Read);
+         Event.Response (1, R.Read_result 1);
+       ])
+
+(* --- ABA-detecting register specifics --- *)
+
+let aba_flag_must_fire () =
+  bad
+    (AC.check_ok ~n:2
+       [
+         Event.Invoke (1, A.DRead);
+         Event.Response (1, A.Read_result (-1, false));
+         Event.Invoke (0, A.DWrite 1);
+         Event.Response (0, A.Write_done);
+         Event.Invoke (1, A.DRead);
+         Event.Response (1, A.Read_result (1, false));
+       ])
+
+let aba_flag_must_not_fire () =
+  bad
+    (AC.check_ok ~n:2
+       [
+         Event.Invoke (1, A.DRead);
+         Event.Response (1, A.Read_result (-1, false));
+         Event.Invoke (1, A.DRead);
+         Event.Response (1, A.Read_result (-1, true));
+       ])
+
+let aba_flags_are_per_process () =
+  (* Both readers must see the single write once each. *)
+  ok
+    (AC.check_ok ~n:3
+       [
+         Event.Invoke (0, A.DWrite 5);
+         Event.Response (0, A.Write_done);
+         Event.Invoke (1, A.DRead);
+         Event.Response (1, A.Read_result (5, true));
+         Event.Invoke (2, A.DRead);
+         Event.Response (2, A.Read_result (5, true));
+         Event.Invoke (1, A.DRead);
+         Event.Response (1, A.Read_result (5, false));
+       ])
+
+let aba_same_value_write_detected () =
+  ok
+    (AC.check_ok ~n:2
+       [
+         Event.Invoke (0, A.DWrite 1);
+         Event.Response (0, A.Write_done);
+         Event.Invoke (1, A.DRead);
+         Event.Response (1, A.Read_result (1, true));
+         Event.Invoke (0, A.DWrite 1);
+         Event.Response (0, A.Write_done);
+         Event.Invoke (1, A.DRead);
+         Event.Response (1, A.Read_result (1, true));
+       ])
+
+(* --- LL/SC specifics --- *)
+
+let llsc_interference () =
+  ok
+    (LC.check_ok ~n:2
+       [
+         Event.Invoke (0, L.Ll);
+         Event.Response (0, L.Ll_result 0);
+         Event.Invoke (1, L.Ll);
+         Event.Response (1, L.Ll_result 0);
+         Event.Invoke (0, L.Sc 1);
+         Event.Response (0, L.Sc_result true);
+         Event.Invoke (1, L.Sc 2);
+         Event.Response (1, L.Sc_result false);
+       ])
+
+let llsc_both_succeed_rejected () =
+  bad
+    (LC.check_ok ~n:2
+       [
+         Event.Invoke (0, L.Ll);
+         Event.Response (0, L.Ll_result 0);
+         Event.Invoke (1, L.Ll);
+         Event.Response (1, L.Ll_result 0);
+         Event.Invoke (0, L.Sc 1);
+         Event.Response (0, L.Sc_result true);
+         Event.Invoke (1, L.Sc 2);
+         Event.Response (1, L.Sc_result true);
+       ])
+
+let llsc_overlapping_scs () =
+  (* Concurrent SCs: exactly one may win, either one. *)
+  let h first_wins =
+    [
+      Event.Invoke (0, L.Ll);
+      Event.Response (0, L.Ll_result 0);
+      Event.Invoke (1, L.Ll);
+      Event.Response (1, L.Ll_result 0);
+      Event.Invoke (0, L.Sc 1);
+      Event.Invoke (1, L.Sc 2);
+      Event.Response (0, L.Sc_result first_wins);
+      Event.Response (1, L.Sc_result (not first_wins));
+    ]
+  in
+  ok (LC.check_ok ~n:2 (h true));
+  ok (LC.check_ok ~n:2 (h false))
+
+let witness_is_a_linearization () =
+  let h =
+    [
+      Event.Invoke (1, R.Read);
+      Event.Invoke (0, R.Write 1);
+      Event.Response (0, R.Write_done);
+      Event.Response (1, R.Read_result 1);
+    ]
+  in
+  match RC.witness ~n:2 h with
+  | Some order ->
+      Alcotest.(check int) "both ops linearized" 2 (List.length order);
+      (* The write must precede the read in the produced order. *)
+      let kinds = List.map (fun (_, op, _) -> op) order in
+      Alcotest.(check bool) "write before read" true
+        (kinds = [ R.Write 1; R.Read ])
+  | None -> Alcotest.fail "expected a witness"
+
+let malformed_history_rejected () =
+  Alcotest.check_raises "double invoke"
+    (Invalid_argument "Lin_check: history is not well formed") (fun () ->
+      ignore
+        (RC.check_ok ~n:2
+           [ Event.Invoke (0, R.Read); Event.Invoke (0, R.Read) ]))
+
+let suite =
+  [
+    Alcotest.test_case "empty history" `Quick empty_history;
+    Alcotest.test_case "sequential register" `Quick sequential_register;
+    Alcotest.test_case "stale read rejected" `Quick stale_read_rejected;
+    Alcotest.test_case "overlapping read has both options" `Quick
+      overlapping_read_may_be_stale;
+    Alcotest.test_case "pending op may take effect" `Quick
+      pending_op_may_have_taken_effect;
+    Alcotest.test_case "pending op may be dropped" `Quick
+      pending_op_need_not_take_effect;
+    Alcotest.test_case "real-time order enforced" `Quick
+      real_time_order_enforced;
+    Alcotest.test_case "ABA flag must fire" `Quick aba_flag_must_fire;
+    Alcotest.test_case "ABA flag must not fire" `Quick aba_flag_must_not_fire;
+    Alcotest.test_case "ABA flags are per process" `Quick
+      aba_flags_are_per_process;
+    Alcotest.test_case "same-value write detected" `Quick
+      aba_same_value_write_detected;
+    Alcotest.test_case "LL/SC interference" `Quick llsc_interference;
+    Alcotest.test_case "LL/SC double success rejected" `Quick
+      llsc_both_succeed_rejected;
+    Alcotest.test_case "LL/SC overlapping SCs" `Quick llsc_overlapping_scs;
+    Alcotest.test_case "witness is a linearization" `Quick
+      witness_is_a_linearization;
+    Alcotest.test_case "malformed history rejected" `Quick
+      malformed_history_rejected;
+  ]

@@ -1,0 +1,188 @@
+(** Correctness tests for every LL/SC/VL implementation: sequential
+    behaviour, and linearizability under random schedules in the simulator
+    (experiments E2, E5, E9). *)
+
+open Aba_core
+
+let builders = Instances.all_llsc ()
+
+(* --- Sequential behaviour --- *)
+
+let sequential_basics (label, builder) =
+  let test () =
+    let n = 3 in
+    let inst = Instances.llsc_seq builder ~n in
+    let v = inst.Instances.ll 1 in
+    Alcotest.(check int) "initial value" inst.Instances.llsc_initial v;
+    Alcotest.(check bool) "fresh link is valid" true (inst.Instances.vl 1);
+    Alcotest.(check bool) "sc succeeds on fresh link" true
+      (inst.Instances.sc 1 42);
+    Alcotest.(check int) "ll sees new value" 42 (inst.Instances.ll 2);
+    (* p1's link was consumed by its own SC. *)
+    Alcotest.(check bool) "link invalid after own sc" false
+      (inst.Instances.vl 1);
+    Alcotest.(check bool) "second sc without ll fails" false
+      (inst.Instances.sc 1 43);
+    Alcotest.(check int) "failed sc left value" 42 (inst.Instances.ll 0)
+  in
+  Alcotest.test_case (label ^ " sequential basics") `Quick test
+
+let sequential_interference (label, builder) =
+  let test () =
+    let n = 3 in
+    let inst = Instances.llsc_seq builder ~n in
+    ignore (inst.Instances.ll 1);
+    ignore (inst.Instances.ll 2);
+    Alcotest.(check bool) "p1 sc succeeds" true (inst.Instances.sc 1 10);
+    (* p2's link is now stale. *)
+    Alcotest.(check bool) "p2 vl fails" false (inst.Instances.vl 2);
+    Alcotest.(check bool) "p2 sc fails" false (inst.Instances.sc 2 20);
+    Alcotest.(check int) "value is p1's" 10 (inst.Instances.ll 0);
+    (* After re-linking, p2 can succeed. *)
+    ignore (inst.Instances.ll 2);
+    Alcotest.(check bool) "p2 sc succeeds after re-ll" true
+      (inst.Instances.sc 2 20);
+    Alcotest.(check int) "value is p2's" 20 (inst.Instances.ll 0)
+  in
+  Alcotest.test_case (label ^ " sequential interference") `Quick test
+
+let sequential_vl_convention (label, builder) =
+  let test () =
+    (* Appendix A convention: VL by a process that never called LL returns
+       true as long as no successful SC has been executed. *)
+    let n = 3 in
+    let inst = Instances.llsc_seq builder ~n in
+    Alcotest.(check bool) "vl before any ll/sc" true (inst.Instances.vl 2);
+    ignore (inst.Instances.ll 1);
+    Alcotest.(check bool) "still true (no sc yet)" true (inst.Instances.vl 2);
+    ignore (inst.Instances.sc 1 5);
+    Alcotest.(check bool) "false after a successful sc" false
+      (inst.Instances.vl 2)
+  in
+  Alcotest.test_case (label ^ " VL convention") `Quick test
+
+let sequential_long_run (label, builder) =
+  let test () =
+    let n = 4 in
+    let inst = Instances.llsc_seq builder ~n in
+    (* Alternating LL/SC by rotating processes; every SC must succeed since
+       each process re-links just before storing. *)
+    for i = 1 to 200 do
+      let p = i mod n in
+      ignore (inst.Instances.ll p);
+      Alcotest.(check bool) "uncontended sc succeeds" true
+        (inst.Instances.sc p i);
+      Alcotest.(check int) "readback" i (inst.Instances.ll ((p + 1) mod n))
+    done
+  in
+  Alcotest.test_case (label ^ " sequential long run") `Quick test
+
+(* --- Linearizability under random schedules --- *)
+
+let random_linearizable ?(n = 3) ?(ops_per_pid = 4) ?(seeds = 60)
+    (label, builder) =
+  let test () =
+    for seed = 1 to seeds do
+      let h =
+        Test_support.llsc_random_history builder ~n ~ops_per_pid ~seed
+      in
+      Test_support.check_linearizable_llsc ~n h
+    done
+  in
+  Alcotest.test_case
+    (Printf.sprintf "%s linearizable (n=%d, %d ops/pid, %d seeds)" label n
+       ops_per_pid seeds)
+    `Quick test
+
+let random_linearizable_wide (label, builder) =
+  random_linearizable ~n:5 ~ops_per_pid:3 ~seeds:25 (label, builder)
+
+(* --- Space usage (Corollary 1's upper-bound side) --- *)
+
+let space_counts () =
+  let n = 6 in
+  let space builder =
+    let sim = Aba_sim.Sim.create ~n in
+    let inst = Instances.llsc_in_sim builder sim ~n in
+    List.length (inst.Instances.llsc_space ())
+  in
+  Alcotest.(check int) "fig3 uses 1 CAS" 1 (space Instances.llsc_fig3);
+  Alcotest.(check int) "moir uses 1 CAS" 1 (space Instances.llsc_moir);
+  Alcotest.(check int) "jp uses 1 CAS + n registers" (n + 1)
+    (space Instances.llsc_jp)
+
+(* --- The flawed bounded-tag LL/SC must fail (Corollary 1's naive
+   counter-attempt) --- *)
+
+let bounded_tag_llsc_is_flawed () =
+  let tag_bound = 4 in
+  let n = 2 in
+  let inst =
+    Instances.llsc_seq (Instances.llsc_bounded_tag ~tag_bound) ~n
+  in
+  (* p1 links, then p0 performs exactly [tag_bound] successful SCs that
+     cycle the value back: the tag wraps and p1's stale SC succeeds — two
+     SCs succeeding in one link window. *)
+  let v0 = inst.Instances.ll 1 in
+  for _ = 1 to tag_bound do
+    ignore (inst.Instances.ll 0);
+    Alcotest.(check bool) "interfering sc succeeds" true
+      (inst.Instances.sc 0 v0)
+  done;
+  Alcotest.(check bool) "stale sc WRONGLY succeeds — the flaw" true
+    (inst.Instances.sc 1 9);
+  (* The same story as a checked history: non-linearizable. *)
+  let module Spec = Aba_spec.Llsc_spec in
+  let h = ref [] in
+  let record e = h := e :: !h in
+  let inst =
+    Instances.llsc_seq (Instances.llsc_bounded_tag ~tag_bound) ~n
+  in
+  record (Aba_primitives.Event.Invoke (1, Spec.Ll));
+  record (Aba_primitives.Event.Response (1, Spec.Ll_result (inst.Instances.ll 1)));
+  for _ = 1 to tag_bound do
+    record (Aba_primitives.Event.Invoke (0, Spec.Ll));
+    record
+      (Aba_primitives.Event.Response (0, Spec.Ll_result (inst.Instances.ll 0)));
+    record (Aba_primitives.Event.Invoke (0, Spec.Sc 0));
+    record
+      (Aba_primitives.Event.Response (0, Spec.Sc_result (inst.Instances.sc 0 0)))
+  done;
+  record (Aba_primitives.Event.Invoke (1, Spec.Sc 9));
+  record
+    (Aba_primitives.Event.Response (1, Spec.Sc_result (inst.Instances.sc 1 9)));
+  Alcotest.(check bool) "history is rejected by the checker" false
+    (Test_support.Llsc_check.check_ok ~n (List.rev !h))
+
+(* --- Figure 3 specifics --- *)
+
+let fig3_bounded () =
+  (* The Figure 3 CAS object stores (value, n-bit mask): its domain is
+     finite — this is what distinguishes it from Moir's construction. *)
+  let n = 4 in
+  let sim = Aba_sim.Sim.create ~n in
+  let inst = Instances.llsc_in_sim Instances.llsc_fig3 sim ~n in
+  match inst.Instances.llsc_space () with
+  | [ (_, domain) ] ->
+      Alcotest.(check bool) "domain is described as bounded" true
+        (domain <> "unbounded")
+  | l -> Alcotest.failf "expected one object, got %d" (List.length l)
+
+let suite =
+  List.concat
+    [
+      List.map sequential_basics builders;
+      List.map sequential_interference builders;
+      List.map sequential_vl_convention builders;
+      List.map sequential_long_run builders;
+      List.map random_linearizable builders;
+      List.map random_linearizable_wide builders;
+      [
+        Alcotest.test_case "space usage matches corollary 1" `Quick
+          space_counts;
+        Alcotest.test_case "figure 3 CAS object is bounded" `Quick
+          fig3_bounded;
+        Alcotest.test_case "bounded-tag LL/SC is flawed (corollary 1)" `Quick
+          bounded_tag_llsc_is_flawed;
+      ];
+    ]

@@ -1,0 +1,243 @@
+(** Tests for the lower-bound machinery (experiments E1, E5, E6):
+    the Lemma 1 covering adversary, the wraparound finder, and the
+    time–space tradeoff measurements. *)
+
+open Aba_core
+open Aba_lowerbound
+
+(* --- Covering adversary (Theorem 1(a)) --- *)
+
+let covering_fig4 n () =
+  match Covering.run Instances.aba_fig4 ~n with
+  | Covering.Covered cov, _stats ->
+      Alcotest.(check int) "covers n-1 distinct registers" (n - 1)
+        (List.length cov);
+      let names = List.map snd cov in
+      Alcotest.(check int) "registers are distinct" (n - 1)
+        (List.length (List.sort_uniq compare names))
+  | outcome, _ ->
+      Alcotest.failf "expected covering, got: %s"
+        (Format.asprintf "%a" Covering.pp_outcome outcome)
+
+let covering_bounded_tag () =
+  (* The mod-T tag register has a single register, so the adversary must
+     find the clean/dirty confusion instead of a covering. *)
+  match Covering.run (Instances.aba_bounded_tag ~tag_bound:3) ~n:3 with
+  | Covering.Violation v, _ ->
+      Alcotest.(check bool) "dirty read returned false" false v.Covering.flag;
+      Alcotest.(check bool) "at least one write was missed" true
+        (v.Covering.writes_missed >= 1)
+  | outcome, _ ->
+      Alcotest.failf "expected violation, got: %s"
+        (Format.asprintf "%a" Covering.pp_outcome outcome)
+
+let covering_unbounded () =
+  (* Unbounded tags: register configurations never repeat, which is exactly
+     how the trivial construction escapes Theorem 1(a). *)
+  match
+    Covering.run ~max_iterations_per_level:50 Instances.aba_unbounded ~n:3
+  with
+  | Covering.No_repetition _, _ -> ()
+  | outcome, _ ->
+      Alcotest.failf "expected no-repetition, got: %s"
+        (Format.asprintf "%a" Covering.pp_outcome outcome)
+
+let covering_cas_escapes () =
+  (* A CAS-based implementation is outside Theorem 1(a)'s hypothesis: the
+     adversary must not produce a (bogus) violation against it. *)
+  match Covering.run ~max_iterations_per_level:200 Instances.aba_thm2 ~n:3 with
+  | Covering.Violation _, _ -> Alcotest.fail "bogus violation against CAS"
+  | (Covering.Escaped _ | Covering.No_repetition _ | Covering.Covered _), _ ->
+      ()
+
+let covering_minimal_n () =
+  (* n = 2: one reader, target covering of a single register. *)
+  match Covering.run Instances.aba_fig4 ~n:2 with
+  | Covering.Covered [ (1, _) ], _ -> ()
+  | outcome, _ ->
+      Alcotest.failf "expected single-register covering, got: %s"
+        (Format.asprintf "%a" Covering.pp_outcome outcome)
+
+let covering_jp_not_refuted () =
+  (* Figure 5 over the JP construction mixes registers (the announce array,
+     which readers write) with a CAS object; the adversary may cover the
+     announce registers or be escaped by the CAS — but it must never derive
+     a violation from a correct implementation. *)
+  match
+    Covering.run ~max_iterations_per_level:500 Instances.aba_fig5_jp ~n:3
+  with
+  | Covering.Violation _, _ ->
+      Alcotest.fail "bogus violation against a correct implementation"
+  | (Covering.Covered _ | Covering.Escaped _ | Covering.No_repetition _), _ ->
+      ()
+
+let weak_runner_replay_deterministic () =
+  (* replay_prefix must reproduce the exact configuration: same register
+     contents, same idleness. *)
+  let r = Weak_runner.create Instances.aba_fig4 ~n:3 in
+  ignore (Weak_runner.complete_write r 0);
+  ignore (Weak_runner.complete_read r 1);
+  Weak_runner.invoke_read r 2;
+  Weak_runner.step r 2;
+  Weak_runner.step r 2;
+  ignore (Weak_runner.complete_write r 0);
+  let r' = Weak_runner.replay_prefix r ~upto:(Weak_runner.mark r) in
+  Alcotest.(check string) "register configurations agree"
+    (Weak_runner.reg_config r) (Weak_runner.reg_config r');
+  List.iter
+    (fun p ->
+      Alcotest.(check bool)
+        (Printf.sprintf "idleness of p%d agrees" p)
+        (Weak_runner.is_idle r p) (Weak_runner.is_idle r' p))
+    [ 0; 1; 2 ];
+  (* And the replayed run continues identically. *)
+  let f1 = Weak_runner.complete_read r 1 in
+  let f2 = Weak_runner.complete_read r' 1 in
+  Alcotest.(check bool) "continuations agree" f1 f2
+
+(* --- Wraparound (E6) --- *)
+
+let wraparound_directed_flawed () =
+  List.iter
+    (fun t ->
+      match
+        Wraparound.directed_search
+          (Instances.aba_bounded_tag ~tag_bound:t)
+          ~n:2 ~max_writes:(t + 2)
+      with
+      | Wraparound.Missed_after k ->
+          Alcotest.(check int)
+            (Printf.sprintf "tag bound %d missed after exactly %d writes" t t)
+            t k
+      | Wraparound.Detected_up_to _ ->
+          Alcotest.failf "tag bound %d never missed" t)
+    [ 2; 4; 8 ]
+
+let wraparound_directed_correct () =
+  List.iter
+    (fun (label, builder) ->
+      match Wraparound.directed_search builder ~n:2 ~max_writes:64 with
+      | Wraparound.Detected_up_to k ->
+          Alcotest.(check int) (label ^ " detected all") 64 k
+      | Wraparound.Missed_after k ->
+          Alcotest.failf "%s missed a write after %d writes" label k)
+    (Instances.all_aba ())
+
+let wraparound_randomized () =
+  (* Random concurrent schedules: the flawed register fails fast, the
+     correct ones never do. *)
+  (match
+     Wraparound.randomized_search
+       (Instances.aba_bounded_tag ~tag_bound:2)
+       ~n:3 ~ops_per_pid:8 ~seeds:50
+   with
+  | { violation_seed = Some _; _ } -> ()
+  | { violation_seed = None; _ } ->
+      Alcotest.fail "flawed register survived randomized search");
+  match
+    Wraparound.randomized_search Instances.aba_fig4 ~n:3 ~ops_per_pid:6
+      ~seeds:30
+  with
+  | { violation_seed = None; histories_checked } ->
+      Alcotest.(check int) "all histories checked" 30 histories_checked
+  | { violation_seed = Some seed; _ } ->
+      Alcotest.failf "figure 4 violated at seed %d" seed
+
+(* --- Tradeoff (E2/E3/E5) --- *)
+
+let tradeoff_llsc () =
+  let n = 8 in
+  let fig3 = Tradeoff.measure_llsc ~label:"fig3" Instances.llsc_fig3 ~n in
+  let jp = Tradeoff.measure_llsc ~label:"jp" Instances.llsc_jp ~n in
+  let moir = Tradeoff.measure_llsc ~label:"moir" Instances.llsc_moir ~n in
+  (* Figure 3: one object, linear worst-case LL (the adversary must drive
+     the full retry loop: 1 + 2n steps). *)
+  Alcotest.(check int) "fig3 space" 1 fig3.Tradeoff.space;
+  Alcotest.(check int) "fig3 worst LL is 2n+1" ((2 * n) + 1)
+    fig3.Tradeoff.worst_ll;
+  Alcotest.(check bool) "fig3 SC is linear too" true
+    (fig3.Tradeoff.worst_sc >= n - 1);
+  Alcotest.(check bool) "fig3 bounded" true fig3.Tradeoff.bounded;
+  (* JP: n+1 objects, constant worst-case ops. *)
+  Alcotest.(check int) "jp space" (n + 1) jp.Tradeoff.space;
+  Alcotest.(check bool) "jp constant time" true (jp.Tradeoff.worst_op <= 3);
+  Alcotest.(check bool) "jp bounded" true jp.Tradeoff.bounded;
+  (* Moir: beats the bounded tradeoff — because it is unbounded. *)
+  Alcotest.(check int) "moir space" 1 moir.Tradeoff.space;
+  Alcotest.(check bool) "moir constant time" true (moir.Tradeoff.worst_op <= 2);
+  Alcotest.(check bool) "moir is NOT bounded" false moir.Tradeoff.bounded;
+  Alcotest.(check bool) "moir beats the bounded threshold" true
+    (moir.Tradeoff.product < moir.Tradeoff.bound);
+  (* The bounded implementations respect the Theorem 1(c) threshold. *)
+  List.iter
+    (fun (m : Tradeoff.measurement) ->
+      Alcotest.(check bool)
+        (m.Tradeoff.label ^ " respects m*t >= ceil((n-1)/2)")
+        true
+        (m.Tradeoff.product >= m.Tradeoff.bound))
+    [ fig3; jp ]
+
+let tradeoff_aba () =
+  let n = 8 in
+  let fig4 = Tradeoff.measure_aba ~label:"fig4" Instances.aba_fig4 ~n in
+  let thm2 = Tradeoff.measure_aba ~label:"thm2" Instances.aba_thm2 ~n in
+  let unb =
+    Tradeoff.measure_aba ~label:"unbounded" Instances.aba_unbounded ~n
+  in
+  Alcotest.(check int) "fig4 space is n+1" (n + 1) fig4.Tradeoff.a_space;
+  Alcotest.(check int) "fig4 DRead is 4 steps" 4 fig4.Tradeoff.worst_dread;
+  Alcotest.(check int) "fig4 DWrite is 2 steps" 2 fig4.Tradeoff.worst_dwrite;
+  Alcotest.(check int) "thm2 space is 1" 1 thm2.Tradeoff.a_space;
+  Alcotest.(check bool) "thm2 ops are linear in n" true
+    (thm2.Tradeoff.a_worst_op >= n);
+  Alcotest.(check int) "unbounded space is 1" 1 unb.Tradeoff.a_space;
+  Alcotest.(check int) "unbounded ops are 1 step" 1 unb.Tradeoff.a_worst_op;
+  List.iter
+    (fun (m : Tradeoff.aba_measurement) ->
+      Alcotest.(check bool)
+        (m.Tradeoff.a_label ^ " respects the bounded threshold")
+        true
+        (m.Tradeoff.a_product >= m.Tradeoff.a_bound))
+    [ fig4; thm2 ]
+
+(* Step growth of Figure 3 across n — the O(n) shape of Theorem 2. *)
+let fig3_steps_grow_linearly () =
+  let worst n =
+    (Tradeoff.measure_llsc ~label:"fig3" Instances.llsc_fig3 ~n).Tradeoff
+      .worst_ll
+  in
+  List.iter
+    (fun n -> Alcotest.(check int) (Printf.sprintf "worst LL at n=%d" n)
+        ((2 * n) + 1) (worst n))
+    [ 3; 5; 9; 13 ]
+
+let suite =
+  [
+    Alcotest.test_case "covering: figure 4 covers n-1 registers (n=3)" `Quick
+      (covering_fig4 3);
+    Alcotest.test_case "covering: figure 4 covers n-1 registers (n=4)" `Quick
+      (covering_fig4 4);
+    Alcotest.test_case "covering: bounded-tag yields a violation" `Quick
+      covering_bounded_tag;
+    Alcotest.test_case "covering: unbounded tags never repeat" `Quick
+      covering_unbounded;
+    Alcotest.test_case "covering: CAS implementations escape" `Quick
+      covering_cas_escapes;
+    Alcotest.test_case "covering: minimal system n=2" `Quick
+      covering_minimal_n;
+    Alcotest.test_case "covering: correct mixed implementation not refuted"
+      `Quick covering_jp_not_refuted;
+    Alcotest.test_case "weak runner: replay is deterministic" `Quick
+      weak_runner_replay_deterministic;
+    Alcotest.test_case "wraparound: directed search nails the tag bound"
+      `Quick wraparound_directed_flawed;
+    Alcotest.test_case "wraparound: correct implementations never miss"
+      `Quick wraparound_directed_correct;
+    Alcotest.test_case "wraparound: randomized search" `Quick
+      wraparound_randomized;
+    Alcotest.test_case "tradeoff: LL/SC implementations" `Quick tradeoff_llsc;
+    Alcotest.test_case "tradeoff: ABA-register implementations" `Quick
+      tradeoff_aba;
+    Alcotest.test_case "figure 3 worst-case LL is exactly 2n+1" `Quick
+      fig3_steps_grow_linearly;
+  ]

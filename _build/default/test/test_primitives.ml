@@ -1,0 +1,105 @@
+(** Directed unit tests for the primitives layer: pids, bounded domains,
+    the direct memory instance, and history utilities. *)
+
+open Aba_primitives
+
+let pid_basics () =
+  Alcotest.(check (list int)) "all" [ 0; 1; 2 ] (Pid.all ~n:3);
+  Alcotest.(check (list int)) "readers" [ 1; 2 ] (Pid.readers ~n:3);
+  Alcotest.(check int) "writer" 0 Pid.writer;
+  Alcotest.(check bool) "valid" true (Pid.is_valid ~n:3 2);
+  Alcotest.(check bool) "invalid high" false (Pid.is_valid ~n:3 3);
+  Alcotest.(check bool) "invalid negative" false (Pid.is_valid ~n:3 (-1));
+  Alcotest.check_raises "check raises"
+    (Invalid_argument "Pid.check: pid 5 out of range [0,3)") (fun () ->
+      Pid.check ~n:3 5)
+
+let bounded_composites () =
+  let d = Bounded.triple (Bounded.int_mod 3) Bounded.bool
+      (Bounded.option (Bounded.int_mod 2)) in
+  Alcotest.(check (option int)) "size 3*2*3" (Some 18) (Bounded.size d);
+  Alcotest.(check bool) "member" true (Bounded.mem d (2, true, Some 1));
+  Alcotest.(check bool) "non-member" false (Bounded.mem d (3, true, None));
+  let u = Bounded.unbounded ~describe:"anything" in
+  Alcotest.(check (option int)) "unbounded size" None (Bounded.size u);
+  Alcotest.(check bool) "unbounded membership" true (Bounded.mem u max_int);
+  Alcotest.(check string) "bits describe" "4-bit mask"
+    (Bounded.describe (Bounded.bits ~width:4));
+  Alcotest.(check bool) "bits member" true (Bounded.mem (Bounded.bits ~width:4) 15);
+  Alcotest.(check bool) "bits non-member" false
+    (Bounded.mem (Bounded.bits ~width:4) 16)
+
+let seq_mem_llsc_convention () =
+  let module M = (val Seq_mem.make ()) in
+  let l = M.make_llsc ~name:"l" ~show:string_of_int 5 in
+  (* Appendix A: VL by a never-linked process is true until the first
+     successful SC. *)
+  Alcotest.(check bool) "vl before" true (M.vl l ~pid:2);
+  Alcotest.(check bool) "sc without ll (fresh object)" true (M.sc l ~pid:1 6);
+  Alcotest.(check bool) "vl after" false (M.vl l ~pid:2);
+  Alcotest.(check bool) "second blind sc fails" false (M.sc l ~pid:1 7)
+
+let seq_mem_space_accounting () =
+  let module M = (val Seq_mem.make ()) in
+  let _ = M.make_register ~name:"r1" ~show:string_of_int 0 in
+  let _ =
+    M.make_cas ~bound:(Bounded.int_mod 4) ~name:"c1" ~show:string_of_int 1
+  in
+  Alcotest.(check (list (pair string string)))
+    "names and domains"
+    [ ("r1", "unbounded"); ("c1", "[0..3]") ]
+    (M.space ())
+
+let seq_mem_writable_guard () =
+  let module M = (val Seq_mem.make ()) in
+  let c = M.make_cas ~name:"c" ~show:string_of_int 0 in
+  Alcotest.check_raises "cas_write on plain CAS"
+    (Invalid_argument "Seq_mem.cas_write: c is not a writable CAS object")
+    (fun () -> M.cas_write c 1);
+  let w = M.make_cas ~writable:true ~name:"w" ~show:string_of_int 0 in
+  M.cas_write w 9;
+  Alcotest.(check int) "written" 9 (M.cas_read w)
+
+let seq_mem_bound_guard () =
+  let module M = (val Seq_mem.make ()) in
+  let r =
+    M.make_register ~bound:(Bounded.int_mod 4) ~name:"r" ~show:string_of_int 0
+  in
+  M.write r 3;
+  Alcotest.(check bool) "out-of-domain write rejected" true
+    (match M.write r 4 with
+    | () -> false
+    | exception Invalid_argument _ -> true)
+
+let event_utilities () =
+  let h =
+    [
+      Event.Invoke (0, "a");
+      Event.Invoke (1, "b");
+      Event.Response (0, 1);
+      Event.Invoke (0, "c");
+      Event.Response (1, 2);
+    ]
+  in
+  Alcotest.(check bool) "well formed" true (Event.well_formed h);
+  let ops = Event.ops_of h in
+  Alcotest.(check int) "three ops" 3 (List.length ops);
+  Alcotest.(check bool) "pending op has no result" true
+    (List.exists (fun (_, op, r) -> op = "c" && r = None) ops);
+  let c = Event.complete h in
+  Alcotest.(check int) "complete drops the pending invoke" 4 (List.length c);
+  Alcotest.(check bool) "double response is malformed" false
+    (Event.well_formed [ Event.Response (0, 1) ])
+
+let suite =
+  [
+    Alcotest.test_case "pid basics" `Quick pid_basics;
+    Alcotest.test_case "bounded composites" `Quick bounded_composites;
+    Alcotest.test_case "seq_mem LL/SC convention" `Quick
+      seq_mem_llsc_convention;
+    Alcotest.test_case "seq_mem space accounting" `Quick
+      seq_mem_space_accounting;
+    Alcotest.test_case "seq_mem writable guard" `Quick seq_mem_writable_guard;
+    Alcotest.test_case "seq_mem bound guard" `Quick seq_mem_bound_guard;
+    Alcotest.test_case "event utilities" `Quick event_utilities;
+  ]

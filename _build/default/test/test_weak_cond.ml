@@ -1,0 +1,76 @@
+(** Unit tests for the Section 2 weak condition checker. *)
+
+open Aba_primitives
+open Aba_spec
+
+let inv p op = Event.Invoke (p, op)
+let res p r = Event.Response (p, r)
+let read p = inv p Weak_cond.Weak_read
+let write p = inv p Weak_cond.Weak_write
+let flag p b = res p (Weak_cond.Flag b)
+let wrote p = res p Weak_cond.Write_done
+
+let expect_ok h =
+  match Weak_cond.check h with
+  | Result.Ok () -> ()
+  | Result.Error v ->
+      Alcotest.failf "unexpected violation: %s"
+        (Format.asprintf "%a" Weak_cond.pp_violation v)
+
+let expect_violation h =
+  match Weak_cond.check h with
+  | Result.Ok () -> Alcotest.fail "expected a violation"
+  | Result.Error _ -> ()
+
+let first_read_no_writes () =
+  expect_ok [ read 1; flag 1 false ];
+  expect_violation [ read 1; flag 1 true ]
+
+let read_after_write () =
+  expect_ok [ write 0; wrote 0; read 1; flag 1 true ];
+  expect_violation [ write 0; wrote 0; read 1; flag 1 false ]
+
+let second_read_quiet () =
+  expect_ok
+    [ write 0; wrote 0; read 1; flag 1 true; read 1; flag 1 false ];
+  expect_violation
+    [ write 0; wrote 0; read 1; flag 1 true; read 1; flag 1 true ]
+
+let write_between_reads () =
+  expect_ok
+    [
+      write 0; wrote 0; read 1; flag 1 true; write 0; wrote 0; read 1;
+      flag 1 true;
+    ];
+  expect_violation
+    [
+      write 0; wrote 0; read 1; flag 1 true; write 0; wrote 0; read 1;
+      flag 1 false;
+    ]
+
+let overlapping_write_is_undetermined () =
+  (* The write overlaps the read: both flags acceptable. *)
+  let h b = [ write 0; read 1; flag 1 b; wrote 0 ] in
+  expect_ok (h true);
+  expect_ok (h false)
+
+let per_process_windows () =
+  (* p2's first read must still see the write even though p1 read twice. *)
+  expect_violation
+    [
+      write 0; wrote 0;
+      read 1; flag 1 true;
+      read 1; flag 1 false;
+      read 2; flag 2 false;
+    ]
+
+let suite =
+  [
+    Alcotest.test_case "first read, no writes" `Quick first_read_no_writes;
+    Alcotest.test_case "read after write" `Quick read_after_write;
+    Alcotest.test_case "second read quiet" `Quick second_read_quiet;
+    Alcotest.test_case "write between reads" `Quick write_between_reads;
+    Alcotest.test_case "overlapping write undetermined" `Quick
+      overlapping_write_is_undetermined;
+    Alcotest.test_case "per-process windows" `Quick per_process_windows;
+  ]
