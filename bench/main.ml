@@ -110,7 +110,9 @@ let aba_register_tests =
            Aba_runtime.Rt_aba.From_llsc.dwrite from_llsc ~pid:0 7));
   ]
 
-(* Motivation: Treiber stack push+pop latency per protection. *)
+(* Motivation: Treiber stack push+pop latency per protection, including
+   the three reclaimer-backed variants (uncontended cost of a protect +
+   retire per pop). *)
 let treiber_tests =
   List.map
     (fun (name, protection) ->
@@ -123,18 +125,31 @@ let treiber_tests =
       ("naive", Aba_runtime.Rt_treiber.Tag_bits 0);
       ("tag16", Aba_runtime.Rt_treiber.Tag_bits 16);
       ("llsc", Aba_runtime.Rt_treiber.Llsc);
+      ("hazard", Aba_runtime.Rt_treiber.Reclaimed Aba_runtime.Rt_reclaim.Hazard);
+      ("epoch", Aba_runtime.Rt_treiber.Reclaimed Aba_runtime.Rt_reclaim.Epoch);
+      ( "guarded",
+        Aba_runtime.Rt_treiber.Reclaimed Aba_runtime.Rt_reclaim.Guarded );
     ]
 
-(* Motivation: MS queue enqueue+dequeue latency, naive vs counted. *)
+(* Motivation: MS queue enqueue+dequeue latency, counted pointers vs the
+   hazard-protocol reclaimed variants. *)
 let msqueue_tests =
   List.map
-    (fun (name, tag_bits) ->
-      let q = Aba_runtime.Rt_ms_queue.create ~tag_bits ~capacity:64 in
+    (fun (name, protection) ->
+      let q = Aba_runtime.Rt_ms_queue.create ~protection ~capacity:64 ~n:8 in
       Test.make ~name:(Printf.sprintf "msqueue.%s enq+deq" name)
         (staged (fun () ->
-             ignore (Aba_runtime.Rt_ms_queue.enqueue q 42);
-             ignore (Aba_runtime.Rt_ms_queue.dequeue q))))
-    [ ("naive", 0); ("tag16", 16) ]
+             ignore (Aba_runtime.Rt_ms_queue.enqueue q ~pid:1 42);
+             ignore (Aba_runtime.Rt_ms_queue.dequeue q ~pid:1))))
+    [
+      ("naive", Aba_runtime.Rt_ms_queue.Tag_bits 0);
+      ("tag16", Aba_runtime.Rt_ms_queue.Tag_bits 16);
+      ( "hazard",
+        Aba_runtime.Rt_ms_queue.Reclaimed Aba_runtime.Rt_reclaim.Hazard );
+      ("epoch", Aba_runtime.Rt_ms_queue.Reclaimed Aba_runtime.Rt_reclaim.Epoch);
+      ( "guarded",
+        Aba_runtime.Rt_ms_queue.Reclaimed Aba_runtime.Rt_reclaim.Guarded );
+    ]
 
 (* Ablation: Figure 3's O(n) retry loops under interference, as exact
    simulator step counts (the wall clock cannot see scheduling). *)
@@ -151,12 +166,13 @@ let ablation_fig3 () =
         m.Aba_lowerbound.Tradeoff.worst_sc)
     [ 3; 4; 8; 16; 24; 32 ]
 
-(* Multicore throughput (ops/s) for the stack variants. *)
+(* Multicore throughput (ops/s) for the stack variants; returns the rows
+   so they can be emitted as JSON alongside the reclamation table. *)
 let multicore_treiber ~domains ~ops () =
   Printf.printf
     "\nMulticore Treiber throughput (%d domains x %d ops, %d cores):\n"
     domains ops (Aba_runtime.Harness.available_parallelism ());
-  List.iter
+  List.map
     (fun (name, protection) ->
       let s =
         Aba_runtime.Rt_treiber.create ~protection ~capacity:1024 ~n:domains
@@ -170,13 +186,56 @@ let multicore_treiber ~domains ~ops () =
             done)
       in
       let dt = Unix.gettimeofday () -. t0 in
-      Printf.printf "  %-8s %10.0f ops/s\n" name
-        (float_of_int (2 * domains * ops) /. dt))
+      let throughput = float_of_int (2 * domains * ops) /. dt in
+      Printf.printf "  %-8s %10.0f ops/s\n" name throughput;
+      (name, domains, ops, throughput))
     [
       ("naive", Aba_runtime.Rt_treiber.Tag_bits 0);
       ("tag16", Aba_runtime.Rt_treiber.Tag_bits 16);
       ("llsc", Aba_runtime.Rt_treiber.Llsc);
     ]
+
+(* ----- JSON emission (hand-rolled; no JSON dependency in the image) ----- *)
+
+let json_path () =
+  let path = ref None in
+  Array.iteri
+    (fun i arg ->
+      if arg = "--json" && i + 1 < Array.length Sys.argv then
+        path := Some Sys.argv.(i + 1))
+    Sys.argv;
+  !path
+
+let write_json path ~treiber_rows ~reclaim_rows =
+  let buf = Buffer.create 4096 in
+  let sep buf = function true -> () | false -> Buffer.add_string buf ",\n" in
+  Buffer.add_string buf "{\n  \"multicore_treiber\": [\n";
+  List.iteri
+    (fun i (name, domains, ops, throughput) ->
+      sep buf (i = 0);
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"variant\": %S, \"domains\": %d, \"ops\": %d, \
+            \"ops_per_sec\": %.1f}"
+           name domains ops throughput))
+    treiber_rows;
+  Buffer.add_string buf "\n  ],\n  \"reclamation\": [\n";
+  List.iteri
+    (fun i (r : Aba_experiments.Experiments.reclaim_row) ->
+      sep buf (i = 0);
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"structure\": %S, \"scheme\": %S, \"domains\": %d, \"ops\": \
+            %d, \"capacity\": %d, \"ops_per_sec\": %.1f, \"retired\": %d, \
+            \"reclaimed\": %d, \"peak_in_limbo\": %d, \"ok\": %b}"
+           r.structure r.scheme r.domains r.ops r.capacity r.throughput
+           r.retired r.reclaimed r.peak_in_limbo r.ok))
+    reclaim_rows;
+  Buffer.add_string buf "\n  ]\n}\n";
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "\nWrote JSON results to %s\n" path
 
 let () =
   (* Part 1: the paper-derived experiment tables (exact, step-model). *)
@@ -197,4 +256,11 @@ let () =
   benchmark_and_print "aba-registers-runtime" aba_register_tests;
   benchmark_and_print "treiber-runtime" treiber_tests;
   benchmark_and_print "msqueue-runtime" msqueue_tests;
-  multicore_treiber ~domains:4 ~ops:50_000 ()
+  let treiber_rows = multicore_treiber ~domains:4 ~ops:50_000 () in
+  (* Part 3: reclamation-scheme comparison (throughput + peak space). *)
+  let reclaim_rows =
+    Aba_experiments.Experiments.run_reclaim ~domains:4 ~ops:20_000 ()
+  in
+  match json_path () with
+  | None -> ()
+  | Some path -> write_json path ~treiber_rows ~reclaim_rows

@@ -50,6 +50,24 @@ let stack_cmd =
   Cmd.v (Cmd.info "stack" ~doc:"Treiber stack reuse corruption (E7).")
     Term.(const (fun domains ops -> run_stack ~domains ~ops ()) $ domains $ ops)
 
+let reclaim_cmd =
+  let domains =
+    Arg.(value & opt int 4 & info [ "domains" ] ~doc:"concurrent domains")
+  in
+  let ops =
+    Arg.(value & opt int 20_000 & info [ "ops" ] ~doc:"operations per domain")
+  in
+  let capacity =
+    Arg.(value & opt int 32 & info [ "capacity" ] ~doc:"node pool size")
+  in
+  Cmd.v
+    (Cmd.info "reclaim"
+       ~doc:"Reclamation schemes: throughput vs peak limbo space (E10).")
+    Term.(
+      const (fun domains ops capacity ->
+          ignore (run_reclaim ~capacity ~domains ~ops ()))
+      $ domains $ ops $ capacity)
+
 let explore_cmd =
   cmd_of "explore" "Exhaustive schedule exploration summary (E9)." run_explore
 
@@ -66,7 +84,8 @@ let all_cmd =
     run_steps [ 3; 4; 6; 8; 12; 16 ];
     run_explore ();
     run_ablation ();
-    run_stack ~domains:4 ~ops:20_000 ()
+    run_stack ~domains:4 ~ops:20_000 ();
+    ignore (run_reclaim ~domains:4 ~ops:20_000 ())
   in
   cmd_of "all" "Run the full experiment battery." run
 
@@ -76,7 +95,7 @@ let main =
        ~doc:"Experiments for the PODC 2015 ABA prevention/detection paper.")
     [
       space_cmd; covering_cmd; wraparound_cmd; tradeoff_cmd; steps_cmd;
-      explore_cmd; ablate_cmd; stack_cmd; all_cmd;
+      explore_cmd; ablate_cmd; stack_cmd; reclaim_cmd; all_cmd;
     ]
 
 let () = exit (Cmd.eval main)

@@ -1,0 +1,126 @@
+(** Epoch-based reclamation (Fraser-style, three limbo generations).
+
+    A domain pins the global epoch for the span of one operation; nodes
+    retired in epoch [e] are reclaimable once the global epoch reaches
+    [e + 2], because both intervening advances required every pinned
+    domain to re-pin in between — so no reference from before the
+    retirement can survive.  Protection is a single epoch pin per
+    operation (the per-node [protect] calls after the first are no-ops),
+    which is why epochs win on throughput and lose on space: one stalled
+    pinned domain freezes reclamation for everybody. *)
+
+type bag = { mutable epoch : int; mutable nodes : int list }
+
+type t = {
+  n : int;
+  capacity : int;
+  global : int Atomic.t;
+  local : int Atomic.t array;  (** announced epoch, -1 = quiescent *)
+  bags : bag array array;  (** [n][3], owner-only, indexed by epoch mod 3 *)
+  limbo_size : int array;
+  pool : Boxed_pool.t;
+  threshold : int;
+  stats : Limbo_stats.t;
+}
+
+let create ?(slots = 2) ~n ~capacity () =
+  ignore slots;
+  if n <= 0 then invalid_arg "Epoch.create: n must be positive";
+  if capacity <= 0 then invalid_arg "Epoch.create: capacity must be positive";
+  let pool = Boxed_pool.create () in
+  for i = capacity - 1 downto 0 do
+    Boxed_pool.put pool i
+  done;
+  {
+    n;
+    capacity;
+    global = Atomic.make 0;
+    local = Array.init n (fun _ -> Atomic.make (-1));
+    bags =
+      Array.init n (fun _ ->
+          Array.init 3 (fun _ -> { epoch = -1; nodes = [] }));
+    limbo_size = Array.make n 0;
+    pool;
+    threshold = max 2 n;
+    stats = Limbo_stats.create ();
+  }
+
+let capacity t = t.capacity
+
+let protect t ~pid ~slot:_ i =
+  if i >= 0 && Atomic.get t.local.(pid) = -1 then
+    Atomic.set t.local.(pid) (Atomic.get t.global)
+
+let release t ~pid = Atomic.set t.local.(pid) (-1)
+
+let acquire t ~pid ~slot ~read =
+  let rec loop () =
+    let i = read () in
+    if i < 0 then i
+    else begin
+      protect t ~pid ~slot i;
+      if read () = i then i else loop ()
+    end
+  in
+  loop ()
+
+(* Advance the global epoch iff every pinned domain has observed the
+   current one; a CAS failure means someone else advanced for us. *)
+let try_advance t =
+  let e = Atomic.get t.global in
+  let blocked = ref false in
+  for p = 0 to t.n - 1 do
+    let l = Atomic.get t.local.(p) in
+    if l <> -1 && l <> e then blocked := true
+  done;
+  if not !blocked then ignore (Atomic.compare_and_set t.global e (e + 1))
+
+let reclaim_bag t ~pid b =
+  List.iter
+    (fun i ->
+      Boxed_pool.put t.pool i;
+      Limbo_stats.on_reclaim t.stats;
+      t.limbo_size.(pid) <- t.limbo_size.(pid) - 1)
+    b.nodes;
+  b.nodes <- [];
+  b.epoch <- -1
+
+let reclaim_own t ~pid =
+  let e = Atomic.get t.global in
+  Array.iter
+    (fun b -> if b.epoch >= 0 && b.epoch <= e - 2 then reclaim_bag t ~pid b)
+    t.bags.(pid)
+
+let flush t ~pid =
+  (* Two successful advances empty every quiescent bag; a pinned domain
+     elsewhere legitimately stalls this. *)
+  for _ = 1 to 2 do
+    try_advance t;
+    reclaim_own t ~pid
+  done
+
+let retire t ~pid i =
+  let e = Atomic.get t.global in
+  let b = t.bags.(pid).(e mod 3) in
+  (* The slot last held epoch e-3 (or older): always past its grace
+     period by the time the epoch wraps back onto it. *)
+  if b.epoch <> e && b.epoch >= 0 then reclaim_bag t ~pid b;
+  b.epoch <- e;
+  b.nodes <- i :: b.nodes;
+  t.limbo_size.(pid) <- t.limbo_size.(pid) + 1;
+  Limbo_stats.on_retire t.stats;
+  if t.limbo_size.(pid) >= t.threshold then begin
+    try_advance t;
+    reclaim_own t ~pid
+  end
+
+let recycle t ~pid:_ i = Boxed_pool.put t.pool i
+
+let alloc t ~pid =
+  match Boxed_pool.take t.pool with
+  | Some i -> Some i
+  | None ->
+      flush t ~pid;
+      Boxed_pool.take t.pool
+
+let stats t = Limbo_stats.snapshot t.stats

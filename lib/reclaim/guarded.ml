@@ -1,0 +1,159 @@
+(** Reclamation guarded by the paper's constructions, made load-bearing.
+
+    The scheme is hazard-pointer-shaped, but every shared word it relies
+    on is one of the paper's objects rather than a raw hardware word:
+
+    - each protection slot is a single-writer {e ABA-detecting register}
+      (Figure 4 / Theorem 3): the owner announces the node it is about
+      to dereference with [DWrite], and scans read the announcements
+      with [DRead].  The register's bounded sequence-number machinery —
+      not an unbounded stamp — is what makes the announcement word safe
+      to reuse forever;
+    - the shared free stack of node names is driven through the
+      {e Figure 3} LL/SC word built from one bounded CAS (Theorem 2):
+      [put]/[take] are LL/SC retry loops, so the stack head cannot ABA
+      even though node names repeat by design.
+
+    The result sits exactly on the paper's time–space tradeoff: each
+    protection costs a Figure-4 [DWrite] (O(n) sequence bookkeeping,
+    n+1 registers) and each pool operation an LL/SC pass over the
+    Figure-3 word (O(n) under interference, one word) — measurably
+    slower than {!Hazard}'s raw stores, in exchange for running
+    entirely on bounded base objects. *)
+
+module Make (L : Reclaim_intf.LLSC) (D : Reclaim_intf.DETECT) = struct
+  type t = {
+    n : int;
+    slots : int;
+    capacity : int;
+    announce : D.t array;  (** [n * slots] Figure-4 registers, -1 = empty *)
+    head : L.t;  (** free-stack top as (index + 1), 0 = empty *)
+    nexts : int array;  (** successor as (index + 1), owner: stack push *)
+    limbo : int list ref array;
+    limbo_size : int array;
+    threshold : int;
+    stats : Limbo_stats.t;
+  }
+
+  let create ?(slots = 2) ~n ~capacity () =
+    if n <= 0 then invalid_arg "Guarded.create: n must be positive";
+    if slots <= 0 then invalid_arg "Guarded.create: slots must be positive";
+    if capacity <= 0 then invalid_arg "Guarded.create: capacity must be positive";
+    if n < 62 && capacity + 1 >= 1 lsl (62 - n) then
+      invalid_arg "Guarded.create: capacity exceeds the figure-3 value range";
+    let t =
+      {
+        n;
+        slots;
+        capacity;
+        announce = Array.init (n * slots) (fun _ -> D.create ~n ~init:(-1));
+        head = L.create ~n ~init:0;
+        nexts = Array.make capacity 0;
+        limbo = Array.init n (fun _ -> ref []);
+        limbo_size = Array.make n 0;
+        threshold = max 2 (2 * n * slots);
+        stats = Limbo_stats.create ();
+      }
+    in
+    (* Seed the free stack single-handedly: pid 0's LL/SC cannot fail
+       with no interference. *)
+    for i = capacity - 1 downto 0 do
+      let pushed = ref false in
+      while not !pushed do
+        let h = L.ll t.head ~pid:0 in
+        t.nexts.(i) <- h;
+        pushed := L.sc t.head ~pid:0 (i + 1)
+      done
+    done;
+    t
+
+  let capacity t = t.capacity
+
+  let pool_put t ~pid i =
+    let pushed = ref false in
+    while not !pushed do
+      let h = L.ll t.head ~pid in
+      t.nexts.(i) <- h;
+      pushed := L.sc t.head ~pid (i + 1)
+    done
+
+  (* LL/SC makes the pop immune to reuse of [h]: any interfering SC —
+     push or pop — invalidates the link, so a stale [nexts] read can
+     never be installed.  This is the paper's cure for exactly the
+     free-list ABA the old [Rt_free_list] was susceptible to. *)
+  let pool_take t ~pid =
+    let result = ref None in
+    let done_ = ref false in
+    while not !done_ do
+      let h = L.ll t.head ~pid in
+      if h = 0 then done_ := true
+      else begin
+        let nxt = t.nexts.(h - 1) in
+        if L.sc t.head ~pid nxt then begin
+          result := Some (h - 1);
+          done_ := true
+        end
+      end
+    done;
+    !result
+
+  let protect t ~pid ~slot i =
+    if slot < 0 || slot >= t.slots then invalid_arg "Guarded.protect: bad slot";
+    D.dwrite t.announce.((pid * t.slots) + slot) ~pid (if i < 0 then -1 else i)
+
+  let release t ~pid =
+    for s = 0 to t.slots - 1 do
+      D.dwrite t.announce.((pid * t.slots) + s) ~pid (-1)
+    done
+
+  let acquire t ~pid ~slot ~read =
+    let rec loop () =
+      let i = read () in
+      if i < 0 then i
+      else begin
+        protect t ~pid ~slot i;
+        if read () = i then i else loop ()
+      end
+    in
+    loop ()
+
+  let scan t ~pid =
+    let announced = Array.make t.capacity false in
+    Array.iter
+      (fun reg ->
+        let i, _changed = D.dread reg ~pid in
+        if i >= 0 && i < t.capacity then announced.(i) <- true)
+      t.announce;
+    let keep =
+      List.filter
+        (fun i ->
+          if announced.(i) then true
+          else begin
+            pool_put t ~pid i;
+            Limbo_stats.on_reclaim t.stats;
+            false
+          end)
+        !(t.limbo.(pid))
+    in
+    t.limbo.(pid) := keep;
+    t.limbo_size.(pid) <- List.length keep
+
+  let flush t ~pid = scan t ~pid
+
+  let retire t ~pid i =
+    t.limbo.(pid) := i :: !(t.limbo.(pid));
+    t.limbo_size.(pid) <- t.limbo_size.(pid) + 1;
+    Limbo_stats.on_retire t.stats;
+    if t.limbo_size.(pid) >= t.threshold then scan t ~pid
+
+  let recycle t ~pid i = pool_put t ~pid i
+
+  let alloc t ~pid =
+    match pool_take t ~pid with
+    | Some i -> Some i
+    | None ->
+        scan t ~pid;
+        pool_take t ~pid
+
+  let stats t = Limbo_stats.snapshot t.stats
+end

@@ -1,0 +1,107 @@
+(** Hazard-pointer reclamation (Michael 2004) on plain [Atomic] words.
+
+    Each domain owns [slots] single-writer announcement words; a scan
+    collects every announcement and returns only unannounced limbo
+    nodes to the free pool.  Protection is O(1), scans are
+    O(n·slots + |limbo|) and amortised by a retire threshold.
+
+    This is the plain-hardware baseline the paper's constructions are
+    benchmarked against: same interface, no bounded-register story. *)
+
+type t = {
+  n : int;
+  slots : int;
+  capacity : int;
+  hazards : int Atomic.t array;  (** [n * slots], -1 = empty *)
+  pool : Boxed_pool.t;
+  limbo : int list ref array;  (** per-pid, owner-only *)
+  limbo_size : int array;
+  threshold : int;
+  stats : Limbo_stats.t;
+}
+
+let create ?(slots = 2) ~n ~capacity () =
+  if n <= 0 then invalid_arg "Hazard.create: n must be positive";
+  if slots <= 0 then invalid_arg "Hazard.create: slots must be positive";
+  if capacity <= 0 then invalid_arg "Hazard.create: capacity must be positive";
+  let pool = Boxed_pool.create () in
+  for i = capacity - 1 downto 0 do
+    Boxed_pool.put pool i
+  done;
+  {
+    n;
+    slots;
+    capacity;
+    hazards = Array.init (n * slots) (fun _ -> Atomic.make (-1));
+    pool;
+    limbo = Array.init n (fun _ -> ref []);
+    limbo_size = Array.make n 0;
+    threshold = max 2 (2 * n * slots);
+    stats = Limbo_stats.create ();
+  }
+
+let capacity t = t.capacity
+
+let protect t ~pid ~slot i =
+  if slot < 0 || slot >= t.slots then invalid_arg "Hazard.protect: bad slot";
+  Atomic.set t.hazards.((pid * t.slots) + slot) (if i < 0 then -1 else i)
+
+let release t ~pid =
+  for s = 0 to t.slots - 1 do
+    Atomic.set t.hazards.((pid * t.slots) + s) (-1)
+  done
+
+let acquire t ~pid ~slot ~read =
+  let rec loop () =
+    let i = read () in
+    if i < 0 then i
+    else begin
+      protect t ~pid ~slot i;
+      if read () = i then i else loop ()
+    end
+  in
+  loop ()
+
+(* Reclaim every limbo node of [pid] not currently announced by anyone.
+   Announcements published after the node was retired are harmless: the
+   retiree was already unlinked, so such an announcement can never pass
+   its validation read. *)
+let scan t ~pid =
+  let announced = Array.make t.capacity false in
+  Array.iter
+    (fun h ->
+      let i = Atomic.get h in
+      if i >= 0 && i < t.capacity then announced.(i) <- true)
+    t.hazards;
+  let keep =
+    List.filter
+      (fun i ->
+        if announced.(i) then true
+        else begin
+          Boxed_pool.put t.pool i;
+          Limbo_stats.on_reclaim t.stats;
+          false
+        end)
+      !(t.limbo.(pid))
+  in
+  t.limbo.(pid) := keep;
+  t.limbo_size.(pid) <- List.length keep
+
+let flush t ~pid = scan t ~pid
+
+let retire t ~pid i =
+  t.limbo.(pid) := i :: !(t.limbo.(pid));
+  t.limbo_size.(pid) <- t.limbo_size.(pid) + 1;
+  Limbo_stats.on_retire t.stats;
+  if t.limbo_size.(pid) >= t.threshold then scan t ~pid
+
+let recycle t ~pid:_ i = Boxed_pool.put t.pool i
+
+let alloc t ~pid =
+  match Boxed_pool.take t.pool with
+  | Some i -> Some i
+  | None ->
+      scan t ~pid;
+      Boxed_pool.take t.pool
+
+let stats t = Limbo_stats.snapshot t.stats

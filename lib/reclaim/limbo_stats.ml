@@ -1,0 +1,44 @@
+(** Shared lifetime counters for the reclaimers (internal).
+
+    [in_limbo] is its own counter rather than [retired - reclaimed]
+    computed from two loads: the two loads are not atomic together, so
+    a domain preempted between them would see a wildly inflated
+    difference and record it as the peak.  [fetch_and_add] gives each
+    retire the exact post-increment population to feed the CAS-max
+    loop. *)
+
+type t = {
+  retired : int Atomic.t;
+  reclaimed : int Atomic.t;
+  in_limbo : int Atomic.t;
+  peak : int Atomic.t;
+}
+
+let create () =
+  {
+    retired = Atomic.make 0;
+    reclaimed = Atomic.make 0;
+    in_limbo = Atomic.make 0;
+    peak = Atomic.make 0;
+  }
+
+let on_retire t =
+  Atomic.incr t.retired;
+  let limbo = 1 + Atomic.fetch_and_add t.in_limbo 1 in
+  let rec bump () =
+    let p = Atomic.get t.peak in
+    if limbo > p && not (Atomic.compare_and_set t.peak p limbo) then bump ()
+  in
+  bump ()
+
+let on_reclaim t =
+  Atomic.incr t.reclaimed;
+  Atomic.decr t.in_limbo
+
+let snapshot t : Reclaim_intf.stats =
+  {
+    Reclaim_intf.retired = Atomic.get t.retired;
+    reclaimed = Atomic.get t.reclaimed;
+    in_limbo = Atomic.get t.in_limbo;
+    peak_in_limbo = Atomic.get t.peak;
+  }

@@ -1,0 +1,100 @@
+(** Unified dispatcher over the three reclamation schemes.
+
+    The {!Guarded} scheme needs the paper's runtime constructions
+    (Figure-3 LL/SC word, Figure-4 ABA-detecting register), which live
+    one layer up in [Aba_runtime]; taking them as functor arguments
+    keeps this library dependency-free and lets the simulator provide
+    step-model instantiations later.  [Aba_runtime.Rt_reclaim] is the
+    canonical instance. *)
+
+type stats = Reclaim_intf.stats = {
+  retired : int;
+  reclaimed : int;
+  in_limbo : int;
+  peak_in_limbo : int;
+}
+
+type scheme = Reclaim_intf.scheme = Hazard | Epoch | Guarded
+
+let scheme_name = Reclaim_intf.scheme_name
+
+let all_schemes = Reclaim_intf.all_schemes
+
+module Make (L : Reclaim_intf.LLSC) (D : Reclaim_intf.DETECT) : sig
+  type t
+
+  val create : ?slots:int -> n:int -> capacity:int -> scheme -> t
+  val scheme : t -> scheme
+  val capacity : t -> int
+  val alloc : t -> pid:int -> int option
+  val retire : t -> pid:int -> int -> unit
+  val recycle : t -> pid:int -> int -> unit
+  val protect : t -> pid:int -> slot:int -> int -> unit
+  val acquire : t -> pid:int -> slot:int -> read:(unit -> int) -> int
+  val release : t -> pid:int -> unit
+  val flush : t -> pid:int -> unit
+  val stats : t -> stats
+end = struct
+  module G = Guarded.Make (L) (D)
+
+  type t = H of Hazard.t | E of Epoch.t | G of G.t
+
+  let create ?slots ~n ~capacity = function
+    | Hazard -> H (Hazard.create ?slots ~n ~capacity ())
+    | Epoch -> E (Epoch.create ?slots ~n ~capacity ())
+    | Guarded -> G (G.create ?slots ~n ~capacity ())
+
+  let scheme = function H _ -> Hazard | E _ -> Epoch | G _ -> Guarded
+
+  let capacity = function
+    | H h -> Hazard.capacity h
+    | E e -> Epoch.capacity e
+    | G g -> G.capacity g
+
+  let alloc t ~pid =
+    match t with
+    | H h -> Hazard.alloc h ~pid
+    | E e -> Epoch.alloc e ~pid
+    | G g -> G.alloc g ~pid
+
+  let retire t ~pid i =
+    match t with
+    | H h -> Hazard.retire h ~pid i
+    | E e -> Epoch.retire e ~pid i
+    | G g -> G.retire g ~pid i
+
+  let recycle t ~pid i =
+    match t with
+    | H h -> Hazard.recycle h ~pid i
+    | E e -> Epoch.recycle e ~pid i
+    | G g -> G.recycle g ~pid i
+
+  let protect t ~pid ~slot i =
+    match t with
+    | H h -> Hazard.protect h ~pid ~slot i
+    | E e -> Epoch.protect e ~pid ~slot i
+    | G g -> G.protect g ~pid ~slot i
+
+  let acquire t ~pid ~slot ~read =
+    match t with
+    | H h -> Hazard.acquire h ~pid ~slot ~read
+    | E e -> Epoch.acquire e ~pid ~slot ~read
+    | G g -> G.acquire g ~pid ~slot ~read
+
+  let release t ~pid =
+    match t with
+    | H h -> Hazard.release h ~pid
+    | E e -> Epoch.release e ~pid
+    | G g -> G.release g ~pid
+
+  let flush t ~pid =
+    match t with
+    | H h -> Hazard.flush h ~pid
+    | E e -> Epoch.flush e ~pid
+    | G g -> G.flush g ~pid
+
+  let stats = function
+    | H h -> Hazard.stats h
+    | E e -> Epoch.stats e
+    | G g -> G.stats g
+end

@@ -1,0 +1,114 @@
+(** The common safe-memory-reclamation interface ([RECLAIMER]).
+
+    The paper locates the ABA problem in memory reuse: a CAS-based
+    structure corrupts only when a node is retired, reclaimed and
+    re-enters the structure while a slow operation still holds its
+    (stale) address.  A reclaimer is therefore both the allocator and
+    the guard of the runtime index-based structures: nodes are handed
+    out by {!S.alloc}, announced before dereference with {!S.protect}
+    (or the validated read {!S.acquire}), given back with {!S.retire},
+    and only returned to the free pool once no announcement can still
+    refer to them.
+
+    Three implementations live behind this signature:
+    - {!Hazard} — classic hazard pointers (Michael 2004) on plain
+      [Atomic] words: O(1) protection, O(n·slots) scans;
+    - {!Epoch} — epoch-based reclamation: protection amortised to a
+      single epoch pin per operation, space unbounded while any domain
+      stays pinned;
+    - {!Guarded.Make} — the paper made load-bearing: protection slots
+      are Figure-4 ABA-detecting registers (Theorem 3) and the shared
+      free stack is driven through the Figure-3 LL/SC word (Theorem 2),
+      so every reclamation decision goes through the constructions the
+      paper proves correct.
+
+    All node names are small integers in [0, capacity): the runtime
+    structures are index-based, so the reclaimer never touches the
+    payload arrays, only the names. *)
+
+(** Lifetime counters, updated with sequentially consistent atomics so
+    they can be read while a workload is still running. *)
+type stats = {
+  retired : int;  (** nodes handed to [retire] so far *)
+  reclaimed : int;  (** retired nodes returned to the free pool *)
+  in_limbo : int;  (** retired but not yet reclaimed (= retired - reclaimed) *)
+  peak_in_limbo : int;
+      (** high-water mark of [in_limbo]: the scheme's space overhead *)
+}
+
+(** The three reclamation schemes, used by the unified dispatcher and
+    by the runtime structures' [protection] variants. *)
+type scheme = Hazard | Epoch | Guarded
+
+let scheme_name = function
+  | Hazard -> "hazard"
+  | Epoch -> "epoch"
+  | Guarded -> "guarded"
+
+let all_schemes = [ Hazard; Epoch; Guarded ]
+
+module type S = sig
+  type t
+
+  val create : ?slots:int -> n:int -> capacity:int -> unit -> t
+  (** [create ~n ~capacity ()] prepares [capacity] node names for [n]
+      domains (pids [0, n)).  [slots] (default 2) is the number of
+      simultaneous per-domain protections; the Treiber stack needs 1,
+      the Michael–Scott queue 2. *)
+
+  val capacity : t -> int
+
+  val alloc : t -> pid:int -> int option
+  (** Take a free node name, or [None] when every node is live or in
+      limbo.  Exhaustion triggers a reclamation attempt first. *)
+
+  val retire : t -> pid:int -> int -> unit
+  (** The node left the structure; hand it back once no protection can
+      still refer to it.  Must be called at most once per removal, by
+      the domain that unlinked it. *)
+
+  val recycle : t -> pid:int -> int -> unit
+  (** Immediate reuse, skipping the grace period: the caller asserts no
+      other domain can hold a stale reference (because the structure
+      protects itself with tags or LL/SC).  This is what the classic
+      free-list clients use. *)
+
+  val protect : t -> pid:int -> slot:int -> int -> unit
+  (** Announce that [pid] is about to dereference a node.  The caller
+      must re-validate its source pointer afterwards ({!acquire} does
+      both).  Negative indices clear the slot. *)
+
+  val acquire : t -> pid:int -> slot:int -> read:(unit -> int) -> int
+  (** The validated-read loop: read a node name, protect it, and re-read
+      until the source is stable.  Returns a protected name, or a
+      negative sentinel (unprotected) if [read] produced one. *)
+
+  val release : t -> pid:int -> unit
+  (** Drop every protection held by [pid] (all slots / the epoch pin). *)
+
+  val flush : t -> pid:int -> unit
+  (** Force a reclamation pass over [pid]'s limbo nodes.  After every
+      domain has released and flushed, all retired nodes are reclaimed. *)
+
+  val stats : t -> stats
+end
+
+(** What {!Guarded.Make} needs from the paper's Figure 3: a single
+    bounded LL/SC word ([Rt_llsc.Packed_fig3] in the runtime). *)
+module type LLSC = sig
+  type t
+
+  val create : n:int -> init:int -> t
+  val ll : t -> pid:int -> int
+  val sc : t -> pid:int -> int -> bool
+end
+
+(** What {!Guarded.Make} needs from the paper's Figure 4: a bounded
+    single-writer ABA-detecting register over [int] ([Rt_aba.Fig4]). *)
+module type DETECT = sig
+  type t
+
+  val create : n:int -> init:int -> t
+  val dwrite : t -> pid:int -> int -> unit
+  val dread : t -> pid:int -> int * bool
+end

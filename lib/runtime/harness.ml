@@ -14,3 +14,82 @@ let run_domains ~n body =
   Array.of_list (List.map Domain.join domains)
 
 let available_parallelism () = Domain.recommended_domain_count ()
+
+let check_multiset ~pushed ~popped ~remaining =
+  let module Counts = Map.Make (Int) in
+  let count l =
+    List.fold_left
+      (fun m v ->
+        Counts.update v (fun c -> Some (1 + Option.value ~default:0 c)) m)
+      Counts.empty l
+  in
+  let available = count pushed in
+  let consumed = count (popped @ remaining) in
+  let bad =
+    Counts.fold
+      (fun v c acc ->
+        let have = Option.value ~default:0 (Counts.find_opt v available) in
+        if c > have then
+          Printf.sprintf "value %d consumed %d times but pushed %d times" v c
+            have
+          :: acc
+        else acc)
+      consumed []
+  in
+  match bad with
+  | [] -> Result.Ok ()
+  | msgs -> Result.Error (String.concat "; " msgs)
+
+type churn_report = {
+  attempted : int;
+  pushed : int;
+  popped : int;
+  remaining : int;
+  outcome : (unit, string) result;
+}
+
+let churn ~n ~ops ~push ~pop ?(finish = fun ~pid:_ -> ()) () =
+  let results =
+    run_domains ~n (fun d ->
+        let pushed = ref [] and popped = ref [] in
+        let record_pop () =
+          match pop ~pid:d with
+          | Some v -> popped := v :: !popped
+          | None -> ()
+        in
+        for i = 1 to ops do
+          (* Unique values per domain, so any re-delivered or invented
+             value is caught by the audit. *)
+          let v = (d * ops) + i in
+          if push ~pid:d v then pushed := v :: !pushed;
+          (* Pop slightly less than we push: the structure fills to its
+             capacity, pushes start failing, and every subsequent
+             operation recycles a node through the reclaimer — the
+             regime where ABA actually bites. *)
+          if i land 1 = 0 then record_pop ();
+          if i mod 5 = 0 then record_pop ()
+        done;
+        finish ~pid:d;
+        (!pushed, !popped))
+  in
+  let pushed = List.concat_map fst (Array.to_list results) in
+  let popped = List.concat_map snd (Array.to_list results) in
+  let remaining = ref [] in
+  let draining = ref true in
+  while !draining do
+    match pop ~pid:0 with
+    | Some v -> remaining := v :: !remaining
+    | None -> draining := false
+  done;
+  (* All domains are joined: flushing every pid from here is safe and
+     lets reclaimers drain their limbo lists completely. *)
+  for p = 0 to n - 1 do
+    finish ~pid:p
+  done;
+  {
+    attempted = n * ops;
+    pushed = List.length pushed;
+    popped = List.length popped;
+    remaining = List.length !remaining;
+    outcome = check_multiset ~pushed ~popped ~remaining:!remaining;
+  }

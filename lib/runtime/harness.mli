@@ -8,3 +8,37 @@ val run_domains : n:int -> (int -> 'a) -> 'a array
     results indexed by domain. *)
 
 val available_parallelism : unit -> int
+
+val check_multiset :
+  pushed:int list ->
+  popped:int list ->
+  remaining:int list ->
+  (unit, string) result
+(** Audit an execution of any container with unique pushed values:
+    [popped @ remaining] must be a sub-multiset of [pushed], otherwise
+    some value was duplicated or invented — the signature of an ABA
+    corruption. *)
+
+type churn_report = {
+  attempted : int;  (** push attempts = n * ops *)
+  pushed : int;  (** pushes that found a free node *)
+  popped : int;  (** pops by the racing domains *)
+  remaining : int;  (** values drained after the run *)
+  outcome : (unit, string) result;  (** the {!check_multiset} verdict *)
+}
+
+val churn :
+  n:int ->
+  ops:int ->
+  push:(pid:int -> int -> bool) ->
+  pop:(pid:int -> int option) ->
+  ?finish:(pid:int -> unit) ->
+  unit ->
+  churn_report
+(** Contended churn workload with forced node reuse: [n] domains push
+    unique values and pop slightly less often, so the structure runs at
+    its capacity ceiling and every operation recycles nodes across
+    domains.  [finish ~pid] runs in each domain after its loop and once
+    more per pid after the final drain — reclaimer-backed structures
+    pass their release-and-flush here so limbo empties before the
+    caller reads {!Rt_reclaim.stats}. *)

@@ -1,16 +1,14 @@
-type cell = Nil | Cons of { index : int; rest : cell }
+type t = Rt_reclaim.t
 
-type t = cell Atomic.t
+let create ?(scheme = Rt_reclaim.Guarded) ?slots ~n ~capacity () =
+  Rt_reclaim.create ?slots ~n ~capacity scheme
 
-let create () = Atomic.make Nil
-
-let rec put t index =
-  let old = Atomic.get t in
-  if not (Atomic.compare_and_set t old (Cons { index; rest = old })) then
-    put t index
-
-let rec take t =
-  match Atomic.get t with
-  | Nil -> None
-  | Cons { index; rest } as old ->
-      if Atomic.compare_and_set t old rest then Some index else take t
+let take t ~pid = Rt_reclaim.alloc t ~pid
+let put t ~pid i = Rt_reclaim.recycle t ~pid i
+let retire = Rt_reclaim.retire
+let protect = Rt_reclaim.protect
+let acquire = Rt_reclaim.acquire
+let release = Rt_reclaim.release
+let flush = Rt_reclaim.flush
+let stats = Rt_reclaim.stats
+let capacity = Rt_reclaim.capacity

@@ -1,16 +1,40 @@
-(** GC-safe lock-free free list of node indices.
+(** Lock-free free list of node indices, rebuilt on the reclamation
+    subsystem ({!Rt_reclaim}).
 
-    A Treiber stack of freshly allocated cons cells, CASed by physical
-    equality: the holder of the expected cell keeps it alive, so the GC can
-    never re-issue its address — physical CAS on live pointers cannot ABA.
-    Used as the allocator substrate of the runtime index-based structures,
-    so any corruption observed in them is attributable to their own packed
-    words, not to the allocator. *)
+    The old implementation was a GC-dependent stack of boxed cons cells
+    with unbounded recursive retry loops; this one is a facade over a
+    reclaimer, by default the {!Rt_reclaim.Guarded} scheme, whose
+    shared stack is driven through the paper's Figure-3 LL/SC word —
+    bounded, allocation-free in the hot path, and ABA-immune on index
+    reuse by Theorem 2 rather than by leaning on the garbage collector.
+    All retry loops live in [Aba_reclaim] and are flat [while] loops.
 
-type t
+    Two disciplines coexist:
+    - [put]/[take] recycle indices immediately, for clients whose own
+      head word carries the ABA protection (tagged or LL/SC structures);
+    - [retire]/[protect]/[acquire]/[release]/[flush] defer reuse behind
+      the reclaimer's grace period, for clients with unprotected words
+      (see {!Rt_treiber} and {!Rt_ms_queue}'s [Reclaimed] variants). *)
 
-val create : unit -> t
+type t = Rt_reclaim.t
 
-val put : t -> int -> unit
+val create :
+  ?scheme:Rt_reclaim.scheme ->
+  ?slots:int ->
+  n:int ->
+  capacity:int ->
+  unit ->
+  t
+(** All indices in [0, capacity) start free; [n] is the number of
+    domains (pids).  Default scheme: {!Rt_reclaim.Guarded}. *)
 
-val take : t -> int option
+val take : t -> pid:int -> int option
+val put : t -> pid:int -> int -> unit
+
+val retire : t -> pid:int -> int -> unit
+val protect : t -> pid:int -> slot:int -> int -> unit
+val acquire : t -> pid:int -> slot:int -> read:(unit -> int) -> int
+val release : t -> pid:int -> unit
+val flush : t -> pid:int -> unit
+val stats : t -> Rt_reclaim.stats
+val capacity : t -> int

@@ -1,11 +1,21 @@
-type t = {
+type protection = Tag_bits of int | Reclaimed of Rt_reclaim.scheme
+
+type tagged = {
   tag_bits : int;
-  head : int Atomic.t;
-  tail : int Atomic.t;
-  nexts : int Atomic.t array;
-  values : int array;
-  free : Rt_free_list.t;
+  t_head : int Atomic.t;
+  t_tail : int Atomic.t;
+  t_nexts : int Atomic.t array;  (** packed (index, tag) *)
 }
+
+type reclaimed = {
+  r_head : int Atomic.t;  (** plain node index: the current dummy *)
+  r_tail : int Atomic.t;
+  r_nexts : int Atomic.t array;  (** plain successor index, -1 = none *)
+}
+
+type impl = Tagged of tagged | Via_reclaim of reclaimed
+
+type t = { impl : impl; values : int array; free : Rt_free_list.t }
 
 (* Pointer layout: index + 1 (so null = -1 maps to 0) shifted past the
    tag bits; the tag wraps at [2^tag_bits]. *)
@@ -15,73 +25,95 @@ let pack ~tag_bits index tag =
 let unpack ~tag_bits packed =
   ((packed lsr tag_bits) - 1, packed land ((1 lsl tag_bits) - 1))
 
-let create ~tag_bits ~capacity =
-  if tag_bits < 0 || tag_bits > 40 then
-    invalid_arg "Rt_ms_queue.create: bad tag_bits";
+let create ~protection ~capacity ~n =
   let slots = capacity + 1 in
-  let free = Rt_free_list.create () in
-  for i = capacity downto 1 do
-    Rt_free_list.put free i
-  done;
-  {
-    tag_bits;
-    (* Node 0 is the initial dummy. *)
-    head = Atomic.make (pack ~tag_bits 0 0);
-    tail = Atomic.make (pack ~tag_bits 0 0);
-    nexts = Array.init slots (fun _ -> Atomic.make (pack ~tag_bits (-1) 0));
-    values = Array.make slots 0;
-    free;
-  }
+  match protection with
+  | Tag_bits tag_bits ->
+      if tag_bits < 0 || tag_bits > 40 then
+        invalid_arg "Rt_ms_queue.create: bad tag_bits";
+      let free = Rt_free_list.create ~n ~capacity:slots () in
+      (* Any free index serves as the initial dummy. *)
+      let dummy = Option.get (Rt_free_list.take free ~pid:0) in
+      {
+        impl =
+          Tagged
+            {
+              tag_bits;
+              t_head = Atomic.make (pack ~tag_bits dummy 0);
+              t_tail = Atomic.make (pack ~tag_bits dummy 0);
+              t_nexts =
+                Array.init slots (fun _ -> Atomic.make (pack ~tag_bits (-1) 0));
+            };
+        values = Array.make slots 0;
+        free;
+      }
+  | Reclaimed scheme ->
+      let free = Rt_free_list.create ~scheme ~slots:2 ~n ~capacity:slots () in
+      let dummy = Option.get (Rt_free_list.take free ~pid:0) in
+      {
+        impl =
+          Via_reclaim
+            {
+              r_head = Atomic.make dummy;
+              r_tail = Atomic.make dummy;
+              r_nexts = Array.init slots (fun _ -> Atomic.make (-1));
+            };
+        values = Array.make slots 0;
+        free;
+      }
 
-let enqueue t v =
-  let tag_bits = t.tag_bits in
-  match Rt_free_list.take t.free with
-  | None -> false
-  | Some i ->
-      t.values.(i) <- v;
-      (* Reset the link, bumping its counter so CASes armed against the
-         node's previous life fail. *)
-      let _, old_tag = unpack ~tag_bits (Atomic.get t.nexts.(i)) in
-      Atomic.set t.nexts.(i) (pack ~tag_bits (-1) (old_tag + 1));
-      let rec attempt () =
-        let tail_seen = Atomic.get t.tail in
-        let t_idx, t_tag = unpack ~tag_bits tail_seen in
-        let next_seen = Atomic.get t.nexts.(t_idx) in
-        let n_idx, n_tag = unpack ~tag_bits next_seen in
-        if n_idx = -1 then
-          if
-            Atomic.compare_and_set t.nexts.(t_idx) next_seen
-              (pack ~tag_bits i (n_tag + 1))
-          then begin
-            ignore
-              (Atomic.compare_and_set t.tail tail_seen
-                 (pack ~tag_bits i (t_tag + 1)));
-            true
-          end
-          else attempt ()
-        else begin
-          (* Help the lagging tail forward. *)
-          ignore
-            (Atomic.compare_and_set t.tail tail_seen
-               (pack ~tag_bits n_idx (t_tag + 1)));
-          attempt ()
-        end
-      in
-      attempt ()
+let reclaimer t =
+  match t.impl with
+  | Via_reclaim _ -> Some (t.free : Rt_reclaim.t)
+  | Tagged _ -> None
 
-let dequeue t =
-  let tag_bits = t.tag_bits in
+let reclaim_stats t = Option.map Rt_reclaim.stats (reclaimer t)
+
+(* ----- Tagged (counted-pointer) variant: Michael & Scott's original ----- *)
+
+let enqueue_tagged q i =
+  let tag_bits = q.tag_bits in
+  (* Reset the link, bumping its counter so CASes armed against the
+     node's previous life fail. *)
+  let _, old_tag = unpack ~tag_bits (Atomic.get q.t_nexts.(i)) in
+  Atomic.set q.t_nexts.(i) (pack ~tag_bits (-1) (old_tag + 1));
   let rec attempt () =
-    let head_seen = Atomic.get t.head in
-    let h_idx, h_tag = unpack ~tag_bits head_seen in
-    let tail_seen = Atomic.get t.tail in
+    let tail_seen = Atomic.get q.t_tail in
     let t_idx, t_tag = unpack ~tag_bits tail_seen in
-    let n_idx, _ = unpack ~tag_bits (Atomic.get t.nexts.(h_idx)) in
+    let next_seen = Atomic.get q.t_nexts.(t_idx) in
+    let n_idx, n_tag = unpack ~tag_bits next_seen in
+    if n_idx = -1 then
+      if
+        Atomic.compare_and_set q.t_nexts.(t_idx) next_seen
+          (pack ~tag_bits i (n_tag + 1))
+      then
+        ignore
+          (Atomic.compare_and_set q.t_tail tail_seen
+             (pack ~tag_bits i (t_tag + 1)))
+      else attempt ()
+    else begin
+      (* Help the lagging tail forward. *)
+      ignore
+        (Atomic.compare_and_set q.t_tail tail_seen
+           (pack ~tag_bits n_idx (t_tag + 1)));
+      attempt ()
+    end
+  in
+  attempt ()
+
+let dequeue_tagged t q ~pid =
+  let tag_bits = q.tag_bits in
+  let rec attempt () =
+    let head_seen = Atomic.get q.t_head in
+    let h_idx, h_tag = unpack ~tag_bits head_seen in
+    let tail_seen = Atomic.get q.t_tail in
+    let t_idx, t_tag = unpack ~tag_bits tail_seen in
+    let n_idx, _ = unpack ~tag_bits (Atomic.get q.t_nexts.(h_idx)) in
     if h_idx = t_idx then
       if n_idx = -1 then None
       else begin
         ignore
-          (Atomic.compare_and_set t.tail tail_seen
+          (Atomic.compare_and_set q.t_tail tail_seen
              (pack ~tag_bits n_idx (t_tag + 1)));
         attempt ()
       end
@@ -94,13 +126,89 @@ let dequeue t =
          dequeued and recycled by others. *)
       let v = t.values.(n_idx) in
       if
-        Atomic.compare_and_set t.head head_seen
+        Atomic.compare_and_set q.t_head head_seen
           (pack ~tag_bits n_idx (h_tag + 1))
       then begin
-        Rt_free_list.put t.free h_idx;
+        Rt_free_list.put t.free ~pid h_idx;
         Some v
       end
       else attempt ()
     end
   in
   attempt ()
+
+(* ----- Reclaimed variant: Michael's hazard-pointer protocol -----
+
+   Plain index words everywhere; safety comes from the reclaimer alone:
+   the observed dummy (slot 0) and its successor (slot 1) are protected
+   and re-validated against the head before any dereference, so neither
+   can be recycled mid-operation. *)
+
+let enqueue_reclaimed q rc ~pid i =
+  Atomic.set q.r_nexts.(i) (-1);
+  let rec attempt () =
+    let tl =
+      Rt_reclaim.acquire rc ~pid ~slot:0 ~read:(fun () -> Atomic.get q.r_tail)
+    in
+    let nxt = Atomic.get q.r_nexts.(tl) in
+    if Atomic.get q.r_tail <> tl then attempt ()
+    else if nxt <> -1 then begin
+      (* Help the lagging tail forward. *)
+      ignore (Atomic.compare_and_set q.r_tail tl nxt);
+      attempt ()
+    end
+    else if Atomic.compare_and_set q.r_nexts.(tl) (-1) i then
+      ignore (Atomic.compare_and_set q.r_tail tl i)
+    else attempt ()
+  in
+  attempt ();
+  Rt_reclaim.release rc ~pid
+
+let dequeue_reclaimed t q rc ~pid =
+  let rec attempt () =
+    let h =
+      Rt_reclaim.acquire rc ~pid ~slot:0 ~read:(fun () -> Atomic.get q.r_head)
+    in
+    let tl = Atomic.get q.r_tail in
+    let nxt = Atomic.get q.r_nexts.(h) in
+    if Atomic.get q.r_head <> h then attempt ()
+    else if nxt = -1 then begin
+      Rt_reclaim.release rc ~pid;
+      None
+    end
+    else if h = tl then begin
+      ignore (Atomic.compare_and_set q.r_tail tl nxt);
+      attempt ()
+    end
+    else begin
+      Rt_reclaim.protect rc ~pid ~slot:1 nxt;
+      if Atomic.get q.r_head <> h then attempt ()
+      else begin
+        (* [nxt] is protected and still the successor of the live dummy,
+           so its value slot cannot be recycled under us. *)
+        let v = t.values.(nxt) in
+        if Atomic.compare_and_set q.r_head h nxt then begin
+          Rt_reclaim.release rc ~pid;
+          Rt_reclaim.retire rc ~pid h;
+          Some v
+        end
+        else attempt ()
+      end
+    end
+  in
+  attempt ()
+
+let enqueue t ~pid v =
+  match Rt_free_list.take t.free ~pid with
+  | None -> false
+  | Some i ->
+      t.values.(i) <- v;
+      (match t.impl with
+      | Tagged q -> enqueue_tagged q i
+      | Via_reclaim q -> enqueue_reclaimed q (t.free : Rt_reclaim.t) ~pid i);
+      true
+
+let dequeue t ~pid =
+  match t.impl with
+  | Tagged q -> dequeue_tagged t q ~pid
+  | Via_reclaim q -> dequeue_reclaimed t q (t.free : Rt_reclaim.t) ~pid

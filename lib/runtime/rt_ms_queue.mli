@@ -1,22 +1,32 @@
 (** Runtime (multicore) index-based Michael–Scott queue with node reuse.
 
-    The runtime counterpart of {!Aba_apps.Ms_queue}: head, tail and every
-    [next] link are single [int Atomic.t] words packing (node index,
-    [tag_bits]-bit counter).  [tag_bits = 0] is the unprotected queue;
-    Michael and Scott's counted pointers are any positive [tag_bits]
-    (their original algorithm; wraps after [2^tag_bits] fast updates race
-    past a stalled dequeuer).
+    The runtime counterpart of {!Aba_apps.Ms_queue}, with two protection
+    regimes:
 
-    Nodes recycle through the GC-safe {!Rt_free_list}, so observed
-    corruption is attributable to the packed words alone.  Audit
-    executions with {!Rt_treiber.check_multiset}. *)
+    - [Tag_bits k] — Michael and Scott's counted pointers: head, tail
+      and every [next] link pack (node index, [k]-bit counter); [k = 0]
+      is the unprotected queue, and any positive [k] wraps after [2^k]
+      fast updates race past a stalled dequeuer.  Nodes recycle through
+      the free list immediately.
+    - [Reclaimed scheme] — plain index words made safe by Michael's
+      hazard protocol over the reclamation subsystem: dequeuers protect
+      the observed dummy and its successor through the given
+      {!Rt_reclaim.scheme}, and retired dummies wait out a grace period
+      before reuse.
+
+    Audit executions with {!Harness.check_multiset}. *)
 
 type t
 
-val create : tag_bits:int -> capacity:int -> t
-(** [capacity] payload nodes plus one internal dummy. *)
+type protection = Tag_bits of int | Reclaimed of Rt_reclaim.scheme
 
-val enqueue : t -> int -> bool
+val create : protection:protection -> capacity:int -> n:int -> t
+(** [capacity] payload nodes plus one internal dummy; [n] domains. *)
+
+val enqueue : t -> pid:int -> int -> bool
 (** [false] when the pool is exhausted. *)
 
-val dequeue : t -> int option
+val dequeue : t -> pid:int -> int option
+
+val reclaimer : t -> Rt_reclaim.t option
+val reclaim_stats : t -> Rt_reclaim.stats option

@@ -1,0 +1,32 @@
+(** The canonical reclaimer instance: [Aba_reclaim] wired to the
+    runtime ports of the paper's constructions.
+
+    {!Aba_reclaim.Guarded.Make} is parametric in its base objects; here
+    it gets {!Rt_llsc.Packed_fig3} (Figure 3: one bounded CAS word) for
+    the shared free stack and {!Rt_aba.Fig4} (Figure 4: n+1 bounded
+    registers) for the protection announcements, so the [Guarded]
+    scheme of this module runs the actual theorem constructions on
+    hardware atomics.  [Hazard] and [Epoch] are the plain-[Atomic]
+    baselines they compete against. *)
+
+module Fig4_int = struct
+  type t = int Rt_aba.Fig4.t
+
+  let create ~n ~init = Rt_aba.Fig4.create ~n init
+  let dwrite = Rt_aba.Fig4.dwrite
+  let dread = Rt_aba.Fig4.dread
+end
+
+include Aba_reclaim.Reclaim.Make (Rt_llsc.Packed_fig3) (Fig4_int)
+
+type stats = Aba_reclaim.Reclaim.stats = {
+  retired : int;
+  reclaimed : int;
+  in_limbo : int;
+  peak_in_limbo : int;
+}
+
+type scheme = Aba_reclaim.Reclaim.scheme = Hazard | Epoch | Guarded
+
+let scheme_name = Aba_reclaim.Reclaim.scheme_name
+let all_schemes = Aba_reclaim.Reclaim.all_schemes

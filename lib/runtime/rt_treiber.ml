@@ -1,16 +1,15 @@
-type protection = Tag_bits of int | Llsc
-
-module Free_list = Rt_free_list
+type protection = Tag_bits of int | Llsc | Reclaimed of Rt_reclaim.scheme
 
 type head_impl =
   | Packed of { cell : int Atomic.t; tag_bits : int }
   | Via_llsc of Rt_llsc.Packed_fig3.t
+  | Via_reclaim of int Atomic.t  (** plain node index, -1 = empty *)
 
 type t = {
   head : head_impl;
   values : int array;
   nexts : int array;
-  free : Free_list.t;
+  free : Rt_free_list.t;
 }
 
 (* Packed head layout: low [tag_bits] bits are the tag, the rest the node
@@ -22,25 +21,33 @@ let unpack ~tag_bits packed =
   ((packed lsr tag_bits) - 1, packed land ((1 lsl tag_bits) - 1))
 
 let create ~protection ~capacity ~n =
-  let head =
+  let head, free =
     match protection with
     | Tag_bits k ->
         if k < 0 || k > 40 then invalid_arg "Rt_treiber.create: bad tag_bits";
-        Packed { cell = Atomic.make (pack ~tag_bits:k (-1) 0); tag_bits = k }
+        ( Packed { cell = Atomic.make (pack ~tag_bits:k (-1) 0); tag_bits = k },
+          Rt_free_list.create ~n ~capacity () )
     | Llsc ->
         (* The LL/SC object stores index + 1 so the empty stack is 0. *)
-        Via_llsc (Rt_llsc.Packed_fig3.create ~n ~init:0)
+        ( Via_llsc (Rt_llsc.Packed_fig3.create ~n ~init:0),
+          Rt_free_list.create ~n ~capacity () )
+    | Reclaimed scheme ->
+        ( Via_reclaim (Atomic.make (-1)),
+          Rt_free_list.create ~scheme ~slots:1 ~n ~capacity () )
   in
-  let free = Free_list.create () in
-  for i = capacity - 1 downto 0 do
-    Free_list.put free i
-  done;
   {
     head;
     values = Array.make capacity 0;
     nexts = Array.make capacity (-1);
     free;
   }
+
+let reclaimer t =
+  match t.head with
+  | Via_reclaim _ -> Some (t.free : Rt_reclaim.t)
+  | Packed _ | Via_llsc _ -> None
+
+let reclaim_stats t = Option.map Rt_reclaim.stats (reclaimer t)
 
 let read_head t ~pid =
   match t.head with
@@ -49,6 +56,7 @@ let read_head t ~pid =
       let index, _ = unpack ~tag_bits packed in
       (index, packed)
   | Via_llsc obj -> (Rt_llsc.Packed_fig3.ll obj ~pid - 1, 0)
+  | Via_reclaim cell -> (Atomic.get cell, 0)
 
 let cas_head t ~pid ~witness ~update =
   match t.head with
@@ -56,28 +64,53 @@ let cas_head t ~pid ~witness ~update =
       let _, tag = unpack ~tag_bits witness in
       Atomic.compare_and_set cell witness (pack ~tag_bits update (tag + 1))
   | Via_llsc obj -> Rt_llsc.Packed_fig3.sc obj ~pid (update + 1)
+  | Via_reclaim _ -> assert false (* reclaimed pops go through pop_reclaimed *)
 
+(* Pooled variants recycle immediately: their own head word (tag or
+   LL/SC) is the ABA protection, exactly as before the reclaim layer. *)
 let push t ~pid v =
-  match Free_list.take t.free with
+  match Rt_free_list.take t.free ~pid with
   | None -> false
   | Some i ->
       t.values.(i) <- v;
-      let rec attempt () =
-        let h, witness = read_head t ~pid in
-        t.nexts.(i) <- h;
-        if cas_head t ~pid ~witness ~update:i then true else attempt ()
-      in
-      attempt ()
+      (match t.head with
+      | Packed _ | Via_llsc _ ->
+          let rec attempt () =
+            let h, witness = read_head t ~pid in
+            t.nexts.(i) <- h;
+            if cas_head t ~pid ~witness ~update:i then true else attempt ()
+          in
+          ignore (attempt ())
+      | Via_reclaim cell ->
+          (* A push CAS cannot ABA: success only requires the head to
+             equal the observed value at linearization. *)
+          let pushed = ref false in
+          while not !pushed do
+            let h = Atomic.get cell in
+            t.nexts.(i) <- h;
+            pushed := Atomic.compare_and_set cell h i
+          done);
+      true
 
-let pop t ~pid =
+(* The reclaimed pop is the hazard-pointer protocol: announce the head
+   node, re-validate, and only then read its successor — the reclaimer
+   guarantees a protected node is never handed back to [alloc], so the
+   CAS can never see a recycled index. *)
+let pop_reclaimed t rc cell ~pid =
   let rec attempt () =
-    let h, witness = read_head t ~pid in
-    if h = -1 then None
+    let h =
+      Rt_reclaim.acquire rc ~pid ~slot:0 ~read:(fun () -> Atomic.get cell)
+    in
+    if h = -1 then begin
+      Rt_reclaim.release rc ~pid;
+      None
+    end
     else begin
       let nxt = t.nexts.(h) in
-      if cas_head t ~pid ~witness ~update:nxt then begin
+      if Atomic.compare_and_set cell h nxt then begin
         let v = t.values.(h) in
-        Free_list.put t.free h;
+        Rt_reclaim.release rc ~pid;
+        Rt_reclaim.retire rc ~pid h;
         Some v
       end
       else attempt ()
@@ -85,27 +118,23 @@ let pop t ~pid =
   in
   attempt ()
 
-let check_multiset ~pushed ~popped ~remaining =
-  let module Counts = Map.Make (Int) in
-  let count l =
-    List.fold_left
-      (fun m v ->
-        Counts.update v (fun c -> Some (1 + Option.value ~default:0 c)) m)
-      Counts.empty l
-  in
-  let available = count pushed in
-  let consumed = count (popped @ remaining) in
-  let bad =
-    Counts.fold
-      (fun v c acc ->
-        let have = Option.value ~default:0 (Counts.find_opt v available) in
-        if c > have then
-          Printf.sprintf "value %d consumed %d times but pushed %d times" v c
-            have
-          :: acc
-        else acc)
-      consumed []
-  in
-  match bad with
-  | [] -> Result.Ok ()
-  | msgs -> Result.Error (String.concat "; " msgs)
+let pop t ~pid =
+  match t.head with
+  | Via_reclaim cell -> pop_reclaimed t (t.free : Rt_reclaim.t) cell ~pid
+  | Packed _ | Via_llsc _ ->
+      let rec attempt () =
+        let h, witness = read_head t ~pid in
+        if h = -1 then None
+        else begin
+          let nxt = t.nexts.(h) in
+          if cas_head t ~pid ~witness ~update:nxt then begin
+            let v = t.values.(h) in
+            Rt_free_list.put t.free ~pid h;
+            Some v
+          end
+          else attempt ()
+        end
+      in
+      attempt ()
+
+let check_multiset = Harness.check_multiset

@@ -1,25 +1,31 @@
 (** Runtime (multicore) index-based Treiber stack with node recycling.
 
     Same hazard as {!Aba_apps.Treiber_stack}, on real hardware words: the
-    head is a single [int Atomic.t] packing (node index, k-bit tag); the
-    nodes live in flat arrays and recycle through a lock-free free list.
+    head is a single [int Atomic.t] and the nodes live in flat arrays,
+    recycled through the reclamation subsystem ({!Rt_reclaim}).
 
-    - [tag_bits = 0] — the unprotected stack: pure index CAS, ABA-prone;
-    - [tag_bits = k] — folklore tagging: safe until [2^k] operations race
+    - [Tag_bits 0] — the unprotected stack: pure index CAS, ABA-prone;
+    - [Tag_bits k] — folklore tagging: safe until [2^k] operations race
       past a stalled pop;
     - {!Llsc} — head driven through {!Rt_llsc.Packed_fig3}: the paper's
-      LL/SC methodology, bounded and ABA-immune.
+      LL/SC methodology, bounded and ABA-immune;
+    - [Reclaimed scheme] — an untagged head made safe by deferred
+      reclamation: pops announce the observed head through the given
+      reclaimer ({!Rt_reclaim.Hazard}, {!Rt_reclaim.Epoch} or the
+      paper-built {!Rt_reclaim.Guarded}) and retire nodes instead of
+      recycling them immediately, so a node can re-enter the stack only
+      after every stale reference to it is gone.
 
-    The free list is a GC-safe boxed Treiber stack (physical CAS on live
-    cons cells cannot ABA), so observed corruption is attributable to the
-    main stack's head word alone.
+    The tagged and LL/SC variants recycle through the free list
+    immediately (their head word is the protection); the [Reclaimed]
+    variants are where retirement and grace periods actually run.
 
     Use [check_multiset] to audit an execution: with unique pushed values,
     any duplicate pop or pop of a never-pushed value is an ABA corruption. *)
 
 type t
 
-type protection = Tag_bits of int | Llsc
+type protection = Tag_bits of int | Llsc | Reclaimed of Rt_reclaim.scheme
 
 val create : protection:protection -> capacity:int -> n:int -> t
 
@@ -28,8 +34,13 @@ val push : t -> pid:int -> int -> bool
 
 val pop : t -> pid:int -> int option
 
+val reclaimer : t -> Rt_reclaim.t option
+(** The backing reclaimer of a [Reclaimed] stack ([None] otherwise). *)
+
+val reclaim_stats : t -> Rt_reclaim.stats option
+(** Retired/reclaimed/peak-limbo counters of a [Reclaimed] stack. *)
+
 val check_multiset :
   pushed:int list -> popped:int list -> remaining:int list ->
   (unit, string) result
-(** Verifies that [popped @ remaining] is a sub-multiset-equal partition of
-    [pushed] with no duplicates created. *)
+(** Alias of {!Harness.check_multiset}. *)

@@ -12,6 +12,7 @@ let () =
       ("weak-condition", Test_weak_cond.suite);
       ("properties", Test_properties.suite);
       ("runtime", Test_runtime.suite);
+      ("reclamation", Test_reclaim.suite);
       ("ablations", Test_ablation.suite);
       ("differential", Test_differential.suite);
     ]

@@ -247,43 +247,56 @@ let rt_treiber_stress protection label =
 
 (* --- Michael–Scott queue port --- *)
 
-let rt_msqueue_sequential () =
-  let q = Aba_runtime.Rt_ms_queue.create ~tag_bits:16 ~capacity:4 in
-  Alcotest.(check (option int)) "empty" None (Aba_runtime.Rt_ms_queue.dequeue q);
-  Alcotest.(check bool) "enq 1" true (Aba_runtime.Rt_ms_queue.enqueue q 1);
-  Alcotest.(check bool) "enq 2" true (Aba_runtime.Rt_ms_queue.enqueue q 2);
-  Alcotest.(check bool) "enq 3" true (Aba_runtime.Rt_ms_queue.enqueue q 3);
-  Alcotest.(check (option int)) "FIFO 1" (Some 1)
-    (Aba_runtime.Rt_ms_queue.dequeue q);
-  Alcotest.(check (option int)) "FIFO 2" (Some 2)
-    (Aba_runtime.Rt_ms_queue.dequeue q);
-  Alcotest.(check bool) "enq 4" true (Aba_runtime.Rt_ms_queue.enqueue q 4);
-  Alcotest.(check (option int)) "FIFO 3" (Some 3)
-    (Aba_runtime.Rt_ms_queue.dequeue q);
-  Alcotest.(check (option int)) "FIFO 4" (Some 4)
-    (Aba_runtime.Rt_ms_queue.dequeue q);
-  Alcotest.(check (option int)) "empty again" None
-    (Aba_runtime.Rt_ms_queue.dequeue q);
-  (* Exhaustion and recycling through the free list. *)
+let rt_msqueue_sequential protection () =
+  let q =
+    Aba_runtime.Rt_ms_queue.create ~protection ~capacity:4 ~n:2
+  in
+  let enqueue v = Aba_runtime.Rt_ms_queue.enqueue q ~pid:0 v in
+  let dequeue () = Aba_runtime.Rt_ms_queue.dequeue q ~pid:1 in
+  Alcotest.(check (option int)) "empty" None (dequeue ());
+  Alcotest.(check bool) "enq 1" true (enqueue 1);
+  Alcotest.(check bool) "enq 2" true (enqueue 2);
+  Alcotest.(check bool) "enq 3" true (enqueue 3);
+  Alcotest.(check (option int)) "FIFO 1" (Some 1) (dequeue ());
+  Alcotest.(check (option int)) "FIFO 2" (Some 2) (dequeue ());
+  Alcotest.(check bool) "enq 4" true (enqueue 4);
+  Alcotest.(check (option int)) "FIFO 3" (Some 3) (dequeue ());
+  Alcotest.(check (option int)) "FIFO 4" (Some 4) (dequeue ());
+  Alcotest.(check (option int)) "empty again" None (dequeue ());
+  (* Exhaustion and recycling through the free list.  Reclaimed
+     variants park retired dummies in limbo, so give them their grace
+     period back before expecting free nodes. *)
+  let flush () =
+    match Aba_runtime.Rt_ms_queue.reclaimer q with
+    | None -> ()
+    | Some rc ->
+        for p = 0 to 1 do
+          Aba_runtime.Rt_reclaim.release rc ~pid:p;
+          Aba_runtime.Rt_reclaim.flush rc ~pid:p
+        done
+  in
+  flush ();
   for i = 1 to 4 do
-    Alcotest.(check bool) "fill" true (Aba_runtime.Rt_ms_queue.enqueue q i)
+    Alcotest.(check bool) "fill" true (enqueue i)
   done;
-  Alcotest.(check bool) "exhausted" false (Aba_runtime.Rt_ms_queue.enqueue q 9);
-  Alcotest.(check (option int)) "drain head" (Some 1)
-    (Aba_runtime.Rt_ms_queue.dequeue q);
-  Alcotest.(check bool) "slot recycled" true
-    (Aba_runtime.Rt_ms_queue.enqueue q 100)
+  Alcotest.(check bool) "exhausted" false (enqueue 9);
+  Alcotest.(check (option int)) "drain head" (Some 1) (dequeue ());
+  flush ();
+  Alcotest.(check bool) "slot recycled" true (enqueue 100)
 
-let rt_msqueue_stress () =
-  let q = Aba_runtime.Rt_ms_queue.create ~tag_bits:16 ~capacity:64 in
+let rt_msqueue_stress protection () =
+  let q =
+    Aba_runtime.Rt_ms_queue.create ~protection ~capacity:64
+      ~n:domains_for_test
+  in
   let results =
     Aba_runtime.Harness.run_domains ~n:domains_for_test (fun d ->
         let enqueued = ref [] and dequeued = ref [] in
         for i = 1 to ops_per_domain do
           let v = (d * ops_per_domain * 2) + i in
-          if Aba_runtime.Rt_ms_queue.enqueue q v then
+          if Aba_runtime.Rt_ms_queue.enqueue q ~pid:d v then
             enqueued := v :: !enqueued;
-          match Aba_runtime.Rt_ms_queue.dequeue q with
+          match Aba_runtime.Rt_ms_queue.dequeue q ~pid:d with
           | Some v -> dequeued := v :: !dequeued
           | None -> ()
         done;
@@ -293,7 +306,7 @@ let rt_msqueue_stress () =
   let popped = List.concat_map snd (Array.to_list results) in
   let remaining = ref [] in
   let rec drain () =
-    match Aba_runtime.Rt_ms_queue.dequeue q with
+    match Aba_runtime.Rt_ms_queue.dequeue q ~pid:0 with
     | Some v ->
         remaining := v :: !remaining;
         drain ()
@@ -334,10 +347,13 @@ let suite =
           rt_treiber_sequential;
         rt_treiber_stress (Aba_runtime.Rt_treiber.Tag_bits 16) "tag-16";
         rt_treiber_stress Aba_runtime.Rt_treiber.Llsc "llsc";
-        Alcotest.test_case "rt-msqueue sequential FIFO" `Quick
-          rt_msqueue_sequential;
+        Alcotest.test_case "rt-msqueue sequential FIFO (tagged)" `Quick
+          (rt_msqueue_sequential (Aba_runtime.Rt_ms_queue.Tag_bits 16));
+        Alcotest.test_case "rt-msqueue sequential FIFO (hazard)" `Quick
+          (rt_msqueue_sequential
+             (Aba_runtime.Rt_ms_queue.Reclaimed Aba_runtime.Rt_reclaim.Hazard));
         Alcotest.test_case "rt-msqueue stress multiset audit" `Quick
-          rt_msqueue_stress;
+          (rt_msqueue_stress (Aba_runtime.Rt_ms_queue.Tag_bits 16));
         Alcotest.test_case "multiset checker" `Quick multiset_checker;
       ];
     ]
