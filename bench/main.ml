@@ -45,6 +45,35 @@ let benchmark_and_print name tests =
 
 let staged f = Staged.stage f
 
+(* Like {!benchmark_and_print} but also reporting minor-heap allocation,
+   for groups where the claim is "no allocation on the hot path". *)
+let benchmark_alloc_and_print name tests =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
+  in
+  let instances = Instance.[ monotonic_clock; minor_allocated ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~stabilize:false ()
+  in
+  let raw = Benchmark.all cfg instances (Test.make_grouped ~name tests) in
+  let estimate results key =
+    match Hashtbl.find_opt results key with
+    | None -> nan
+    | Some ols -> (
+        match Analyze.OLS.estimates ols with
+        | Some [ t ] -> t
+        | Some _ | None -> nan)
+  in
+  let times = Analyze.all ols Instance.monotonic_clock raw in
+  let allocs = Analyze.all ols Instance.minor_allocated raw in
+  Printf.printf "\n%s (ns/op, minor words/op):\n" name;
+  let keys = Hashtbl.fold (fun key _ acc -> key :: acc) times [] in
+  List.iter
+    (fun key ->
+      Printf.printf "  %-44s %10.1f %10.2f\n" key (estimate times key)
+        (estimate allocs key))
+    (List.sort compare keys)
+
 (* ----- Runtime micro-benchmarks, one group per theorem/figure ----- *)
 
 (* Theorem 3 / Figure 4: O(1) DRead/DWrite, flat across n. *)
@@ -108,6 +137,140 @@ let aba_register_tests =
     Test.make ~name:"thm2.dwrite n=8"
       (staged (fun () ->
            Aba_runtime.Rt_aba.From_llsc.dwrite from_llsc ~pid:0 7));
+  ]
+
+(* ----- Unified vs. hand-written hot paths ----- *)
+
+(* The pre-unification hand-written runtime ports, kept verbatim here as
+   baselines: since PR 2, [Rt_llsc.Packed_fig3] and [Rt_aba.Fig4] are the
+   lib/core functors instantiated over [Rt_mem], and this group checks the
+   unified hot paths cost no more time and allocate no more than the
+   direct ports they replaced. *)
+module Handwritten = struct
+  module Packed_fig3 = struct
+    type t = { n : int; x : int Atomic.t; b : bool array }
+
+    let create ~n ~init = { n; x = Atomic.make (init lsl n); b = Array.make n false }
+    let mask_of t packed = packed land ((1 lsl t.n) - 1)
+    let value_of t packed = packed lsr t.n
+    let bit_set t packed p = (mask_of t packed lsr p) land 1 = 1
+    let all_set t = (1 lsl t.n) - 1
+
+    let ll t ~pid:p =
+      let packed = Atomic.get t.x in
+      if not (bit_set t packed p) then begin
+        t.b.(p) <- false;
+        value_of t packed
+      end
+      else begin
+        let rec attempt i =
+          if i > t.n then begin
+            t.b.(p) <- true;
+            value_of t packed
+          end
+          else begin
+            let seen = Atomic.get t.x in
+            if Atomic.compare_and_set t.x seen (seen - (1 lsl p)) then begin
+              t.b.(p) <- false;
+              value_of t seen
+            end
+            else attempt (i + 1)
+          end
+        in
+        attempt 1
+      end
+
+    let sc t ~pid:p y =
+      if t.b.(p) then false
+      else begin
+        let rec attempt i =
+          if i > t.n then false
+          else begin
+            let seen = Atomic.get t.x in
+            if bit_set t seen p then false
+            else if
+              Atomic.compare_and_set t.x seen ((y lsl t.n) lor all_set t)
+            then true
+            else attempt (i + 1)
+          end
+        in
+        attempt 1
+      end
+  end
+
+  module Fig4 = struct
+    type 'a xval = { value : 'a; writer : int; seq : int }
+    type 'a local = { mutable b : bool; pool : Aba_core.Seq_pool.t }
+
+    type 'a t = {
+      x : 'a xval option Atomic.t;
+      announce : (int * int) option Atomic.t array;
+      locals : 'a local array;
+      initial : 'a;
+    }
+
+    let create ~n init =
+      {
+        x = Atomic.make None;
+        announce = Array.init n (fun _ -> Atomic.make None);
+        locals =
+          Array.init n (fun _ ->
+              { b = false; pool = Aba_core.Seq_pool.create ~n () });
+        initial = init;
+      }
+
+    let dwrite t ~pid v =
+      let l = t.locals.(pid) in
+      let s =
+        Aba_core.Seq_pool.next l.pool ~me:pid ~read_announce:(fun c ->
+            Atomic.get t.announce.(c))
+      in
+      Atomic.set t.x (Some { value = v; writer = pid; seq = s })
+
+    let key = function
+      | None -> None
+      | Some { writer; seq; _ } -> Some (writer, seq)
+
+    let dread t ~pid:q =
+      let l = t.locals.(q) in
+      let xv = Atomic.get t.x in
+      let old_announcement = Atomic.get t.announce.(q) in
+      Atomic.set t.announce.(q) (key xv);
+      let xv' = Atomic.get t.x in
+      let flag = if key xv = old_announcement then l.b else true in
+      l.b <- xv <> xv';
+      let value =
+        match xv with None -> t.initial | Some { value; _ } -> value
+      in
+      (value, flag)
+  end
+end
+
+let unified_vs_handwritten_tests =
+  let n = 8 in
+  let u_llsc = Aba_runtime.Rt_llsc.Packed_fig3.create ~n ~init:0 in
+  let h_llsc = Handwritten.Packed_fig3.create ~n ~init:0 in
+  let u_fig4 = Aba_runtime.Rt_aba.Fig4.create ~n 0 in
+  let h_fig4 = Handwritten.Fig4.create ~n 0 in
+  ignore (Aba_runtime.Rt_aba.Fig4.dread u_fig4 ~pid:1);
+  ignore (Handwritten.Fig4.dread h_fig4 ~pid:1);
+  [
+    Test.make ~name:"fig3.ll+sc unified n=8"
+      (staged (fun () ->
+           ignore (Aba_runtime.Rt_llsc.Packed_fig3.ll u_llsc ~pid:1);
+           ignore (Aba_runtime.Rt_llsc.Packed_fig3.sc u_llsc ~pid:1 5)));
+    Test.make ~name:"fig3.ll+sc handwritten n=8"
+      (staged (fun () ->
+           ignore (Handwritten.Packed_fig3.ll h_llsc ~pid:1);
+           ignore (Handwritten.Packed_fig3.sc h_llsc ~pid:1 5)));
+    Test.make ~name:"fig4.dread unified n=8"
+      (staged (fun () -> ignore (Aba_runtime.Rt_aba.Fig4.dread u_fig4 ~pid:1)));
+    Test.make ~name:"fig4.dread handwritten n=8"
+      (staged (fun () -> ignore (Handwritten.Fig4.dread h_fig4 ~pid:1)));
+    Test.make ~name:"fig4.dwrite unified n=8"
+      (staged (fun () -> Aba_runtime.Rt_aba.Fig4.dwrite u_fig4 ~pid:0 7));
+    Test.make ~name:"fig4.dwrite handwritten n=8"
+      (staged (fun () -> Handwritten.Fig4.dwrite h_fig4 ~pid:0 7));
   ]
 
 (* Motivation: Treiber stack push+pop latency per protection, including
@@ -206,10 +369,39 @@ let json_path () =
     Sys.argv;
   !path
 
+(* Provenance for archived result files: enough to re-run the benchmark on
+   the same code and know what produced the numbers. *)
+let git_commit () =
+  try
+    let ic = Unix.open_process_in "git rev-parse HEAD 2>/dev/null" in
+    let line = try String.trim (input_line ic) with End_of_file -> "" in
+    match Unix.close_process_in ic with
+    | Unix.WEXITED 0 when line <> "" -> line
+    | _ -> "unknown"
+  with _ -> "unknown"
+
+let meta_json buf =
+  let tm = Unix.gmtime (Unix.time ()) in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"meta\": {\n\
+       \    \"schema_version\": 1,\n\
+       \    \"git_commit\": %S,\n\
+       \    \"ocaml_version\": %S,\n\
+       \    \"available_domains\": %d,\n\
+       \    \"timestamp_utc\": \"%04d-%02d-%02dT%02d:%02d:%02dZ\"\n\
+       \  },\n"
+       (git_commit ()) Sys.ocaml_version
+       (Aba_runtime.Harness.available_parallelism ())
+       (tm.Unix.tm_year + 1900) (tm.Unix.tm_mon + 1) tm.Unix.tm_mday
+       tm.Unix.tm_hour tm.Unix.tm_min tm.Unix.tm_sec)
+
 let write_json path ~treiber_rows ~reclaim_rows =
   let buf = Buffer.create 4096 in
   let sep buf = function true -> () | false -> Buffer.add_string buf ",\n" in
-  Buffer.add_string buf "{\n  \"multicore_treiber\": [\n";
+  Buffer.add_string buf "{\n";
+  meta_json buf;
+  Buffer.add_string buf "  \"multicore_treiber\": [\n";
   List.iteri
     (fun i (name, domains, ops, throughput) ->
       sep buf (i = 0);
@@ -254,6 +446,8 @@ let () =
   benchmark_and_print "thm2-figure3-runtime" thm2_fig3_tests;
   benchmark_and_print "moir-unbounded-runtime" moir_tests;
   benchmark_and_print "aba-registers-runtime" aba_register_tests;
+  benchmark_alloc_and_print "unified-vs-handwritten"
+    unified_vs_handwritten_tests;
   benchmark_and_print "treiber-runtime" treiber_tests;
   benchmark_and_print "msqueue-runtime" msqueue_tests;
   let treiber_rows = multicore_treiber ~domains:4 ~ops:50_000 () in

@@ -34,14 +34,15 @@ end)
     mutable last : (Pid.t * int) option;
   }
 
-  type t = { x : stamped option M.register; locals : local array }
+  type t = { x : stamped option M.register; locals : local array; init : int }
 
   let show = function
     | None -> "_"
     | Some { value; writer; tag } ->
         Printf.sprintf "(%d,p%d,%d)" value writer tag
 
-  let create ?(value_bound = Bounded.int_range ~lo:(-1) ~hi:255) ~n () =
+  let create ?(value_bound = Bounded.int_range ~lo:(-1) ~hi:255)
+      ?(init = initial_value) ~n () =
     let bound =
       Bounded.make ~describe:
         (Printf.sprintf "(%s * pid<%d * tag<%d) option"
@@ -56,6 +57,7 @@ end)
     {
       x = M.make_register ~bound ~name:"X" ~show None;
       locals = Array.init n (fun _ -> { counter = 0; last = None });
+      init;
     }
 
   let dwrite t ~pid x =
@@ -67,7 +69,7 @@ end)
   let dread t ~pid =
     let l = t.locals.(pid) in
     match M.read t.x with
-    | None -> (initial_value, false)
+    | None -> (t.init, false)
     | Some { value; writer; tag } ->
         let stamp = Some (writer, tag) in
         let changed = stamp <> l.last in

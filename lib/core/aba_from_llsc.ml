@@ -23,15 +23,18 @@ module Make (L : Llsc_intf.S) : Aba_register_intf.S = struct
 
   type t = { obj : L.t; old : int array }
 
-  let create ?value_bound ~n () =
+  let create ?value_bound ?init ~n () =
     let value_bound =
       match value_bound with
       | Some b -> Some b
       | None -> Some (Aba_primitives.Bounded.int_range ~lo:(-1) ~hi:255)
     in
     {
-      obj = L.create ?value_bound ~n ();
-      old = Array.make n initial_value;
+      (* When [init] is absent the source object keeps its own default
+         initial value; only the cached [old] values start at
+         {!initial_value}. *)
+      obj = L.create ?value_bound ?init ~n ();
+      old = Array.make n (Option.value init ~default:initial_value);
     }
 
   let dwrite t ~pid x =

@@ -49,7 +49,11 @@ end)
     seq_ceiling : int;  (** sequence numbers live in [0 .. seq_ceiling] *)
     x : xval option M.register;
     announce : announcement M.register array;
+    read_announce : int -> announcement;
+        (** [fun c -> M.read announce.(c)], allocated once at creation so
+            the DWrite hot path does not build a closure per call *)
     locals : local array;
+    init : int;  (** the value a DRead reports while [X] is still bottom *)
   }
 
   let show_x = function
@@ -61,7 +65,8 @@ end)
     | None -> "_"
     | Some (p, s) -> Printf.sprintf "(p%d,%d)" p s
 
-  let create ?(value_bound = Bounded.int_range ~lo:(-1) ~hi:255) ~n () =
+  let create ?(value_bound = Bounded.int_range ~lo:(-1) ~hi:255)
+      ?(init = initial_value) ~n () =
     let seq_ceiling = Ceiling.seq_ceiling ~n in
     let x_bound =
       Bounded.make
@@ -85,33 +90,34 @@ end)
     let make_local _ =
       { b = false; pool = Seq_pool.create ~ceiling:seq_ceiling ~n () }
     in
+    let announce =
+      Array.init n (fun q ->
+          M.make_register ~bound:a_bound
+            ~name:(Printf.sprintf "A[%d]" q)
+            ~show:show_a None)
+    in
     {
       n;
       seq_ceiling;
       x = M.make_register ~bound:x_bound ~name:"X" ~show:show_x None;
-      announce =
-        Array.init n (fun q ->
-            M.make_register ~bound:a_bound
-              ~name:(Printf.sprintf "A[%d]" q)
-              ~show:show_a None);
+      announce;
+      read_announce = (fun c -> M.read announce.(c));
       locals = Array.init n make_local;
+      init;
     }
 
   (* Lines 26–27: two shared steps in total (GetSeq's single announce-entry
      read, then the write of [X]). *)
   let dwrite t ~pid x =
     let l = t.locals.(pid) in
-    let s =
-      Seq_pool.next l.pool ~me:pid ~read_announce:(fun c ->
-          M.read t.announce.(c))
-    in
+    let s = Seq_pool.next l.pool ~me:pid ~read_announce:t.read_announce in
     M.write t.x (Some { value = x; writer = pid; seq = s })
 
   let key = function
     | None -> None
     | Some { writer; seq; _ } -> Some (writer, seq)
 
-  let value_of = function None -> initial_value | Some { value; _ } -> value
+  let value_of t = function None -> t.init | Some { value; _ } -> value
 
   (* Lines 38–50: four shared steps. *)
   let dread t ~pid:q =
@@ -122,7 +128,7 @@ end)
     let xv' = M.read t.x in
     let flag = if key xv = old_announcement then l.b else true in
     l.b <- xv <> xv';
-    (value_of xv, flag)
+    (value_of t xv, flag)
 
   let space _ = M.space ()
 end

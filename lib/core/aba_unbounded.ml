@@ -24,18 +24,19 @@ module Make (M : Mem_intf.S) : Aba_register_intf.S = struct
     mutable last : (Pid.t * int) option;  (** stamp at previous DRead *)
   }
 
-  type t = { x : stamped option M.register; locals : local array }
+  type t = { x : stamped option M.register; locals : local array; init : int }
 
   let show = function
     | None -> "_"
     | Some { value; writer; tag } ->
         Printf.sprintf "(%d,p%d,%d)" value writer tag
 
-  let create ?value_bound:_ ~n () =
+  let create ?value_bound:_ ?(init = initial_value) ~n () =
     Pid.check ~n 0;
     {
       x = M.make_register ~name:"X" ~show None;
       locals = Array.init n (fun _ -> { counter = 0; last = None });
+      init;
     }
 
   let dwrite t ~pid x =
@@ -49,7 +50,7 @@ module Make (M : Mem_intf.S) : Aba_register_intf.S = struct
     match M.read t.x with
     | None ->
         (* No DWrite ever happened; [l.last] is necessarily [None] too. *)
-        (initial_value, false)
+        (t.init, false)
     | Some { value; writer; tag } ->
         let stamp = Some (writer, tag) in
         let changed = stamp <> l.last in

@@ -159,8 +159,13 @@ let aba_in_sim ?value_bound b sim ~n =
 
 let aba_seq ?value_bound b ~n = aba_with_mem ?value_bound b (Seq_mem.make ()) ~n
 
+let aba_rt ?value_bound b ~n = aba_with_mem ?value_bound b (Rt_mem.make ~n ()) ~n
+
 let llsc_in_sim ?value_bound b sim ~n =
   llsc_with_mem ?value_bound b (Aba_sim.Sim_mem.make sim) ~n
 
 let llsc_seq ?value_bound b ~n =
   llsc_with_mem ?value_bound b (Seq_mem.make ()) ~n
+
+let llsc_rt ?value_bound ?init b ~n =
+  llsc_with_mem ?value_bound ?init b (Rt_mem.make ~n ()) ~n

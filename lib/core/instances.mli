@@ -121,7 +121,17 @@ val aba_in_sim :
 val aba_seq : ?value_bound:int Bounded.t -> aba_builder -> n:int -> aba
 (** Direct semantics; operations execute immediately. *)
 
+val aba_rt : ?value_bound:int Bounded.t -> aba_builder -> n:int -> aba
+(** The same functor over {!Aba_primitives.Rt_mem}: every shared-memory
+    access is an OCaml 5 [Atomic] operation, safe for concurrent use by up
+    to [n] domains with distinct pids.  This is the instantiation the
+    runtime layer wraps and the benchmarks measure. *)
+
 val llsc_in_sim :
   ?value_bound:int Bounded.t -> llsc_builder -> Aba_sim.Sim.t -> n:int -> llsc
 
 val llsc_seq : ?value_bound:int Bounded.t -> llsc_builder -> n:int -> llsc
+
+val llsc_rt :
+  ?value_bound:int Bounded.t -> ?init:int -> llsc_builder -> n:int -> llsc
+(** See {!aba_rt}. *)

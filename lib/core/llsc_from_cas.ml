@@ -16,9 +16,31 @@
 
     Step complexity: [LL] at most [2n + 1] steps, [SC] at most [2n] steps,
     [VL] one step — all [O(n)], matching Corollary 1's lower bound
-    [m >= (n-1)/t] at [m = 1]. *)
+    [m >= (n-1)/t] at [m = 1].
+
+    The pair is held by [X] through the {!codec} below: bits [0, n) are the
+    mask, the remaining bits the value, so the whole pair is one immediate
+    int.  The algorithm drives [X] through the packed accessors of
+    {!Mem_intf.S}; under the seq/sim backends these decode to the
+    structural pair (one step each, domain-checked), while under [Rt_mem]
+    they are plain [Atomic] operations on the encoded word — a genuine
+    bounded hardware CAS, ABAs included, with no allocation. *)
 
 open Aba_primitives
+
+(** The Figure-3 CAS-object value: the implemented object's value and the
+    [n]-bit process mask. *)
+type xval = { value : int; mask : int }
+
+(** The packing: value bits above [n] mask bits.  [decode] uses an
+    arithmetic shift, so negative values (the default domain includes
+    [-1]) round-trip as long as [value] fits in [62 - n] signed bits. *)
+let codec ~n : xval Mem_intf.codec =
+  let mask_bits = (1 lsl n) - 1 in
+  {
+    Mem_intf.encode = (fun { value; mask } -> (value lsl n) lor mask);
+    decode = (fun p -> { value = p asr n; mask = p land mask_bits });
+  }
 
 (** The CAS retry loops run [Retries.retries ~n] times; Figure 3 uses [n],
     which Claim 6's counting argument needs — after [n] failures a
@@ -31,8 +53,6 @@ end)
 (M : Mem_intf.S) : Llsc_intf.S = struct
   let algorithm_name = "figure-3 (1 bounded CAS, O(n) steps)"
   let initial_value = 0
-
-  type xval = { value : int; mask : int }
 
   type t = {
     n : int;
@@ -57,67 +77,68 @@ end)
     {
       n;
       retries = Retries.retries ~n;
-      x = M.make_cas ~bound ~name:"X" ~show { value = init; mask = 0 };
+      x =
+        M.make_cas_packed ~bound ~name:"X" ~show ~codec:(codec ~n)
+          { value = init; mask = 0 };
       b = Array.make n false;
     }
 
-  let bit_set mask p = (mask lsr p) land 1 = 1
-  let all_set n = (1 lsl n) - 1
+  (* Bit fiddling on the encoded pair, mirroring {!codec}. *)
+  let mask_of t packed = packed land ((1 lsl t.n) - 1)
+  let value_of t packed = packed asr t.n
+  let bit_set t packed p = (mask_of t packed lsr p) land 1 = 1
+  let all_set t = (1 lsl t.n) - 1
+
+  (* The retry loops are module-level recursive functions rather than local
+     closures: a local [let rec attempt] capturing [t] and [p] would be a
+     fresh closure allocation on every LL/SC, and the whole point of the
+     packed representation is an allocation-free hot path on [Rt_mem]. *)
 
   (* Lines 14–25. *)
-  let ll t ~pid:p =
-    let { value = x; mask = a } = M.cas_read t.x in
-    if not (bit_set a p) then begin
-      t.b.(p) <- false;
-      x
+  let rec ll_attempt t p packed i =
+    if i > t.retries then begin
+      (* n failed CAS's: a successful SC linearized during this LL
+         (Claim 6); linearize at the initial read and poison the link. *)
+      t.b.(p) <- true;
+      value_of t packed
     end
     else begin
-      let rec attempt i =
-        if i > t.retries then begin
-          (* n failed CAS's: a successful SC linearized during this LL
-             (Claim 6); linearize at the initial read and poison the link. *)
-          t.b.(p) <- true;
-          x
-        end
-        else begin
-          let ({ value = x'; mask = a' } as seen) = M.cas_read t.x in
-          (* Only p clears its own bit, so it is still set here. *)
-          assert (bit_set a' p);
-          if
-            M.cas t.x ~expect:seen
-              ~update:{ value = x'; mask = a' - (1 lsl p) }
-          then begin
-            t.b.(p) <- false;
-            x'
-          end
-          else attempt (i + 1)
-        end
-      in
-      attempt 1
+      let seen = M.cas_read_packed t.x in
+      (* Only p clears its own bit, so it is still set here. *)
+      assert (bit_set t seen p);
+      (* Clearing bit p of the mask leaves the value untouched. *)
+      if M.cas_packed t.x ~expect:seen ~update:(seen - (1 lsl p)) then begin
+        t.b.(p) <- false;
+        value_of t seen
+      end
+      else ll_attempt t p packed (i + 1)
     end
 
-  (* Lines 1–8. *)
-  let sc t ~pid:p y =
-    if t.b.(p) then false
-    else begin
-      let rec attempt i =
-        if i > t.retries then false
-        else begin
-          let ({ value = _; mask = a } as seen) = M.cas_read t.x in
-          if bit_set a p then false
-          else if
-            M.cas t.x ~expect:seen ~update:{ value = y; mask = all_set t.n }
-          then true
-          else attempt (i + 1)
-        end
-      in
-      attempt 1
+  let ll t ~pid:p =
+    let packed = M.cas_read_packed t.x in
+    if not (bit_set t packed p) then begin
+      t.b.(p) <- false;
+      value_of t packed
     end
+    else ll_attempt t p packed 1
+
+  (* Lines 1–8. *)
+  let rec sc_attempt t p y i =
+    if i > t.retries then false
+    else begin
+      let seen = M.cas_read_packed t.x in
+      if bit_set t seen p then false
+      else if M.cas_packed t.x ~expect:seen ~update:((y lsl t.n) lor all_set t)
+      then true
+      else sc_attempt t p y (i + 1)
+    end
+
+  let sc t ~pid:p y = if t.b.(p) then false else sc_attempt t p y 1
 
   (* Lines 9–13. *)
   let vl t ~pid:p =
-    let { value = _; mask = a } = M.cas_read t.x in
-    (not (bit_set a p)) && not t.b.(p)
+    let packed = M.cas_read_packed t.x in
+    (not (bit_set t packed p)) && not t.b.(p)
 
   let space _ = M.space ()
 end

@@ -9,14 +9,47 @@
       is one scheduler step (used for linearizability checking, adversarial
       schedules and the lower-bound experiments);
     - {!Seq_mem} — a direct, single-threaded instance (used for fast
-      sequential unit tests of algorithm-internal invariants).
+      sequential unit tests of algorithm-internal invariants);
+    - {!Rt_mem} — the multicore instance over OCaml 5 [Atomic], so the code
+      that is model-checked is also the code that runs on real domains.
 
     Creation functions are not shared-memory steps; they model the initial
     configuration.  Every object takes a [name] (used in traces, register
     configurations and space accounting), a [show] function rendering values,
     and an optional {!Bounded.t} domain.  Objects with a domain refuse values
     outside it — this is how the boundedness hypothesis of Theorem 1 is
-    enforced at runtime. *)
+    enforced at runtime.  ({!Rt_mem} checks the domain at creation only; the
+    per-step checks are the job of the checking backends, which run the same
+    functor body.)
+
+    {2 Structural vs. physical CAS, and the packed representation}
+
+    [cas] compares the {e value} of the object with [expect] — exact
+    (structural) comparison, ABAs included, like a hardware CAS word.  The
+    simulator and the sequential instance implement this directly.  On
+    OCaml 5 [Atomic], however, [compare_and_set] on a boxed value compares
+    {e addresses}, which is not the same object: two structurally equal
+    records fail the comparison, and the semantics becomes "unchanged since
+    I read it" rather than "currently equal to [expect]".
+
+    The {e packed} CAS interface resolves this.  A CAS object created with
+    {!S.make_cas_packed} carries a {!codec} injecting its values into
+    immediate [int]s; backends with physical CAS store the encoding, so the
+    hardware compares exact values — genuinely bounded, ABAs included, and
+    allocation-free.  {!S.cas_read_packed} and {!S.cas_packed} let the hot
+    path of an algorithm (Figure 3's retry loops) operate on the encoded
+    word directly; backends with structural CAS decode and delegate, so
+    under the simulator the same calls remain one step each, with the
+    decoded values visible to domain checks and traces.  For values with no
+    practical int encoding, plain [make_cas] remains: the runtime backend
+    then falls back to a freshly boxed cell per update, which is ABA-free —
+    conservative with respect to structural CAS (it can only fail more
+    often), and indistinguishable from it in sequential executions. *)
+
+(** An injection of ['a] into immediate integers: [decode (encode v) = v]
+    for every [v] in the object's domain, and [encode] is injective on it.
+    Encodings must fit OCaml's 63-bit [int]. *)
+type 'a codec = { encode : 'a -> int; decode : int -> 'a }
 
 module type S = sig
   val mem_name : string
@@ -58,6 +91,28 @@ module type S = sig
   val cas_write : 'a cas -> 'a -> unit
   (** Unconditional write; raises [Invalid_argument] on a non-writable CAS
       object. *)
+
+  val make_cas_packed :
+    ?bound:'a Bounded.t -> ?writable:bool -> name:string ->
+    show:('a -> string) -> codec:'a codec -> 'a -> 'a cas
+  (** A CAS object whose values are CAS'd through their [codec] encoding.
+      Backends with structural CAS may ignore the codec; backends with
+      physical CAS (e.g. {!Rt_mem}) store [codec.encode v] as an immediate
+      int so that hardware CAS is exact value comparison.  The resulting
+      object also supports the packed accessors below. *)
+
+  val cas_read_packed : 'a cas -> int
+  (** [cas_read_packed o = codec.encode (cas_read o)], in one step and
+      without decoding.  Raises [Invalid_argument] on an object not created
+      with {!make_cas_packed}. *)
+
+  val cas_packed : 'a cas -> expect:int -> update:int -> bool
+  (** [cas_packed o ~expect ~update] is
+      [cas o ~expect:(decode expect) ~update:(decode update)] — one step,
+      and on physical-CAS backends a single allocation-free
+      [Atomic.compare_and_set] on the encoded word.  Raises
+      [Invalid_argument] on an object not created with
+      {!make_cas_packed}. *)
 
   (** {1 LL/SC/VL objects}
 

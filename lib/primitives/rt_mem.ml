@@ -1,0 +1,178 @@
+(** The multicore {!Mem_intf.S} instance over OCaml 5 [Atomic].
+
+    This is the third backend of the single-source-of-truth stack: the
+    paper's functors ({!Aba_core.Llsc_from_cas}, {!Aba_core.Aba_from_registers},
+    ...) are verified under {!Seq_mem} and {!Aba_sim.Sim_mem} and then run
+    on real domains through this instance, so the code that is benchmarked
+    is the code that was model-checked.
+
+    Semantics per object kind:
+
+    - {e registers} are ['a Atomic.t]: [read]/[write] are single
+      sequentially consistent loads and stores, exactly the paper's atomic
+      read/write registers.
+    - {e packed CAS objects} ({!Mem_intf.S.make_cas_packed}) store the
+      codec encoding in an [int Atomic.t].  [Atomic.compare_and_set] on an
+      immediate int is exact value comparison — a genuine bounded hardware
+      CAS word, ABAs included — and the packed accessors
+      ([cas_read_packed]/[cas_packed]) never allocate.
+    - {e plain CAS objects} fall back to a freshly allocated box per
+      update; the expected box is the one read by the caller, so physical
+      comparison means "unchanged since my read".  This is ABA-free and
+      hence {e conservative} with respect to the structural [cas] the
+      interface specifies: it can fail where a structural CAS would
+      succeed (when the value returned to [expect] through intermediate
+      changes) but never the converse, and in sequential executions the
+      two coincide.  Algorithms that are correct under real (ABA-prone)
+      CAS remain correct under an ABA-free one; constructions that rely on
+      the bounded-word semantics must use the packed interface.
+
+    Domain ([Bounded.t]) checks happen at creation time only: the hot
+    paths stay allocation- and branch-free, and every per-step check is
+    performed by the seq/sim backends running the very same functor body.
+
+    The functor takes [n], the number of processes, used only to size the
+    per-process link tables of LL/SC base objects.  Per-process link slots
+    are written and read only by their own process (a requirement the
+    paper's model shares), so they are plain array cells. *)
+
+module Make (N : sig
+  val n : int
+end) : Mem_intf.S = struct
+  let mem_name = "rt"
+
+  (* Creation is not a shared-memory step, but objects may still be created
+     from several domains (e.g. per-domain helper structures), so the space
+     list is kept with a CAS loop.  Creation order is preserved. *)
+  let objects : (string * string) list Atomic.t = Atomic.make []
+
+  let register_object ~name bound_desc =
+    let rec add () =
+      let seen = Atomic.get objects in
+      if not (Atomic.compare_and_set objects seen (seen @ [ (name, bound_desc) ]))
+      then add ()
+    in
+    add ()
+
+  let desc_of = function
+    | None -> "unbounded"
+    | Some b -> Bounded.describe b
+
+  let guard bound name v =
+    match bound with
+    | None -> ()
+    | Some b -> Bounded.check ~what:name b v
+
+  type 'a register = 'a Atomic.t
+
+  let make_register ?bound ~name ~show:_ init =
+    guard bound name init;
+    register_object ~name (desc_of bound);
+    Atomic.make init
+
+  let read = Atomic.get
+
+  let write = Atomic.set
+
+  (* A plain CAS object holds a box; a packed one holds the encoding. *)
+  type 'a box = { v : 'a }
+
+  type 'a repr =
+    | Boxed of 'a box Atomic.t
+    | Packed of { cell : int Atomic.t; codec : 'a Mem_intf.codec }
+
+  type 'a cas = { c_name : string; c_writable : bool; c_repr : 'a repr }
+
+  let make_cas ?bound ?(writable = false) ~name ~show:_ init =
+    guard bound name init;
+    register_object ~name (desc_of bound);
+    { c_name = name; c_writable = writable;
+      c_repr = Boxed (Atomic.make { v = init }) }
+
+  let make_cas_packed ?bound ?(writable = false) ~name ~show:_ ~codec init =
+    guard bound name init;
+    register_object ~name (desc_of bound);
+    { c_name = name; c_writable = writable;
+      c_repr = Packed { cell = Atomic.make (codec.Mem_intf.encode init); codec } }
+
+  let cas_read c =
+    match c.c_repr with
+    | Boxed cell -> (Atomic.get cell).v
+    | Packed { cell; codec } -> codec.Mem_intf.decode (Atomic.get cell)
+
+  let cas c ~expect ~update =
+    match c.c_repr with
+    | Packed { cell; codec } ->
+        (* Injectivity of [encode] makes int equality exact value equality:
+           this is the structural CAS, on hardware. *)
+        Atomic.compare_and_set cell
+          (codec.Mem_intf.encode expect)
+          (codec.Mem_intf.encode update)
+    | Boxed cell ->
+        (* ABA-free conservative fallback: succeed only if the current box
+           holds [expect] AND nobody replaced the box since we read it. *)
+        let seen = Atomic.get cell in
+        seen.v = expect && Atomic.compare_and_set cell seen { v = update }
+
+  let cas_write c v =
+    if not c.c_writable then
+      invalid_arg
+        (Printf.sprintf "Rt_mem.cas_write: %s is not a writable CAS object"
+           c.c_name);
+    match c.c_repr with
+    | Boxed cell -> Atomic.set cell { v }
+    | Packed { cell; codec } -> Atomic.set cell (codec.Mem_intf.encode v)
+
+  let packed_cell c =
+    match c.c_repr with
+    | Packed { cell; _ } -> cell
+    | Boxed _ ->
+        invalid_arg
+          (Printf.sprintf "Rt_mem: %s is not a packed CAS object" c.c_name)
+
+  let cas_read_packed c = Atomic.get (packed_cell c)
+
+  let cas_packed c ~expect ~update =
+    Atomic.compare_and_set (packed_cell c) expect update
+
+  (* Native LL/SC base object, Moir-style [26]: every successful SC installs
+     a fresh box and each process remembers the box its link refers to.  The
+     held box is kept alive by the link table, so the GC cannot make two
+     generations physically equal — the allocator is the unbounded tag.
+     [invalid] is a sentinel never stored in [x]; a process's own successful
+     SC consumes its link by planting it. *)
+  type 'a llsc = {
+    x : 'a box Atomic.t;
+    invalid : 'a box;
+    link : 'a box array;  (** slot [p] touched only by process [p] *)
+  }
+
+  let make_llsc ?bound ~name ~show:_ init =
+    guard bound name init;
+    register_object ~name (desc_of bound);
+    let first = { v = init } in
+    (* Linking every process to the initial box realizes the Appendix A
+       convention: SC/VL by a process that never performed LL behave as if
+       it had linked at the initial configuration. *)
+    { x = Atomic.make first; invalid = { v = init };
+      link = Array.make N.n first }
+
+  let ll o ~pid =
+    let c = Atomic.get o.x in
+    o.link.(pid) <- c;
+    c.v
+
+  let sc o ~pid v =
+    let c = o.link.(pid) in
+    o.link.(pid) <- o.invalid;
+    c != o.invalid && Atomic.compare_and_set o.x c { v }
+
+  let vl o ~pid = Atomic.get o.x == o.link.(pid)
+
+  let space () = Atomic.get objects
+end
+
+let make ~n () : (module Mem_intf.S) =
+  (module Make (struct
+    let n = n
+  end))

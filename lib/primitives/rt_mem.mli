@@ -1,0 +1,26 @@
+(** The multicore {!Mem_intf.S} instance over OCaml 5 [Atomic] — the third
+    backend (with {!Seq_mem} and [Aba_sim.Sim_mem]) of the shared functor
+    stack, so the algorithms that are model-checked are the ones that run
+    on real domains.
+
+    Packed CAS objects ({!Mem_intf.S.make_cas_packed}) live in a single
+    [int Atomic.t]; [Atomic.compare_and_set] on an immediate int is exact
+    value comparison, i.e. a genuine bounded hardware CAS word, ABAs
+    included, with an allocation-free hot path.  Plain CAS objects fall
+    back to a freshly boxed cell per update, which is ABA-free — {e
+    conservative} with respect to the structural CAS semantics (it can
+    only fail more often) and identical to it in sequential executions.
+
+    Domains ([Bounded.t]) are checked at creation only; per-step checks
+    are performed by the seq/sim backends running the same functor body.
+
+    [n] bounds the process ids used with LL/SC base objects (it sizes
+    their per-process link tables); registers and CAS objects ignore it. *)
+
+module Make (N : sig
+  val n : int
+end) : Mem_intf.S
+
+val make : n:int -> unit -> (module Mem_intf.S)
+(** A fresh instance: its {!Mem_intf.S.space} accounts exactly the objects
+    created through it. *)

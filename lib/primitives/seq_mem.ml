@@ -35,13 +35,23 @@ module Make () : Mem_intf.S = struct
     c_name : string;
     c_bound : 'a Bounded.t option;
     c_writable : bool;
+    c_codec : 'a Mem_intf.codec option;
     mutable c_value : 'a;
   }
 
   let make_cas ?bound ?(writable = false) ~name ~show:_ init =
     guard bound name init;
     register_object ~name (desc_of bound);
-    { c_name = name; c_bound = bound; c_writable = writable; c_value = init }
+    { c_name = name; c_bound = bound; c_writable = writable; c_codec = None;
+      c_value = init }
+
+  (* This backend's CAS is already structural, so the codec is only kept to
+     serve the packed accessors. *)
+  let make_cas_packed ?bound ?(writable = false) ~name ~show:_ ~codec init =
+    guard bound name init;
+    register_object ~name (desc_of bound);
+    { c_name = name; c_bound = bound; c_writable = writable;
+      c_codec = Some codec; c_value = init }
 
   let cas_read c = c.c_value
 
@@ -60,6 +70,19 @@ module Make () : Mem_intf.S = struct
            c.c_name);
     guard c.c_bound c.c_name v;
     c.c_value <- v
+
+  let codec_of c =
+    match c.c_codec with
+    | Some k -> k
+    | None ->
+        invalid_arg
+          (Printf.sprintf "Seq_mem: %s is not a packed CAS object" c.c_name)
+
+  let cas_read_packed c = (codec_of c).Mem_intf.encode c.c_value
+
+  let cas_packed c ~expect ~update =
+    let k = codec_of c in
+    cas c ~expect:(k.Mem_intf.decode expect) ~update:(k.Mem_intf.decode update)
 
   type 'a llsc = {
     l_name : string;

@@ -1,7 +1,8 @@
 module Stamped = struct
   (* The stamp record is freshly allocated on every write; holding the
      previously seen stamp pins it, so physical inequality is exactly
-     "somebody wrote since then". *)
+     "somebody wrote since then".  Hand-written; kept as the native
+     unbounded-tag baseline the unified stack is benchmarked against. *)
   type 'a stamp = { value : 'a }
 
   type 'a t = { x : 'a stamp Atomic.t; last : 'a stamp array }
@@ -19,68 +20,49 @@ module Stamped = struct
     (s.value, changed)
 end
 
+(* Figure 4 instantiated over the multicore memory: the exact functor body
+   that is model-checked under Seq_mem/Sim_mem, running on OCaml 5 Atomic.
+   The algorithm uses plain loads and stores only, on registers holding
+   immutable records — no CAS, so no codec is needed; Rt_mem registers are
+   single Atomic cells and every shared step of the functor is one atomic
+   load or store. *)
+module Fig4_impl =
+  Aba_core.Aba_from_registers.Make
+    (Aba_primitives.Rt_mem.Make (struct
+      let n = 64 (* Fig4 uses no LL/SC base object, so this is inert. *)
+    end))
+
 module Fig4 = struct
-  type 'a xval = { value : 'a; writer : int; seq : int }
+  type t = Fig4_impl.t
 
-  type 'a local = { mutable b : bool; pool : Aba_core.Seq_pool.t }
+  (* Figure 4's registers are bounded in their (writer, seq) components;
+     the value component is whatever the client stores, so admit the full
+     native int domain.  The runtime register is int-only (every existing
+     use site stores ints); generic payloads stay with {!Stamped}. *)
+  let int63 =
+    Aba_primitives.Bounded.make ~describe:"int63" (fun (_ : int) -> true)
 
-  type 'a t = {
-    x : 'a xval option Atomic.t;
-    announce : (int * int) option Atomic.t array;
-    locals : 'a local array;
-    initial : 'a;
-  }
-
-  let create ~n init =
-    {
-      x = Atomic.make None;
-      announce = Array.init n (fun _ -> Atomic.make None);
-      locals =
-        Array.init n (fun _ ->
-            { b = false; pool = Aba_core.Seq_pool.create ~n () });
-      initial = init;
-    }
-
-  let dwrite t ~pid v =
-    let l = t.locals.(pid) in
-    let s =
-      Aba_core.Seq_pool.next l.pool ~me:pid ~read_announce:(fun c ->
-          Atomic.get t.announce.(c))
-    in
-    Atomic.set t.x (Some { value = v; writer = pid; seq = s })
-
-  let key = function
-    | None -> None
-    | Some { writer; seq; _ } -> Some (writer, seq)
-
-  let dread t ~pid:q =
-    let l = t.locals.(q) in
-    let xv = Atomic.get t.x in
-    let old_announcement = Atomic.get t.announce.(q) in
-    Atomic.set t.announce.(q) (key xv);
-    let xv' = Atomic.get t.x in
-    let flag = if key xv = old_announcement then l.b else true in
-    l.b <- xv <> xv';
-    let value = match xv with None -> t.initial | Some { value; _ } -> value in
-    (value, flag)
+  let create ~n init = Fig4_impl.create ~value_bound:int63 ~init ~n ()
+  let dwrite = Fig4_impl.dwrite
+  let dread = Fig4_impl.dread
 end
 
 module From_llsc = struct
-  (* Figure 5 over the Figure 3 port: Theorem 2's register from a single
-     bounded CAS word. *)
-  type t = { obj : Rt_llsc.Packed_fig3.t; old : int array }
+  (* Figure 5 over the unified Figure 3 instantiation: Theorem 2's register
+     from a single bounded CAS word, same functor chain as
+     Instances.aba_thm2 under the seq/sim backends. *)
+  module I = Aba_core.Aba_from_llsc.Make (Rt_llsc.Fig3)
+
+  type t = I.t
 
   let create ~n ~init =
-    { obj = Rt_llsc.Packed_fig3.create ~n ~init; old = Array.make n init }
+    if n < 1 || n > 40 then
+      invalid_arg "Rt_aba.From_llsc.create: n must be 1..40";
+    I.create
+      ~value_bound:
+        (Aba_primitives.Bounded.int_range ~lo:0 ~hi:((1 lsl (62 - n)) - 1))
+      ~init ~n ()
 
-  let dwrite t ~pid v =
-    ignore (Rt_llsc.Packed_fig3.ll t.obj ~pid);
-    ignore (Rt_llsc.Packed_fig3.sc t.obj ~pid v)
-
-  let dread t ~pid =
-    if Rt_llsc.Packed_fig3.vl t.obj ~pid then (t.old.(pid), false)
-    else begin
-      t.old.(pid) <- Rt_llsc.Packed_fig3.ll t.obj ~pid;
-      (t.old.(pid), true)
-    end
+  let dwrite = I.dwrite
+  let dread = I.dread
 end

@@ -3,12 +3,17 @@
     - {!Stamped} — the trivial construction from one "unbounded" register:
       each write installs a fresh stamp record and readers compare stamps
       physically (allocation is the unbounded tag; the GC keeps held stamps
-      unique).  One atomic operation per call.
-    - {!Fig4} — Figure 4 ported directly: [n + 1] atomic registers holding
-      immutable triples, plain loads and stores only (no CAS anywhere),
-      four loads/stores per [DRead], two per [DWrite].
-    - {!From_llsc} — Figure 5 over {!Rt_llsc.Packed_fig3}: the Theorem 2
-      register from a single (63-bit-bounded) CAS word. *)
+      unique).  One atomic operation per call.  Hand-written; kept as the
+      native baseline.
+    - {!Fig4} — Figure 4: [n + 1] bounded registers, plain loads and stores
+      only (no CAS anywhere), four loads/stores per [DRead], two per
+      [DWrite].  Since PR 2 this is {e not} a hand-written port: it
+      instantiates {!Aba_core.Aba_from_registers.Make} — the functor
+      verified under the seq/sim backends — over
+      {!Aba_primitives.Rt_mem}.
+    - {!From_llsc} — Figure 5 over {!Rt_llsc.Fig3}: the Theorem 2 register
+      from a single bounded CAS word, again the verified core functors end
+      to end. *)
 
 module Stamped : sig
   type 'a t
@@ -19,18 +24,18 @@ module Stamped : sig
 end
 
 module Fig4 : sig
-  type 'a t
+  type t
 
-  val create : n:int -> 'a -> 'a t
-  val dwrite : 'a t -> pid:int -> 'a -> unit
-  val dread : 'a t -> pid:int -> 'a * bool
+  val create : n:int -> int -> t
+  val dwrite : t -> pid:int -> int -> unit
+  val dread : t -> pid:int -> int * bool
 end
 
 module From_llsc : sig
   type t
 
   val create : n:int -> init:int -> t
-  (** Values are integers in [0 .. 2^(62-n))]. *)
+  (** Requires [1 <= n <= 40]; values are integers in [0 .. 2^(62-n)). *)
 
   val dwrite : t -> pid:int -> int -> unit
   val dread : t -> pid:int -> int * bool

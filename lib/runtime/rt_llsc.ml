@@ -3,7 +3,8 @@ module Boxed = struct
      the record itself.  compare_and_set's physical equality then means
      "no successful SC since my LL" — the held pointer keeps the record
      alive, so the GC cannot make two distinct generations physically
-     equal. *)
+     equal.  Kept as the hand-written native baseline the unified stack is
+     benchmarked against. *)
   type cell = { value : int }
 
   type t = {
@@ -34,64 +35,34 @@ module Boxed = struct
   let vl t ~pid = Atomic.get t.x == t.link.(pid)
 end
 
+(* The Figure-3 functor instantiated over the multicore memory: the exact
+   code that is model-checked under Seq_mem/Sim_mem, running on OCaml 5
+   Atomic.  The (value, mask) pair travels through Llsc_from_cas.codec as
+   one immediate int, so every CAS of the algorithm is a hardware
+   compare-and-set on an int word — exact value comparison, ABAs included,
+   no allocation.  All Fig3 objects share one memory instance; it only
+   collects space-accounting entries (the per-instance accounting used by
+   the experiments goes through Instances.llsc_rt instead). *)
+module Fig3 =
+  Aba_core.Llsc_from_cas.Make
+    (Aba_primitives.Rt_mem.Make (struct
+      let n = 64 (* Fig3 uses no LL/SC base object, so this is inert. *)
+    end))
+
 module Packed_fig3 = struct
-  (* X packs (value, mask): bits [0, n) are the mask, bits [n, 62) the
-     value.  CAS on an immediate int is exact value comparison — precisely
-     a bounded hardware CAS word, ABAs included. *)
-  type t = { n : int; x : int Atomic.t; b : bool array }
+  type t = Fig3.t
 
+  (* [n <= 40] keeps at least 22 value bits, the historical contract of
+     this port; the value domain is everything the packing can hold. *)
   let create ~n ~init =
-    if n < 1 || n > 40 then invalid_arg "Packed_fig3.create: n must be 1..40";
-    if init < 0 || init >= 1 lsl (62 - n) then
-      invalid_arg "Packed_fig3.create: init out of range";
-    { n; x = Atomic.make (init lsl n); b = Array.make n false }
+    if n < 1 || n > 40 then
+      invalid_arg "Rt_llsc.Packed_fig3.create: n must be 1..40";
+    Fig3.create
+      ~value_bound:
+        (Aba_primitives.Bounded.int_range ~lo:0 ~hi:((1 lsl (62 - n)) - 1))
+      ~init ~n ()
 
-  let mask_of t packed = packed land ((1 lsl t.n) - 1)
-  let value_of t packed = packed lsr t.n
-  let bit_set t packed p = (mask_of t packed lsr p) land 1 = 1
-  let all_set t = (1 lsl t.n) - 1
-
-  let ll t ~pid:p =
-    let packed = Atomic.get t.x in
-    if not (bit_set t packed p) then begin
-      t.b.(p) <- false;
-      value_of t packed
-    end
-    else begin
-      let rec attempt i =
-        if i > t.n then begin
-          t.b.(p) <- true;
-          value_of t packed
-        end
-        else begin
-          let seen = Atomic.get t.x in
-          if Atomic.compare_and_set t.x seen (seen - (1 lsl p)) then begin
-            t.b.(p) <- false;
-            value_of t seen
-          end
-          else attempt (i + 1)
-        end
-      in
-      attempt 1
-    end
-
-  let sc t ~pid:p y =
-    if t.b.(p) then false
-    else begin
-      let rec attempt i =
-        if i > t.n then false
-        else begin
-          let seen = Atomic.get t.x in
-          if bit_set t seen p then false
-          else if Atomic.compare_and_set t.x seen ((y lsl t.n) lor all_set t)
-          then true
-          else attempt (i + 1)
-        end
-      in
-      attempt 1
-    end
-
-  let vl t ~pid:p =
-    let packed = Atomic.get t.x in
-    (not (bit_set t packed p)) && not t.b.(p)
+  let ll = Fig3.ll
+  let sc = Fig3.sc
+  let vl = Fig3.vl
 end

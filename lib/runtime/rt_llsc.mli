@@ -8,11 +8,15 @@
       Because the expected record is held live by the process, the GC cannot
       recycle its address, so physical comparison cannot suffer an ABA: the
       allocator plays the role of the unbounded tag.  One atomic operation
-      per LL/SC/VL.
-    - {!Packed_fig3} — Figure 3 ported to a single [int Atomic.t]: the low
-      [n] bits are the process mask, the remaining bits the value.  This is
-      the genuinely {e bounded} construction (a 63-bit word!), with the
-      [O(n)] retry loops of Theorem 2.
+      per LL/SC/VL.  Hand-written; kept as the native baseline.
+    - {!Packed_fig3} — the genuinely {e bounded} construction: Figure 3
+      with its single CAS object packed into one [int Atomic.t] (low [n]
+      bits the process mask, remaining bits the value) and the [O(n)]
+      retry loops of Theorem 2.  Since PR 2 this is {e not} a hand-written
+      port: it instantiates {!Aba_core.Llsc_from_cas.Make} — the functor
+      verified under the seq/sim backends — over {!Aba_primitives.Rt_mem},
+      whose packed-CAS representation makes every CAS of the algorithm a
+      hardware compare-and-set on an immediate int.
 
     Both are linearizable for up to [n] concurrent users with distinct
     process ids. *)
@@ -27,11 +31,16 @@ module Boxed : sig
   val vl : t -> pid:int -> bool
 end
 
+(** The unified Figure-3 instantiation itself, exposed so the rest of the
+    runtime (Figure 5, the reclaimers) can build on the same module. *)
+module Fig3 : Aba_core.Llsc_intf.S
+
 module Packed_fig3 : sig
-  type t
+  type t = Fig3.t
 
   val create : n:int -> init:int -> t
-  (** Requires [0 <= n <= 40] and [0 <= init < 2^(62-n)]. *)
+  (** Requires [1 <= n <= 40] and [0 <= init < 2^(62-n)]; raises
+      [Invalid_argument] otherwise. *)
 
   val ll : t -> pid:int -> int
   val sc : t -> pid:int -> int -> bool

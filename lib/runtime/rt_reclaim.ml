@@ -10,7 +10,7 @@
     baselines they compete against. *)
 
 module Fig4_int = struct
-  type t = int Rt_aba.Fig4.t
+  type t = Rt_aba.Fig4.t
 
   let create ~n ~init = Rt_aba.Fig4.create ~n init
   let dwrite = Rt_aba.Fig4.dwrite

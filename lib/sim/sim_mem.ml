@@ -8,8 +8,15 @@ end) : Mem_intf.S = struct
   (* Each typed object couples a cell with the embedding of its value type
      into the universal store.  Projection failures cannot happen as long as
      each cell is only accessed through its own wrapper, which the type of
-     the wrapper guarantees. *)
-  type 'a typed = { cell : Cell.t; embed : 'a Univ.embed }
+     the wrapper guarantees.  [codec] is present on packed CAS objects only;
+     the simulator's CAS is already structural, so packed accessors decode
+     and delegate — still one scheduler step each, with the decoded values
+     visible to domain checks and traces. *)
+  type 'a typed = {
+    cell : Cell.t;
+    embed : 'a Univ.embed;
+    codec : 'a Mem_intf.codec option;
+  }
 
   (* Objects created through this instance, newest first.  Several instances
      may share one simulation (e.g. an algorithm plus the harness around
@@ -28,7 +35,7 @@ end) : Mem_intf.S = struct
         invalid_arg
           (Printf.sprintf "Sim_mem: foreign value in cell %s" o.cell.Cell.name)
 
-  let make_typed ?bound ~name ~show ~kind init : 'a typed =
+  let make_typed ?bound ?codec ~name ~show ~kind init : 'a typed =
     let embed = Univ.create () in
     let show_u u =
       match embed.Univ.prj u with Some v -> show v | None -> "<foreign>"
@@ -51,7 +58,7 @@ end) : Mem_intf.S = struct
         ~domain_desc ~init:(embed.Univ.inj init)
     in
     created := cell :: !created;
-    { cell; embed }
+    { cell; embed; codec }
 
   let value_outcome o = function
     | Step.Value u -> project o u
@@ -79,6 +86,10 @@ end) : Mem_intf.S = struct
     let kind = if writable then Cell.Writable_cas else Cell.Cas_obj in
     make_typed ?bound ~name ~show ~kind init
 
+  let make_cas_packed ?bound ?(writable = false) ~name ~show ~codec init =
+    let kind = if writable then Cell.Writable_cas else Cell.Cas_obj in
+    make_typed ?bound ~codec ~name ~show ~kind init
+
   let cas_read (c : 'a cas) : 'a =
     value_outcome c (Sim.perform_step (Step.Read c.cell))
 
@@ -86,6 +97,20 @@ end) : Mem_intf.S = struct
     bool_outcome
       (Sim.perform_step
          (Step.Cas (c.cell, c.embed.Univ.inj expect, c.embed.Univ.inj update)))
+
+  let codec_of (c : 'a cas) =
+    match c.codec with
+    | Some k -> k
+    | None ->
+        invalid_arg
+          (Printf.sprintf "Sim_mem: %s is not a packed CAS object"
+             c.cell.Cell.name)
+
+  let cas_read_packed (c : 'a cas) = (codec_of c).Mem_intf.encode (cas_read c)
+
+  let cas_packed (c : 'a cas) ~expect ~update =
+    let k = codec_of c in
+    cas c ~expect:(k.Mem_intf.decode expect) ~update:(k.Mem_intf.decode update)
 
   let cas_write (c : 'a cas) (v : 'a) =
     match Sim.perform_step (Step.Write (c.cell, c.embed.Univ.inj v)) with

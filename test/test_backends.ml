@@ -1,0 +1,145 @@
+(** Cross-backend differential testing: the same functor, instantiated over
+    the three {!Aba_primitives.Mem_intf.S} backends — direct sequential
+    memory ([Seq_mem]), the effect-handler simulator ([Sim_mem]) and the
+    multicore runtime memory ([Rt_mem], OCaml 5 [Atomic]) — must produce
+    identical results on identical operation sequences when driven
+    sequentially.
+
+    This is the tentpole check of the unified backend stack: seq and sim
+    are the verified reference semantics, and [Rt_mem] is what the runtime
+    layer and the benchmarks actually run.  Any divergence (e.g. the packed
+    codec round-tripping differently, or the boxed ABA-free CAS fallback
+    failing where structural CAS would succeed) shows up as a mismatched
+    transcript. *)
+
+open Aba_core
+
+let qtest ?(count = 40) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+let gen_ops =
+  QCheck2.Gen.(
+    list_size (int_range 1 120)
+      (triple (int_range 0 100) (int_range 0 100) (int_range 0 7)))
+
+let n = 4
+
+(* Under Sim_mem every shared access is an effect that must reach the
+   scheduler; drive each operation to completion solo, which realizes the
+   same sequential semantics as the other two backends. *)
+type wrap = { run : 'a. int -> (unit -> 'a) -> 'a }
+
+let solo sim =
+  {
+    run =
+      (fun p f ->
+        let pr = Aba_sim.Sim.invoke sim p f in
+        Aba_sim.Sim.run_solo sim p;
+        Option.get (Aba_sim.Sim.result pr));
+  }
+
+let direct = { run = (fun _p f -> f ()) }
+
+(* Transcripts as strings: trivially comparable and readable on failure. *)
+let aba_transcript ~wrap (inst : Instances.aba) ops =
+  List.map
+    (fun (p_sel, op_sel, v) ->
+      let p = p_sel mod n in
+      if op_sel mod 2 = 0 then
+        let value, flag = wrap.run p (fun () -> inst.Instances.dread p) in
+        Printf.sprintf "p%d:dread=%d,%b" p value flag
+      else begin
+        wrap.run p (fun () -> inst.Instances.dwrite p v);
+        Printf.sprintf "p%d:dwrite %d" p v
+      end)
+    ops
+
+let llsc_transcript ~wrap (inst : Instances.llsc) ops =
+  List.map
+    (fun (p_sel, op_sel, v) ->
+      let p = p_sel mod n in
+      match op_sel mod 3 with
+      | 0 -> Printf.sprintf "p%d:ll=%d" p (wrap.run p (fun () -> inst.Instances.ll p))
+      | 1 ->
+          Printf.sprintf "p%d:sc %d=%b" p v
+            (wrap.run p (fun () -> inst.Instances.sc p v))
+      | _ -> Printf.sprintf "p%d:vl=%b" p (wrap.run p (fun () -> inst.Instances.vl p)))
+    ops
+
+let agree label t_seq t_sim t_rt =
+  let pp ts = String.concat "; " ts in
+  if t_seq <> t_sim then
+    QCheck2.Test.fail_reportf "%s: seq vs sim\nseq: %s\nsim: %s" label
+      (pp t_seq) (pp t_sim)
+  else if t_seq <> t_rt then
+    QCheck2.Test.fail_reportf "%s: seq vs rt\nseq: %s\nrt:  %s" label
+      (pp t_seq) (pp t_rt)
+  else true
+
+let aba_cross (label, builder) =
+  qtest (label ^ ": seq, sim and rt backends agree") gen_ops (fun ops ->
+      let t_seq = aba_transcript ~wrap:direct (Instances.aba_seq builder ~n) ops in
+      let sim = Aba_sim.Sim.create ~n in
+      let t_sim =
+        aba_transcript ~wrap:(solo sim) (Instances.aba_in_sim builder sim ~n) ops
+      in
+      let t_rt = aba_transcript ~wrap:direct (Instances.aba_rt builder ~n) ops in
+      agree label t_seq t_sim t_rt)
+
+let llsc_cross (label, builder) =
+  qtest (label ^ ": seq, sim and rt backends agree") gen_ops (fun ops ->
+      let t_seq =
+        llsc_transcript ~wrap:direct (Instances.llsc_seq builder ~n) ops
+      in
+      let sim = Aba_sim.Sim.create ~n in
+      let t_sim =
+        llsc_transcript ~wrap:(solo sim)
+          (Instances.llsc_in_sim builder sim ~n)
+          ops
+      in
+      let t_rt =
+        llsc_transcript ~wrap:direct (Instances.llsc_rt builder ~n) ops
+      in
+      agree label t_seq t_sim t_rt)
+
+(* The runtime wrappers in [lib/runtime] are the same functors over the
+   same backend; spot-check that they too match the sequential reference,
+   through their own (packed, validated) [create] paths. *)
+let runtime_wrappers_match () =
+  let ops =
+    [ (0, 0, 0); (1, 1, 3); (1, 0, 0); (2, 1, 5); (0, 2, 0); (3, 0, 0) ]
+  in
+  let reference =
+    llsc_transcript ~wrap:direct
+      (Instances.llsc_with_mem
+         ~value_bound:(Aba_primitives.Bounded.int_range ~lo:0 ~hi:255)
+         ~init:0 Instances.llsc_fig3
+         (Aba_primitives.Seq_mem.make ())
+         ~n)
+      ops
+  in
+  let rt = Aba_runtime.Rt_llsc.Packed_fig3.create ~n ~init:0 in
+  let wrapped =
+    {
+      Instances.llsc_name = "rt";
+      ll = (fun p -> Aba_runtime.Rt_llsc.Packed_fig3.ll rt ~pid:p);
+      sc = (fun p v -> Aba_runtime.Rt_llsc.Packed_fig3.sc rt ~pid:p v);
+      vl = (fun p -> Aba_runtime.Rt_llsc.Packed_fig3.vl rt ~pid:p);
+      llsc_space = (fun () -> []);
+      llsc_initial = 0;
+    }
+  in
+  let actual = llsc_transcript ~wrap:direct wrapped ops in
+  Alcotest.(check (list string)) "Rt_llsc.Packed_fig3 matches seq fig3"
+    reference actual
+
+let suite =
+  List.concat
+    [
+      List.map aba_cross (Instances.all_aba ());
+      List.map llsc_cross (Instances.all_llsc ());
+      [
+        Alcotest.test_case "runtime wrapper transcripts" `Quick
+          runtime_wrappers_match;
+      ];
+    ]

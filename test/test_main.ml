@@ -15,4 +15,5 @@ let () =
       ("reclamation", Test_reclaim.suite);
       ("ablations", Test_ablation.suite);
       ("differential", Test_differential.suite);
+      ("backends", Test_backends.suite);
     ]

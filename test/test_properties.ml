@@ -113,6 +113,47 @@ let seq_pool_avoids_announced =
       done;
       !ok)
 
+(* --- The Figure 3 (value, mask) codec --- *)
+
+(* The packed representation must be injective: the runtime backend CASes
+   the encoded int directly, so any two distinct (value, mask) pairs that
+   collided would make hardware CAS succeed where the structural CAS of the
+   seq/sim backends fails. *)
+module F3 = Aba_core.Llsc_from_cas
+
+let gen_codec_case =
+  (* n processes (1..40 as in the runtime wrappers), a value in the packed
+     domain including the default bound's -1, and an n-bit mask. *)
+  QCheck2.Gen.(
+    int_range 1 40 >>= fun n ->
+    triple (return n)
+      (int_range (-1) ((1 lsl min 30 (62 - n)) - 1))
+      (int_range 0 ((1 lsl n) - 1)))
+
+let codec_roundtrip =
+  qtest "fig3 codec: decode (encode v) = v" gen_codec_case
+    (fun (n, value, mask) ->
+      let c = F3.codec ~n in
+      let v = { F3.value; mask } in
+      c.Mem_intf.decode (c.Mem_intf.encode v) = v)
+
+let codec_roundtrip_packed =
+  qtest "fig3 codec: encode (decode p) = p"
+    QCheck2.Gen.(pair (int_range 1 40) (int_range min_int max_int))
+    (fun (n, p) ->
+      let c = F3.codec ~n in
+      c.Mem_intf.encode (c.Mem_intf.decode p) = p)
+
+let codec_respects_bound =
+  (* Encoding stays within one immediate int without overflowing into the
+     sign bit: ordering of encoded words follows the (value, mask) pairs
+     lexicographically, so in particular encode is monotone in value. *)
+  qtest "fig3 codec: packing isolates value and mask bits" gen_codec_case
+    (fun (n, value, mask) ->
+      let c = F3.codec ~n in
+      let p = c.Mem_intf.encode { F3.value; mask } in
+      p asr n = value && p land ((1 lsl n) - 1) = mask)
+
 (* --- Event histories --- *)
 
 let gen_history =
@@ -289,6 +330,9 @@ let suite =
     bounded_pair_size;
     bounded_option;
     univ_roundtrip;
+    codec_roundtrip;
+    codec_roundtrip_packed;
+    codec_respects_bound;
     seq_pool_fresh;
     seq_pool_avoids_announced;
     event_well_formed;
