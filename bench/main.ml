@@ -97,7 +97,7 @@ let thm3_fig4_tests =
 let thm2_fig3_tests =
   List.concat_map
     (fun n ->
-      let l = Aba_runtime.Rt_llsc.Packed_fig3.create ~n ~init:0 in
+      let l = Aba_runtime.Rt_llsc.Packed_fig3.create ~n ~init:0 () in
       [
         Test.make
           ~name:(Printf.sprintf "fig3.ll+sc n=%d" n)
@@ -124,7 +124,7 @@ let moir_tests =
 (* Theorem 4 / Figure 5 + intro: ABA-detecting register flavours. *)
 let aba_register_tests =
   let stamped = Aba_runtime.Rt_aba.Stamped.create ~n:8 0 in
-  let from_llsc = Aba_runtime.Rt_aba.From_llsc.create ~n:8 ~init:0 in
+  let from_llsc = Aba_runtime.Rt_aba.From_llsc.create ~n:8 ~init:0 () in
   [
     Test.make ~name:"stamped.dread n=8"
       (staged (fun () ->
@@ -248,14 +248,16 @@ end
 
 let unified_vs_handwritten_tests =
   let n = 8 in
-  let u_llsc = Aba_runtime.Rt_llsc.Packed_fig3.create ~n ~init:0 in
+  (* Padding enabled: the claim is that the contention-management layout
+     costs nothing per operation — still 0 words/op on ll+sc. *)
+  let u_llsc = Aba_runtime.Rt_llsc.Packed_fig3.create ~padded:true ~n ~init:0 () in
   let h_llsc = Handwritten.Packed_fig3.create ~n ~init:0 in
   let u_fig4 = Aba_runtime.Rt_aba.Fig4.create ~n 0 in
   let h_fig4 = Handwritten.Fig4.create ~n 0 in
   ignore (Aba_runtime.Rt_aba.Fig4.dread u_fig4 ~pid:1);
   ignore (Handwritten.Fig4.dread h_fig4 ~pid:1);
   [
-    Test.make ~name:"fig3.ll+sc unified n=8"
+    Test.make ~name:"fig3.ll+sc unified-padded n=8"
       (staged (fun () ->
            ignore (Aba_runtime.Rt_llsc.Packed_fig3.ll u_llsc ~pid:1);
            ignore (Aba_runtime.Rt_llsc.Packed_fig3.sc u_llsc ~pid:1 5)));
@@ -279,7 +281,7 @@ let unified_vs_handwritten_tests =
 let treiber_tests =
   List.map
     (fun (name, protection) ->
-      let s = Aba_runtime.Rt_treiber.create ~protection ~capacity:64 ~n:8 in
+      let s = Aba_runtime.Rt_treiber.create ~protection ~capacity:64 ~n:8 () in
       Test.make ~name:(Printf.sprintf "treiber.%s push+pop" name)
         (staged (fun () ->
              ignore (Aba_runtime.Rt_treiber.push s ~pid:1 42);
@@ -299,7 +301,7 @@ let treiber_tests =
 let msqueue_tests =
   List.map
     (fun (name, protection) ->
-      let q = Aba_runtime.Rt_ms_queue.create ~protection ~capacity:64 ~n:8 in
+      let q = Aba_runtime.Rt_ms_queue.create ~protection ~capacity:64 ~n:8 () in
       Test.make ~name:(Printf.sprintf "msqueue.%s enq+deq" name)
         (staged (fun () ->
              ignore (Aba_runtime.Rt_ms_queue.enqueue q ~pid:1 42);
@@ -338,7 +340,7 @@ let multicore_treiber ~domains ~ops () =
   List.map
     (fun (name, protection) ->
       let s =
-        Aba_runtime.Rt_treiber.create ~protection ~capacity:1024 ~n:domains
+        Aba_runtime.Rt_treiber.create ~protection ~capacity:1024 ~n:domains ()
       in
       let t0 = Unix.gettimeofday () in
       let _ =
@@ -358,16 +360,202 @@ let multicore_treiber ~domains ~ops () =
       ("llsc", Aba_runtime.Rt_treiber.Llsc);
     ]
 
-(* ----- JSON emission (hand-rolled; no JSON dependency in the image) ----- *)
+(* ----- Domain-scalability sweep -----
 
-let json_path () =
-  let path = ref None in
-  Array.iteri
-    (fun i arg ->
-      if arg = "--json" && i + 1 < Array.length Sys.argv then
-        path := Some Sys.argv.(i + 1))
-    Sys.argv;
-  !path
+   The contention-management layer (padding + backoff) only shows up
+   under real parallelism, which bechamel's single-domain harness cannot
+   see.  This sweep runs the contended hot paths at every domain count
+   from 1 to [max_domains], on both ends of the padded and backoff axes,
+   so the JSON output carries the full scalability curves. *)
+
+type sweep_row = {
+  sw_bench : string;
+  sw_config : string;
+  sw_padded : bool;
+  sw_backoff : bool;
+  sw_domains : int;
+  sw_ops : int;  (** per-domain operation count *)
+  sw_throughput : float;
+}
+
+let time_domains ~domains body =
+  let t0 = Unix.gettimeofday () in
+  let _ = Aba_runtime.Harness.run_domains ~n:domains body in
+  Unix.gettimeofday () -. t0
+
+(* The 2x2 cross of the two contention axes. *)
+let sweep_configs =
+  [
+    ("bare", false, false);
+    ("padded", true, false);
+    ("backoff", false, true);
+    ("padded+backoff", true, true);
+  ]
+
+let scalability_sweep ~max_domains ~ops () =
+  Printf.printf "\nDomain-scalability sweep (1..%d domains, %d ops/domain):\n"
+    max_domains ops;
+  let rows = ref [] in
+  let record sw_bench sw_config sw_padded sw_backoff sw_domains total_ops dt =
+    let sw_throughput = float_of_int total_ops /. dt in
+    Printf.printf "  %-18s %-16s d=%-3d %12.0f ops/s\n" sw_bench sw_config
+      sw_domains sw_throughput;
+    rows :=
+      {
+        sw_bench;
+        sw_config;
+        sw_padded;
+        sw_backoff;
+        sw_domains;
+        sw_ops = ops;
+        sw_throughput;
+      }
+      :: !rows
+  in
+  for d = 1 to max_domains do
+    List.iter
+      (fun (config, padded, backoff) ->
+        let spec =
+          if backoff then Aba_primitives.Backoff.default_spec
+          else Aba_primitives.Backoff.Noop
+        in
+        (* Figure 3: every domain hammers the one bounded-CAS word. *)
+        let l =
+          Aba_runtime.Rt_llsc.Packed_fig3.create ~padded ~backoff:spec ~n:d
+            ~init:0 ()
+        in
+        let dt =
+          time_domains ~domains:d (fun pid ->
+              for i = 1 to ops do
+                ignore (Aba_runtime.Rt_llsc.Packed_fig3.ll l ~pid);
+                ignore (Aba_runtime.Rt_llsc.Packed_fig3.sc l ~pid i)
+              done)
+        in
+        record "fig3.ll+sc" config padded backoff d (2 * d * ops) dt;
+        (* Treiber over the Figure-3 LL/SC word: contended head plus the
+           free-list traffic. *)
+        let s =
+          Aba_runtime.Rt_treiber.create ~padded ~backoff
+            ~protection:Aba_runtime.Rt_treiber.Llsc ~capacity:1024 ~n:d ()
+        in
+        let dt =
+          time_domains ~domains:d (fun pid ->
+              for i = 1 to ops do
+                ignore (Aba_runtime.Rt_treiber.push s ~pid i);
+                ignore (Aba_runtime.Rt_treiber.pop s ~pid)
+              done)
+        in
+        record "treiber.push+pop" config padded backoff d (2 * d * ops) dt;
+        (* MS queue, counted-pointer variant: head, tail and the link
+           words are all contended. *)
+        let q =
+          Aba_runtime.Rt_ms_queue.create ~padded ~backoff
+            ~protection:(Aba_runtime.Rt_ms_queue.Tag_bits 16) ~capacity:1024
+            ~n:d ()
+        in
+        let dt =
+          time_domains ~domains:d (fun pid ->
+              for i = 1 to ops do
+                ignore (Aba_runtime.Rt_ms_queue.enqueue q ~pid i);
+                ignore (Aba_runtime.Rt_ms_queue.dequeue q ~pid)
+              done)
+        in
+        record "msqueue.enq+deq" config padded backoff d (2 * d * ops) dt;
+        (* Figure 4 is wait-free — no retry loop for backoff to pace — so
+           only the padding axis is swept. *)
+        if not backoff then begin
+          let r = Aba_runtime.Rt_aba.Fig4.create ~padded ~n:d 0 in
+          let dt =
+            time_domains ~domains:d (fun pid ->
+                for i = 1 to ops do
+                  Aba_runtime.Rt_aba.Fig4.dwrite r ~pid i
+                done)
+          in
+          record "fig4.dwrite" config padded backoff d (d * ops) dt;
+          let dt =
+            time_domains ~domains:d (fun pid ->
+                for _ = 1 to ops do
+                  ignore (Aba_runtime.Rt_aba.Fig4.dread r ~pid)
+                done)
+          in
+          record "fig4.dread" config padded backoff d (d * ops) dt
+        end)
+      sweep_configs
+  done;
+  List.rev !rows
+
+(* ----- Command line ----- *)
+
+type options = {
+  json : string option;
+  domains : int;  (** multicore treiber table + reclaim comparison *)
+  treiber_ops : int;
+  reclaim_ops : int;
+  max_domains : int;  (** sweep upper bound *)
+  sweep_ops : int;
+  smoke : bool;  (** sweep + JSON only: CI-sized smoke run *)
+}
+
+let default_options () =
+  {
+    json = None;
+    domains = 4;
+    treiber_ops = 50_000;
+    reclaim_ops = 20_000;
+    max_domains = Aba_runtime.Harness.available_parallelism ();
+    sweep_ops = 10_000;
+    smoke = false;
+  }
+
+let usage_and_exit code =
+  prerr_endline
+    "usage: bench [--json FILE] [--domains N] [--ops N] [--max-domains N]\n\
+    \             [--sweep-ops N] [--smoke]\n\n\
+    \  --json FILE     write machine-readable results to FILE\n\
+    \  --domains N     domain count for the treiber/reclaim tables \
+     (default 4)\n\
+    \  --ops N         per-domain ops for the treiber and reclaim tables\n\
+    \  --max-domains N scalability sweep upper bound (default: all cores)\n\
+    \  --sweep-ops N   per-domain ops per sweep cell (default 10000)\n\
+    \  --smoke         run only the sweep (plus JSON output): CI smoke test";
+  exit code
+
+let parse_options () =
+  let o = ref (default_options ()) in
+  let argc = Array.length Sys.argv in
+  let value i =
+    if i + 1 >= argc then usage_and_exit 2 else Sys.argv.(i + 1)
+  in
+  let int_value i =
+    match int_of_string_opt (value i) with
+    | Some n when n > 0 -> n
+    | Some _ | None ->
+        Printf.eprintf "bench: %s needs a positive integer\n" Sys.argv.(i);
+        usage_and_exit 2
+  in
+  let rec go i =
+    if i < argc then
+      match Sys.argv.(i) with
+      | "--json" -> o := { !o with json = Some (value i) }; go (i + 2)
+      | "--domains" -> o := { !o with domains = int_value i }; go (i + 2)
+      | "--ops" ->
+          let n = int_value i in
+          o := { !o with treiber_ops = n; reclaim_ops = n };
+          go (i + 2)
+      | "--max-domains" -> o := { !o with max_domains = int_value i }; go (i + 2)
+      | "--sweep-ops" -> o := { !o with sweep_ops = int_value i }; go (i + 2)
+      | "--smoke" -> o := { !o with smoke = true }; go (i + 1)
+      | "--help" | "-h" -> usage_and_exit 0
+      | arg ->
+          Printf.eprintf "bench: unknown argument %s\n" arg;
+          usage_and_exit 2
+  in
+  go 1;
+  !o
+
+(* ----- JSON emission ----- *)
+
+module Json = Aba_experiments.Json
 
 (* Provenance for archived result files: enough to re-run the benchmark on
    the same code and know what produced the numbers. *)
@@ -380,81 +568,112 @@ let git_commit () =
     | _ -> "unknown"
   with _ -> "unknown"
 
-let meta_json buf =
+let meta_json () =
   let tm = Unix.gmtime (Unix.time ()) in
-  Buffer.add_string buf
-    (Printf.sprintf
-       "  \"meta\": {\n\
-       \    \"schema_version\": 1,\n\
-       \    \"git_commit\": %S,\n\
-       \    \"ocaml_version\": %S,\n\
-       \    \"available_domains\": %d,\n\
-       \    \"timestamp_utc\": \"%04d-%02d-%02dT%02d:%02d:%02dZ\"\n\
-       \  },\n"
-       (git_commit ()) Sys.ocaml_version
-       (Aba_runtime.Harness.available_parallelism ())
-       (tm.Unix.tm_year + 1900) (tm.Unix.tm_mon + 1) tm.Unix.tm_mday
-       tm.Unix.tm_hour tm.Unix.tm_min tm.Unix.tm_sec)
+  Json.Obj
+    [
+      ("schema_version", Json.Int 2);
+      ("git_commit", Json.Str (git_commit ()));
+      ("ocaml_version", Json.Str Sys.ocaml_version);
+      ( "available_domains",
+        Json.Int (Aba_runtime.Harness.available_parallelism ()) );
+      ( "timestamp_utc",
+        Json.Str
+          (Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ"
+             (tm.Unix.tm_year + 1900) (tm.Unix.tm_mon + 1) tm.Unix.tm_mday
+             tm.Unix.tm_hour tm.Unix.tm_min tm.Unix.tm_sec) );
+    ]
 
-let write_json path ~treiber_rows ~reclaim_rows =
-  let buf = Buffer.create 4096 in
-  let sep buf = function true -> () | false -> Buffer.add_string buf ",\n" in
-  Buffer.add_string buf "{\n";
-  meta_json buf;
-  Buffer.add_string buf "  \"multicore_treiber\": [\n";
-  List.iteri
-    (fun i (name, domains, ops, throughput) ->
-      sep buf (i = 0);
-      Buffer.add_string buf
-        (Printf.sprintf
-           "    {\"variant\": %S, \"domains\": %d, \"ops\": %d, \
-            \"ops_per_sec\": %.1f}"
-           name domains ops throughput))
-    treiber_rows;
-  Buffer.add_string buf "\n  ],\n  \"reclamation\": [\n";
-  List.iteri
-    (fun i (r : Aba_experiments.Experiments.reclaim_row) ->
-      sep buf (i = 0);
-      Buffer.add_string buf
-        (Printf.sprintf
-           "    {\"structure\": %S, \"scheme\": %S, \"domains\": %d, \"ops\": \
-            %d, \"capacity\": %d, \"ops_per_sec\": %.1f, \"retired\": %d, \
-            \"reclaimed\": %d, \"peak_in_limbo\": %d, \"ok\": %b}"
-           r.structure r.scheme r.domains r.ops r.capacity r.throughput
-           r.retired r.reclaimed r.peak_in_limbo r.ok))
-    reclaim_rows;
-  Buffer.add_string buf "\n  ]\n}\n";
+let treiber_row_json (name, domains, ops, throughput) =
+  Json.Obj
+    [
+      ("variant", Json.Str name);
+      ("domains", Json.Int domains);
+      ("ops", Json.Int ops);
+      ("ops_per_sec", Json.Float throughput);
+    ]
+
+let reclaim_row_json (r : Aba_experiments.Experiments.reclaim_row) =
+  Json.Obj
+    [
+      ("structure", Json.Str r.structure);
+      ("scheme", Json.Str r.scheme);
+      ("domains", Json.Int r.domains);
+      ("ops", Json.Int r.ops);
+      ("capacity", Json.Int r.capacity);
+      ("ops_per_sec", Json.Float r.throughput);
+      ("retired", Json.Int r.retired);
+      ("reclaimed", Json.Int r.reclaimed);
+      ("peak_in_limbo", Json.Int r.peak_in_limbo);
+      ("ok", Json.Bool r.ok);
+    ]
+
+let sweep_row_json r =
+  Json.Obj
+    [
+      ("bench", Json.Str r.sw_bench);
+      ("config", Json.Str r.sw_config);
+      ("padded", Json.Bool r.sw_padded);
+      ("backoff", Json.Bool r.sw_backoff);
+      ("domains", Json.Int r.sw_domains);
+      ("ops", Json.Int r.sw_ops);
+      ("ops_per_sec", Json.Float r.sw_throughput);
+    ]
+
+let write_json path ~treiber_rows ~reclaim_rows ~sweep_rows =
+  let doc =
+    Json.Obj
+      [
+        ("meta", meta_json ());
+        ("multicore_treiber", Json.Arr (List.map treiber_row_json treiber_rows));
+        ("reclamation", Json.Arr (List.map reclaim_row_json reclaim_rows));
+        ("scalability_sweep", Json.Arr (List.map sweep_row_json sweep_rows));
+      ]
+  in
   let oc = open_out path in
-  output_string oc (Buffer.contents buf);
+  output_string oc (Json.to_string doc);
   close_out oc;
   Printf.printf "\nWrote JSON results to %s\n" path
 
 let () =
-  (* Part 1: the paper-derived experiment tables (exact, step-model). *)
-  Aba_experiments.Experiments.run_space [ 3; 4; 6; 8 ];
-  Aba_experiments.Experiments.run_covering [ 3; 4 ];
-  Aba_experiments.Experiments.run_wraparound ();
-  Aba_experiments.Experiments.run_tradeoff [ 4; 8 ];
-  Aba_experiments.Experiments.run_steps [ 3; 4; 6; 8; 12; 16 ];
-  Aba_experiments.Experiments.run_explore ();
-  Aba_experiments.Experiments.run_ablation ();
-  Aba_experiments.Experiments.run_stack ~domains:4 ~ops:5_000 ();
-  ablation_fig3 ();
-  (* Part 2: wall-clock benchmarks of the runtime ports. *)
-  print_endline "\n=== Wall-clock micro-benchmarks (Bechamel) ===";
-  benchmark_and_print "thm3-figure4-runtime" thm3_fig4_tests;
-  benchmark_and_print "thm2-figure3-runtime" thm2_fig3_tests;
-  benchmark_and_print "moir-unbounded-runtime" moir_tests;
-  benchmark_and_print "aba-registers-runtime" aba_register_tests;
-  benchmark_alloc_and_print "unified-vs-handwritten"
-    unified_vs_handwritten_tests;
-  benchmark_and_print "treiber-runtime" treiber_tests;
-  benchmark_and_print "msqueue-runtime" msqueue_tests;
-  let treiber_rows = multicore_treiber ~domains:4 ~ops:50_000 () in
+  let o = parse_options () in
+  if not o.smoke then begin
+    (* Part 1: the paper-derived experiment tables (exact, step-model). *)
+    Aba_experiments.Experiments.run_space [ 3; 4; 6; 8 ];
+    Aba_experiments.Experiments.run_covering [ 3; 4 ];
+    Aba_experiments.Experiments.run_wraparound ();
+    Aba_experiments.Experiments.run_tradeoff [ 4; 8 ];
+    Aba_experiments.Experiments.run_steps [ 3; 4; 6; 8; 12; 16 ];
+    Aba_experiments.Experiments.run_explore ();
+    Aba_experiments.Experiments.run_ablation ();
+    Aba_experiments.Experiments.run_stack ~domains:o.domains ~ops:5_000 ();
+    ablation_fig3 ();
+    (* Part 2: wall-clock benchmarks of the runtime ports. *)
+    print_endline "\n=== Wall-clock micro-benchmarks (Bechamel) ===";
+    benchmark_and_print "thm3-figure4-runtime" thm3_fig4_tests;
+    benchmark_and_print "thm2-figure3-runtime" thm2_fig3_tests;
+    benchmark_and_print "moir-unbounded-runtime" moir_tests;
+    benchmark_and_print "aba-registers-runtime" aba_register_tests;
+    benchmark_alloc_and_print "unified-vs-handwritten"
+      unified_vs_handwritten_tests;
+    benchmark_and_print "treiber-runtime" treiber_tests;
+    benchmark_and_print "msqueue-runtime" msqueue_tests
+  end;
+  let treiber_rows =
+    if o.smoke then []
+    else multicore_treiber ~domains:o.domains ~ops:o.treiber_ops ()
+  in
   (* Part 3: reclamation-scheme comparison (throughput + peak space). *)
   let reclaim_rows =
-    Aba_experiments.Experiments.run_reclaim ~domains:4 ~ops:20_000 ()
+    if o.smoke then []
+    else
+      Aba_experiments.Experiments.run_reclaim ~domains:o.domains
+        ~ops:o.reclaim_ops ()
   in
-  match json_path () with
+  (* Part 4: the contention-management scalability sweep. *)
+  let sweep_rows =
+    scalability_sweep ~max_domains:o.max_domains ~ops:o.sweep_ops ()
+  in
+  match o.json with
   | None -> ()
-  | Some path -> write_json path ~treiber_rows ~reclaim_rows
+  | Some path -> write_json path ~treiber_rows ~reclaim_rows ~sweep_rows

@@ -72,7 +72,7 @@ let directed_schedule protection label =
   end
 
 let runtime_hammer protection label ~domains ~ops =
-  let stack = Aba_runtime.Rt_treiber.create ~protection ~capacity:8 ~n:domains in
+  let stack = Aba_runtime.Rt_treiber.create ~protection ~capacity:8 ~n:domains () in
   let results =
     Aba_runtime.Harness.run_domains ~n:domains (fun d ->
         let pushed = ref [] and popped = ref [] in

@@ -42,7 +42,7 @@ end)
         Printf.sprintf "(%d,p%d,%d)" value writer tag
 
   let create ?(value_bound = Bounded.int_range ~lo:(-1) ~hi:255)
-      ?(init = initial_value) ~n () =
+      ?(init = initial_value) ?(padded = false) ?backoff:_ ~n () =
     let bound =
       Bounded.make ~describe:
         (Printf.sprintf "(%s * pid<%d * tag<%d) option"
@@ -55,7 +55,7 @@ end)
               && 0 <= tag && tag < tag_bound)
     in
     {
-      x = M.make_register ~bound ~name:"X" ~show None;
+      x = M.make_register ~bound ~padded ~name:"X" ~show None;
       locals = Array.init n (fun _ -> { counter = 0; last = None });
       init;
     }

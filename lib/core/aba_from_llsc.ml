@@ -23,7 +23,7 @@ module Make (L : Llsc_intf.S) : Aba_register_intf.S = struct
 
   type t = { obj : L.t; old : int array }
 
-  let create ?value_bound ?init ~n () =
+  let create ?value_bound ?init ?padded ?backoff ~n () =
     let value_bound =
       match value_bound with
       | Some b -> Some b
@@ -32,8 +32,9 @@ module Make (L : Llsc_intf.S) : Aba_register_intf.S = struct
     {
       (* When [init] is absent the source object keeps its own default
          initial value; only the cached [old] values start at
-         {!initial_value}. *)
-      obj = L.create ?value_bound ?init ~n ();
+         {!initial_value}.  Contention hints go straight to the source
+         object — this layer adds no shared state of its own. *)
+      obj = L.create ?value_bound ?init ?padded ?backoff ~n ();
       old = Array.make n (Option.value init ~default:initial_value);
     }
 

@@ -65,8 +65,13 @@ end)
     | None -> "_"
     | Some (p, s) -> Printf.sprintf "(p%d,%d)" p s
 
+  (* The construction is wait-free — no retry loop anywhere — so [backoff]
+     is accepted (for interface uniformity) and ignored.  [padded] spreads
+     the [n + 1] registers over distinct cache lines: [X] and each [A[q]]
+     are written by different processes, and unpadded they sit on adjacent
+     lines, so every DWrite invalidates every reader's announce entry. *)
   let create ?(value_bound = Bounded.int_range ~lo:(-1) ~hi:255)
-      ?(init = initial_value) ~n () =
+      ?(init = initial_value) ?(padded = false) ?backoff:_ ~n () =
     let seq_ceiling = Ceiling.seq_ceiling ~n in
     let x_bound =
       Bounded.make
@@ -88,18 +93,19 @@ end)
           | Some (p, s) -> Pid.is_valid ~n p && 0 <= s && s <= seq_ceiling)
     in
     let make_local _ =
-      { b = false; pool = Seq_pool.create ~ceiling:seq_ceiling ~n () }
+      let l = { b = false; pool = Seq_pool.create ~ceiling:seq_ceiling ~n () } in
+      if padded then Padded.copy l else l
     in
     let announce =
       Array.init n (fun q ->
-          M.make_register ~bound:a_bound
+          M.make_register ~bound:a_bound ~padded
             ~name:(Printf.sprintf "A[%d]" q)
             ~show:show_a None)
     in
     {
       n;
       seq_ceiling;
-      x = M.make_register ~bound:x_bound ~name:"X" ~show:show_x None;
+      x = M.make_register ~bound:x_bound ~padded ~name:"X" ~show:show_x None;
       announce;
       read_announce = (fun c -> M.read announce.(c));
       locals = Array.init n make_local;

@@ -17,12 +17,16 @@ module type S = sig
 
   type t
 
-  val create : ?value_bound:int Bounded.t -> ?init:int -> n:int -> unit -> t
+  val create :
+    ?value_bound:int Bounded.t -> ?init:int -> ?padded:bool ->
+    ?backoff:Backoff.spec -> n:int -> unit -> t
   (** A register for a system of [n] processes, initially holding [init]
       (default {!initial_value}).  [value_bound] (default [[-1..255]])
       bounds the stored values so that base objects are bounded, as
       Theorems 1 and 3 require; implementations that need unbounded base
-      objects ignore it. *)
+      objects ignore it.  [padded]/[backoff] are contention-management
+      hints as in {!Llsc_intf.S.create}; wait-free implementations take no
+      backoff and ignore the spec. *)
 
   val dwrite : t -> pid:Pid.t -> int -> unit
 

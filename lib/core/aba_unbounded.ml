@@ -31,10 +31,11 @@ module Make (M : Mem_intf.S) : Aba_register_intf.S = struct
     | Some { value; writer; tag } ->
         Printf.sprintf "(%d,p%d,%d)" value writer tag
 
-  let create ?value_bound:_ ?(init = initial_value) ~n () =
+  let create ?value_bound:_ ?(init = initial_value) ?(padded = false)
+      ?backoff:_ ~n () =
     Pid.check ~n 0;
     {
-      x = M.make_register ~name:"X" ~show None;
+      x = M.make_register ~padded ~name:"X" ~show None;
       locals = Array.init n (fun _ -> { counter = 0; last = None });
       init;
     }

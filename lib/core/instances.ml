@@ -142,24 +142,25 @@ let llsc_of_impl (type t) (module I : Llsc_intf.S with type t = t) (obj : t) =
     llsc_initial = I.initial_value;
   }
 
-let aba_with_mem ?value_bound (module B : ABA_BUILDER)
+let aba_with_mem ?value_bound ?padded ?backoff (module B : ABA_BUILDER)
     (mem : (module Mem_intf.S)) ~n =
   let module M = (val mem) in
   let module I = B.Make (M) in
-  aba_of_impl (module I) (I.create ?value_bound ~n ())
+  aba_of_impl (module I) (I.create ?value_bound ?padded ?backoff ~n ())
 
-let llsc_with_mem ?value_bound ?init (module B : LLSC_BUILDER)
-    (mem : (module Mem_intf.S)) ~n =
+let llsc_with_mem ?value_bound ?init ?padded ?backoff
+    (module B : LLSC_BUILDER) (mem : (module Mem_intf.S)) ~n =
   let module M = (val mem) in
   let module I = B.Make (M) in
-  llsc_of_impl (module I) (I.create ?value_bound ?init ~n ())
+  llsc_of_impl (module I) (I.create ?value_bound ?init ?padded ?backoff ~n ())
 
 let aba_in_sim ?value_bound b sim ~n =
   aba_with_mem ?value_bound b (Aba_sim.Sim_mem.make sim) ~n
 
 let aba_seq ?value_bound b ~n = aba_with_mem ?value_bound b (Seq_mem.make ()) ~n
 
-let aba_rt ?value_bound b ~n = aba_with_mem ?value_bound b (Rt_mem.make ~n ()) ~n
+let aba_rt ?value_bound ?padded ?backoff b ~n =
+  aba_with_mem ?value_bound ?padded ?backoff b (Rt_mem.make ~n ()) ~n
 
 let llsc_in_sim ?value_bound b sim ~n =
   llsc_with_mem ?value_bound b (Aba_sim.Sim_mem.make sim) ~n
@@ -167,5 +168,5 @@ let llsc_in_sim ?value_bound b sim ~n =
 let llsc_seq ?value_bound b ~n =
   llsc_with_mem ?value_bound b (Seq_mem.make ()) ~n
 
-let llsc_rt ?value_bound ?init b ~n =
-  llsc_with_mem ?value_bound ?init b (Rt_mem.make ~n ()) ~n
+let llsc_rt ?value_bound ?init ?padded ?backoff b ~n =
+  llsc_with_mem ?value_bound ?init ?padded ?backoff b (Rt_mem.make ~n ()) ~n

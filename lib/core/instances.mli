@@ -97,17 +97,23 @@ val all_llsc : unit -> (string * llsc_builder) list
 
 val aba_with_mem :
   ?value_bound:int Bounded.t ->
+  ?padded:bool ->
+  ?backoff:Backoff.spec ->
   aba_builder ->
   (module Mem_intf.S) ->
   n:int ->
   aba
 (** Instantiate against an explicit memory instance (used by code that is
     itself a functor over {!Mem_intf.S}, e.g. the application data
-    structures). *)
+    structures).  [padded]/[backoff] are the contention-management hints of
+    {!Llsc_intf.S.create}; they default off, and the checking backends
+    ignore them. *)
 
 val llsc_with_mem :
   ?value_bound:int Bounded.t ->
   ?init:int ->
+  ?padded:bool ->
+  ?backoff:Backoff.spec ->
   llsc_builder ->
   (module Mem_intf.S) ->
   n:int ->
@@ -121,7 +127,13 @@ val aba_in_sim :
 val aba_seq : ?value_bound:int Bounded.t -> aba_builder -> n:int -> aba
 (** Direct semantics; operations execute immediately. *)
 
-val aba_rt : ?value_bound:int Bounded.t -> aba_builder -> n:int -> aba
+val aba_rt :
+  ?value_bound:int Bounded.t ->
+  ?padded:bool ->
+  ?backoff:Backoff.spec ->
+  aba_builder ->
+  n:int ->
+  aba
 (** The same functor over {!Aba_primitives.Rt_mem}: every shared-memory
     access is an OCaml 5 [Atomic] operation, safe for concurrent use by up
     to [n] domains with distinct pids.  This is the instantiation the
@@ -133,5 +145,11 @@ val llsc_in_sim :
 val llsc_seq : ?value_bound:int Bounded.t -> llsc_builder -> n:int -> llsc
 
 val llsc_rt :
-  ?value_bound:int Bounded.t -> ?init:int -> llsc_builder -> n:int -> llsc
+  ?value_bound:int Bounded.t ->
+  ?init:int ->
+  ?padded:bool ->
+  ?backoff:Backoff.spec ->
+  llsc_builder ->
+  n:int ->
+  llsc
 (** See {!aba_rt}. *)

@@ -34,7 +34,7 @@ end)
   let show { value; tag } = Printf.sprintf "(%d,#%d)" value tag
 
   let create ?(value_bound = Bounded.int_range ~lo:(-1) ~hi:255)
-      ?(init = initial_value) ~n () =
+      ?(init = initial_value) ?(padded = false) ?backoff:_ ~n () =
     let bound =
       Bounded.make
         ~describe:
@@ -45,7 +45,7 @@ end)
     in
     {
       init;
-      x = M.make_cas ~bound ~name:"X" ~show { value = init; tag = 0 };
+      x = M.make_cas ~bound ~padded ~name:"X" ~show { value = init; tag = 0 };
       link = Array.make n None;
     }
 

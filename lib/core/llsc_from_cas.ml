@@ -59,12 +59,16 @@ end)
     retries : int;
     x : xval M.cas;
     b : bool array;  (** local flag of each process *)
+    bo : Backoff.t array;  (** per-process retry backoff, {!Backoff.noop}
+                               unless the creator asked for contention
+                               management *)
   }
 
   let show { value; mask } = Printf.sprintf "(%d,%#x)" value mask
 
   let create ?(value_bound = Bounded.int_range ~lo:(-1) ~hi:255)
-      ?(init = initial_value) ~n () =
+      ?(init = initial_value) ?(padded = false) ?(backoff = Backoff.Noop) ~n
+      () =
     if n > 61 then invalid_arg "Llsc_from_cas: n must be at most 61";
     let bound =
       Bounded.make
@@ -78,9 +82,12 @@ end)
       n;
       retries = Retries.retries ~n;
       x =
-        M.make_cas_packed ~bound ~name:"X" ~show ~codec:(codec ~n)
+        M.make_cas_packed ~bound ~padded ~name:"X" ~show ~codec:(codec ~n)
           { value = init; mask = 0 };
       b = Array.make n false;
+      (* Each process's backoff record on its own line: slot [p] is mutated
+         on every one of [p]'s failed CAS's. *)
+      bo = Array.init n (fun _ -> Padded.copy (Backoff.make backoff));
     }
 
   (* Bit fiddling on the encoded pair, mirroring {!codec}. *)
@@ -111,10 +118,14 @@ end)
         t.b.(p) <- false;
         value_of t seen
       end
-      else ll_attempt t p packed (i + 1)
+      else begin
+        Backoff.once t.bo.(p);
+        ll_attempt t p packed (i + 1)
+      end
     end
 
   let ll t ~pid:p =
+    Backoff.reset t.bo.(p);
     let packed = M.cas_read_packed t.x in
     if not (bit_set t packed p) then begin
       t.b.(p) <- false;
@@ -130,10 +141,18 @@ end)
       if bit_set t seen p then false
       else if M.cas_packed t.x ~expect:seen ~update:((y lsl t.n) lor all_set t)
       then true
-      else sc_attempt t p y (i + 1)
+      else begin
+        Backoff.once t.bo.(p);
+        sc_attempt t p y (i + 1)
+      end
     end
 
-  let sc t ~pid:p y = if t.b.(p) then false else sc_attempt t p y 1
+  let sc t ~pid:p y =
+    if t.b.(p) then false
+    else begin
+      Backoff.reset t.bo.(p);
+      sc_attempt t p y 1
+    end
 
   (* Lines 9–13. *)
   let vl t ~pid:p =

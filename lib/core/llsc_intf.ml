@@ -13,8 +13,15 @@ module type S = sig
 
   type t
 
-  val create : ?value_bound:int Bounded.t -> ?init:int -> n:int -> unit -> t
-  (** [init] defaults to {!initial_value}. *)
+  val create :
+    ?value_bound:int Bounded.t -> ?init:int -> ?padded:bool ->
+    ?backoff:Backoff.spec -> n:int -> unit -> t
+  (** [init] defaults to {!initial_value}.  [padded] (default [false]) asks
+      the backend to put contended base objects on their own cache lines;
+      [backoff] (default {!Backoff.Noop}) inserts bounded exponential
+      backoff into CAS retry loops.  Both are contention-management hints:
+      wait-free implementations and checking backends ignore what does not
+      apply, and [Noop] keeps seq/sim transcripts deterministic. *)
 
   val ll : t -> pid:Pid.t -> int
 

@@ -55,7 +55,7 @@ module Make (M : Mem_intf.S) : Llsc_intf.S = struct
     | Some (p, s) -> Printf.sprintf "(p%d,%d)" p s
 
   let create ?(value_bound = Bounded.int_range ~lo:(-1) ~hi:255)
-      ?(init = initial_value) ~n () =
+      ?(init = initial_value) ?(padded = false) ?backoff:_ ~n () =
     let seq_ceiling = (2 * n) + 1 in
     let x_bound =
       Bounded.make
@@ -78,10 +78,10 @@ module Make (M : Mem_intf.S) : Llsc_intf.S = struct
     in
     {
       init;
-      x = M.make_cas ~bound:x_bound ~name:"X" ~show:show_x None;
+      x = M.make_cas ~bound:x_bound ~padded ~name:"X" ~show:show_x None;
       announce =
         Array.init n (fun q ->
-            M.make_register ~bound:a_bound
+            M.make_register ~bound:a_bound ~padded
               ~name:(Printf.sprintf "A[%d]" q)
               ~show:show_a None);
       locals =

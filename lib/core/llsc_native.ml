@@ -15,8 +15,8 @@ module Make (M : Mem_intf.S) : Llsc_intf.S = struct
   type t = int M.llsc
 
   let create ?(value_bound = Bounded.int_range ~lo:(-1) ~hi:255)
-      ?(init = initial_value) ~n:_ () =
-    M.make_llsc ~bound:value_bound ~name:"L" ~show:string_of_int init
+      ?(init = initial_value) ?(padded = false) ?backoff:_ ~n:_ () =
+    M.make_llsc ~bound:value_bound ~padded ~name:"L" ~show:string_of_int init
 
   let ll t ~pid = M.ll t ~pid
   let sc t ~pid v = M.sc t ~pid v

@@ -26,10 +26,11 @@ module Make (M : Mem_intf.S) : Llsc_intf.S = struct
 
   let show { value; tag } = Printf.sprintf "(%d,#%d)" value tag
 
-  let create ?value_bound:_ ?(init = initial_value) ~n () =
+  let create ?value_bound:_ ?(init = initial_value) ?(padded = false)
+      ?backoff:_ ~n () =
     {
       init;
-      x = M.make_cas ~name:"X" ~show { value = init; tag = 0 };
+      x = M.make_cas ~padded ~name:"X" ~show { value = init; tag = 0 };
       link = Array.make n None;
     }
 

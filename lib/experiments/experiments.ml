@@ -211,7 +211,7 @@ let run_stack ~domains ~ops () =
   List.iter
     (fun (label, protection) ->
       let stack =
-        Aba_runtime.Rt_treiber.create ~protection ~capacity ~n:domains
+        Aba_runtime.Rt_treiber.create ~protection ~capacity ~n:domains ()
       in
       let results =
         Aba_runtime.Harness.run_domains ~n:domains (fun d ->
@@ -366,7 +366,7 @@ let reclaim_rows ~domains ~ops ~capacity () =
         let s =
           Aba_runtime.Rt_treiber.create
             ~protection:(Aba_runtime.Rt_treiber.Reclaimed scheme)
-            ~capacity ~n:domains
+            ~capacity ~n:domains ()
         in
         (s, fun s -> Option.get (Aba_runtime.Rt_treiber.reclaim_stats s)))
   in
@@ -382,7 +382,7 @@ let reclaim_rows ~domains ~ops ~capacity () =
         let q =
           Aba_runtime.Rt_ms_queue.create
             ~protection:(Aba_runtime.Rt_ms_queue.Reclaimed scheme)
-            ~capacity ~n:domains
+            ~capacity ~n:domains ()
         in
         (q, fun q -> Option.get (Aba_runtime.Rt_ms_queue.reclaim_stats q)))
   in

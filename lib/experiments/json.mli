@@ -1,0 +1,23 @@
+(** Minimal JSON construction for benchmark result files.
+
+    No parsing, no streaming — build a {!t} and {!to_string} it.  The
+    point over hand-rolled [Printf] assembly is correctness of the
+    output: strings are escaped per RFC 8259 and non-finite floats are
+    mapped to [null] instead of producing an unparseable file. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float  (** NaN and infinities serialise as [null] *)
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val escape_string : string -> string
+(** [escape_string s] is the body of the JSON string literal for [s]
+    (without the surrounding quotes): quotes, backslashes and control
+    characters are escaped. *)
+
+val to_string : t -> string
+(** Serialise with two-space indentation and a trailing newline. *)

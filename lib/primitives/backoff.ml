@@ -1,0 +1,31 @@
+type t = { min_spins : int; max_spins : int; mutable spins : int }
+
+type spec = Noop | Exp of { min_spins : int; max_spins : int }
+
+let default_spec = Exp { min_spins = 1; max_spins = 256 }
+
+(* The shared no-op instance: [once]/[reset] never mutate a [t] whose
+   [max_spins] is 0, so one singleton is safe to share across domains. *)
+let noop = { min_spins = 0; max_spins = 0; spins = 0 }
+
+let create ?(min = 1) ?(max = 256) () =
+  if min < 1 then invalid_arg "Backoff.create: min must be at least 1";
+  if max < min then invalid_arg "Backoff.create: max must be at least min";
+  { min_spins = min; max_spins = max; spins = min }
+
+let make = function
+  | Noop -> noop
+  | Exp { min_spins; max_spins } -> create ~min:min_spins ~max:max_spins ()
+
+let once t =
+  if t.max_spins > 0 then begin
+    for _ = 1 to t.spins do
+      Domain.cpu_relax ()
+    done;
+    let doubled = t.spins * 2 in
+    t.spins <- (if doubled > t.max_spins then t.max_spins else doubled)
+  end
+
+let reset t = if t.max_spins > 0 then t.spins <- t.min_spins
+
+let current t = t.spins

@@ -1,0 +1,43 @@
+(** Bounded, allocation-free exponential backoff for CAS retry loops.
+
+    A [t] is per-process mutable state: call [once] after a failed CAS
+    (spins [current t] times on [Domain.cpu_relax], then doubles the count
+    up to the bound), [reset] at the start of a fresh operation.  Neither
+    allocates.
+
+    The [Noop] spec yields a shared singleton whose [once]/[reset] do
+    nothing at all — the seq and sim backends use it so deterministic
+    schedules and differential transcripts are unaffected by contention
+    management. *)
+
+type t
+
+(** How much backoff an algorithm instance should use.  Passed to [create]
+    functions as a value (rather than a [t]) because each process needs its
+    own mutable state: implementations call {!make} once per process. *)
+type spec = Noop | Exp of { min_spins : int; max_spins : int }
+
+val default_spec : spec
+(** [Exp { min_spins = 1; max_spins = 256 }]. *)
+
+val noop : t
+(** The shared do-nothing instance; [once] and [reset] on it are no-ops, so
+    it is safe to share across domains. *)
+
+val create : ?min:int -> ?max:int -> unit -> t
+(** [create ?min ?max ()] is a fresh backoff starting at [min] (default 1)
+    spins, doubling up to [max] (default 256).  Raises [Invalid_argument]
+    unless [1 <= min <= max]. *)
+
+val make : spec -> t
+(** [make Noop] is {!noop}; [make (Exp _)] is a fresh {!create}. *)
+
+val once : t -> unit
+(** Spin [current t] times on [Domain.cpu_relax], then double the spin
+    count, clamped to the max. *)
+
+val reset : t -> unit
+(** Restore the spin count to the minimum. *)
+
+val current : t -> int
+(** The number of spins the next [once] will perform (for tests). *)

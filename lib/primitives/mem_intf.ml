@@ -60,8 +60,11 @@ module type S = sig
   type 'a register
 
   val make_register :
-    ?bound:'a Bounded.t -> name:string -> show:('a -> string) -> 'a ->
-    'a register
+    ?bound:'a Bounded.t -> ?padded:bool -> name:string ->
+    show:('a -> string) -> 'a -> 'a register
+  (** [padded] (default [false]) asks the backend to place the object on its
+      own cache line ({!Padded}); a layout hint only — checking backends,
+      where there is no cache, ignore it. *)
 
   val read : 'a register -> 'a
 
@@ -77,9 +80,9 @@ module type S = sig
   type 'a cas
 
   val make_cas :
-    ?bound:'a Bounded.t -> ?writable:bool -> name:string ->
+    ?bound:'a Bounded.t -> ?writable:bool -> ?padded:bool -> name:string ->
     show:('a -> string) -> 'a -> 'a cas
-  (** [writable] defaults to [false]. *)
+  (** [writable] defaults to [false]; [padded] as in {!make_register}. *)
 
   val cas_read : 'a cas -> 'a
 
@@ -93,7 +96,7 @@ module type S = sig
       object. *)
 
   val make_cas_packed :
-    ?bound:'a Bounded.t -> ?writable:bool -> name:string ->
+    ?bound:'a Bounded.t -> ?writable:bool -> ?padded:bool -> name:string ->
     show:('a -> string) -> codec:'a codec -> 'a -> 'a cas
   (** A CAS object whose values are CAS'd through their [codec] encoding.
       Backends with structural CAS may ignore the codec; backends with
@@ -123,8 +126,8 @@ module type S = sig
   type 'a llsc
 
   val make_llsc :
-    ?bound:'a Bounded.t -> name:string -> show:('a -> string) -> 'a ->
-    'a llsc
+    ?bound:'a Bounded.t -> ?padded:bool -> name:string ->
+    show:('a -> string) -> 'a -> 'a llsc
 
   val ll : 'a llsc -> pid:Pid.t -> 'a
 

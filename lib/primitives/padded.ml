@@ -1,0 +1,45 @@
+(* See padded.mli for the contract.  The padding technique is the one of
+   multicore-magic's [copy_as_padded]: re-allocate a small block into a
+   block of [line_words] words so that consecutive allocations can never
+   put two hot fields on the same cache line.  The extra fields are the
+   unit-initialized filler [Obj.new_block] provides; nothing ever reads
+   them, and the GC scans them as ordinary immediates. *)
+
+let line_words = 16
+
+let copy (type a) (x : a) : a =
+  let r = Obj.repr x in
+  if Obj.is_int r then x
+  else
+    let tag = Obj.tag r and size = Obj.size r in
+    if tag >= Obj.no_scan_tag || size >= line_words then x
+    else begin
+      let b = Obj.new_block tag (line_words - 1) in
+      for i = 0 to size - 1 do
+        Obj.set_field b i (Obj.field r i)
+      done;
+      Obj.obj b
+    end
+
+let atomic v = copy (Atomic.make v)
+
+let atomic_array n v = Array.init n (fun _ -> copy (Atomic.make v))
+
+type 'a t = { data : 'a array; stride : int; length : int }
+
+let make_array ?(padded = true) n init =
+  if n < 0 then invalid_arg "Padded.make_array: negative length";
+  let stride = if padded then line_words else 1 in
+  { data = Array.make (max 1 (n * stride)) init; stride; length = n }
+
+let length t = t.length
+
+let stride t = t.stride
+
+let get t i =
+  if i < 0 || i >= t.length then invalid_arg "Padded.get: index out of bounds";
+  Array.unsafe_get t.data (i * t.stride)
+
+let set t i v =
+  if i < 0 || i >= t.length then invalid_arg "Padded.set: index out of bounds";
+  Array.unsafe_set t.data (i * t.stride) v

@@ -1,0 +1,44 @@
+(** Cache-line padding for contended atomics.
+
+    OCaml's minor allocator packs consecutive small allocations next to each
+    other, so two [Atomic.t] cells created back to back usually share a
+    64-byte cache line: a CAS by one domain then invalidates the other
+    domain's line even though they touch logically unrelated words (false
+    sharing).  [copy] re-allocates a small block into a [line_words]-word
+    block so each padded value owns its line(s); [t] is a strided array for
+    per-process slot tables where neighbouring slots are hot on different
+    domains. *)
+
+val line_words : int
+(** Words per padded value, including the header: 16 words = 128 bytes on
+    64-bit, covering the common 64-byte line and 128-byte prefetch pair. *)
+
+val copy : 'a -> 'a
+(** [copy v] returns a value structurally identical to [v] whose heap block
+    spans a full cache line.  Immediates, custom/no-scan blocks, and blocks
+    already [>= line_words - 1] fields are returned unchanged. *)
+
+val atomic : 'a -> 'a Atomic.t
+(** [atomic v] is [Atomic.make v] padded to its own cache line. *)
+
+val atomic_array : int -> 'a -> 'a Atomic.t array
+(** [atomic_array n v] is an array of [n] fresh atomics, each padded to its
+    own cache line (the array itself holds only the pointers). *)
+
+(** A fixed-length array of ['a] slots laid out with a configurable stride:
+    stride 1 is a compact [Array], stride [line_words] puts one slot per
+    cache line.  Intended for immediate-valued per-process slots (flags,
+    counters) where boxing each slot would cost an indirection. *)
+type 'a t
+
+val make_array : ?padded:bool -> int -> 'a -> 'a t
+(** [make_array ?padded n init] is a length-[n] strided array, every slot
+    [init].  [padded] (default [true]) selects stride [line_words] over 1.
+    Raises [Invalid_argument] if [n < 0]. *)
+
+val length : 'a t -> int
+val stride : 'a t -> int
+
+val get : 'a t -> int -> 'a
+val set : 'a t -> int -> 'a -> unit
+(** Bounds-checked against [length] (not the backing array). *)

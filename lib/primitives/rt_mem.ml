@@ -65,10 +65,10 @@ end) : Mem_intf.S = struct
 
   type 'a register = 'a Atomic.t
 
-  let make_register ?bound ~name ~show:_ init =
+  let make_register ?bound ?(padded = false) ~name ~show:_ init =
     guard bound name init;
     register_object ~name (desc_of bound);
-    Atomic.make init
+    if padded then Padded.atomic init else Atomic.make init
 
   let read = Atomic.get
 
@@ -83,17 +83,22 @@ end) : Mem_intf.S = struct
 
   type 'a cas = { c_name : string; c_writable : bool; c_repr : 'a repr }
 
-  let make_cas ?bound ?(writable = false) ~name ~show:_ init =
+  let make_cas ?bound ?(writable = false) ?(padded = false) ~name ~show:_
+      init =
     guard bound name init;
     register_object ~name (desc_of bound);
+    let cell = Atomic.make { v = init } in
     { c_name = name; c_writable = writable;
-      c_repr = Boxed (Atomic.make { v = init }) }
+      c_repr = Boxed (if padded then Padded.copy cell else cell) }
 
-  let make_cas_packed ?bound ?(writable = false) ~name ~show:_ ~codec init =
+  let make_cas_packed ?bound ?(writable = false) ?(padded = false) ~name
+      ~show:_ ~codec init =
     guard bound name init;
     register_object ~name (desc_of bound);
+    let cell = Atomic.make (codec.Mem_intf.encode init) in
     { c_name = name; c_writable = writable;
-      c_repr = Packed { cell = Atomic.make (codec.Mem_intf.encode init); codec } }
+      c_repr =
+        Packed { cell = (if padded then Padded.copy cell else cell); codec } }
 
   let cas_read c =
     match c.c_repr with
@@ -144,30 +149,34 @@ end) : Mem_intf.S = struct
   type 'a llsc = {
     x : 'a box Atomic.t;
     invalid : 'a box;
-    link : 'a box array;  (** slot [p] touched only by process [p] *)
+    link : 'a box Padded.t;  (** slot [p] touched only by process [p] *)
   }
 
-  let make_llsc ?bound ~name ~show:_ init =
+  let make_llsc ?bound ?(padded = false) ~name ~show:_ init =
     guard bound name init;
     register_object ~name (desc_of bound);
     let first = { v = init } in
     (* Linking every process to the initial box realizes the Appendix A
        convention: SC/VL by a process that never performed LL behave as if
-       it had linked at the initial configuration. *)
-    { x = Atomic.make first; invalid = { v = init };
-      link = Array.make N.n first }
+       it had linked at the initial configuration.  When padded, the link
+       slots are strided so that neighbouring processes' link writes do not
+       invalidate each other's line, and [x] owns its own line. *)
+    let x = Atomic.make first in
+    { x = (if padded then Padded.copy x else x);
+      invalid = { v = init };
+      link = Padded.make_array ~padded N.n first }
 
   let ll o ~pid =
     let c = Atomic.get o.x in
-    o.link.(pid) <- c;
+    Padded.set o.link pid c;
     c.v
 
   let sc o ~pid v =
-    let c = o.link.(pid) in
-    o.link.(pid) <- o.invalid;
+    let c = Padded.get o.link pid in
+    Padded.set o.link pid o.invalid;
     c != o.invalid && Atomic.compare_and_set o.x c { v }
 
-  let vl o ~pid = Atomic.get o.x == o.link.(pid)
+  let vl o ~pid = Atomic.get o.x == Padded.get o.link pid
 
   let space () = Atomic.get objects
 end

@@ -20,7 +20,7 @@ module Make () : Mem_intf.S = struct
     mutable r_value : 'a;
   }
 
-  let make_register ?bound ~name ~show:_ init =
+  let make_register ?bound ?padded:_ ~name ~show:_ init =
     guard bound name init;
     register_object ~name (desc_of bound);
     { r_name = name; r_bound = bound; r_value = init }
@@ -39,7 +39,7 @@ module Make () : Mem_intf.S = struct
     mutable c_value : 'a;
   }
 
-  let make_cas ?bound ?(writable = false) ~name ~show:_ init =
+  let make_cas ?bound ?(writable = false) ?padded:_ ~name ~show:_ init =
     guard bound name init;
     register_object ~name (desc_of bound);
     { c_name = name; c_bound = bound; c_writable = writable; c_codec = None;
@@ -47,7 +47,8 @@ module Make () : Mem_intf.S = struct
 
   (* This backend's CAS is already structural, so the codec is only kept to
      serve the packed accessors. *)
-  let make_cas_packed ?bound ?(writable = false) ~name ~show:_ ~codec init =
+  let make_cas_packed ?bound ?(writable = false) ?padded:_ ~name ~show:_ ~codec
+      init =
     guard bound name init;
     register_object ~name (desc_of bound);
     { c_name = name; c_bound = bound; c_writable = writable;
@@ -92,7 +93,7 @@ module Make () : Mem_intf.S = struct
     l_link : (Pid.t, int) Hashtbl.t;
   }
 
-  let make_llsc ?bound ~name ~show:_ init =
+  let make_llsc ?bound ?padded:_ ~name ~show:_ init =
     guard bound name init;
     register_object ~name (desc_of bound);
     { l_name = name; l_bound = bound; l_value = init; l_seq = 0;

@@ -9,17 +9,22 @@
     which is why epochs win on throughput and lose on space: one stalled
     pinned domain freezes reclamation for everybody. *)
 
+open Aba_primitives
+
 type bag = { mutable epoch : int; mutable nodes : int list }
 
 type t = {
   n : int;
   capacity : int;
-  global : int Atomic.t;
-  local : int Atomic.t array;  (** announced epoch, -1 = quiescent *)
+  global : int Atomic.t;  (** on its own cache line: read by every pin *)
+  local : int Atomic.t array;
+      (** announced epoch, -1 = quiescent; one word per line — slot [p] is
+          stored by domain [p] and scanned by advancing domains *)
   bags : bag array array;  (** [n][3], owner-only, indexed by epoch mod 3 *)
   limbo_size : int array;
   pool : Boxed_pool.t;
   threshold : int;
+  bo : Backoff.t array;  (** per-pid backoff for the acquire loop *)
   stats : Limbo_stats.t;
 }
 
@@ -34,14 +39,15 @@ let create ?(slots = 2) ~n ~capacity () =
   {
     n;
     capacity;
-    global = Atomic.make 0;
-    local = Array.init n (fun _ -> Atomic.make (-1));
+    global = Padded.atomic 0;
+    local = Padded.atomic_array n (-1);
     bags =
       Array.init n (fun _ ->
           Array.init 3 (fun _ -> { epoch = -1; nodes = [] }));
     limbo_size = Array.make n 0;
     pool;
     threshold = max 2 n;
+    bo = Array.init n (fun _ -> Padded.copy (Backoff.make Backoff.default_spec));
     stats = Limbo_stats.create ();
   }
 
@@ -54,12 +60,18 @@ let protect t ~pid ~slot:_ i =
 let release t ~pid = Atomic.set t.local.(pid) (-1)
 
 let acquire t ~pid ~slot ~read =
+  let bo = t.bo.(pid) in
+  Backoff.reset bo;
   let rec loop () =
     let i = read () in
     if i < 0 then i
     else begin
       protect t ~pid ~slot i;
-      if read () = i then i else loop ()
+      if read () = i then i
+      else begin
+        Backoff.once bo;
+        loop ()
+      end
     end
   in
   loop ()

@@ -22,6 +22,8 @@
     entirely on bounded base objects. *)
 
 module Make (L : Reclaim_intf.LLSC) (D : Reclaim_intf.DETECT) = struct
+  open Aba_primitives
+
   type t = {
     n : int;
     slots : int;
@@ -32,6 +34,7 @@ module Make (L : Reclaim_intf.LLSC) (D : Reclaim_intf.DETECT) = struct
     limbo : int list ref array;
     limbo_size : int array;
     threshold : int;
+    bo : Backoff.t array;  (** per-pid backoff for the LL/SC retry loops *)
     stats : Limbo_stats.t;
   }
 
@@ -52,6 +55,9 @@ module Make (L : Reclaim_intf.LLSC) (D : Reclaim_intf.DETECT) = struct
         limbo = Array.init n (fun _ -> ref []);
         limbo_size = Array.make n 0;
         threshold = max 2 (2 * n * slots);
+        bo =
+          Array.init n (fun _ ->
+              Padded.copy (Backoff.make Backoff.default_spec));
         stats = Limbo_stats.create ();
       }
     in
@@ -70,11 +76,14 @@ module Make (L : Reclaim_intf.LLSC) (D : Reclaim_intf.DETECT) = struct
   let capacity t = t.capacity
 
   let pool_put t ~pid i =
+    let bo = t.bo.(pid) in
+    Backoff.reset bo;
     let pushed = ref false in
     while not !pushed do
       let h = L.ll t.head ~pid in
       t.nexts.(i) <- h;
-      pushed := L.sc t.head ~pid (i + 1)
+      pushed := L.sc t.head ~pid (i + 1);
+      if not !pushed then Backoff.once bo
     done
 
   (* LL/SC makes the pop immune to reuse of [h]: any interfering SC —
@@ -82,6 +91,8 @@ module Make (L : Reclaim_intf.LLSC) (D : Reclaim_intf.DETECT) = struct
      never be installed.  This is the paper's cure for exactly the
      free-list ABA the old [Rt_free_list] was susceptible to. *)
   let pool_take t ~pid =
+    let bo = t.bo.(pid) in
+    Backoff.reset bo;
     let result = ref None in
     let done_ = ref false in
     while not !done_ do
@@ -93,6 +104,7 @@ module Make (L : Reclaim_intf.LLSC) (D : Reclaim_intf.DETECT) = struct
           result := Some (h - 1);
           done_ := true
         end
+        else Backoff.once bo
       end
     done;
     !result
@@ -107,12 +119,18 @@ module Make (L : Reclaim_intf.LLSC) (D : Reclaim_intf.DETECT) = struct
     done
 
   let acquire t ~pid ~slot ~read =
+    let bo = t.bo.(pid) in
+    Backoff.reset bo;
     let rec loop () =
       let i = read () in
       if i < 0 then i
       else begin
         protect t ~pid ~slot i;
-        if read () = i then i else loop ()
+        if read () = i then i
+        else begin
+          Backoff.once bo;
+          loop ()
+        end
       end
     in
     loop ()

@@ -8,15 +8,20 @@
     This is the plain-hardware baseline the paper's constructions are
     benchmarked against: same interface, no bounded-register story. *)
 
+open Aba_primitives
+
 type t = {
   n : int;
   slots : int;
   capacity : int;
-  hazards : int Atomic.t array;  (** [n * slots], -1 = empty *)
+  hazards : int Atomic.t array;  (** [n * slots], -1 = empty; each word on
+                                     its own cache line — adjacent slots
+                                     belong to different domains *)
   pool : Boxed_pool.t;
   limbo : int list ref array;  (** per-pid, owner-only *)
   limbo_size : int array;
   threshold : int;
+  bo : Backoff.t array;  (** per-pid backoff for the acquire loop *)
   stats : Limbo_stats.t;
 }
 
@@ -32,11 +37,12 @@ let create ?(slots = 2) ~n ~capacity () =
     n;
     slots;
     capacity;
-    hazards = Array.init (n * slots) (fun _ -> Atomic.make (-1));
+    hazards = Padded.atomic_array (n * slots) (-1);
     pool;
     limbo = Array.init n (fun _ -> ref []);
     limbo_size = Array.make n 0;
     threshold = max 2 (2 * n * slots);
+    bo = Array.init n (fun _ -> Padded.copy (Backoff.make Backoff.default_spec));
     stats = Limbo_stats.create ();
   }
 
@@ -52,12 +58,20 @@ let release t ~pid =
   done
 
 let acquire t ~pid ~slot ~read =
+  let bo = t.bo.(pid) in
+  Backoff.reset bo;
   let rec loop () =
     let i = read () in
     if i < 0 then i
     else begin
       protect t ~pid ~slot i;
-      if read () = i then i else loop ()
+      if read () = i then i
+      else begin
+        (* The source moved under us: somebody is updating it, so pause
+           before re-validating instead of hammering the line. *)
+        Backoff.once bo;
+        loop ()
+      end
     end
   in
   loop ()

@@ -1,13 +1,36 @@
+open Aba_primitives
+
+module Barrier = struct
+  type t = { arrived : int Atomic.t; parties : int }
+
+  let create ~parties =
+    if parties < 1 then invalid_arg "Harness.Barrier.create: parties < 1";
+    (* The counter owns its cache line: every participant CASes it on
+       arrival, and an unpadded cell would share a line with whatever the
+       caller allocated next — typically the very state the domains are
+       about to contend on. *)
+    { arrived = Padded.atomic 0; parties }
+
+  let wait t =
+    Atomic.incr t.arrived;
+    (* Spin with exponential backoff rather than bare [cpu_relax]: with
+       [parties] > cores the arriving domains would otherwise hammer the
+       line in lockstep and starve the domains still being spawned
+       (thundering herd), which on small machines delays the very arrival
+       everyone is waiting for. *)
+    let bo = Backoff.create ~min:1 ~max:64 () in
+    while Atomic.get t.arrived < t.parties do
+      Backoff.once bo
+    done
+end
+
 let run_domains ~n body =
-  let ready = Atomic.make 0 in
+  let barrier = Barrier.create ~parties:n in
   let spawn i =
     Domain.spawn (fun () ->
-        Atomic.incr ready;
-        (* Start barrier: spin until everyone is up, so the workload
+        (* Start barrier: wait until everyone is up, so the workload
            actually overlaps even on few cores. *)
-        while Atomic.get ready < n do
-          Domain.cpu_relax ()
-        done;
+        Barrier.wait barrier;
         body i)
   in
   let domains = List.init n spawn in

@@ -2,6 +2,20 @@
     process, synchronize their start so contention actually overlaps, and
     join their results. *)
 
+(** A reusable one-shot start barrier: a cache-line-padded arrival counter
+    spun on with bounded exponential backoff, so [parties] domains arriving
+    together do not degenerate into a thundering herd on one line. *)
+module Barrier : sig
+  type t
+
+  val create : parties:int -> t
+  (** Raises [Invalid_argument] if [parties < 1]. *)
+
+  val wait : t -> unit
+  (** Record arrival and block (spinning with backoff) until all [parties]
+      have arrived.  One-shot: create a fresh barrier per rendezvous. *)
+end
+
 val run_domains : n:int -> (int -> 'a) -> 'a array
 (** [run_domains ~n body] spawns [n] domains; domain [i] runs [body i]
     after all domains have reached a common start barrier.  Returns their

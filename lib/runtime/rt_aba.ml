@@ -42,7 +42,9 @@ module Fig4 = struct
   let int63 =
     Aba_primitives.Bounded.make ~describe:"int63" (fun (_ : int) -> true)
 
-  let create ~n init = Fig4_impl.create ~value_bound:int63 ~init ~n ()
+  let create ?(padded = false) ~n init =
+    Fig4_impl.create ~value_bound:int63 ~init ~padded ~n ()
+
   let dwrite = Fig4_impl.dwrite
   let dread = Fig4_impl.dread
 end
@@ -55,13 +57,14 @@ module From_llsc = struct
 
   type t = I.t
 
-  let create ~n ~init =
+  let create ?(padded = false) ?(backoff = Aba_primitives.Backoff.Noop) ~n
+      ~init () =
     if n < 1 || n > 40 then
       invalid_arg "Rt_aba.From_llsc.create: n must be 1..40";
     I.create
       ~value_bound:
         (Aba_primitives.Bounded.int_range ~lo:0 ~hi:((1 lsl (62 - n)) - 1))
-      ~init ~n ()
+      ~init ~padded ~backoff ~n ()
 
   let dwrite = I.dwrite
   let dread = I.dread

@@ -26,7 +26,11 @@ end
 module Fig4 : sig
   type t
 
-  val create : n:int -> int -> t
+  val create : ?padded:bool -> n:int -> int -> t
+  (** [padded] (default [false]) spreads [X] and the [n] announce registers
+      over distinct cache lines — Figure 4 is wait-free, so padding is its
+      only contention knob. *)
+
   val dwrite : t -> pid:int -> int -> unit
   val dread : t -> pid:int -> int * bool
 end
@@ -34,8 +38,11 @@ end
 module From_llsc : sig
   type t
 
-  val create : n:int -> init:int -> t
-  (** Requires [1 <= n <= 40]; values are integers in [0 .. 2^(62-n)). *)
+  val create :
+    ?padded:bool -> ?backoff:Aba_primitives.Backoff.spec -> n:int ->
+    init:int -> unit -> t
+  (** Requires [1 <= n <= 40]; values are integers in [0 .. 2^(62-n)).
+      Contention options as in {!Rt_llsc.Packed_fig3.create}. *)
 
   val dwrite : t -> pid:int -> int -> unit
   val dread : t -> pid:int -> int * bool

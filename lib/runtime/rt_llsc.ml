@@ -54,13 +54,14 @@ module Packed_fig3 = struct
 
   (* [n <= 40] keeps at least 22 value bits, the historical contract of
      this port; the value domain is everything the packing can hold. *)
-  let create ~n ~init =
+  let create ?(padded = false) ?(backoff = Aba_primitives.Backoff.Noop) ~n
+      ~init () =
     if n < 1 || n > 40 then
       invalid_arg "Rt_llsc.Packed_fig3.create: n must be 1..40";
     Fig3.create
       ~value_bound:
         (Aba_primitives.Bounded.int_range ~lo:0 ~hi:((1 lsl (62 - n)) - 1))
-      ~init ~n ()
+      ~init ~padded ~backoff ~n ()
 
   let ll = Fig3.ll
   let sc = Fig3.sc

@@ -1,3 +1,5 @@
+open Aba_primitives
+
 type protection = Tag_bits of int | Reclaimed of Rt_reclaim.scheme
 
 type tagged = {
@@ -15,7 +17,13 @@ type reclaimed = {
 
 type impl = Tagged of tagged | Via_reclaim of reclaimed
 
-type t = { impl : impl; values : int array; free : Rt_free_list.t }
+type t = {
+  impl : impl;
+  values : int array;
+  free : Rt_free_list.t;
+  bo : Backoff.t array;  (** per-pid retry backoff, {!Backoff.noop} when
+                             backoff is disabled *)
+}
 
 (* Pointer layout: index + 1 (so null = -1 maps to 0) shifted past the
    tag bits; the tag wraps at [2^tag_bits]. *)
@@ -25,8 +33,18 @@ let pack ~tag_bits index tag =
 let unpack ~tag_bits packed =
   ((packed lsr tag_bits) - 1, packed land ((1 lsl tag_bits) - 1))
 
-let create ~protection ~capacity ~n =
+(* Head, tail and the per-node link words are all CAS targets hit by every
+   domain; padded they each own a line, and the link array is padded
+   element-wise (the array itself only holds pointers). *)
+let atomics ~padded n v =
+  if padded then Padded.atomic_array n v
+  else Array.init n (fun _ -> Atomic.make v)
+
+let create ?(padded = true) ?(backoff = true) ~protection ~capacity ~n () =
   let slots = capacity + 1 in
+  let pad_cell c = if padded then Padded.copy c else c in
+  let spec = if backoff then Backoff.default_spec else Backoff.Noop in
+  let bo = Array.init n (fun _ -> Padded.copy (Backoff.make spec)) in
   match protection with
   | Tag_bits tag_bits ->
       if tag_bits < 0 || tag_bits > 40 then
@@ -39,13 +57,13 @@ let create ~protection ~capacity ~n =
           Tagged
             {
               tag_bits;
-              t_head = Atomic.make (pack ~tag_bits dummy 0);
-              t_tail = Atomic.make (pack ~tag_bits dummy 0);
-              t_nexts =
-                Array.init slots (fun _ -> Atomic.make (pack ~tag_bits (-1) 0));
+              t_head = pad_cell (Atomic.make (pack ~tag_bits dummy 0));
+              t_tail = pad_cell (Atomic.make (pack ~tag_bits dummy 0));
+              t_nexts = atomics ~padded slots (pack ~tag_bits (-1) 0);
             };
         values = Array.make slots 0;
         free;
+        bo;
       }
   | Reclaimed scheme ->
       let free = Rt_free_list.create ~scheme ~slots:2 ~n ~capacity:slots () in
@@ -54,12 +72,13 @@ let create ~protection ~capacity ~n =
         impl =
           Via_reclaim
             {
-              r_head = Atomic.make dummy;
-              r_tail = Atomic.make dummy;
-              r_nexts = Array.init slots (fun _ -> Atomic.make (-1));
+              r_head = pad_cell (Atomic.make dummy);
+              r_tail = pad_cell (Atomic.make dummy);
+              r_nexts = atomics ~padded slots (-1);
             };
         values = Array.make slots 0;
         free;
+        bo;
       }
 
 let reclaimer t =
@@ -71,7 +90,7 @@ let reclaim_stats t = Option.map Rt_reclaim.stats (reclaimer t)
 
 (* ----- Tagged (counted-pointer) variant: Michael & Scott's original ----- *)
 
-let enqueue_tagged q i =
+let enqueue_tagged q bo i =
   let tag_bits = q.tag_bits in
   (* Reset the link, bumping its counter so CASes armed against the
      node's previous life fail. *)
@@ -90,7 +109,10 @@ let enqueue_tagged q i =
         ignore
           (Atomic.compare_and_set q.t_tail tail_seen
              (pack ~tag_bits i (t_tag + 1)))
-      else attempt ()
+      else begin
+        Backoff.once bo;
+        attempt ()
+      end
     else begin
       (* Help the lagging tail forward. *)
       ignore
@@ -103,6 +125,7 @@ let enqueue_tagged q i =
 
 let dequeue_tagged t q ~pid =
   let tag_bits = q.tag_bits in
+  let bo = t.bo.(pid) in
   let rec attempt () =
     let head_seen = Atomic.get q.t_head in
     let h_idx, h_tag = unpack ~tag_bits head_seen in
@@ -132,7 +155,10 @@ let dequeue_tagged t q ~pid =
         Rt_free_list.put t.free ~pid h_idx;
         Some v
       end
-      else attempt ()
+      else begin
+        Backoff.once bo;
+        attempt ()
+      end
     end
   in
   attempt ()
@@ -144,7 +170,7 @@ let dequeue_tagged t q ~pid =
    and re-validated against the head before any dereference, so neither
    can be recycled mid-operation. *)
 
-let enqueue_reclaimed q rc ~pid i =
+let enqueue_reclaimed q rc bo ~pid i =
   Atomic.set q.r_nexts.(i) (-1);
   let rec attempt () =
     let tl =
@@ -159,12 +185,16 @@ let enqueue_reclaimed q rc ~pid i =
     end
     else if Atomic.compare_and_set q.r_nexts.(tl) (-1) i then
       ignore (Atomic.compare_and_set q.r_tail tl i)
-    else attempt ()
+    else begin
+      Backoff.once bo;
+      attempt ()
+    end
   in
   attempt ();
   Rt_reclaim.release rc ~pid
 
 let dequeue_reclaimed t q rc ~pid =
+  let bo = t.bo.(pid) in
   let rec attempt () =
     let h =
       Rt_reclaim.acquire rc ~pid ~slot:0 ~read:(fun () -> Atomic.get q.r_head)
@@ -192,7 +222,10 @@ let dequeue_reclaimed t q rc ~pid =
           Rt_reclaim.retire rc ~pid h;
           Some v
         end
-        else attempt ()
+        else begin
+          Backoff.once bo;
+          attempt ()
+        end
       end
     end
   in
@@ -203,12 +236,15 @@ let enqueue t ~pid v =
   | None -> false
   | Some i ->
       t.values.(i) <- v;
+      Backoff.reset t.bo.(pid);
       (match t.impl with
-      | Tagged q -> enqueue_tagged q i
-      | Via_reclaim q -> enqueue_reclaimed q (t.free : Rt_reclaim.t) ~pid i);
+      | Tagged q -> enqueue_tagged q t.bo.(pid) i
+      | Via_reclaim q ->
+          enqueue_reclaimed q (t.free : Rt_reclaim.t) t.bo.(pid) ~pid i);
       true
 
 let dequeue t ~pid =
+  Backoff.reset t.bo.(pid);
   match t.impl with
   | Tagged q -> dequeue_tagged t q ~pid
   | Via_reclaim q -> dequeue_reclaimed t q (t.free : Rt_reclaim.t) ~pid

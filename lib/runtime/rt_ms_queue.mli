@@ -20,8 +20,13 @@ type t
 
 type protection = Tag_bits of int | Reclaimed of Rt_reclaim.scheme
 
-val create : protection:protection -> capacity:int -> n:int -> t
-(** [capacity] payload nodes plus one internal dummy; [n] domains. *)
+val create :
+  ?padded:bool -> ?backoff:bool -> protection:protection -> capacity:int ->
+  n:int -> unit -> t
+(** [capacity] payload nodes plus one internal dummy; [n] domains.
+    [padded] (default [true]) puts head, tail and each link word on their
+    own cache lines; [backoff] (default [true]) adds bounded exponential
+    backoff to the enqueue/dequeue retry loops. *)
 
 val enqueue : t -> pid:int -> int -> bool
 (** [false] when the pool is exhausted. *)

@@ -9,15 +9,31 @@
     hardware atomics.  [Hazard] and [Epoch] are the plain-[Atomic]
     baselines they compete against. *)
 
+(* The [Reclaim_intf] base-object signatures fix [create ~n ~init], so the
+   contention options are baked in here: the reclaimer is a production
+   surface, and its Figure-3 word (the shared free-stack head) and
+   Figure-4 announcements are exactly the contended words the padding and
+   backoff layer exists for. *)
+module Fig3_contended = struct
+  type t = Rt_llsc.Packed_fig3.t
+
+  let create ~n ~init =
+    Rt_llsc.Packed_fig3.create ~padded:true
+      ~backoff:Aba_primitives.Backoff.default_spec ~n ~init ()
+
+  let ll = Rt_llsc.Packed_fig3.ll
+  let sc = Rt_llsc.Packed_fig3.sc
+end
+
 module Fig4_int = struct
   type t = Rt_aba.Fig4.t
 
-  let create ~n ~init = Rt_aba.Fig4.create ~n init
+  let create ~n ~init = Rt_aba.Fig4.create ~padded:true ~n init
   let dwrite = Rt_aba.Fig4.dwrite
   let dread = Rt_aba.Fig4.dread
 end
 
-include Aba_reclaim.Reclaim.Make (Rt_llsc.Packed_fig3) (Fig4_int)
+include Aba_reclaim.Reclaim.Make (Fig3_contended) (Fig4_int)
 
 type stats = Aba_reclaim.Reclaim.stats = {
   retired : int;

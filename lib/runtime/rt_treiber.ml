@@ -1,3 +1,5 @@
+open Aba_primitives
+
 type protection = Tag_bits of int | Llsc | Reclaimed of Rt_reclaim.scheme
 
 type head_impl =
@@ -10,6 +12,8 @@ type t = {
   values : int array;
   nexts : int array;
   free : Rt_free_list.t;
+  bo : Backoff.t array;  (** per-pid retry backoff, {!Backoff.noop} when
+                             backoff is disabled *)
 }
 
 (* Packed head layout: low [tag_bits] bits are the tag, the rest the node
@@ -20,19 +24,29 @@ let pack ~tag_bits index tag =
 let unpack ~tag_bits packed =
   ((packed lsr tag_bits) - 1, packed land ((1 lsl tag_bits) - 1))
 
-let create ~protection ~capacity ~n =
+(* Contention management defaults ON here: this is the production surface,
+   and unlike the primitive layer there is no checking backend running the
+   same code that a layout or timing change could perturb. *)
+let create ?(padded = true) ?(backoff = true) ~protection ~capacity ~n () =
+  let pad_cell c = if padded then Padded.copy c else c in
+  let spec =
+    if backoff then Backoff.default_spec else Backoff.Noop
+  in
   let head, free =
     match protection with
     | Tag_bits k ->
         if k < 0 || k > 40 then invalid_arg "Rt_treiber.create: bad tag_bits";
-        ( Packed { cell = Atomic.make (pack ~tag_bits:k (-1) 0); tag_bits = k },
+        ( Packed
+            { cell = pad_cell (Atomic.make (pack ~tag_bits:k (-1) 0));
+              tag_bits = k },
           Rt_free_list.create ~n ~capacity () )
     | Llsc ->
         (* The LL/SC object stores index + 1 so the empty stack is 0. *)
-        ( Via_llsc (Rt_llsc.Packed_fig3.create ~n ~init:0),
+        ( Via_llsc
+            (Rt_llsc.Packed_fig3.create ~padded ~backoff:spec ~n ~init:0 ()),
           Rt_free_list.create ~n ~capacity () )
     | Reclaimed scheme ->
-        ( Via_reclaim (Atomic.make (-1)),
+        ( Via_reclaim (pad_cell (Atomic.make (-1))),
           Rt_free_list.create ~scheme ~slots:1 ~n ~capacity () )
   in
   {
@@ -40,6 +54,7 @@ let create ~protection ~capacity ~n =
     values = Array.make capacity 0;
     nexts = Array.make capacity (-1);
     free;
+    bo = Array.init n (fun _ -> Padded.copy (Backoff.make spec));
   }
 
 let reclaimer t =
@@ -73,12 +88,17 @@ let push t ~pid v =
   | None -> false
   | Some i ->
       t.values.(i) <- v;
+      Backoff.reset t.bo.(pid);
       (match t.head with
       | Packed _ | Via_llsc _ ->
           let rec attempt () =
             let h, witness = read_head t ~pid in
             t.nexts.(i) <- h;
-            if cas_head t ~pid ~witness ~update:i then true else attempt ()
+            if cas_head t ~pid ~witness ~update:i then true
+            else begin
+              Backoff.once t.bo.(pid);
+              attempt ()
+            end
           in
           ignore (attempt ())
       | Via_reclaim cell ->
@@ -88,7 +108,8 @@ let push t ~pid v =
           while not !pushed do
             let h = Atomic.get cell in
             t.nexts.(i) <- h;
-            pushed := Atomic.compare_and_set cell h i
+            pushed := Atomic.compare_and_set cell h i;
+            if not !pushed then Backoff.once t.bo.(pid)
           done);
       true
 
@@ -113,12 +134,16 @@ let pop_reclaimed t rc cell ~pid =
         Rt_reclaim.retire rc ~pid h;
         Some v
       end
-      else attempt ()
+      else begin
+        Backoff.once t.bo.(pid);
+        attempt ()
+      end
     end
   in
   attempt ()
 
 let pop t ~pid =
+  Backoff.reset t.bo.(pid);
   match t.head with
   | Via_reclaim cell -> pop_reclaimed t (t.free : Rt_reclaim.t) cell ~pid
   | Packed _ | Via_llsc _ ->
@@ -132,7 +157,10 @@ let pop t ~pid =
             Rt_free_list.put t.free ~pid h;
             Some v
           end
-          else attempt ()
+          else begin
+            Backoff.once t.bo.(pid);
+            attempt ()
+          end
         end
       in
       attempt ()

@@ -27,7 +27,13 @@ type t
 
 type protection = Tag_bits of int | Llsc | Reclaimed of Rt_reclaim.scheme
 
-val create : protection:protection -> capacity:int -> n:int -> t
+val create :
+  ?padded:bool -> ?backoff:bool -> protection:protection -> capacity:int ->
+  n:int -> unit -> t
+(** [padded] (default [true]) puts the head word on its own cache line;
+    [backoff] (default [true]) adds bounded exponential backoff to the
+    push/pop retry loops.  Both default on — this is the production
+    surface; the benchmark sweep turns them off to measure their cost. *)
 
 val push : t -> pid:int -> int -> bool
 (** [false] when the pool is exhausted. *)

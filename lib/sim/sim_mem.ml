@@ -70,7 +70,7 @@ end) : Mem_intf.S = struct
     | Step.Value _ | Step.Unit ->
         invalid_arg "Sim_mem: step returned a non-bool outcome"
 
-  let make_register ?bound ~name ~show init =
+  let make_register ?bound ?padded:_ ~name ~show init =
     make_typed ?bound ~name ~show ~kind:Cell.Register init
 
   let read (r : 'a register) : 'a =
@@ -82,11 +82,12 @@ end) : Mem_intf.S = struct
     | Step.Value _ | Step.Bool _ ->
         invalid_arg "Sim_mem: write returned a non-unit outcome"
 
-  let make_cas ?bound ?(writable = false) ~name ~show init =
+  let make_cas ?bound ?(writable = false) ?padded:_ ~name ~show init =
     let kind = if writable then Cell.Writable_cas else Cell.Cas_obj in
     make_typed ?bound ~name ~show ~kind init
 
-  let make_cas_packed ?bound ?(writable = false) ~name ~show ~codec init =
+  let make_cas_packed ?bound ?(writable = false) ?padded:_ ~name ~show ~codec
+      init =
     let kind = if writable then Cell.Writable_cas else Cell.Cas_obj in
     make_typed ?bound ~codec ~name ~show ~kind init
 
@@ -118,7 +119,7 @@ end) : Mem_intf.S = struct
     | Step.Value _ | Step.Bool _ ->
         invalid_arg "Sim_mem: write returned a non-unit outcome"
 
-  let make_llsc ?bound ~name ~show init =
+  let make_llsc ?bound ?padded:_ ~name ~show init =
     make_typed ?bound ~name ~show ~kind:Cell.Llsc_obj init
 
   let ll (o : 'a llsc) ~pid:_ : 'a =

@@ -102,6 +102,36 @@ let llsc_cross (label, builder) =
       in
       agree label t_seq t_sim t_rt)
 
+(* The contention-management options are semantically invisible: padding
+   only changes heap layout and backoff only paces retries, so the rt
+   backend with both enabled must still replay the seq transcripts
+   exactly.  (Backoff is capped low here so a failing property would not
+   hide behind long spins.) *)
+let contended_spec =
+  Aba_primitives.Backoff.Exp { min_spins = 1; max_spins = 8 }
+
+let aba_contended (label, builder) =
+  qtest (label ^ ": padded+backoff rt matches seq") gen_ops (fun ops ->
+      let t_seq = aba_transcript ~wrap:direct (Instances.aba_seq builder ~n) ops in
+      let t_rt =
+        aba_transcript ~wrap:direct
+          (Instances.aba_rt ~padded:true ~backoff:contended_spec builder ~n)
+          ops
+      in
+      agree (label ^ " contended") t_seq t_seq t_rt)
+
+let llsc_contended (label, builder) =
+  qtest (label ^ ": padded+backoff rt matches seq") gen_ops (fun ops ->
+      let t_seq =
+        llsc_transcript ~wrap:direct (Instances.llsc_seq builder ~n) ops
+      in
+      let t_rt =
+        llsc_transcript ~wrap:direct
+          (Instances.llsc_rt ~padded:true ~backoff:contended_spec builder ~n)
+          ops
+      in
+      agree (label ^ " contended") t_seq t_seq t_rt)
+
 (* The runtime wrappers in [lib/runtime] are the same functors over the
    same backend; spot-check that they too match the sequential reference,
    through their own (packed, validated) [create] paths. *)
@@ -118,7 +148,7 @@ let runtime_wrappers_match () =
          ~n)
       ops
   in
-  let rt = Aba_runtime.Rt_llsc.Packed_fig3.create ~n ~init:0 in
+  let rt = Aba_runtime.Rt_llsc.Packed_fig3.create ~n ~init:0 () in
   let wrapped =
     {
       Instances.llsc_name = "rt";
@@ -138,6 +168,8 @@ let suite =
     [
       List.map aba_cross (Instances.all_aba ());
       List.map llsc_cross (Instances.all_llsc ());
+      List.map aba_contended (Instances.all_aba ());
+      List.map llsc_contended (Instances.all_llsc ());
       [
         Alcotest.test_case "runtime wrapper transcripts" `Quick
           runtime_wrappers_match;

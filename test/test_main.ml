@@ -16,4 +16,5 @@ let () =
       ("ablations", Test_ablation.suite);
       ("differential", Test_differential.suite);
       ("backends", Test_backends.suite);
+      ("contention", Test_contention.suite);
     ]

@@ -114,7 +114,7 @@ let churn_structure ~push ~pop ~reclaimer ~capacity () =
 
 let treiber_churn scheme () =
   let capacity = 32 in
-  let s = T.create ~protection:(T.Reclaimed scheme) ~capacity ~n:4 in
+  let s = T.create ~protection:(T.Reclaimed scheme) ~capacity ~n:4 () in
   churn_structure
     ~push:(fun ~pid v -> T.push s ~pid v)
     ~pop:(fun ~pid -> T.pop s ~pid)
@@ -122,7 +122,7 @@ let treiber_churn scheme () =
 
 let msqueue_churn scheme () =
   let capacity = 32 in
-  let q = Q.create ~protection:(Q.Reclaimed scheme) ~capacity ~n:4 in
+  let q = Q.create ~protection:(Q.Reclaimed scheme) ~capacity ~n:4 () in
   churn_structure
     ~push:(fun ~pid v -> Q.enqueue q ~pid v)
     ~pop:(fun ~pid -> Q.dequeue q ~pid)

@@ -29,7 +29,7 @@ let packed_ops =
   ( "packed-fig3",
     fun () ->
       let t =
-        Aba_runtime.Rt_llsc.Packed_fig3.create ~n:domains_for_test ~init:0
+        Aba_runtime.Rt_llsc.Packed_fig3.create ~n:domains_for_test ~init:0 ()
       in
       {
         ll = (fun p -> Aba_runtime.Rt_llsc.Packed_fig3.ll t ~pid:p);
@@ -96,12 +96,12 @@ let packed_bounds () =
     | _ -> Alcotest.failf "%s: expected Invalid_argument" what
   in
   rejects "n too large" (fun () ->
-      Aba_runtime.Rt_llsc.Packed_fig3.create ~n:41 ~init:0);
+      Aba_runtime.Rt_llsc.Packed_fig3.create ~n:41 ~init:0 ());
   rejects "init out of range" (fun () ->
-      Aba_runtime.Rt_llsc.Packed_fig3.create ~n:40 ~init:(1 lsl 23));
+      Aba_runtime.Rt_llsc.Packed_fig3.create ~n:40 ~init:(1 lsl 23) ());
   (* The boundary cases must be accepted. *)
-  ignore (Aba_runtime.Rt_llsc.Packed_fig3.create ~n:40 ~init:((1 lsl 22) - 1));
-  ignore (Aba_runtime.Rt_llsc.Packed_fig3.create ~n:1 ~init:0)
+  ignore (Aba_runtime.Rt_llsc.Packed_fig3.create ~n:40 ~init:((1 lsl 22) - 1) ());
+  ignore (Aba_runtime.Rt_llsc.Packed_fig3.create ~n:1 ~init:0 ())
 
 (* --- ABA-detecting register ports --- *)
 
@@ -189,7 +189,7 @@ let fig4_ops =
 let from_llsc_ops =
   ( "thm2",
     fun () ->
-      let t = Aba_runtime.Rt_aba.From_llsc.create ~n:domains_for_test ~init:0 in
+      let t = Aba_runtime.Rt_aba.From_llsc.create ~n:domains_for_test ~init:0 () in
       {
         dread = (fun p -> Aba_runtime.Rt_aba.From_llsc.dread t ~pid:p);
         dwrite = (fun p v -> Aba_runtime.Rt_aba.From_llsc.dwrite t ~pid:p v);
@@ -199,7 +199,7 @@ let from_llsc_ops =
 
 let rt_treiber_sequential () =
   let s =
-    Aba_runtime.Rt_treiber.create ~protection:(Tag_bits 16) ~capacity:4 ~n:2
+    Aba_runtime.Rt_treiber.create ~protection:(Tag_bits 16) ~capacity:4 ~n:2 ()
   in
   Alcotest.(check (option int)) "empty" None (Aba_runtime.Rt_treiber.pop s ~pid:0);
   Alcotest.(check bool) "push" true (Aba_runtime.Rt_treiber.push s ~pid:0 1);
@@ -218,7 +218,7 @@ let rt_treiber_stress protection label =
   let test () =
     let s =
       Aba_runtime.Rt_treiber.create ~protection ~capacity:64
-        ~n:domains_for_test
+        ~n:domains_for_test ()
     in
     let results =
       Aba_runtime.Harness.run_domains ~n:domains_for_test (fun d ->
@@ -257,7 +257,7 @@ let rt_treiber_stress protection label =
 
 let rt_msqueue_sequential protection () =
   let q =
-    Aba_runtime.Rt_ms_queue.create ~protection ~capacity:4 ~n:2
+    Aba_runtime.Rt_ms_queue.create ~protection ~capacity:4 ~n:2 ()
   in
   let enqueue v = Aba_runtime.Rt_ms_queue.enqueue q ~pid:0 v in
   let dequeue () = Aba_runtime.Rt_ms_queue.dequeue q ~pid:1 in
@@ -295,7 +295,7 @@ let rt_msqueue_sequential protection () =
 let rt_msqueue_stress protection () =
   let q =
     Aba_runtime.Rt_ms_queue.create ~protection ~capacity:64
-      ~n:domains_for_test
+      ~n:domains_for_test ()
   in
   let results =
     Aba_runtime.Harness.run_domains ~n:domains_for_test (fun d ->
