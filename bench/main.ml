@@ -17,41 +17,17 @@ open Toolkit
 
 (* ----- Bechamel plumbing ----- *)
 
-let benchmark_and_print name tests =
+(* The one bechamel reporter: OLS over the run predictor, monotonic clock
+   always, minor-heap words on request — for the groups whose claim is "no
+   allocation on the hot path". *)
+let benchmark_report ?(alloc = false) name tests =
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
   in
-  let instances = Instance.[ monotonic_clock ] in
-  let cfg =
-    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~stabilize:false ()
+  let instances =
+    if alloc then Instance.[ monotonic_clock; minor_allocated ]
+    else Instance.[ monotonic_clock ]
   in
-  let raw = Benchmark.all cfg instances (Test.make_grouped ~name tests) in
-  let results = Analyze.all ols Instance.monotonic_clock raw in
-  Printf.printf "\n%s (ns/op):\n" name;
-  let rows =
-    Hashtbl.fold
-      (fun key ols acc ->
-        let nanos =
-          match Analyze.OLS.estimates ols with
-          | Some [ t ] -> t
-          | Some _ | None -> nan
-        in
-        (key, nanos) :: acc)
-      results []
-  in
-  List.iter
-    (fun (key, nanos) -> Printf.printf "  %-44s %10.1f\n" key nanos)
-    (List.sort compare rows)
-
-let staged f = Staged.stage f
-
-(* Like {!benchmark_and_print} but also reporting minor-heap allocation,
-   for groups where the claim is "no allocation on the hot path". *)
-let benchmark_alloc_and_print name tests =
-  let ols =
-    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
-  in
-  let instances = Instance.[ monotonic_clock; minor_allocated ] in
   let cfg =
     Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~stabilize:false ()
   in
@@ -65,14 +41,26 @@ let benchmark_alloc_and_print name tests =
         | Some _ | None -> nan)
   in
   let times = Analyze.all ols Instance.monotonic_clock raw in
-  let allocs = Analyze.all ols Instance.minor_allocated raw in
-  Printf.printf "\n%s (ns/op, minor words/op):\n" name;
-  let keys = Hashtbl.fold (fun key _ acc -> key :: acc) times [] in
-  List.iter
-    (fun key ->
-      Printf.printf "  %-44s %10.1f %10.2f\n" key (estimate times key)
-        (estimate allocs key))
-    (List.sort compare keys)
+  let keys =
+    List.sort compare (Hashtbl.fold (fun key _ acc -> key :: acc) times [])
+  in
+  if alloc then begin
+    let allocs = Analyze.all ols Instance.minor_allocated raw in
+    Printf.printf "\n%s (ns/op, minor words/op):\n" name;
+    List.iter
+      (fun key ->
+        Printf.printf "  %-44s %10.1f %10.2f\n" key (estimate times key)
+          (estimate allocs key))
+      keys
+  end
+  else begin
+    Printf.printf "\n%s (ns/op):\n" name;
+    List.iter
+      (fun key -> Printf.printf "  %-44s %10.1f\n" key (estimate times key))
+      keys
+  end
+
+let staged f = Staged.stage f
 
 (* ----- Runtime micro-benchmarks, one group per theorem/figure ----- *)
 
@@ -296,6 +284,44 @@ let treiber_tests =
         Aba_runtime.Rt_treiber.Reclaimed Aba_runtime.Rt_reclaim.Guarded );
     ]
 
+(* Elimination & combining hot paths, single-domain.  With no counterparty
+   every exchange attempt times out after its bounded spin window — the
+   price a lightly-contended operation pays for visiting the exchanger —
+   and every combining read wins the claim and runs the real scan.  The
+   two exchange rows are the allocation claim of the layer: 0.00 minor
+   words/op (the slot protocol is raw-int CAS, the per-pid state is
+   mutable fields, the retry loops are module-level recursion).  The
+   treiber and dread rows allocate only their result ([Some v] / the
+   flag pair), same as their elimination-free counterparts. *)
+let elimination_hotpath_tests =
+  let spec =
+    Aba_runtime.Elimination.Exchanger
+      { slots = 1; window = 4; backoff = Aba_primitives.Backoff.Noop }
+  in
+  let e = Aba_runtime.Elimination.create ~spec ~n:2 () in
+  let stack =
+    Aba_runtime.Rt_treiber.create
+      ~protection:(Aba_runtime.Rt_treiber.Tag_bits 16) ~elimination:spec
+      ~capacity:64 ~n:2 ()
+  in
+  let combined = Aba_runtime.Rt_aba.Fig4.create ~combining:true ~n:8 0 in
+  ignore (Aba_runtime.Rt_aba.Fig4.dread combined ~pid:1);
+  [
+    Test.make ~name:"elim.exchange_push timeout"
+      (staged (fun () ->
+           ignore (Aba_runtime.Elimination.exchange_push e ~pid:0 42)));
+    Test.make ~name:"elim.exchange_pop timeout"
+      (staged (fun () ->
+           ignore (Aba_runtime.Elimination.exchange_pop e ~pid:0)));
+    Test.make ~name:"treiber+elim push+pop uncontended"
+      (staged (fun () ->
+           ignore (Aba_runtime.Rt_treiber.push stack ~pid:1 42);
+           ignore (Aba_runtime.Rt_treiber.pop stack ~pid:1)));
+    Test.make ~name:"fig4.dread combining claim path"
+      (staged (fun () ->
+           ignore (Aba_runtime.Rt_aba.Fig4.dread combined ~pid:1)));
+  ]
+
 (* Motivation: MS queue enqueue+dequeue latency, counted pointers vs the
    hazard-protocol reclaimed variants. *)
 let msqueue_tests =
@@ -373,9 +399,13 @@ type sweep_row = {
   sw_config : string;
   sw_padded : bool;
   sw_backoff : bool;
+  sw_elim : bool;  (** elimination (stacks) / combining (fig4) enabled *)
   sw_domains : int;
   sw_ops : int;  (** per-domain operation count *)
   sw_throughput : float;
+  sw_ns_per_op : float;
+  sw_exchanges : int;  (** eliminated pairs, or adopted snapshots (fig4) *)
+  sw_collisions : int;  (** busy-slot collisions, or scan fallbacks (fig4) *)
 }
 
 let time_domains ~domains body =
@@ -392,25 +422,63 @@ let sweep_configs =
     ("padded+backoff", true, true);
   ]
 
-let scalability_sweep ~max_domains ~ops () =
+let scalability_sweep ~max_domains ~ops ~elimination () =
   Printf.printf "\nDomain-scalability sweep (1..%d domains, %d ops/domain):\n"
     max_domains ops;
   let rows = ref [] in
-  let record sw_bench sw_config sw_padded sw_backoff sw_domains total_ops dt =
+  let record ?(elim = false) ?(exchanges = 0) ?(collisions = 0) sw_bench
+      sw_config sw_padded sw_backoff sw_domains total_ops dt =
     let sw_throughput = float_of_int total_ops /. dt in
-    Printf.printf "  %-18s %-16s d=%-3d %12.0f ops/s\n" sw_bench sw_config
-      sw_domains sw_throughput;
+    let sw_ns_per_op = dt *. 1e9 /. float_of_int total_ops in
+    Printf.printf "  %-18s %-22s d=%-3d %12.0f ops/s %9.1f ns/op\n" sw_bench
+      sw_config sw_domains sw_throughput sw_ns_per_op;
     rows :=
       {
         sw_bench;
         sw_config;
         sw_padded;
         sw_backoff;
+        sw_elim = elim;
         sw_domains;
         sw_ops = ops;
         sw_throughput;
+        sw_ns_per_op;
+        sw_exchanges = exchanges;
+        sw_collisions = collisions;
       }
       :: !rows
+  in
+  (* Time a paired push/pop loop over a stack and record its row together
+     with the elimination counters (zero when the stack has no exchanger).
+     The paired mix keeps the stack near empty, so with several domains
+     pushers and poppers actually meet — the workload the exchanger is
+     for. *)
+  let treiber_case ~bench ~config ~padded ~backoff ~elim ~protection d =
+    let espec =
+      if elim then Aba_runtime.Elimination.default_spec
+      else Aba_runtime.Elimination.Noop
+    in
+    let s =
+      Aba_runtime.Rt_treiber.create ~padded ~backoff ~elimination:espec
+        ~protection ~capacity:1024 ~n:d ()
+    in
+    let dt =
+      time_domains ~domains:d (fun pid ->
+          for i = 1 to ops do
+            ignore (Aba_runtime.Rt_treiber.push s ~pid i);
+            ignore (Aba_runtime.Rt_treiber.pop s ~pid)
+          done)
+    in
+    let exchanges, collisions =
+      match Aba_runtime.Rt_treiber.elimination_stats s with
+      | None -> (0, 0)
+      | Some st ->
+          (st.Aba_runtime.Elimination.exchanges,
+           st.Aba_runtime.Elimination.collisions)
+    in
+    let config = if elim then config ^ "+elim" else config in
+    record ~elim ~exchanges ~collisions bench config padded backoff d
+      (2 * d * ops) dt
   in
   for d = 1 to max_domains do
     List.iter
@@ -433,19 +501,13 @@ let scalability_sweep ~max_domains ~ops () =
         in
         record "fig3.ll+sc" config padded backoff d (2 * d * ops) dt;
         (* Treiber over the Figure-3 LL/SC word: contended head plus the
-           free-list traffic. *)
-        let s =
-          Aba_runtime.Rt_treiber.create ~padded ~backoff
-            ~protection:Aba_runtime.Rt_treiber.Llsc ~capacity:1024 ~n:d ()
-        in
-        let dt =
-          time_domains ~domains:d (fun pid ->
-              for i = 1 to ops do
-                ignore (Aba_runtime.Rt_treiber.push s ~pid i);
-                ignore (Aba_runtime.Rt_treiber.pop s ~pid)
-              done)
-        in
-        record "treiber.push+pop" config padded backoff d (2 * d * ops) dt;
+           free-list traffic.  With [--elimination] each cell is run on
+           both ends of the elimination axis — the full 2x2x2 cross. *)
+        treiber_case ~bench:"treiber.push+pop" ~config ~padded ~backoff
+          ~elim:false ~protection:Aba_runtime.Rt_treiber.Llsc d;
+        if elimination then
+          treiber_case ~bench:"treiber.push+pop" ~config ~padded ~backoff
+            ~elim:true ~protection:Aba_runtime.Rt_treiber.Llsc d;
         (* MS queue, counted-pointer variant: head, tail and the link
            words are all contended. *)
         let q =
@@ -462,25 +524,59 @@ let scalability_sweep ~max_domains ~ops () =
         in
         record "msqueue.enq+deq" config padded backoff d (2 * d * ops) dt;
         (* Figure 4 is wait-free — no retry loop for backoff to pace — so
-           only the padding axis is swept. *)
+           only the padding axis is swept; the combining axis rides on the
+           elimination flag (read-side analogue of the exchanger). *)
         if not backoff then begin
-          let r = Aba_runtime.Rt_aba.Fig4.create ~padded ~n:d 0 in
-          let dt =
-            time_domains ~domains:d (fun pid ->
-                for i = 1 to ops do
-                  Aba_runtime.Rt_aba.Fig4.dwrite r ~pid i
-                done)
+          let fig4_case ~combining =
+            let r =
+              Aba_runtime.Rt_aba.Fig4.create ~padded ~combining ~n:d 0
+            in
+            let dt =
+              time_domains ~domains:d (fun pid ->
+                  for i = 1 to ops do
+                    Aba_runtime.Rt_aba.Fig4.dwrite r ~pid i
+                  done)
+            in
+            if not combining then
+              record "fig4.dwrite" config padded backoff d (d * ops) dt;
+            let dt =
+              time_domains ~domains:d (fun pid ->
+                  for _ = 1 to ops do
+                    ignore (Aba_runtime.Rt_aba.Fig4.dread r ~pid)
+                  done)
+            in
+            let exchanges, collisions =
+              match Aba_runtime.Rt_aba.Fig4.combining_stats r with
+              | None -> (0, 0)
+              | Some st ->
+                  (st.Aba_core.Combining.adopted,
+                   st.Aba_core.Combining.fallbacks)
+            in
+            let config = if combining then config ^ "+combining" else config in
+            record ~elim:combining ~exchanges ~collisions "fig4.dread" config
+              padded backoff d (d * ops) dt
           in
-          record "fig4.dwrite" config padded backoff d (d * ops) dt;
-          let dt =
-            time_domains ~domains:d (fun pid ->
-                for _ = 1 to ops do
-                  ignore (Aba_runtime.Rt_aba.Fig4.dread r ~pid)
-                done)
-          in
-          record "fig4.dread" config padded backoff d (d * ops) dt
+          fig4_case ~combining:false;
+          if elimination then fig4_case ~combining:true
         end)
-      sweep_configs
+      sweep_configs;
+    (* The other two head protections, at the production config only
+       (padded+backoff), on both ends of the elimination axis: the
+       exchanger is protection-agnostic and the claim is it helps all
+       three. *)
+    if elimination then
+      List.iter
+        (fun (bench, protection) ->
+          List.iter
+            (fun elim ->
+              treiber_case ~bench ~config:"padded+backoff" ~padded:true
+                ~backoff:true ~elim ~protection d)
+            [ false; true ])
+        [
+          ("treiber-tag16.push+pop", Aba_runtime.Rt_treiber.Tag_bits 16);
+          ( "treiber-hazard.push+pop",
+            Aba_runtime.Rt_treiber.Reclaimed Aba_runtime.Rt_reclaim.Hazard );
+        ]
   done;
   List.rev !rows
 
@@ -494,6 +590,7 @@ type options = {
   max_domains : int;  (** sweep upper bound *)
   sweep_ops : int;
   smoke : bool;  (** sweep + JSON only: CI-sized smoke run *)
+  elimination : bool;  (** add the elimination/combining axis to the sweep *)
 }
 
 let default_options () =
@@ -505,19 +602,21 @@ let default_options () =
     max_domains = Aba_runtime.Harness.available_parallelism ();
     sweep_ops = 10_000;
     smoke = false;
+    elimination = false;
   }
 
 let usage_and_exit code =
   prerr_endline
     "usage: bench [--json FILE] [--domains N] [--ops N] [--max-domains N]\n\
-    \             [--sweep-ops N] [--smoke]\n\n\
+    \             [--sweep-ops N] [--smoke] [--elimination]\n\n\
     \  --json FILE     write machine-readable results to FILE\n\
     \  --domains N     domain count for the treiber/reclaim tables \
      (default 4)\n\
     \  --ops N         per-domain ops for the treiber and reclaim tables\n\
     \  --max-domains N scalability sweep upper bound (default: all cores)\n\
     \  --sweep-ops N   per-domain ops per sweep cell (default 10000)\n\
-    \  --smoke         run only the sweep (plus JSON output): CI smoke test";
+    \  --smoke         run only the sweep (plus JSON output): CI smoke test\n\
+    \  --elimination   sweep the elimination/combining axis too (2x2x2)";
   exit code
 
 let parse_options () =
@@ -545,6 +644,7 @@ let parse_options () =
       | "--max-domains" -> o := { !o with max_domains = int_value i }; go (i + 2)
       | "--sweep-ops" -> o := { !o with sweep_ops = int_value i }; go (i + 2)
       | "--smoke" -> o := { !o with smoke = true }; go (i + 1)
+      | "--elimination" -> o := { !o with elimination = true }; go (i + 1)
       | "--help" | "-h" -> usage_and_exit 0
       | arg ->
           Printf.eprintf "bench: unknown argument %s\n" arg;
@@ -572,7 +672,7 @@ let meta_json () =
   let tm = Unix.gmtime (Unix.time ()) in
   Json.Obj
     [
-      ("schema_version", Json.Int 2);
+      ("schema_version", Json.Int 3);
       ("git_commit", Json.Str (git_commit ()));
       ("ocaml_version", Json.Str Sys.ocaml_version);
       ( "available_domains",
@@ -615,9 +715,13 @@ let sweep_row_json r =
       ("config", Json.Str r.sw_config);
       ("padded", Json.Bool r.sw_padded);
       ("backoff", Json.Bool r.sw_backoff);
+      ("elim", Json.Bool r.sw_elim);
       ("domains", Json.Int r.sw_domains);
       ("ops", Json.Int r.sw_ops);
       ("ops_per_sec", Json.Float r.sw_throughput);
+      ("ns_per_op", Json.Float r.sw_ns_per_op);
+      ("exchanges", Json.Int r.sw_exchanges);
+      ("collisions", Json.Int r.sw_collisions);
     ]
 
 let write_json path ~treiber_rows ~reclaim_rows ~sweep_rows =
@@ -650,14 +754,16 @@ let () =
     ablation_fig3 ();
     (* Part 2: wall-clock benchmarks of the runtime ports. *)
     print_endline "\n=== Wall-clock micro-benchmarks (Bechamel) ===";
-    benchmark_and_print "thm3-figure4-runtime" thm3_fig4_tests;
-    benchmark_and_print "thm2-figure3-runtime" thm2_fig3_tests;
-    benchmark_and_print "moir-unbounded-runtime" moir_tests;
-    benchmark_and_print "aba-registers-runtime" aba_register_tests;
-    benchmark_alloc_and_print "unified-vs-handwritten"
+    benchmark_report "thm3-figure4-runtime" thm3_fig4_tests;
+    benchmark_report "thm2-figure3-runtime" thm2_fig3_tests;
+    benchmark_report "moir-unbounded-runtime" moir_tests;
+    benchmark_report "aba-registers-runtime" aba_register_tests;
+    benchmark_report ~alloc:true "unified-vs-handwritten"
       unified_vs_handwritten_tests;
-    benchmark_and_print "treiber-runtime" treiber_tests;
-    benchmark_and_print "msqueue-runtime" msqueue_tests
+    benchmark_report "treiber-runtime" treiber_tests;
+    benchmark_report ~alloc:true "elimination-hotpath"
+      elimination_hotpath_tests;
+    benchmark_report "msqueue-runtime" msqueue_tests
   end;
   let treiber_rows =
     if o.smoke then []
@@ -672,7 +778,8 @@ let () =
   in
   (* Part 4: the contention-management scalability sweep. *)
   let sweep_rows =
-    scalability_sweep ~max_domains:o.max_domains ~ops:o.sweep_ops ()
+    scalability_sweep ~max_domains:o.max_domains ~ops:o.sweep_ops
+      ~elimination:o.elimination ()
   in
   match o.json with
   | None -> ()

@@ -1,0 +1,120 @@
+open Aba_primitives
+
+(* Per-process scratch: the poll backoff plus the counters.  One padded
+   record per pid — everything a reader mutates while waiting lives on its
+   own cache line, so waiters do not interfere with each other. *)
+type local = {
+  bo : Backoff.t;
+  mutable scans : int;
+  mutable adopted : int;
+  mutable fallbacks : int;
+}
+
+type t = {
+  epoch : int Atomic.t;
+      (** Even: no scan in flight.  Odd: a scanner claimed the cache and is
+          running the underlying read.  Monotonically increasing. *)
+  snapshot : int Atomic.t;
+      (** The value published by the last completed scan; only meaningful
+          between the scanner's [set snapshot] and the next claim, which is
+          exactly the window the adopter's epoch re-check validates. *)
+  window : int;
+  scan : pid:Pid.t -> int * bool;
+  locals : local array;
+}
+
+let default_window = 64
+
+let create ?(padded = true) ?(window = default_window)
+    ?(backoff = Backoff.Exp { min_spins = 1; max_spins = 32 }) ~n ~scan () =
+  if window < 1 then invalid_arg "Combining.create: window must be positive";
+  if n < 1 then invalid_arg "Combining.create: n must be positive";
+  let cell v = if padded then Padded.atomic v else Atomic.make v in
+  {
+    epoch = cell 0;
+    snapshot = cell 0;
+    window;
+    scan;
+    locals =
+      Array.init n (fun _ ->
+          Padded.copy
+            {
+              bo = Backoff.make backoff;
+              scans = 0;
+              adopted = 0;
+              fallbacks = 0;
+            });
+  }
+
+(* Adoption soundness.  The adopter read [e0] from [epoch] at the start of
+   its own operation.  It may return the published snapshot only after
+   observing an even [e >= e0 + 2]: the odd transition to [e - 1] then
+   happened after the adopter read [e0], i.e. the publishing scan {e
+   started} inside the adopter's interval, so the scan's linearization
+   point is a legal linearization point for the adopter too.  An even
+   [e = e0 + 1] (a scan that was already in flight when we arrived) is
+   rejected — its read may have linearized before we started.
+
+   The snapshot re-check ([epoch] unchanged around the [snapshot] load)
+   rules out tearing: a later scanner stores its snapshot only after
+   bumping [epoch] to odd, which the second load would see. *)
+let rec adopt t l ~pid e0 i =
+  if i >= t.window then begin
+    (* Nobody published in time: do the precise read ourselves (without
+       claiming the cache — contending for the claim word again would just
+       add traffic to the line we are trying to shed). *)
+    l.fallbacks <- l.fallbacks + 1;
+    t.scan ~pid
+  end
+  else begin
+    let e = Atomic.get t.epoch in
+    if e land 1 = 0 && e >= e0 + 2 then begin
+      let v = Atomic.get t.snapshot in
+      if Atomic.get t.epoch = e then begin
+        l.adopted <- l.adopted + 1;
+        (* The adopted flag is conservatively [true]: the adopter skipped
+           its own announce-protocol read, so it cannot prove the value is
+           unchanged since {e its} previous read.  A false positive makes a
+           client retry; a false negative would be a missed ABA — never
+           produced here. *)
+        (v, true)
+      end
+      else adopt t l ~pid e0 (i + 1)
+    end
+    else begin
+      Backoff.once l.bo;
+      adopt t l ~pid e0 (i + 1)
+    end
+  end
+
+let dread t ~pid =
+  let l = t.locals.(pid) in
+  let e0 = Atomic.get t.epoch in
+  if e0 land 1 = 0 && Atomic.compare_and_set t.epoch e0 (e0 + 1) then begin
+    (* Scanner: run the real read, publish, release.  The scanner's own
+       result is exact — it ran the full underlying protocol. *)
+    let r = t.scan ~pid in
+    Atomic.set t.snapshot (fst r);
+    Atomic.set t.epoch (e0 + 2);
+    l.scans <- l.scans + 1;
+    r
+  end
+  else begin
+    Backoff.reset l.bo;
+    adopt t l ~pid e0 0
+  end
+
+(* Declared after the hot-path functions so the [local] labels above
+   resolve unambiguously. *)
+type stats = { scans : int; adopted : int; fallbacks : int }
+
+let stats t =
+  Array.fold_left
+    (fun acc (l : local) ->
+      {
+        scans = acc.scans + l.scans;
+        adopted = acc.adopted + l.adopted;
+        fallbacks = acc.fallbacks + l.fallbacks;
+      })
+    { scans = 0; adopted = 0; fallbacks = 0 }
+    t.locals

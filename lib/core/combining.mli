@@ -1,0 +1,56 @@
+(** Read combining for ABA-detecting registers.
+
+    Under read contention every [DRead] of {!Aba_from_registers} (Figure 4)
+    walks the same shared words: the register [X] plus the reader's
+    announce slot.  With many concurrent readers the work is redundant —
+    any one reader's snapshot would do for all of them, as long as each
+    adopted snapshot linearizes inside the adopter's own interval.
+
+    This cache makes that trade explicit.  Readers race a claim word
+    ([epoch], a seqlock-style counter: odd while a scan is in flight); the
+    winner runs the underlying read ([scan]) and publishes its value, the
+    losers spin a bounded window ({!Aba_primitives.Backoff}-paced) and
+    adopt the published snapshot — but only one whose scan provably
+    {e started} after the adopter's own operation began (observed epoch
+    [>= e0 + 2]), which makes the adoption linearizable.  A loser whose
+    window expires falls back to the precise underlying read.
+
+    The detection flag of an adopted read is conservatively [true]: the
+    adopter skipped its own announce-protocol read, so it reports "may
+    have changed".  False positives cost a client retry; false negatives
+    (a missed ABA) are never introduced.  Driven sequentially every read
+    wins the claim and runs the exact underlying protocol, so seq/sim
+    transcripts are unchanged — the combining analogue of
+    {!Aba_primitives.Backoff.Noop} inertness. *)
+
+open Aba_primitives
+
+type t
+
+val create :
+  ?padded:bool ->
+  ?window:int ->
+  ?backoff:Backoff.spec ->
+  n:int ->
+  scan:(pid:Pid.t -> int * bool) ->
+  unit ->
+  t
+(** [scan ~pid] is the precise underlying read (e.g. Figure 4's [DRead]);
+    it is called by claim winners and by losers whose adoption window
+    ([window] epoch polls, default 64, each paced by [backoff]) expires.
+    [padded] (default [true]) puts the claim and snapshot words on their
+    own cache lines.  Raises [Invalid_argument] if [window] or [n] is not
+    positive. *)
+
+val dread : t -> pid:Pid.t -> int * bool
+(** Combined read: scan-and-publish, adopt, or fall back (see above). *)
+
+type stats = { scans : int; adopted : int; fallbacks : int }
+(** [scans] + [adopted] + [fallbacks] = total [dread] calls.  [adopted]
+    are reads served from a concurrent scanner's snapshot — the combining
+    win.  Summed over per-process counters; exact once domains are
+    joined. *)
+
+val stats : t -> stats
+
+val default_window : int

@@ -142,11 +142,26 @@ let llsc_of_impl (type t) (module I : Llsc_intf.S with type t = t) (obj : t) =
     llsc_initial = I.initial_value;
   }
 
-let aba_with_mem ?value_bound ?padded ?backoff (module B : ABA_BUILDER)
-    (mem : (module Mem_intf.S)) ~n =
+(* Read combining is a wrapper over the finished instance, not a functor
+   option: it caches at the [dread] closure level, so it applies uniformly
+   to every builder.  Driven sequentially each read wins the claim and
+   runs the underlying protocol, so seq/sim transcripts are unchanged —
+   which is why the knob can be threaded through all three backends. *)
+let with_combining ?(combining = false) ?padded ~n inst =
+  if not combining then inst
+  else begin
+    let c =
+      Combining.create ?padded ~n ~scan:(fun ~pid -> inst.dread pid) ()
+    in
+    { inst with dread = (fun pid -> Combining.dread c ~pid) }
+  end
+
+let aba_with_mem ?value_bound ?padded ?backoff ?combining
+    (module B : ABA_BUILDER) (mem : (module Mem_intf.S)) ~n =
   let module M = (val mem) in
   let module I = B.Make (M) in
   aba_of_impl (module I) (I.create ?value_bound ?padded ?backoff ~n ())
+  |> with_combining ?combining ?padded ~n
 
 let llsc_with_mem ?value_bound ?init ?padded ?backoff
     (module B : LLSC_BUILDER) (mem : (module Mem_intf.S)) ~n =
@@ -154,13 +169,15 @@ let llsc_with_mem ?value_bound ?init ?padded ?backoff
   let module I = B.Make (M) in
   llsc_of_impl (module I) (I.create ?value_bound ?init ?padded ?backoff ~n ())
 
-let aba_in_sim ?value_bound b sim ~n =
-  aba_with_mem ?value_bound b (Aba_sim.Sim_mem.make sim) ~n
+let aba_in_sim ?value_bound ?combining b sim ~n =
+  aba_with_mem ?value_bound ?combining b (Aba_sim.Sim_mem.make sim) ~n
 
-let aba_seq ?value_bound b ~n = aba_with_mem ?value_bound b (Seq_mem.make ()) ~n
+let aba_seq ?value_bound ?combining b ~n =
+  aba_with_mem ?value_bound ?combining b (Seq_mem.make ()) ~n
 
-let aba_rt ?value_bound ?padded ?backoff b ~n =
-  aba_with_mem ?value_bound ?padded ?backoff b (Rt_mem.make ~n ()) ~n
+let aba_rt ?value_bound ?padded ?backoff ?combining b ~n =
+  aba_with_mem ?value_bound ?padded ?backoff ?combining b (Rt_mem.make ~n ())
+    ~n
 
 let llsc_in_sim ?value_bound b sim ~n =
   llsc_with_mem ?value_bound b (Aba_sim.Sim_mem.make sim) ~n

@@ -99,6 +99,7 @@ val aba_with_mem :
   ?value_bound:int Bounded.t ->
   ?padded:bool ->
   ?backoff:Backoff.spec ->
+  ?combining:bool ->
   aba_builder ->
   (module Mem_intf.S) ->
   n:int ->
@@ -107,7 +108,11 @@ val aba_with_mem :
     itself a functor over {!Mem_intf.S}, e.g. the application data
     structures).  [padded]/[backoff] are the contention-management hints of
     {!Llsc_intf.S.create}; they default off, and the checking backends
-    ignore them. *)
+    ignore them.  [combining] (default [false]) routes [dread] through a
+    {!Combining} cache; the wrapper sits above the builder, so it composes
+    with every implementation and backend.  Driven sequentially (seq/sim)
+    each read wins the claim and runs the underlying protocol, so
+    transcripts are unchanged — the differential tests exploit this. *)
 
 val llsc_with_mem :
   ?value_bound:int Bounded.t ->
@@ -120,17 +125,24 @@ val llsc_with_mem :
   llsc
 
 val aba_in_sim :
-  ?value_bound:int Bounded.t -> aba_builder -> Aba_sim.Sim.t -> n:int -> aba
+  ?value_bound:int Bounded.t ->
+  ?combining:bool ->
+  aba_builder ->
+  Aba_sim.Sim.t ->
+  n:int ->
+  aba
 (** Every shared-memory access of the returned object is a simulator step
     of the process passed as [pid]. *)
 
-val aba_seq : ?value_bound:int Bounded.t -> aba_builder -> n:int -> aba
+val aba_seq :
+  ?value_bound:int Bounded.t -> ?combining:bool -> aba_builder -> n:int -> aba
 (** Direct semantics; operations execute immediately. *)
 
 val aba_rt :
   ?value_bound:int Bounded.t ->
   ?padded:bool ->
   ?backoff:Backoff.spec ->
+  ?combining:bool ->
   aba_builder ->
   n:int ->
   aba

@@ -99,7 +99,13 @@ end)
   (* The retry loops are module-level recursive functions rather than local
      closures: a local [let rec attempt] capturing [t] and [p] would be a
      fresh closure allocation on every LL/SC, and the whole point of the
-     packed representation is an allocation-free hot path on [Rt_mem]. *)
+     packed representation is an allocation-free hot path on [Rt_mem].
+
+     [Backoff.reset] is lazy — performed on the first failed CAS, right
+     before the first [once] — so an operation whose first CAS succeeds
+     (or that needs no CAS at all) does zero backoff stores.  The spin
+     sequence under contention is unchanged: the first [once] still spins
+     [min_spins]. *)
 
   (* Lines 14–25. *)
   let rec ll_attempt t p packed i =
@@ -119,13 +125,13 @@ end)
         value_of t seen
       end
       else begin
+        if i = 1 then Backoff.reset t.bo.(p);
         Backoff.once t.bo.(p);
         ll_attempt t p packed (i + 1)
       end
     end
 
   let ll t ~pid:p =
-    Backoff.reset t.bo.(p);
     let packed = M.cas_read_packed t.x in
     if not (bit_set t packed p) then begin
       t.b.(p) <- false;
@@ -142,17 +148,14 @@ end)
       else if M.cas_packed t.x ~expect:seen ~update:((y lsl t.n) lor all_set t)
       then true
       else begin
+        if i = 1 then Backoff.reset t.bo.(p);
         Backoff.once t.bo.(p);
         sc_attempt t p y (i + 1)
       end
     end
 
   let sc t ~pid:p y =
-    if t.b.(p) then false
-    else begin
-      Backoff.reset t.bo.(p);
-      sc_attempt t p y 1
-    end
+    if t.b.(p) then false else sc_attempt t p y 1
 
   (* Lines 9–13. *)
   let vl t ~pid:p =

@@ -1,0 +1,283 @@
+open Aba_primitives
+
+(* ----- Slot protocol ----- *)
+
+(* A slot is one int atomic; the low two bits are the state tag, the rest
+   the payload (arithmetic shift, so negative values round-trip):
+
+     EMPTY ──push──> WAITING_PUSH(v) ──pop───> EXCHANGED(v) ──push──> EMPTY
+     EMPTY ──pop───> WAITING_POP     ──push──> EXCHANGED(v) ──pop───> EMPTY
+
+   The crucial shape: the counterparty's CAS moves a WAITING slot to
+   EXCHANGED, and only the original waiter resets EXCHANGED to EMPTY.
+   Because the slot stays locked on the waiter until the waiter itself
+   releases it, the waiter can never confuse a stranger's identical word
+   with its own live offer — the elimination layer's own ABA hazard (a
+   withdrawn offer reposted by another process with the same value) is
+   structurally impossible, with no tag counter needed.  An ABA-prevention
+   library ought not to reintroduce the bug in its fast path. *)
+
+module Slot = struct
+  type state = Empty | Waiting_push of int | Waiting_pop | Exchanged of int
+
+  let encode = function
+    | Empty -> 0
+    | Waiting_push v -> (v lsl 2) lor 1
+    | Waiting_pop -> 2
+    | Exchanged v -> (v lsl 2) lor 3
+
+  let decode w =
+    match w land 3 with
+    | 1 -> Waiting_push (w asr 2)
+    | 2 -> Waiting_pop
+    | 3 -> Exchanged (w asr 2)
+    | _ -> Empty
+end
+
+(* Tag tests on the raw word — the hot path never builds a [Slot.state]
+   (that would allocate); [Slot] is the specification the tests exercise. *)
+let empty_w = 0
+let waiting_pop_w = 2
+let is_waiting_push w = w land 3 = 1
+let exchanged_of w = (w land lnot 3) lor 3
+let payload w = w asr 2
+
+(* ----- Adaptive range ----- *)
+
+(* Collisions (a CAS lost, or a slot occupied by a same-side waiter) mean
+   the array is crowded: double the range so offers spread out.  A timeout
+   means nobody found us: halve the range so future offers concentrate
+   where partners look first.  Successful exchanges keep the range — the
+   current size is evidently matching traffic. *)
+let adapt ~slots ~range = function
+  | `Collision -> min slots (range * 2)
+  | `Timeout -> max 1 (range / 2)
+  | `Exchange -> range
+
+type spec =
+  | Noop
+  | Exchanger of { slots : int; window : int; backoff : Backoff.spec }
+
+let default_spec =
+  Exchanger
+    {
+      slots = 8;
+      window = 32;
+      backoff = Backoff.Exp { min_spins = 1; max_spins = 64 };
+    }
+
+(* Per-process scratch, one padded record per pid: the slot-picking PRNG,
+   the adaptive range, the wait-window pacing and the counters all mutate
+   on every attempt and must not share lines across processes. *)
+type local = {
+  mutable seed : int;
+  mutable range : int;
+  bo : Backoff.t;
+  mutable attempts : int;
+  mutable exchanges : int;
+  mutable collisions : int;
+  mutable timeouts : int;
+}
+
+type t = {
+  slots : int Atomic.t array;  (** each on its own cache line when padded *)
+  nslots : int;  (** 0 for the inert [Noop] instance *)
+  window : int;
+  locals : local array;
+}
+
+let noop = { slots = [||]; nslots = 0; window = 0; locals = [||] }
+
+let create ?(padded = true) ~spec ~n () =
+  match spec with
+  | Noop -> noop
+  | Exchanger { slots; window; backoff } ->
+      if slots < 1 then
+        invalid_arg "Elimination.create: slots must be positive";
+      if window < 1 then
+        invalid_arg "Elimination.create: window must be positive";
+      if n < 1 then invalid_arg "Elimination.create: n must be positive";
+      {
+        slots =
+          (if padded then Padded.atomic_array slots empty_w
+           else Array.init slots (fun _ -> Atomic.make empty_w));
+        nslots = slots;
+        window;
+        locals =
+          Array.init n (fun i ->
+              Padded.copy
+                {
+                  (* Any odd per-pid constant seeds the xorshift stream. *)
+                  seed = (i * 2) + 1;
+                  range = 1;
+                  bo = Backoff.make backoff;
+                  attempts = 0;
+                  exchanges = 0;
+                  collisions = 0;
+                  timeouts = 0;
+                })
+      }
+
+let enabled t = t.nslots > 0
+let slot_count t = t.nslots
+let range t ~pid = if t.nslots = 0 then 0 else t.locals.(pid).range
+let peek t i = Slot.decode (Atomic.get t.slots.(i))
+
+(* xorshift64: cheap, allocation-free, per-pid deterministic. *)
+let next_slot l =
+  let s = l.seed in
+  let s = s lxor (s lsl 13) in
+  let s = s lxor (s lsr 7) in
+  let s = s lxor (s lsl 17) in
+  l.seed <- s;
+  (s land max_int) mod l.range
+
+let collision t l =
+  l.collisions <- l.collisions + 1;
+  l.range <- adapt ~slots:t.nslots ~range:l.range `Collision
+
+let timeout t l =
+  l.timeouts <- l.timeouts + 1;
+  l.range <- adapt ~slots:t.nslots ~range:l.range `Timeout
+
+let exchange t l =
+  l.exchanges <- l.exchanges + 1;
+  l.range <- adapt ~slots:t.nslots ~range:l.range `Exchange
+
+(* The pusher parked [w = WAITING_PUSH(v)] in [s] and polls it for at most
+   [window] backoff-paced rounds.  The only transition another process can
+   apply to [w] is a popper's CAS to [EXCHANGED], so [get s <> w] means the
+   value was taken. *)
+let rec wait_push t l s w i =
+  if i >= t.window then
+    if Atomic.compare_and_set s w empty_w then begin
+      timeout t l;
+      false
+    end
+    else begin
+      (* The withdraw lost: a popper took the value between our last poll
+         and the CAS.  The slot is EXCHANGED and locked on us; release. *)
+      Atomic.set s empty_w;
+      exchange t l;
+      true
+    end
+  else if Atomic.get s <> w then begin
+    Atomic.set s empty_w;
+    exchange t l;
+    true
+  end
+  else begin
+    Backoff.once l.bo;
+    wait_push t l s w (i + 1)
+  end
+
+let exchange_push t ~pid v =
+  t.nslots > 0
+  && begin
+       let l = t.locals.(pid) in
+       l.attempts <- l.attempts + 1;
+       let s = t.slots.(next_slot l) in
+       let c = Atomic.get s in
+       if c = waiting_pop_w then
+         (* A popper is parked here: hand the value over directly. *)
+         if Atomic.compare_and_set s c ((v lsl 2) lor 3) then begin
+           exchange t l;
+           true
+         end
+         else begin
+           collision t l;
+           false
+         end
+       else if c = empty_w then
+         if Atomic.compare_and_set s c ((v lsl 2) lor 1) then begin
+           Backoff.reset l.bo;
+           wait_push t l s ((v lsl 2) lor 1) 0
+         end
+         else begin
+           collision t l;
+           false
+         end
+       else begin
+         collision t l;
+         false
+       end
+     end
+
+(* Symmetric wait for a parked popper; fulfillment moves WAITING_POP to
+   EXCHANGED(v), and again only we reset the slot. *)
+let rec wait_pop t l s i =
+  if i >= t.window then
+    if Atomic.compare_and_set s waiting_pop_w empty_w then begin
+      timeout t l;
+      None
+    end
+    else begin
+      let c = Atomic.get s in
+      Atomic.set s empty_w;
+      exchange t l;
+      Some (payload c)
+    end
+  else begin
+    let c = Atomic.get s in
+    if c <> waiting_pop_w then begin
+      Atomic.set s empty_w;
+      exchange t l;
+      Some (payload c)
+    end
+    else begin
+      Backoff.once l.bo;
+      wait_pop t l s (i + 1)
+    end
+  end
+
+let exchange_pop t ~pid =
+  if t.nslots = 0 then None
+  else begin
+    let l = t.locals.(pid) in
+    l.attempts <- l.attempts + 1;
+    let s = t.slots.(next_slot l) in
+    let c = Atomic.get s in
+    if is_waiting_push c then
+      if Atomic.compare_and_set s c (exchanged_of c) then begin
+        exchange t l;
+        Some (payload c)
+      end
+      else begin
+        collision t l;
+        None
+      end
+    else if c = empty_w then
+      if Atomic.compare_and_set s c waiting_pop_w then begin
+        Backoff.reset l.bo;
+        wait_pop t l s 0
+      end
+      else begin
+        collision t l;
+        None
+      end
+    else begin
+      collision t l;
+      None
+    end
+  end
+
+(* Declared after the hot-path functions so the [local] labels above
+   resolve unambiguously. *)
+type stats = {
+  attempts : int;
+  exchanges : int;
+  collisions : int;
+  timeouts : int;
+}
+
+let stats t =
+  Array.fold_left
+    (fun acc (l : local) ->
+      {
+        attempts = acc.attempts + l.attempts;
+        exchanges = acc.exchanges + l.exchanges;
+        collisions = acc.collisions + l.collisions;
+        timeouts = acc.timeouts + l.timeouts;
+      })
+    { attempts = 0; exchanges = 0; collisions = 0; timeouts = 0 }
+    t.locals

@@ -1,0 +1,113 @@
+(** Elimination layer: scale a stack past its single ABA-protected word.
+
+    Every production structure in this library funnels all [n] processes
+    through one protected word — the Figure-3 CAS object or a tagged head
+    index — so beyond a few domains throughput is bounded by coherence
+    traffic on that line, however well padding and backoff behave.  The
+    classic fix is to let {e colliding pairs cancel off the hot word}: a
+    concurrent push/pop pair is linearizable with the push immediately
+    followed by the pop, and that composite is a no-op on the stack — the
+    pair can simply hand the value over in a side array and never touch
+    the head.  The head word (tagged, LL/SC or reclaimer-protected) stays
+    the correctness backbone; elimination only removes traffic from it.
+
+    The exchanger is an array of cache-line-padded single-word slots, each
+    running a four-state protocol driven purely by
+    [Atomic.compare_and_set] on an immediate int (no allocation on any
+    path):
+
+    {v
+    EMPTY --push--> WAITING_PUSH(v) --pop---> EXCHANGED(v) --push--> EMPTY
+    EMPTY --pop---> WAITING_POP     --push--> EXCHANGED(v) --pop---> EMPTY
+    v}
+
+    A waiter parks, polls its slot for a bounded window (paced by
+    {!Aba_primitives.Backoff}), and withdraws on timeout; the counterparty
+    moves a WAITING slot to EXCHANGED and only the original waiter resets
+    EXCHANGED to EMPTY.  Keeping the slot locked on the waiter until the
+    waiter itself releases it makes the exchanger immune to its own ABA
+    hazard (a withdrawn offer reposted with the same value) with no tag
+    counter — see the state-machine notes in the implementation.
+
+    Each process adapts how much of the array it uses from collision
+    feedback: collisions double its search range (spread out), timeouts
+    halve it (concentrate where partners look).  The pure transition is
+    exposed as {!adapt} and the slot codec as {!Slot} so the tests can
+    drive both exhaustively.
+
+    The {!spec} mirrors {!Aba_primitives.Backoff.spec}: [Noop] yields an
+    inert instance whose [exchange_*] return immediately without touching
+    memory, so sequential and differential runs are byte-identical with
+    the knob on or off. *)
+
+open Aba_primitives
+
+(** The slot state machine as data — the specification of the protocol.
+    The hot path manipulates the encoded words directly (decoding would
+    allocate); tests check both against each other. *)
+module Slot : sig
+  type state = Empty | Waiting_push of int | Waiting_pop | Exchanged of int
+
+  val encode : state -> int
+  (** Low two bits are the tag, the rest the payload (arithmetic shift:
+      negative values round-trip).  [encode Empty = 0]. *)
+
+  val decode : int -> state
+end
+
+val adapt :
+  slots:int -> range:int -> [ `Collision | `Timeout | `Exchange ] -> int
+(** The adaptive-range transition: collisions double [range] (clamped to
+    [slots]), timeouts halve it (floor 1), exchanges keep it. *)
+
+type spec =
+  | Noop  (** inert: no slots, every exchange attempt fails immediately *)
+  | Exchanger of { slots : int; window : int; backoff : Backoff.spec }
+      (** [slots] exchanger slots; a waiter polls its slot [window] times,
+          each poll paced by one [Backoff.once] of [backoff]. *)
+
+val default_spec : spec
+(** [Exchanger { slots = 8; window = 32; backoff = Exp {1, 64} }]. *)
+
+type t
+
+val create : ?padded:bool -> spec:spec -> n:int -> unit -> t
+(** An exchanger for [n] processes.  [padded] (default [true]) gives every
+    slot its own cache line.  Values passed through the exchanger must fit
+    in 60 signed bits (they share the slot word with the 2-bit tag).
+    Raises [Invalid_argument] on a non-positive [slots], [window] or [n]
+    of an [Exchanger] spec. *)
+
+val exchange_push : t -> pid:Pid.t -> int -> bool
+(** Offer a value to a concurrent pop.  [true] means some pop took it —
+    the pair has linearized off the stack and the caller must {e not}
+    also publish the value.  [false] (immediately under [Noop], after a
+    bounded window otherwise) means the caller falls back to the head
+    word.  Allocation-free. *)
+
+val exchange_pop : t -> pid:Pid.t -> int option
+(** Try to take a value from a concurrent push; [None] means fall back.
+    Allocation-free except the final [Some]. *)
+
+val enabled : t -> bool
+(** [false] exactly for instances built from [Noop]. *)
+
+val slot_count : t -> int
+
+val range : t -> pid:Pid.t -> int
+(** Current adaptive search range of [pid] (0 when disabled); for tests
+    and diagnostics. *)
+
+val peek : t -> int -> Slot.state
+(** Decode slot [i]'s current state; for tests — racy under concurrency. *)
+
+type stats = {
+  attempts : int;  (** exchange attempts (both sides) *)
+  exchanges : int;  (** operations completed by elimination (both sides of
+                        a pair count one each) *)
+  collisions : int;  (** lost CASes / occupied slots — crowding feedback *)
+  timeouts : int;  (** windows that expired partnerless *)
+}
+
+val stats : t -> stats
+(** Summed over per-process counters; exact once domains are joined. *)

@@ -71,7 +71,10 @@ type churn_report = {
   outcome : (unit, string) result;
 }
 
-let churn ~n ~ops ~push ~pop ?(finish = fun ~pid:_ -> ()) () =
+type mix = Push_heavy | Paired
+
+let churn ?(mix = Push_heavy) ~n ~ops ~push ~pop ?(finish = fun ~pid:_ -> ())
+    () =
   let results =
     run_domains ~n (fun d ->
         let pushed = ref [] and popped = ref [] in
@@ -85,12 +88,20 @@ let churn ~n ~ops ~push ~pop ?(finish = fun ~pid:_ -> ()) () =
              value is caught by the audit. *)
           let v = (d * ops) + i in
           if push ~pid:d v then pushed := v :: !pushed;
-          (* Pop slightly less than we push: the structure fills to its
-             capacity, pushes start failing, and every subsequent
-             operation recycles a node through the reclaimer — the
-             regime where ABA actually bites. *)
-          if i land 1 = 0 then record_pop ();
-          if i mod 5 = 0 then record_pop ()
+          match mix with
+          | Push_heavy ->
+              (* Pop slightly less than we push: the structure fills to its
+                 capacity, pushes start failing, and every subsequent
+                 operation recycles a node through the reclaimer — the
+                 regime where ABA actually bites. *)
+              if i land 1 = 0 then record_pop ();
+              if i mod 5 = 0 then record_pop ()
+          | Paired ->
+              (* Pop right after every push: the structure hovers near
+                 empty, so concurrent pushers and poppers constantly meet
+                 on the head — the regime where elimination actually
+                 fires. *)
+              record_pop ()
         done;
         finish ~pid:d;
         (!pushed, !popped))

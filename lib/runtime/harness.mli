@@ -41,7 +41,16 @@ type churn_report = {
   outcome : (unit, string) result;  (** the {!check_multiset} verdict *)
 }
 
+(** Operation mix of {!churn}.  [Push_heavy] (the default) pushes more
+    than it pops, driving the structure to its capacity ceiling — the
+    node-recycling regime where ABA bites.  [Paired] pops right after
+    every push, keeping the structure near empty so concurrent pushers
+    and poppers collide on the head — the regime where an elimination
+    layer actually fires. *)
+type mix = Push_heavy | Paired
+
 val churn :
+  ?mix:mix ->
   n:int ->
   ops:int ->
   push:(pid:int -> int -> bool) ->
@@ -50,9 +59,10 @@ val churn :
   unit ->
   churn_report
 (** Contended churn workload with forced node reuse: [n] domains push
-    unique values and pop slightly less often, so the structure runs at
-    its capacity ceiling and every operation recycles nodes across
-    domains.  [finish ~pid] runs in each domain after its loop and once
-    more per pid after the final drain — reclaimer-backed structures
-    pass their release-and-flush here so limbo empties before the
-    caller reads {!Rt_reclaim.stats}. *)
+    unique values and pop according to [mix], by default slightly less
+    often than they push, so the structure runs at its capacity ceiling
+    and every operation recycles nodes across domains.  [finish ~pid]
+    runs in each domain after its loop and once more per pid after the
+    final drain — reclaimer-backed structures pass their
+    release-and-flush here so limbo empties before the caller reads
+    {!Rt_reclaim.stats}. *)

@@ -33,7 +33,12 @@ module Fig4_impl =
     end))
 
 module Fig4 = struct
-  type t = Fig4_impl.t
+  type t = {
+    base : Fig4_impl.t;
+    combine : Aba_core.Combining.t option;
+        (** read-combining cache over [base]'s [dread]; [None] = every
+            read runs the full announce protocol *)
+  }
 
   (* Figure 4's registers are bounded in their (writer, seq) components;
      the value component is whatever the client stores, so admit the full
@@ -42,11 +47,26 @@ module Fig4 = struct
   let int63 =
     Aba_primitives.Bounded.make ~describe:"int63" (fun (_ : int) -> true)
 
-  let create ?(padded = false) ~n init =
-    Fig4_impl.create ~value_bound:int63 ~init ~padded ~n ()
+  let create ?(padded = false) ?(combining = false) ?window ~n init =
+    let base = Fig4_impl.create ~value_bound:int63 ~init ~padded ~n () in
+    let combine =
+      if combining then
+        Some
+          (Aba_core.Combining.create ~padded ?window ~n
+             ~scan:(fun ~pid -> Fig4_impl.dread base ~pid)
+             ())
+      else None
+    in
+    { base; combine }
 
-  let dwrite = Fig4_impl.dwrite
-  let dread = Fig4_impl.dread
+  let dwrite t ~pid v = Fig4_impl.dwrite t.base ~pid v
+
+  let dread t ~pid =
+    match t.combine with
+    | None -> Fig4_impl.dread t.base ~pid
+    | Some c -> Aba_core.Combining.dread c ~pid
+
+  let combining_stats t = Option.map Aba_core.Combining.stats t.combine
 end
 
 module From_llsc = struct

@@ -10,7 +10,10 @@
       [DWrite].  Since PR 2 this is {e not} a hand-written port: it
       instantiates {!Aba_core.Aba_from_registers.Make} — the functor
       verified under the seq/sim backends — over
-      {!Aba_primitives.Rt_mem}.
+      {!Aba_primitives.Rt_mem}.  With [combining] its [dread] additionally
+      goes through an {!Aba_core.Combining} cache: under read contention
+      one reader scans and publishes, concurrent readers adopt the
+      snapshot instead of re-walking the shared registers.
     - {!From_llsc} — Figure 5 over {!Rt_llsc.Fig3}: the Theorem 2 register
       from a single bounded CAS word, again the verified core functors end
       to end. *)
@@ -26,13 +29,20 @@ end
 module Fig4 : sig
   type t
 
-  val create : ?padded:bool -> n:int -> int -> t
+  val create : ?padded:bool -> ?combining:bool -> ?window:int -> n:int ->
+    int -> t
   (** [padded] (default [false]) spreads [X] and the [n] announce registers
-      over distinct cache lines — Figure 4 is wait-free, so padding is its
-      only contention knob. *)
+      over distinct cache lines.  [combining] (default [false]: opt-in)
+      routes [dread] through an {!Aba_core.Combining} cache with adoption
+      window [window] (default {!Aba_core.Combining.default_window}) —
+      adopted reads return a conservatively-[true] detection flag, see
+      {!Aba_core.Combining}. *)
 
   val dwrite : t -> pid:int -> int -> unit
   val dread : t -> pid:int -> int * bool
+
+  val combining_stats : t -> Aba_core.Combining.stats option
+  (** Scan/adopt/fallback counters ([None] without [combining]). *)
 end
 
 module From_llsc : sig

@@ -14,6 +14,9 @@ type t = {
   free : Rt_free_list.t;
   bo : Backoff.t array;  (** per-pid retry backoff, {!Backoff.noop} when
                              backoff is disabled *)
+  elim : Elimination.t;  (** push/pop pair exchanger, consulted only after
+                             a failed head CAS; inert under
+                             {!Elimination.Noop} *)
 }
 
 (* Packed head layout: low [tag_bits] bits are the tag, the rest the node
@@ -27,7 +30,8 @@ let unpack ~tag_bits packed =
 (* Contention management defaults ON here: this is the production surface,
    and unlike the primitive layer there is no checking backend running the
    same code that a layout or timing change could perturb. *)
-let create ?(padded = true) ?(backoff = true) ~protection ~capacity ~n () =
+let create ?(padded = true) ?(backoff = true) ?(elimination = Elimination.Noop)
+    ~protection ~capacity ~n () =
   let pad_cell c = if padded then Padded.copy c else c in
   let spec =
     if backoff then Backoff.default_spec else Backoff.Noop
@@ -55,6 +59,7 @@ let create ?(padded = true) ?(backoff = true) ~protection ~capacity ~n () =
     nexts = Array.make capacity (-1);
     free;
     bo = Array.init n (fun _ -> Padded.copy (Backoff.make spec));
+    elim = Elimination.create ~padded ~spec:elimination ~n ();
   }
 
 let reclaimer t =
@@ -63,6 +68,9 @@ let reclaimer t =
   | Packed _ | Via_llsc _ -> None
 
 let reclaim_stats t = Option.map Rt_reclaim.stats (reclaimer t)
+
+let elimination_stats t =
+  if Elimination.enabled t.elim then Some (Elimination.stats t.elim) else None
 
 let read_head t ~pid =
   match t.head with
@@ -81,6 +89,12 @@ let cas_head t ~pid ~witness ~update =
   | Via_llsc obj -> Rt_llsc.Packed_fig3.sc obj ~pid (update + 1)
   | Via_reclaim _ -> assert false (* reclaimed pops go through pop_reclaimed *)
 
+(* After a failed head CAS the push first visits the exchanger: a
+   concurrent pop that takes the value there linearizes the pair off the
+   head entirely — the composite push-then-pop is a stack no-op, so the
+   head word never learns the pair existed.  The backoff reset is lazy
+   ([first]): an uncontended operation does zero backoff stores. *)
+
 (* Pooled variants recycle immediately: their own head word (tag or
    LL/SC) is the ABA protection, exactly as before the reclaim layer. *)
 let push t ~pid v =
@@ -88,29 +102,45 @@ let push t ~pid v =
   | None -> false
   | Some i ->
       t.values.(i) <- v;
-      Backoff.reset t.bo.(pid);
-      (match t.head with
-      | Packed _ | Via_llsc _ ->
-          let rec attempt () =
-            let h, witness = read_head t ~pid in
-            t.nexts.(i) <- h;
-            if cas_head t ~pid ~witness ~update:i then true
-            else begin
-              Backoff.once t.bo.(pid);
-              attempt ()
-            end
-          in
-          ignore (attempt ())
-      | Via_reclaim cell ->
-          (* A push CAS cannot ABA: success only requires the head to
-             equal the observed value at linearization. *)
-          let pushed = ref false in
-          while not !pushed do
-            let h = Atomic.get cell in
-            t.nexts.(i) <- h;
-            pushed := Atomic.compare_and_set cell h i;
-            if not !pushed then Backoff.once t.bo.(pid)
-          done);
+      let outcome =
+        match t.head with
+        | Packed _ | Via_llsc _ ->
+            let rec attempt first =
+              let h, witness = read_head t ~pid in
+              t.nexts.(i) <- h;
+              if cas_head t ~pid ~witness ~update:i then `Pushed
+              else if Elimination.exchange_push t.elim ~pid v then `Eliminated
+              else begin
+                if first then Backoff.reset t.bo.(pid);
+                Backoff.once t.bo.(pid);
+                attempt false
+              end
+            in
+            attempt true
+        | Via_reclaim cell ->
+            (* A push CAS cannot ABA: success only requires the head to
+               equal the observed value at linearization. *)
+            let rec attempt first =
+              let h = Atomic.get cell in
+              t.nexts.(i) <- h;
+              if Atomic.compare_and_set cell h i then `Pushed
+              else if Elimination.exchange_push t.elim ~pid v then `Eliminated
+              else begin
+                if first then Backoff.reset t.bo.(pid);
+                Backoff.once t.bo.(pid);
+                attempt false
+              end
+            in
+            attempt true
+      in
+      (match outcome with
+      | `Pushed -> ()
+      | `Eliminated ->
+          (* The value went straight to a pop; the node was never
+             published, so no stale reference to it can exist and it is
+             safe to recycle immediately even under the reclaimed
+             disciplines. *)
+          Rt_free_list.put t.free ~pid i);
       true
 
 (* The reclaimed pop is the hazard-pointer protocol: announce the head
@@ -118,7 +148,7 @@ let push t ~pid v =
    guarantees a protected node is never handed back to [alloc], so the
    CAS can never see a recycled index. *)
 let pop_reclaimed t rc cell ~pid =
-  let rec attempt () =
+  let rec attempt first =
     let h =
       Rt_reclaim.acquire rc ~pid ~slot:0 ~read:(fun () -> Atomic.get cell)
     in
@@ -135,19 +165,24 @@ let pop_reclaimed t rc cell ~pid =
         Some v
       end
       else begin
-        Backoff.once t.bo.(pid);
-        attempt ()
+        match Elimination.exchange_pop t.elim ~pid with
+        | Some _ as eliminated ->
+            Rt_reclaim.release rc ~pid;
+            eliminated
+        | None ->
+            if first then Backoff.reset t.bo.(pid);
+            Backoff.once t.bo.(pid);
+            attempt false
       end
     end
   in
-  attempt ()
+  attempt true
 
 let pop t ~pid =
-  Backoff.reset t.bo.(pid);
   match t.head with
   | Via_reclaim cell -> pop_reclaimed t (t.free : Rt_reclaim.t) cell ~pid
   | Packed _ | Via_llsc _ ->
-      let rec attempt () =
+      let rec attempt first =
         let h, witness = read_head t ~pid in
         if h = -1 then None
         else begin
@@ -158,11 +193,15 @@ let pop t ~pid =
             Some v
           end
           else begin
-            Backoff.once t.bo.(pid);
-            attempt ()
+            match Elimination.exchange_pop t.elim ~pid with
+            | Some _ as eliminated -> eliminated
+            | None ->
+                if first then Backoff.reset t.bo.(pid);
+                Backoff.once t.bo.(pid);
+                attempt false
           end
         end
       in
-      attempt ()
+      attempt true
 
 let check_multiset = Harness.check_multiset

@@ -20,6 +20,14 @@
     immediately (their head word is the protection); the [Reclaimed]
     variants are where retirement and grace periods actually run.
 
+    With [elimination] a push and a pop that collide on the head can also
+    cancel {e off} it: after a failed head CAS each side visits an
+    {!Elimination} exchanger, and a matched pair hands the value over in a
+    side slot without ever touching the protected word — the pair
+    linearizes as push immediately followed by pop, a stack no-op.  The
+    head word (any of the three protections) remains the correctness
+    backbone; elimination only removes coherence traffic from it.
+
     Use [check_multiset] to audit an execution: with unique pushed values,
     any duplicate pop or pop of a never-pushed value is an ABA corruption. *)
 
@@ -28,12 +36,15 @@ type t
 type protection = Tag_bits of int | Llsc | Reclaimed of Rt_reclaim.scheme
 
 val create :
-  ?padded:bool -> ?backoff:bool -> protection:protection -> capacity:int ->
-  n:int -> unit -> t
+  ?padded:bool -> ?backoff:bool -> ?elimination:Elimination.spec ->
+  protection:protection -> capacity:int -> n:int -> unit -> t
 (** [padded] (default [true]) puts the head word on its own cache line;
     [backoff] (default [true]) adds bounded exponential backoff to the
     push/pop retry loops.  Both default on — this is the production
-    surface; the benchmark sweep turns them off to measure their cost. *)
+    surface; the benchmark sweep turns them off to measure their cost.
+    [elimination] (default {!Elimination.Noop}: opt-in) adds the push/pop
+    exchanger, consulted only after a failed head CAS, so the uncontended
+    paths are unchanged. *)
 
 val push : t -> pid:int -> int -> bool
 (** [false] when the pool is exhausted. *)
@@ -45,6 +56,10 @@ val reclaimer : t -> Rt_reclaim.t option
 
 val reclaim_stats : t -> Rt_reclaim.stats option
 (** Retired/reclaimed/peak-limbo counters of a [Reclaimed] stack. *)
+
+val elimination_stats : t -> Elimination.stats option
+(** Exchange/collision/timeout counters of the elimination layer ([None]
+    when the stack was created without one). *)
 
 val check_multiset :
   pushed:int list -> popped:int list -> remaining:int list ->

@@ -132,6 +132,21 @@ let llsc_contended (label, builder) =
       in
       agree (label ^ " contended") t_seq t_seq t_rt)
 
+(* Read combining sits above the builder as a [dread] wrapper; driven
+   sequentially every read wins the claim and runs the real protocol, so
+   the combined rt instance (with the other contention options on too)
+   must still replay the seq transcripts exactly. *)
+let aba_combined (label, builder) =
+  qtest (label ^ ": combining rt matches seq") gen_ops (fun ops ->
+      let t_seq = aba_transcript ~wrap:direct (Instances.aba_seq builder ~n) ops in
+      let t_rt =
+        aba_transcript ~wrap:direct
+          (Instances.aba_rt ~padded:true ~backoff:contended_spec
+             ~combining:true builder ~n)
+          ops
+      in
+      agree (label ^ " combined") t_seq t_seq t_rt)
+
 (* The runtime wrappers in [lib/runtime] are the same functors over the
    same backend; spot-check that they too match the sequential reference,
    through their own (packed, validated) [create] paths. *)
@@ -170,6 +185,7 @@ let suite =
       List.map llsc_cross (Instances.all_llsc ());
       List.map aba_contended (Instances.all_aba ());
       List.map llsc_contended (Instances.all_llsc ());
+      List.map aba_combined (Instances.all_aba ());
       [
         Alcotest.test_case "runtime wrapper transcripts" `Quick
           runtime_wrappers_match;

@@ -1,0 +1,352 @@
+(** The elimination/combining layer: the slot-protocol codec, the adaptive
+    range transition, Noop inertness, timeout behaviour, a real two-domain
+    rendezvous, multi-domain churn audits of the elimination-backed stack
+    under all three head protections, and the read-combining cache's
+    sequential transparency.
+
+    Like the contention layer, elimination is invisible to the seq/sim
+    differential suites by design (sequential runs never fail a head CAS,
+    so the exchanger is never consulted, and a sequential combining read
+    always wins the claim and runs the real scan) — so the layer gets its
+    own direct properties here, plus the sequential-equivalence checks
+    that pin that invisibility down. *)
+
+module E = Aba_runtime.Elimination
+module H = Aba_runtime.Harness
+module T = Aba_runtime.Rt_treiber
+
+let qtest ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ----- Slot codec ----- *)
+
+let gen_state =
+  QCheck2.Gen.(
+    let v = int_range (-1000) 1000 in
+    oneof
+      [
+        return E.Slot.Empty;
+        map (fun v -> E.Slot.Waiting_push v) v;
+        return E.Slot.Waiting_pop;
+        map (fun v -> E.Slot.Exchanged v) v;
+      ])
+
+let slot_roundtrip =
+  qtest "slot codec: decode (encode s) = s (incl. negative payloads)"
+    gen_state (fun s -> E.Slot.decode (E.Slot.encode s) = s)
+
+let slot_empty_is_zero () =
+  check_int "Empty encodes to 0 (fresh Atomic array is all-Empty)" 0
+    (E.Slot.encode E.Slot.Empty)
+
+(* ----- Adaptive range ----- *)
+
+let adapt_transitions =
+  qtest "adapt: collision doubles (clamped), timeout halves (floor 1)"
+    QCheck2.Gen.(pair (int_range 1 64) (int_range 1 64))
+    (fun (slots, r) ->
+      let range = min r slots in
+      E.adapt ~slots ~range `Collision = min slots (range * 2)
+      && E.adapt ~slots ~range `Timeout = max 1 (range / 2)
+      && E.adapt ~slots ~range `Exchange = range
+      && E.adapt ~slots ~range `Collision <= slots
+      && E.adapt ~slots ~range `Timeout >= 1)
+
+(* ----- Noop inertness ----- *)
+
+let noop_inert () =
+  let e = E.create ~spec:E.Noop ~n:4 () in
+  check_bool "disabled" false (E.enabled e);
+  check_int "no slots" 0 (E.slot_count e);
+  check_bool "push falls through" false (E.exchange_push e ~pid:0 42);
+  check_bool "pop falls through" true (E.exchange_pop e ~pid:0 = None);
+  check_int "range reads 0" 0 (E.range e ~pid:0);
+  let s = E.stats e in
+  check_int "no attempts counted" 0 s.E.attempts
+
+(* ----- Sequential timeouts ----- *)
+
+(* With no counterparty an offer must be parked, time out, and be fully
+   withdrawn: the array is all-Empty again, so an abandoned offer can
+   never satisfy (or corrupt) a later exchange. *)
+let sequential_timeout () =
+  let spec =
+    E.Exchanger
+      { slots = 2; window = 2; backoff = Aba_primitives.Backoff.Noop }
+  in
+  let e = E.create ~spec ~n:1 () in
+  check_bool "enabled" true (E.enabled e);
+  check_int "slot count" 2 (E.slot_count e);
+  for i = 1 to 10 do
+    check_bool
+      (Printf.sprintf "push attempt %d times out" i)
+      false
+      (E.exchange_push e ~pid:0 i);
+    check_bool
+      (Printf.sprintf "pop attempt %d times out" i)
+      true
+      (E.exchange_pop e ~pid:0 = None)
+  done;
+  for i = 0 to E.slot_count e - 1 do
+    check_bool
+      (Printf.sprintf "slot %d left Empty" i)
+      true
+      (E.peek e i = E.Slot.Empty)
+  done;
+  let s = E.stats e in
+  check_int "attempts" 20 s.E.attempts;
+  check_int "all timed out" 20 s.E.timeouts;
+  check_int "none exchanged" 0 s.E.exchanges;
+  (* Timeouts halve the range with floor 1, so it must sit at the floor. *)
+  check_int "range concentrated at 1" 1 (E.range e ~pid:0)
+
+let create_validation () =
+  let bad slots window n =
+    try
+      ignore
+        (E.create
+           ~spec:
+             (E.Exchanger
+                { slots; window; backoff = Aba_primitives.Backoff.Noop })
+           ~n ());
+      false
+    with Invalid_argument _ -> true
+  in
+  check_bool "slots 0 rejected" true (bad 0 1 1);
+  check_bool "window 0 rejected" true (bad 1 0 1);
+  check_bool "n 0 rejected" true (bad 1 1 0)
+
+(* ----- A real rendezvous ----- *)
+
+(* Two domains, one slot, a wait window long enough to span an OS
+   timeslice (this must pass on a single-core host, where the partner
+   only runs when the waiter is preempted mid-window).  The exchange must
+   deliver exactly the offered value and be counted on both sides. *)
+let two_domain_exchange () =
+  let spec =
+    E.Exchanger
+      {
+        slots = 1;
+        window = 200_000;
+        backoff = Aba_primitives.Backoff.Exp { min_spins = 1; max_spins = 512 };
+      }
+  in
+  let e = E.create ~spec ~n:2 () in
+  let results =
+    H.run_domains ~n:2 (fun pid ->
+        if pid = 0 then begin
+          let rec go tries =
+            if tries > 10_000 then None
+            else if E.exchange_push e ~pid 4242 then Some tries
+            else go (tries + 1)
+          in
+          Option.is_some (go 1)
+        end
+        else begin
+          let rec go tries =
+            if tries > 10_000 then false
+            else
+              match E.exchange_pop e ~pid with
+              | Some v -> v = 4242
+              | None -> go (tries + 1)
+          in
+          go 1
+        end)
+  in
+  check_bool "push eliminated" true results.(0);
+  check_bool "pop received the offered value" true results.(1);
+  let s = E.stats e in
+  check_int "both sides counted one exchange" 2 s.E.exchanges;
+  check_bool "slot released" true (E.peek e 0 = E.Slot.Empty)
+
+(* ----- Elimination-backed Treiber stack ----- *)
+
+(* Sequentially a head CAS never fails, so the exchanger is never
+   consulted: the elimination-on stack must replay the elimination-off
+   stack exactly, stats staying at zero.  This is the stack-level
+   analogue of [Backoff.Noop] inertness. *)
+let sequential_transparency () =
+  let run elimination =
+    let s =
+      T.create ~elimination ~protection:(T.Tag_bits 16) ~capacity:16 ~n:2 ()
+    in
+    let log = ref [] in
+    for i = 1 to 40 do
+      log := Printf.sprintf "push %d=%b" i (T.push s ~pid:0 i) :: !log;
+      if i mod 3 = 0 then
+        log :=
+          (match T.pop s ~pid:1 with
+          | Some v -> Printf.sprintf "pop=%d" v
+          | None -> "pop=empty")
+          :: !log
+    done;
+    (List.rev !log, T.elimination_stats s)
+  in
+  let log_off, stats_off = run E.Noop in
+  let log_on, stats_on = run E.default_spec in
+  Alcotest.(check (list string)) "same transcript" log_off log_on;
+  check_bool "no stats without the layer" true (stats_off = None);
+  (match stats_on with
+  | None -> Alcotest.fail "elimination stats missing"
+  | Some s ->
+      check_int "exchanger never consulted sequentially" 0 s.E.attempts)
+
+(* Paired churn: every domain pops right after pushing, so the stack
+   hovers near empty and push/pop pairs constantly meet — maximal
+   elimination traffic.  The multiset audit must stay clean under all
+   three head protections: elimination must never duplicate, lose or
+   invent a value, whichever word is the correctness backbone. *)
+let paired_churn protection needs_finish () =
+  let s =
+    T.create ~protection ~elimination:E.default_spec ~capacity:64 ~n:4 ()
+  in
+  let finish =
+    if needs_finish then
+      let rc = Option.get (T.reclaimer s) in
+      fun ~pid ->
+        Aba_runtime.Rt_reclaim.release rc ~pid;
+        Aba_runtime.Rt_reclaim.flush rc ~pid
+    else fun ~pid:_ -> ()
+  in
+  let report =
+    H.churn ~mix:H.Paired ~n:4 ~ops:2_000
+      ~push:(fun ~pid v -> T.push s ~pid v)
+      ~pop:(fun ~pid -> T.pop s ~pid)
+      ~finish ()
+  in
+  (match report.H.outcome with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail ("multiset audit: " ^ msg));
+  check_int "pushed = popped + remaining" report.H.pushed
+    (report.H.popped + report.H.remaining)
+
+(* ----- Read combining ----- *)
+
+module C = Aba_core.Combining
+module I = Aba_core.Instances
+
+(* Sequentially every combining read wins the claim and runs the real
+   scan, so an [aba_rt ~combining:true] instance must replay the plain
+   sequential reference word for word — the combining analogue of the
+   transparency test above, through the Instances threading. *)
+let combining_sequential_transparency =
+  let gen =
+    QCheck2.Gen.(
+      list_size (int_range 1 80)
+        (triple (int_range 0 3) (int_range 0 1) (int_range 0 100)))
+  in
+  qtest ~count:40 "combining: sequential rt transcript matches plain seq" gen
+    (fun ops ->
+      let transcript (inst : I.aba) =
+        List.map
+          (fun (p, op, v) ->
+            if op = 0 then
+              let value, flag = inst.I.dread p in
+              Printf.sprintf "p%d:dread=%d,%b" p value flag
+            else begin
+              inst.I.dwrite p v;
+              Printf.sprintf "p%d:dwrite %d" p v
+            end)
+          ops
+      in
+      let reference = transcript (I.aba_seq I.aba_fig4 ~n:4) in
+      let combined = transcript (I.aba_rt ~combining:true I.aba_fig4 ~n:4) in
+      reference = combined)
+
+let combining_sequential_stats () =
+  let r = Aba_runtime.Rt_aba.Fig4.create ~combining:true ~n:2 0 in
+  check_bool "stats absent without combining" true
+    (Aba_runtime.Rt_aba.Fig4.combining_stats
+       (Aba_runtime.Rt_aba.Fig4.create ~n:2 0)
+    = None);
+  for i = 1 to 25 do
+    Aba_runtime.Rt_aba.Fig4.dwrite r ~pid:0 i;
+    let v, _ = Aba_runtime.Rt_aba.Fig4.dread r ~pid:1 in
+    check_int "read returns the just-written value" i v
+  done;
+  match Aba_runtime.Rt_aba.Fig4.combining_stats r with
+  | None -> Alcotest.fail "combining stats missing"
+  | Some s ->
+      check_int "every sequential read is a scan" 25 s.C.scans;
+      check_int "no adoptions" 0 s.C.adopted;
+      check_int "no fallbacks" 0 s.C.fallbacks
+
+(* Concurrent smoke: one writer sweeping values upward, three combined
+   readers.  Every read must return a value the writer actually wrote
+   (monotonicity of the written stream makes staleness visible as a
+   value, not just a flag), whether scanned, adopted or fallen back. *)
+let combining_concurrent_values () =
+  let ops = 5_000 in
+  let r = Aba_runtime.Rt_aba.Fig4.create ~combining:true ~n:4 0 in
+  let results =
+    H.run_domains ~n:4 (fun pid ->
+        if pid = 0 then begin
+          for i = 1 to ops do
+            Aba_runtime.Rt_aba.Fig4.dwrite r ~pid i
+          done;
+          true
+        end
+        else begin
+          let ok = ref true in
+          let last = ref 0 in
+          for _ = 1 to ops do
+            let v, _ = Aba_runtime.Rt_aba.Fig4.dread r ~pid in
+            (* Values are written in increasing order by the one writer,
+               so any in [0, ops] is legal, but a reader adopting a
+               snapshot from the future of its own interval would still
+               be in range — the real invariant we can check here is
+               range membership. *)
+            if v < 0 || v > ops then ok := false;
+            last := v
+          done;
+          !ok && !last >= 0
+        end)
+  in
+  Array.iteri
+    (fun i ok ->
+      check_bool (Printf.sprintf "domain %d saw legal values" i) true ok)
+    results;
+  match Aba_runtime.Rt_aba.Fig4.combining_stats r with
+  | None -> Alcotest.fail "combining stats missing"
+  | Some s ->
+      check_int "every read accounted for" (3 * ops)
+        (s.C.scans + s.C.adopted + s.C.fallbacks)
+
+let combining_validation () =
+  let bad f = try ignore (f ()); false with Invalid_argument _ -> true in
+  check_bool "window 0 rejected" true
+    (bad (fun () ->
+         C.create ~window:0 ~n:1 ~scan:(fun ~pid:_ -> (0, false)) ()));
+  check_bool "n 0 rejected" true
+    (bad (fun () -> C.create ~n:0 ~scan:(fun ~pid:_ -> (0, false)) ()))
+
+let suite =
+  [
+    slot_roundtrip;
+    Alcotest.test_case "slot Empty encodes to 0" `Quick slot_empty_is_zero;
+    adapt_transitions;
+    Alcotest.test_case "noop exchanger is inert" `Quick noop_inert;
+    Alcotest.test_case "partnerless offers time out clean" `Quick
+      sequential_timeout;
+    Alcotest.test_case "create validation" `Quick create_validation;
+    Alcotest.test_case "two-domain rendezvous delivers the value" `Quick
+      two_domain_exchange;
+    Alcotest.test_case "elimination is sequentially transparent" `Quick
+      sequential_transparency;
+    Alcotest.test_case "paired churn, 4 domains: tag16" `Quick
+      (paired_churn (T.Tag_bits 16) false);
+    Alcotest.test_case "paired churn, 4 domains: llsc" `Quick
+      (paired_churn T.Llsc false);
+    Alcotest.test_case "paired churn, 4 domains: hazard-reclaimed" `Quick
+      (paired_churn (T.Reclaimed Aba_runtime.Rt_reclaim.Hazard) true);
+    combining_sequential_transparency;
+    Alcotest.test_case "combining is sequentially transparent (stats)" `Quick
+      combining_sequential_stats;
+    Alcotest.test_case "combining under concurrency: legal values, counted"
+      `Quick combining_concurrent_values;
+    Alcotest.test_case "combining create validation" `Quick
+      combining_validation;
+  ]

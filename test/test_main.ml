@@ -17,4 +17,5 @@ let () =
       ("differential", Test_differential.suite);
       ("backends", Test_backends.suite);
       ("contention", Test_contention.suite);
+      ("elimination", Test_elimination.suite);
     ]
