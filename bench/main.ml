@@ -368,7 +368,7 @@ let multicore_treiber ~domains ~ops () =
       let s =
         Aba_runtime.Rt_treiber.create ~protection ~capacity:1024 ~n:domains ()
       in
-      let t0 = Unix.gettimeofday () in
+      let t0 = Aba_obs.Clock.now_ns () in
       let _ =
         Aba_runtime.Harness.run_domains ~n:domains (fun d ->
             for i = 1 to ops do
@@ -376,7 +376,7 @@ let multicore_treiber ~domains ~ops () =
               ignore (Aba_runtime.Rt_treiber.pop s ~pid:d)
             done)
       in
-      let dt = Unix.gettimeofday () -. t0 in
+      let dt = Aba_obs.Clock.elapsed_s t0 in
       let throughput = float_of_int (2 * domains * ops) /. dt in
       Printf.printf "  %-8s %10.0f ops/s\n" name throughput;
       (name, domains, ops, throughput))
@@ -408,10 +408,12 @@ type sweep_row = {
   sw_collisions : int;  (** busy-slot collisions, or scan fallbacks (fig4) *)
 }
 
+(* Monotonic: wall time (gettimeofday) is subject to NTP slew, which can
+   corrupt ns/op mid-run or even send an interval negative. *)
 let time_domains ~domains body =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Aba_obs.Clock.now_ns () in
   let _ = Aba_runtime.Harness.run_domains ~n:domains body in
-  Unix.gettimeofday () -. t0
+  Aba_obs.Clock.elapsed_s t0
 
 (* The 2x2 cross of the two contention axes. *)
 let sweep_configs =
@@ -580,6 +582,114 @@ let scalability_sweep ~max_domains ~ops ~elimination () =
   done;
   List.rev !rows
 
+(* ----- Latency percentiles (Obs-instrumented contended runs) -----
+
+   The sweep above reports means; tail latency is where contention
+   actually hurts.  Each case here runs a contended workload with a live
+   {!Aba_obs.Obs} handle (histograms only, no trace) and reports the
+   per-kind log2-bucket percentiles.  Percentile values are bucket upper
+   bounds, so p50 <= p90 <= p99 <= p999 by construction. *)
+
+module Obs = Aba_obs.Obs
+
+type percentile_row = {
+  lp_bench : string;
+  lp_kind : string;
+  lp_domains : int;
+  lp_ops : int;  (** per-domain operation count of the driving loop *)
+  lp_count : int;  (** events recorded for this kind *)
+  lp_retries : int;
+  lp_p50 : int;
+  lp_p90 : int;
+  lp_p99 : int;
+  lp_p999 : int;
+}
+
+let latency_percentiles ~domains ~ops () =
+  Printf.printf "\nLatency percentiles (%d domains x %d ops/domain, ns):\n"
+    domains ops;
+  Printf.printf "  %-16s %-8s %9s %9s %8s %8s %8s %8s\n" "bench" "kind"
+    "count" "retries" "p50" "p90" "p99" "p999";
+  let rows = ref [] in
+  let case lp_bench setup body =
+    let obs = Obs.create ~trace:0 ~n:domains () in
+    let st = setup obs in
+    let _ = Aba_runtime.Harness.run_domains ~n:domains (fun pid -> body st pid) in
+    List.iter
+      (fun kind ->
+        let count = Obs.op_count obs kind in
+        match Obs.histogram obs kind with
+        | Some h when count > 0 ->
+            let s = Aba_obs.Histogram.summarize h in
+            let row =
+              {
+                lp_bench;
+                lp_kind = Obs.kind_name kind;
+                lp_domains = domains;
+                lp_ops = ops;
+                lp_count = count;
+                lp_retries = Obs.retry_count obs kind;
+                lp_p50 = s.Aba_obs.Histogram.p50;
+                lp_p90 = s.Aba_obs.Histogram.p90;
+                lp_p99 = s.Aba_obs.Histogram.p99;
+                lp_p999 = s.Aba_obs.Histogram.p999;
+              }
+            in
+            Printf.printf "  %-16s %-8s %9d %9d %8d %8d %8d %8d\n" row.lp_bench
+              row.lp_kind row.lp_count row.lp_retries row.lp_p50 row.lp_p90
+              row.lp_p99 row.lp_p999;
+            rows := row :: !rows
+        | Some _ | None -> ())
+      Obs.all_kinds
+  in
+  let paired_stack s pid =
+    for i = 1 to ops do
+      ignore (Aba_runtime.Rt_treiber.push s ~pid i);
+      ignore (Aba_runtime.Rt_treiber.pop s ~pid)
+    done
+  in
+  case "treiber-llsc"
+    (fun obs ->
+      Aba_runtime.Rt_treiber.create ~obs
+        ~protection:Aba_runtime.Rt_treiber.Llsc ~capacity:1024 ~n:domains ())
+    paired_stack;
+  (* The hazard variant also reports [Retire]: the latency spike of the
+     amortised scan shows up in its p99/p999. *)
+  case "treiber-hazard"
+    (fun obs ->
+      Aba_runtime.Rt_treiber.create ~obs
+        ~protection:
+          (Aba_runtime.Rt_treiber.Reclaimed Aba_runtime.Rt_reclaim.Hazard)
+        ~capacity:1024 ~n:domains ())
+    paired_stack;
+  case "msqueue-tag16"
+    (fun obs ->
+      Aba_runtime.Rt_ms_queue.create ~obs
+        ~protection:(Aba_runtime.Rt_ms_queue.Tag_bits 16) ~capacity:1024
+        ~n:domains ())
+    (fun q pid ->
+      for i = 1 to ops do
+        ignore (Aba_runtime.Rt_ms_queue.enqueue q ~pid i);
+        ignore (Aba_runtime.Rt_ms_queue.dequeue q ~pid)
+      done);
+  case "fig3"
+    (fun obs ->
+      Aba_runtime.Rt_llsc.Packed_fig3.create ~padded:true
+        ~backoff:Aba_primitives.Backoff.default_spec ~obs ~n:domains ~init:0 ())
+    (fun l pid ->
+      for i = 1 to ops do
+        ignore (Aba_runtime.Rt_llsc.Packed_fig3.ll l ~pid);
+        ignore (Aba_runtime.Rt_llsc.Packed_fig3.sc l ~pid i)
+      done);
+  case "fig4"
+    (fun obs -> Aba_runtime.Rt_aba.Fig4.create ~padded:true ~obs ~n:domains 0)
+    (fun r pid ->
+      for i = 1 to ops do
+        Aba_runtime.Rt_aba.Fig4.dwrite r ~pid i;
+        ignore (Aba_runtime.Rt_aba.Fig4.dread r ~pid)
+      done);
+  List.rev !rows
+
 (* ----- Command line ----- *)
 
 type options = {
@@ -672,7 +782,7 @@ let meta_json () =
   let tm = Unix.gmtime (Unix.time ()) in
   Json.Obj
     [
-      ("schema_version", Json.Int 3);
+      ("schema_version", Json.Int 4);
       ("git_commit", Json.Str (git_commit ()));
       ("ocaml_version", Json.Str Sys.ocaml_version);
       ( "available_domains",
@@ -724,7 +834,22 @@ let sweep_row_json r =
       ("collisions", Json.Int r.sw_collisions);
     ]
 
-let write_json path ~treiber_rows ~reclaim_rows ~sweep_rows =
+let percentile_row_json r =
+  Json.Obj
+    [
+      ("bench", Json.Str r.lp_bench);
+      ("kind", Json.Str r.lp_kind);
+      ("domains", Json.Int r.lp_domains);
+      ("ops", Json.Int r.lp_ops);
+      ("count", Json.Int r.lp_count);
+      ("retries", Json.Int r.lp_retries);
+      ("p50_ns", Json.Int r.lp_p50);
+      ("p90_ns", Json.Int r.lp_p90);
+      ("p99_ns", Json.Int r.lp_p99);
+      ("p999_ns", Json.Int r.lp_p999);
+    ]
+
+let write_json path ~treiber_rows ~reclaim_rows ~sweep_rows ~percentile_rows =
   let doc =
     Json.Obj
       [
@@ -732,6 +857,8 @@ let write_json path ~treiber_rows ~reclaim_rows ~sweep_rows =
         ("multicore_treiber", Json.Arr (List.map treiber_row_json treiber_rows));
         ("reclamation", Json.Arr (List.map reclaim_row_json reclaim_rows));
         ("scalability_sweep", Json.Arr (List.map sweep_row_json sweep_rows));
+        ( "latency_percentiles",
+          Json.Arr (List.map percentile_row_json percentile_rows) );
       ]
   in
   let oc = open_out path in
@@ -781,6 +908,13 @@ let () =
     scalability_sweep ~max_domains:o.max_domains ~ops:o.sweep_ops
       ~elimination:o.elimination ()
   in
+  (* Part 5: tail-latency percentiles (runs in --smoke too: it is the
+     schema-4 surface CI validates). *)
+  let percentile_rows =
+    latency_percentiles ~domains:(min o.domains o.max_domains)
+      ~ops:o.sweep_ops ()
+  in
   match o.json with
   | None -> ()
-  | Some path -> write_json path ~treiber_rows ~reclaim_rows ~sweep_rows
+  | Some path ->
+      write_json path ~treiber_rows ~reclaim_rows ~sweep_rows ~percentile_rows

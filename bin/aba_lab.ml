@@ -75,6 +75,86 @@ let ablate_cmd =
   cmd_of "ablate" "Ablations: fig3 retry bound, fig4 sequence domain."
     run_ablation
 
+(* E14: the observability layer exercised end to end — a contended churn
+   run over an instrumented stack, then the merged per-kind summary and
+   timeline the Obs handle collected.  The stack's own handle is used
+   (churn gets none) so each operation is counted once, with retries. *)
+let obs_cmd =
+  let domains =
+    Arg.(value & opt int 4 & info [ "domains" ] ~doc:"concurrent domains")
+  in
+  let ops =
+    Arg.(value & opt int 10_000 & info [ "ops" ] ~doc:"operations per domain")
+  in
+  let events =
+    Arg.(value & opt int 20 & info [ "events" ] ~doc:"trace events to print")
+  in
+  let run domains ops events =
+    let module Obs = Aba_obs.Obs in
+    let obs = Obs.create ~trace:512 ~n:domains () in
+    let s =
+      Aba_runtime.Rt_treiber.create ~obs
+        ~protection:
+          (Aba_runtime.Rt_treiber.Reclaimed Aba_runtime.Rt_reclaim.Hazard)
+        ~elimination:Aba_runtime.Elimination.default_spec ~capacity:1024
+        ~n:domains ()
+    in
+    let rc = Option.get (Aba_runtime.Rt_treiber.reclaimer s) in
+    let report =
+      Aba_runtime.Harness.churn ~mix:Aba_runtime.Harness.Paired ~n:domains
+        ~ops
+        ~push:(fun ~pid v -> Aba_runtime.Rt_treiber.push s ~pid v)
+        ~pop:(fun ~pid -> Aba_runtime.Rt_treiber.pop s ~pid)
+        ~finish:(fun ~pid ->
+          Aba_runtime.Rt_reclaim.release rc ~pid;
+          Aba_runtime.Rt_reclaim.flush rc ~pid)
+        ()
+    in
+    Printf.printf
+      "churn (treiber hazard+elim, paired): attempted=%d pushed=%d popped=%d \
+       remaining=%d multiset=%s\n"
+      report.Aba_runtime.Harness.attempted report.Aba_runtime.Harness.pushed
+      report.Aba_runtime.Harness.popped report.Aba_runtime.Harness.remaining
+      (match report.Aba_runtime.Harness.outcome with
+      | Ok () -> "ok"
+      | Error e -> "CORRUPT: " ^ e);
+    Printf.printf "\n%-10s %9s %9s %8s %8s %8s %8s  (ns)\n" "kind" "ops"
+      "retries" "p50" "p90" "p99" "p999";
+    List.iter
+      (fun kind ->
+        let count = Obs.op_count obs kind in
+        if count > 0 then
+          match Obs.histogram obs kind with
+          | Some h ->
+              let s = Aba_obs.Histogram.summarize h in
+              Printf.printf "%-10s %9d %9d %8d %8d %8d %8d\n"
+                (Obs.kind_name kind) count
+                (Obs.retry_count obs kind)
+                s.Aba_obs.Histogram.p50 s.Aba_obs.Histogram.p90
+                s.Aba_obs.Histogram.p99 s.Aba_obs.Histogram.p999
+          | None ->
+              Printf.printf "%-10s %9d %9d\n" (Obs.kind_name kind) count
+                (Obs.retry_count obs kind))
+      Obs.all_kinds;
+    Printf.printf
+      "\ntrace: %d events recorded, %d retained; first %d of the merged \
+       timeline:\n"
+      (Obs.trace_recorded obs) (Obs.trace_retained obs) events;
+    List.iteri
+      (fun i (e : Obs.event) ->
+        if i < events then
+          Printf.printf "  %10d ns  pid=%d  %-8s %-10s retries=%d\n"
+            e.Obs.at_ns e.Obs.pid (Obs.kind_name e.Obs.kind)
+            (Obs.outcome_name e.Obs.outcome) e.Obs.retries)
+      (Obs.timeline obs)
+  in
+  Cmd.v
+    (Cmd.info "obs"
+       ~doc:
+         "Observability demo (E14): instrumented contended churn, merged \
+          histogram + trace.")
+    Term.(const run $ domains $ ops $ events)
+
 let all_cmd =
   let run () =
     run_space [ 3; 4; 6; 8 ];
@@ -95,7 +175,7 @@ let main =
        ~doc:"Experiments for the PODC 2015 ABA prevention/detection paper.")
     [
       space_cmd; covering_cmd; wraparound_cmd; tradeoff_cmd; steps_cmd;
-      explore_cmd; ablate_cmd; stack_cmd; reclaim_cmd; all_cmd;
+      explore_cmd; ablate_cmd; stack_cmd; reclaim_cmd; obs_cmd; all_cmd;
     ]
 
 let () = exit (Cmd.eval main)

@@ -21,12 +21,14 @@ type t = {
   window : int;
   scan : pid:Pid.t -> int * bool;
   locals : local array;
+  obs : Aba_obs.Obs.t;
 }
 
 let default_window = 64
 
 let create ?(padded = true) ?(window = default_window)
-    ?(backoff = Backoff.Exp { min_spins = 1; max_spins = 32 }) ~n ~scan () =
+    ?(backoff = Backoff.Exp { min_spins = 1; max_spins = 32 })
+    ?(obs = Aba_obs.Obs.noop) ~n ~scan () =
   if window < 1 then invalid_arg "Combining.create: window must be positive";
   if n < 1 then invalid_arg "Combining.create: n must be positive";
   let cell v = if padded then Padded.atomic v else Atomic.make v in
@@ -35,6 +37,7 @@ let create ?(padded = true) ?(window = default_window)
     snapshot = cell 0;
     window;
     scan;
+    obs;
     locals =
       Array.init n (fun _ ->
           Padded.copy
@@ -58,13 +61,16 @@ let create ?(padded = true) ?(window = default_window)
    The snapshot re-check ([epoch] unchanged around the [snapshot] load)
    rules out tearing: a later scanner stores its snapshot only after
    bumping [epoch] to odd, which the second load would see. *)
-let rec adopt t l ~pid e0 i =
+let rec adopt t l ~pid e0 i t0 =
   if i >= t.window then begin
     (* Nobody published in time: do the precise read ourselves (without
        claiming the cache — contending for the claim word again would just
        add traffic to the line we are trying to shed). *)
     l.fallbacks <- l.fallbacks + 1;
-    t.scan ~pid
+    let r = t.scan ~pid in
+    Aba_obs.Obs.record t.obs ~pid ~kind:Aba_obs.Obs.Combine
+      ~outcome:Aba_obs.Obs.Fallback ~retries:i t0;
+    r
   end
   else begin
     let e = Atomic.get t.epoch in
@@ -72,6 +78,8 @@ let rec adopt t l ~pid e0 i =
       let v = Atomic.get t.snapshot in
       if Atomic.get t.epoch = e then begin
         l.adopted <- l.adopted + 1;
+        Aba_obs.Obs.record t.obs ~pid ~kind:Aba_obs.Obs.Combine
+          ~outcome:Aba_obs.Obs.Combined ~retries:i t0;
         (* The adopted flag is conservatively [true]: the adopter skipped
            its own announce-protocol read, so it cannot prove the value is
            unchanged since {e its} previous read.  A false positive makes a
@@ -79,15 +87,16 @@ let rec adopt t l ~pid e0 i =
            produced here. *)
         (v, true)
       end
-      else adopt t l ~pid e0 (i + 1)
+      else adopt t l ~pid e0 (i + 1) t0
     end
     else begin
       Backoff.once l.bo;
-      adopt t l ~pid e0 (i + 1)
+      adopt t l ~pid e0 (i + 1) t0
     end
   end
 
 let dread t ~pid =
+  let t0 = Aba_obs.Obs.start t.obs in
   let l = t.locals.(pid) in
   let e0 = Atomic.get t.epoch in
   if e0 land 1 = 0 && Atomic.compare_and_set t.epoch e0 (e0 + 1) then begin
@@ -97,11 +106,13 @@ let dread t ~pid =
     Atomic.set t.snapshot (fst r);
     Atomic.set t.epoch (e0 + 2);
     l.scans <- l.scans + 1;
+    Aba_obs.Obs.record t.obs ~pid ~kind:Aba_obs.Obs.Combine
+      ~outcome:Aba_obs.Obs.Ok ~retries:0 t0;
     r
   end
   else begin
     Backoff.reset l.bo;
-    adopt t l ~pid e0 0
+    adopt t l ~pid e0 0 t0
   end
 
 (* Declared after the hot-path functions so the [local] labels above

@@ -31,6 +31,7 @@ val create :
   ?padded:bool ->
   ?window:int ->
   ?backoff:Backoff.spec ->
+  ?obs:Aba_obs.Obs.t ->
   n:int ->
   scan:(pid:Pid.t -> int * bool) ->
   unit ->
@@ -39,8 +40,11 @@ val create :
     it is called by claim winners and by losers whose adoption window
     ([window] epoch polls, default 64, each paced by [backoff]) expires.
     [padded] (default [true]) puts the claim and snapshot words on their
-    own cache lines.  Raises [Invalid_argument] if [window] or [n] is not
-    positive. *)
+    own cache lines.  [obs] (default {!Aba_obs.Obs.noop}) records each
+    [dread] as a [Combine] event — outcome [Ok] for the scanner,
+    [Combined] for an adopter, [Fallback] on window expiry, with the poll
+    count as retries.  Raises [Invalid_argument] if [window] or [n] is
+    not positive. *)
 
 val dread : t -> pid:Pid.t -> int * bool
 (** Combined read: scan-and-publish, adopt, or fall back (see above). *)

@@ -325,12 +325,13 @@ let reclaim_rows ~domains ~ops ~capacity () =
     List.map
       (fun scheme ->
         let t, churn_of = stats_of scheme in
-        let t0 = Unix.gettimeofday () in
+        (* Monotonic: NTP slew on the wall clock corrupts throughput. *)
+        let t0 = Aba_obs.Clock.now_ns () in
         let report =
           Aba_runtime.Harness.churn ~n:domains ~ops ~push:(push t)
             ~pop:(pop t) ~finish:(finish t) ()
         in
-        let dt = Unix.gettimeofday () -. t0 in
+        let dt = Aba_obs.Clock.elapsed_s t0 in
         let stats : Aba_runtime.Rt_reclaim.stats = churn_of t in
         {
           structure;

@@ -1,83 +1,4 @@
-(** Minimal JSON construction — just enough for the benchmark result
-    files, with correct string escaping (the image has no JSON library,
-    and hand-rolled [Printf] assembly silently produced invalid output
-    for strings containing quotes or control characters). *)
-
-type t =
-  | Null
-  | Bool of bool
-  | Int of int
-  | Float of float
-  | Str of string
-  | Arr of t list
-  | Obj of (string * t) list
-
-let escape_string s =
-  let buf = Buffer.create (String.length s + 2) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | '\r' -> Buffer.add_string buf "\\r"
-      | '\t' -> Buffer.add_string buf "\\t"
-      | '\b' -> Buffer.add_string buf "\\b"
-      | '\012' -> Buffer.add_string buf "\\f"
-      | c when Char.code c < 0x20 ->
-          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    s;
-  Buffer.contents buf
-
-(* JSON has no NaN or infinity literals; map them to null rather than
-   emitting an unparseable file. *)
-let float_literal f =
-  match Float.classify_float f with
-  | FP_nan | FP_infinite -> "null"
-  | FP_zero | FP_subnormal | FP_normal -> Printf.sprintf "%.12g" f
-
-let rec write buf ~indent v =
-  let pad n = String.make n ' ' in
-  match v with
-  | Null -> Buffer.add_string buf "null"
-  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
-  | Int i -> Buffer.add_string buf (string_of_int i)
-  | Float f -> Buffer.add_string buf (float_literal f)
-  | Str s ->
-      Buffer.add_char buf '"';
-      Buffer.add_string buf (escape_string s);
-      Buffer.add_char buf '"'
-  | Arr [] -> Buffer.add_string buf "[]"
-  | Arr items ->
-      Buffer.add_string buf "[\n";
-      List.iteri
-        (fun i item ->
-          if i > 0 then Buffer.add_string buf ",\n";
-          Buffer.add_string buf (pad (indent + 2));
-          write buf ~indent:(indent + 2) item)
-        items;
-      Buffer.add_char buf '\n';
-      Buffer.add_string buf (pad indent);
-      Buffer.add_char buf ']'
-  | Obj [] -> Buffer.add_string buf "{}"
-  | Obj fields ->
-      Buffer.add_string buf "{\n";
-      List.iteri
-        (fun i (k, item) ->
-          if i > 0 then Buffer.add_string buf ",\n";
-          Buffer.add_string buf (pad (indent + 2));
-          Buffer.add_char buf '"';
-          Buffer.add_string buf (escape_string k);
-          Buffer.add_string buf "\": ";
-          write buf ~indent:(indent + 2) item)
-        fields;
-      Buffer.add_char buf '\n';
-      Buffer.add_string buf (pad indent);
-      Buffer.add_char buf '}'
-
-let to_string v =
-  let buf = Buffer.create 4096 in
-  write buf ~indent:0 v;
-  Buffer.add_char buf '\n';
-  Buffer.contents buf
+(** Re-export: the JSON builder lives in {!Aba_obs.Json} since the
+    observability layer (which sits below this library) emits JSON too;
+    existing [Aba_experiments.Json] users are unaffected. *)
+include Aba_obs.Json

@@ -1,0 +1,16 @@
+(* CLOCK_MONOTONIC via bechamel's noalloc C stub — the only monotonic
+   source in the image (OCaml's Unix has no [clock_gettime]).  The probe
+   runs once at module initialisation; if the stub misbehaves on this
+   platform (returns zero or goes backwards across two immediate calls)
+   every caller falls back to the wall clock, which is at least usable
+   even though NTP slew can distort it. *)
+let raw_ns () = Int64.to_int (Monotonic_clock.now ())
+let wall_ns () = int_of_float (Unix.gettimeofday () *. 1e9)
+
+let monotonic =
+  let a = raw_ns () in
+  a > 0 && raw_ns () >= a
+
+let now_ns () = if monotonic then raw_ns () else wall_ns ()
+let elapsed_ns start = now_ns () - start
+let elapsed_s start = float_of_int (now_ns () - start) /. 1e9

@@ -1,0 +1,21 @@
+(** Monotonic time for benchmark timing and latency stamps.
+
+    [Unix.gettimeofday] is a wall clock: NTP slew (or an operator setting
+    the date) can make measured durations wrong or even negative, which
+    silently corrupts ns/op numbers.  This module reads CLOCK_MONOTONIC
+    through bechamel's C stub and guards it with a startup probe, falling
+    back to the wall clock only when the stub is unusable. *)
+
+val monotonic : bool
+(** Whether the monotonic source passed the startup probe; when [false],
+    {!now_ns} reads the wall clock. *)
+
+val now_ns : unit -> int
+(** Nanoseconds from an arbitrary fixed origin.  Comparable only within
+    one process run. *)
+
+val elapsed_ns : int -> int
+(** [elapsed_ns start] is [now_ns () - start]. *)
+
+val elapsed_s : int -> float
+(** [elapsed_s start] is the seconds elapsed since [start = now_ns ()]. *)

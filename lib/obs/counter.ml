@@ -1,0 +1,17 @@
+open Aba_primitives
+
+type t = { cells : int Atomic.t array }
+
+let create ?(padded = true) ~n () =
+  if n < 1 then invalid_arg "Obs.Counter.create: n must be positive";
+  {
+    cells =
+      (if padded then Padded.atomic_array n 0
+       else Array.init n (fun _ -> Atomic.make 0));
+  }
+
+let domains t = Array.length t.cells
+let incr t ~pid = Atomic.incr t.cells.(pid)
+let add t ~pid d = ignore (Atomic.fetch_and_add t.cells.(pid) d)
+let get t ~pid = Atomic.get t.cells.(pid)
+let total t = Array.fold_left (fun acc c -> acc + Atomic.get c) 0 t.cells

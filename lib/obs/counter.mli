@@ -1,0 +1,22 @@
+(** Per-domain counter cells with a merge-on-read total.
+
+    Each pid increments its own cache-line-padded atomic cell, so the hot
+    path is an uncontended RMW on a line nobody else writes; the
+    cross-domain cost is paid only by {!total}, which folds the cells at
+    read time.  This replaces the scattered per-module stat records
+    (elimination, combining, limbo) with one interface. *)
+
+type t
+
+val create : ?padded:bool -> n:int -> unit -> t
+(** One cell per pid in [0, n).  [padded] (default [true]) gives each
+    cell its own cache line.  Raises [Invalid_argument] if [n < 1]. *)
+
+val domains : t -> int
+val incr : t -> pid:int -> unit
+val add : t -> pid:int -> int -> unit
+val get : t -> pid:int -> int
+
+val total : t -> int
+(** Fold of all cells.  Safe to call while domains are still counting;
+    the result is then a momentary lower bound, exact once they join. *)

@@ -1,0 +1,52 @@
+(* JSON emission for {!Obs} handles, kept separate so the hot-path
+   modules never touch the (allocating) JSON builder. *)
+
+let histogram_fields (h : Histogram.t) =
+  let s = Histogram.summarize h in
+  [
+    ("count", Json.Int s.count);
+    ("p50_ns", Json.Int s.p50);
+    ("p90_ns", Json.Int s.p90);
+    ("p99_ns", Json.Int s.p99);
+    ("p999_ns", Json.Int s.p999);
+  ]
+
+let kind_json obs kind =
+  let base =
+    [
+      ("kind", Json.Str (Obs.kind_name kind));
+      ("ops", Json.Int (Obs.op_count obs kind));
+      ("retries", Json.Int (Obs.retry_count obs kind));
+    ]
+  in
+  match Obs.histogram obs kind with
+  | None -> Json.Obj base
+  | Some h -> Json.Obj (base @ histogram_fields h)
+
+let summary obs =
+  let kinds =
+    List.filter (fun k -> Obs.op_count obs k > 0) Obs.all_kinds
+  in
+  Json.Obj
+    [
+      ("enabled", Json.Bool (Obs.enabled obs));
+      ("kinds", Json.Arr (List.map (kind_json obs) kinds));
+      ( "trace",
+        Json.Obj
+          [
+            ("recorded", Json.Int (Obs.trace_recorded obs));
+            ("retained", Json.Int (Obs.trace_retained obs));
+          ] );
+    ]
+
+let event_json (e : Obs.event) =
+  Json.Obj
+    [
+      ("t_ns", Json.Int e.at_ns);
+      ("kind", Json.Str (Obs.kind_name e.kind));
+      ("outcome", Json.Str (Obs.outcome_name e.outcome));
+      ("pid", Json.Int e.pid);
+      ("retries", Json.Int e.retries);
+    ]
+
+let timeline obs = Json.Arr (List.map event_json (Obs.timeline obs))

@@ -1,0 +1,11 @@
+(** JSON emission for {!Obs} handles (via {!Json}, the builder the
+    benchmark result files already use). *)
+
+val summary : Obs.t -> Json.t
+(** Per-kind ops/retries plus latency percentiles (kinds with zero ops
+    are omitted; percentile fields are omitted without histograms) and
+    the trace recorded/retained counts. *)
+
+val timeline : Obs.t -> Json.t
+(** The merged trace as an array of
+    [{t_ns, kind, outcome, pid, retries}] objects. *)

@@ -1,0 +1,66 @@
+(* One flat int row per pid: [record] is two array reads and one write on
+   owner-only memory — no atomics, no allocation.  Rows are merged only at
+   extraction time, after the domains have joined. *)
+
+type t = { rows : int array array }
+
+let buckets = 63
+
+(* Number of significant bits of [v]: bucket [b >= 1] covers
+   [2^(b-1), 2^b - 1]; bucket 0 absorbs zero and negative values (a
+   non-monotonic clock is the only way to produce the latter, and the
+   fallback in {!Clock} makes even that benign). *)
+let bucket_of v =
+  if v <= 0 then 0
+  else begin
+    let rec bits acc v = if v = 0 then acc else bits (acc + 1) (v lsr 1) in
+    bits 0 v
+  end
+
+let bucket_lo = function 0 -> 0 | i -> 1 lsl (i - 1)
+let bucket_hi = function 0 -> 0 | i -> (1 lsl i) - 1
+
+let create ~n () =
+  if n < 1 then invalid_arg "Obs.Histogram.create: n must be positive";
+  { rows = Array.make_matrix n buckets 0 }
+
+let record t ~pid v =
+  let row = t.rows.(pid) in
+  let b = bucket_of v in
+  row.(b) <- row.(b) + 1
+
+let merged t =
+  let m = Array.make buckets 0 in
+  Array.iter (fun row -> Array.iteri (fun i c -> m.(i) <- m.(i) + c) row) t.rows;
+  m
+
+let count t = Array.fold_left (fun acc row -> Array.fold_left ( + ) acc row) 0 t.rows
+
+let percentile t q =
+  if not (q >= 0. && q <= 1.) then
+    invalid_arg "Obs.Histogram.percentile: q outside [0, 1]";
+  let m = merged t in
+  let total = Array.fold_left ( + ) 0 m in
+  if total = 0 then 0
+  else begin
+    (* The rank-th smallest sample lives in the first bucket whose
+       cumulative count reaches [rank]; report that bucket's upper bound,
+       so percentiles are monotone in [q] by construction. *)
+    let rank = max 1 (int_of_float (Float.ceil (q *. float_of_int total))) in
+    let rec walk b cum =
+      let cum = cum + m.(b) in
+      if cum >= rank then bucket_hi b else walk (b + 1) cum
+    in
+    walk 0 0
+  end
+
+type summary = { count : int; p50 : int; p90 : int; p99 : int; p999 : int }
+
+let summarize t =
+  {
+    count = count t;
+    p50 = percentile t 0.5;
+    p90 = percentile t 0.9;
+    p99 = percentile t 0.99;
+    p999 = percentile t 0.999;
+  }

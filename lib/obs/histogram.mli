@@ -1,0 +1,43 @@
+(** Allocation-free log2-bucketed latency histograms.
+
+    Each pid owns a flat row of {!buckets} int cells; {!record} is an
+    owner-only array increment, so instrumenting a hot path costs no
+    allocation and no shared-memory traffic.  Percentiles are extracted
+    post hoc from the merged rows: a reported percentile is the upper
+    bound of the bucket holding the rank-th smallest sample, hence exact
+    to within the 2x bucket resolution and monotone in [q] by
+    construction (p50 <= p90 <= p99 <= p999 always holds). *)
+
+type t
+
+val buckets : int
+(** 63: bucket 0 for values [<= 0], bucket [i >= 1] for
+    [2^(i-1) .. 2^i - 1] — enough for any native int. *)
+
+val bucket_of : int -> int
+val bucket_lo : int -> int
+val bucket_hi : int -> int
+(** Bucket index of a value and the inclusive bounds of a bucket:
+    [bucket_lo (bucket_of v) <= v <= bucket_hi (bucket_of v)] for all
+    [v >= 0]. *)
+
+val create : n:int -> unit -> t
+(** One row per pid in [0, n).  Raises [Invalid_argument] if [n < 1]. *)
+
+val record : t -> pid:int -> int -> unit
+(** Count one sample.  Owner-only: each pid must write only its row. *)
+
+val merged : t -> int array
+(** Per-bucket counts summed over all pids ({!buckets} cells). *)
+
+val count : t -> int
+(** Total samples recorded. *)
+
+val percentile : t -> float -> int
+(** [percentile t q] for [q] in [[0, 1]]: upper bound of the bucket of
+    the [ceil (q * count)]-th smallest sample (0 on an empty histogram).
+    Raises [Invalid_argument] outside [[0, 1]]. *)
+
+type summary = { count : int; p50 : int; p90 : int; p99 : int; p999 : int }
+
+val summarize : t -> summary

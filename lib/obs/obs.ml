@@ -1,0 +1,177 @@
+(* The unified handle: one [t] aggregates per-kind op/retry counters,
+   per-kind latency histograms and the event trace, so an instrumented
+   structure threads a single optional value.  The [noop] instance is the
+   inert default — [record] on it is one immutable-field load and a
+   branch, no clock read, no stores, no allocation — which keeps
+   uninstrumented hot paths at 0 words/op and byte-identical transcripts. *)
+
+type kind =
+  | Push
+  | Pop
+  | Enqueue
+  | Dequeue
+  | Ll
+  | Sc
+  | Dread
+  | Dwrite
+  | Exchange
+  | Combine
+  | Retire
+
+let kind_index = function
+  | Push -> 0
+  | Pop -> 1
+  | Enqueue -> 2
+  | Dequeue -> 3
+  | Ll -> 4
+  | Sc -> 5
+  | Dread -> 6
+  | Dwrite -> 7
+  | Exchange -> 8
+  | Combine -> 9
+  | Retire -> 10
+
+let kind_count = 11
+
+let all_kinds =
+  [ Push; Pop; Enqueue; Dequeue; Ll; Sc; Dread; Dwrite; Exchange; Combine;
+    Retire ]
+
+let kind_name = function
+  | Push -> "push"
+  | Pop -> "pop"
+  | Enqueue -> "enqueue"
+  | Dequeue -> "dequeue"
+  | Ll -> "ll"
+  | Sc -> "sc"
+  | Dread -> "dread"
+  | Dwrite -> "dwrite"
+  | Exchange -> "exchange"
+  | Combine -> "combine"
+  | Retire -> "retire"
+
+type outcome =
+  | Ok
+  | Fail
+  | Empty
+  | Eliminated
+  | Combined
+  | Fallback
+  | Collision
+  | Timeout
+
+let outcome_index = function
+  | Ok -> 0
+  | Fail -> 1
+  | Empty -> 2
+  | Eliminated -> 3
+  | Combined -> 4
+  | Fallback -> 5
+  | Collision -> 6
+  | Timeout -> 7
+
+let all_outcomes =
+  [ Ok; Fail; Empty; Eliminated; Combined; Fallback; Collision; Timeout ]
+
+let outcome_name = function
+  | Ok -> "ok"
+  | Fail -> "fail"
+  | Empty -> "empty"
+  | Eliminated -> "eliminated"
+  | Combined -> "combined"
+  | Fallback -> "fallback"
+  | Collision -> "collision"
+  | Timeout -> "timeout"
+
+let kind_of_index = Array.of_list all_kinds
+let outcome_of_index = Array.of_list all_outcomes
+
+type t = {
+  enabled : bool;
+  origin : int;  (** trace timestamps are ns since this instant *)
+  ops : Counter.t array;  (** [kind_count] counters *)
+  retries : Counter.t array;
+  hists : Histogram.t array;  (** [kind_count], or [[||]] when off *)
+  trace : Trace.t;
+}
+
+let noop =
+  {
+    enabled = false;
+    origin = 0;
+    ops = [||];
+    retries = [||];
+    hists = [||];
+    trace = Trace.noop;
+  }
+
+let create ?(padded = true) ?(hist = true) ?(trace = 1024) ~n () =
+  if n < 1 then invalid_arg "Obs.create: n must be positive";
+  {
+    enabled = true;
+    origin = Clock.now_ns ();
+    ops = Array.init kind_count (fun _ -> Counter.create ~padded ~n ());
+    retries = Array.init kind_count (fun _ -> Counter.create ~padded ~n ());
+    hists =
+      (if hist then Array.init kind_count (fun _ -> Histogram.create ~n ())
+       else [||]);
+    trace = Trace.create ~padded ~capacity:trace ~n ();
+  }
+
+let enabled t = t.enabled
+let start t = if t.enabled then Clock.now_ns () else 0
+
+let record t ~pid ~kind ~outcome ~retries start =
+  if t.enabled then begin
+    let k = kind_index kind in
+    Counter.incr t.ops.(k) ~pid;
+    if retries > 0 then Counter.add t.retries.(k) ~pid retries;
+    let now = Clock.now_ns () in
+    if Array.length t.hists > 0 then
+      Histogram.record t.hists.(k) ~pid (now - start);
+    Trace.record t.trace ~pid
+      (Trace.Event.pack ~ts:(now - t.origin) ~kind:k
+         ~outcome:(outcome_index outcome) ~pid ~retries)
+  end
+
+let op_count t kind = if t.enabled then Counter.total t.ops.(kind_index kind) else 0
+
+let retry_count t kind =
+  if t.enabled then Counter.total t.retries.(kind_index kind) else 0
+
+let histogram t kind =
+  if t.enabled && Array.length t.hists > 0 then Some t.hists.(kind_index kind)
+  else None
+
+let trace_recorded t = if t.enabled then Trace.recorded t.trace else 0
+let trace_retained t = if t.enabled then Trace.retained t.trace else 0
+
+type event = {
+  at_ns : int;
+  kind : kind;
+  outcome : outcome;
+  pid : int;
+  retries : int;
+}
+
+let timeline t =
+  if not t.enabled then []
+  else
+    List.map
+      (fun (e : Trace.Event.t) ->
+        {
+          at_ns = e.ts;
+          kind = kind_of_index.(e.kind);
+          outcome = outcome_of_index.(e.outcome);
+          pid = e.pid;
+          retries = e.retries;
+        })
+      (Trace.merged t.trace)
+
+(* Re-export the component modules so clients that alias
+   [module Obs = Aba_obs.Obs] can say [Obs.Counter], [Obs.Histogram],
+   [Obs.Trace], [Obs.Clock] as the design doc does. *)
+module Clock = Clock
+module Counter = Counter
+module Histogram = Histogram
+module Trace = Trace

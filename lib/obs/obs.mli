@@ -1,0 +1,108 @@
+(** The unified observability handle.
+
+    One [t] bundles per-kind operation/retry counters ({!Counter}),
+    per-kind log2 latency histograms ({!Histogram}) and a packed event
+    trace ({!Trace}).  Instrumented code threads a single optional
+    handle:
+
+    {[
+      let t0 = Obs.start obs in
+      (* ... the operation ... *)
+      Obs.record obs ~pid ~kind:Obs.Push ~outcome:Obs.Ok ~retries t0
+    ]}
+
+    The inert {!noop} instance is the universal default: on it {!start}
+    and {!record} reduce to a load of an immutable field and a branch —
+    no clock read, no stores, no allocation — so structures instrumented
+    with a [?obs] parameter keep byte-identical transcripts and
+    0 words/op hot paths when observability is off. *)
+
+(** What an instrumented operation was. *)
+type kind =
+  | Push
+  | Pop
+  | Enqueue
+  | Dequeue
+  | Ll
+  | Sc
+  | Dread
+  | Dwrite
+  | Exchange  (** an elimination-exchanger visit *)
+  | Combine  (** a combining-cache read *)
+  | Retire  (** handing a node to the reclaimer *)
+
+(** How it ended. *)
+type outcome =
+  | Ok
+  | Fail
+  | Empty
+  | Eliminated  (** push/pop matched in the exchanger, off the head *)
+  | Combined  (** adopted a scanner's published snapshot *)
+  | Fallback  (** combining window expired; ran the precise read *)
+  | Collision  (** exchanger slot contended; no exchange *)
+  | Timeout  (** exchanger wait window expired *)
+
+val kind_index : kind -> int
+val kind_count : int
+val all_kinds : kind list
+val kind_name : kind -> string
+val outcome_index : outcome -> int
+val all_outcomes : outcome list
+val outcome_name : outcome -> string
+
+type t
+
+val noop : t
+(** The inert handle: {!enabled} is [false], {!start}/{!record} do
+    nothing, all accessors report zero/empty. *)
+
+val create : ?padded:bool -> ?hist:bool -> ?trace:int -> n:int -> unit -> t
+(** A live handle for pids [0, n).  [padded] (default [true]) pads the
+    counter cells and trace cursors; [hist] (default [true]) allocates
+    the latency histograms ([false] drops the per-op clock cost down to
+    the trace stamp); [trace] (default 1024) is the per-pid ring
+    capacity, 0 for no trace.  Raises [Invalid_argument] if [n < 1]. *)
+
+val enabled : t -> bool
+
+val start : t -> int
+(** Timestamp for a {!record} later in the same operation; 0 (no clock
+    read) on a disabled handle. *)
+
+val record :
+  t -> pid:int -> kind:kind -> outcome:outcome -> retries:int -> int -> unit
+(** [record t ~pid ~kind ~outcome ~retries t0] counts one operation,
+    adds [retries] to the kind's retry counter, records the latency
+    since [t0 = start t] and appends a packed trace event.  No-op on a
+    disabled handle.  Allocation-free either way. *)
+
+val op_count : t -> kind -> int
+val retry_count : t -> kind -> int
+(** Merge-on-read totals over all pids (0 on a disabled handle). *)
+
+val histogram : t -> kind -> Histogram.t option
+(** The kind's latency histogram ([None] when disabled or created with
+    [~hist:false]). *)
+
+val trace_recorded : t -> int
+val trace_retained : t -> int
+
+(** A decoded trace event; [at_ns] is ns since the handle's creation. *)
+type event = {
+  at_ns : int;
+  kind : kind;
+  outcome : outcome;
+  pid : int;
+  retries : int;
+}
+
+val timeline : t -> event list
+(** All retained events of all pids merged into time order.  Call after
+    the instrumented domains have joined. *)
+
+(** The component modules, re-exported for [Obs.Counter]-style access. *)
+module Clock = Clock
+
+module Counter = Counter
+module Histogram = Histogram
+module Trace = Trace

@@ -1,0 +1,103 @@
+open Aba_primitives
+
+module Event = struct
+  type t = { ts : int; kind : int; outcome : int; pid : int; retries : int }
+
+  let kind_bits = 4
+  let outcome_bits = 3
+  let pid_bits = 8
+  let retries_bits = 10
+  let ts_bits = 37
+  let max_kind = (1 lsl kind_bits) - 1
+  let max_outcome = (1 lsl outcome_bits) - 1
+  let max_pid = (1 lsl pid_bits) - 1
+  let max_retries = (1 lsl retries_bits) - 1
+  let max_ts = (1 lsl ts_bits) - 1
+
+  (* Field layout, low to high: kind | outcome | pid | retries | ts.
+     62 bits total, so a packed event is always an immediate int.  The
+     timestamp occupies the top bits on purpose: comparing two packed
+     words as plain ints orders events by time, which is what the merge
+     sorts on.  pid and retries saturate (a trace is diagnostic data;
+     clamping beats widening the word), ts wraps at 2^37 ns ~ 137 s. *)
+  let sat v m = if v < 0 then 0 else if v > m then m else v
+
+  let pack ~ts ~kind ~outcome ~pid ~retries =
+    ((ts land max_ts) lsl (kind_bits + outcome_bits + pid_bits + retries_bits))
+    lor (sat retries max_retries lsl (kind_bits + outcome_bits + pid_bits))
+    lor (sat pid max_pid lsl (kind_bits + outcome_bits))
+    lor (sat outcome max_outcome lsl kind_bits)
+    lor sat kind max_kind
+
+  let unpack w =
+    {
+      kind = w land max_kind;
+      outcome = (w lsr kind_bits) land max_outcome;
+      pid = (w lsr (kind_bits + outcome_bits)) land max_pid;
+      retries = (w lsr (kind_bits + outcome_bits + pid_bits)) land max_retries;
+      ts =
+        (w lsr (kind_bits + outcome_bits + pid_bits + retries_bits))
+        land max_ts;
+    }
+end
+
+(* Owner-only write cursor; padded so neighbouring pids' cursors do not
+   share a cache line with each other or with the rings. *)
+type cursor = { mutable pos : int; mutable count : int }
+
+type t = {
+  capacity : int;  (** events retained per pid; 0 = inert *)
+  rings : int array array;  (** [n][capacity] packed event words *)
+  cursors : cursor array;
+}
+
+let noop = { capacity = 0; rings = [||]; cursors = [||] }
+
+let create ?(padded = true) ~capacity ~n () =
+  if capacity < 0 then
+    invalid_arg "Obs.Trace.create: capacity must be non-negative";
+  if n < 1 then invalid_arg "Obs.Trace.create: n must be positive";
+  if capacity = 0 then noop
+  else
+    {
+      capacity;
+      rings = Array.init n (fun _ -> Array.make capacity 0);
+      cursors =
+        Array.init n (fun _ ->
+            let c = { pos = 0; count = 0 } in
+            if padded then Padded.copy c else c);
+    }
+
+let enabled t = t.capacity > 0
+let capacity t = t.capacity
+
+let record t ~pid w =
+  if t.capacity > 0 then begin
+    let c = t.cursors.(pid) in
+    t.rings.(pid).(c.pos) <- w;
+    let p = c.pos + 1 in
+    c.pos <- (if p = t.capacity then 0 else p);
+    c.count <- c.count + 1
+  end
+
+let recorded t =
+  Array.fold_left (fun acc c -> acc + c.count) 0 t.cursors
+
+let retained t =
+  Array.fold_left (fun acc c -> acc + min c.count t.capacity) 0 t.cursors
+
+(* Merge after the writers have joined: collect each pid's retained
+   window (oldest first) and sort the packed words — the timestamp lives
+   in the top bits, so plain int order is time order. *)
+let merged t =
+  let words = ref [] in
+  Array.iteri
+    (fun pid c ->
+      let ring = t.rings.(pid) in
+      let kept = min c.count t.capacity in
+      let first = if c.count <= t.capacity then 0 else c.pos in
+      for k = 0 to kept - 1 do
+        words := ring.((first + k) mod t.capacity) :: !words
+      done)
+    t.cursors;
+  List.map Event.unpack (List.sort compare !words)

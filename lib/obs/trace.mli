@@ -1,0 +1,61 @@
+(** Fixed-size per-domain rings of packed int event words.
+
+    Each pid appends to its own preallocated ring — an owner-only array
+    store plus a cursor bump, no allocation, no shared writes — and the
+    rings are merged into one time-ordered timeline after the run.  An
+    event packs (kind, outcome, pid, retry count, timestamp) into one
+    immediate int; see {!Event} for the exact layout and saturation
+    rules. *)
+
+module Event : sig
+  type t = { ts : int; kind : int; outcome : int; pid : int; retries : int }
+
+  val kind_bits : int
+  val outcome_bits : int
+  val pid_bits : int
+  val retries_bits : int
+  val ts_bits : int
+
+  val max_kind : int
+  val max_outcome : int
+  val max_pid : int
+  val max_retries : int
+  val max_ts : int
+
+  val pack :
+    ts:int -> kind:int -> outcome:int -> pid:int -> retries:int -> int
+  (** Pack into a 62-bit word.  [kind] and [outcome] must fit their
+      fields (the callers use small enums); [pid] and [retries] saturate
+      at {!max_pid} / {!max_retries}; [ts] wraps at [2^37] ns (~137 s).
+      Words compare as ints in timestamp order. *)
+
+  val unpack : int -> t
+  (** Inverse of {!pack} on in-range fields. *)
+end
+
+type t
+
+val noop : t
+(** The inert trace: {!record} is a no-op, {!merged} is empty. *)
+
+val create : ?padded:bool -> capacity:int -> n:int -> unit -> t
+(** [capacity] events retained per pid (a capacity of 0 returns {!noop});
+    [padded] (default [true]) pads the per-pid write cursors.  Raises
+    [Invalid_argument] if [capacity < 0] or [n < 1]. *)
+
+val enabled : t -> bool
+val capacity : t -> int
+
+val record : t -> pid:int -> int -> unit
+(** Append a packed word to [pid]'s ring, overwriting the oldest event
+    once the ring is full.  Owner-only: one writer per pid. *)
+
+val recorded : t -> int
+(** Events ever recorded (including overwritten ones). *)
+
+val retained : t -> int
+(** Events currently held across all rings ([<= n * capacity]). *)
+
+val merged : t -> Event.t list
+(** The retained events of all pids, oldest-window-first per pid, sorted
+    by timestamp.  Call after the writing domains have joined. *)

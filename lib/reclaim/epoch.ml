@@ -26,9 +26,10 @@ type t = {
   threshold : int;
   bo : Backoff.t array;  (** per-pid backoff for the acquire loop *)
   stats : Limbo_stats.t;
+  obs : Aba_obs.Obs.t;
 }
 
-let create ?(slots = 2) ~n ~capacity () =
+let create ?(slots = 2) ?(obs = Aba_obs.Obs.noop) ~n ~capacity () =
   ignore slots;
   if n <= 0 then invalid_arg "Epoch.create: n must be positive";
   if capacity <= 0 then invalid_arg "Epoch.create: capacity must be positive";
@@ -49,6 +50,7 @@ let create ?(slots = 2) ~n ~capacity () =
     threshold = max 2 n;
     bo = Array.init n (fun _ -> Padded.copy (Backoff.make Backoff.default_spec));
     stats = Limbo_stats.create ();
+    obs;
   }
 
 let capacity t = t.capacity
@@ -112,6 +114,7 @@ let flush t ~pid =
   done
 
 let retire t ~pid i =
+  let t0 = Aba_obs.Obs.start t.obs in
   let e = Atomic.get t.global in
   let b = t.bags.(pid).(e mod 3) in
   (* The slot last held epoch e-3 (or older): always past its grace
@@ -124,7 +127,9 @@ let retire t ~pid i =
   if t.limbo_size.(pid) >= t.threshold then begin
     try_advance t;
     reclaim_own t ~pid
-  end
+  end;
+  Aba_obs.Obs.record t.obs ~pid ~kind:Aba_obs.Obs.Retire
+    ~outcome:Aba_obs.Obs.Ok ~retries:0 t0
 
 let recycle t ~pid:_ i = Boxed_pool.put t.pool i
 

@@ -36,9 +36,10 @@ module Make (L : Reclaim_intf.LLSC) (D : Reclaim_intf.DETECT) = struct
     threshold : int;
     bo : Backoff.t array;  (** per-pid backoff for the LL/SC retry loops *)
     stats : Limbo_stats.t;
+    obs : Aba_obs.Obs.t;
   }
 
-  let create ?(slots = 2) ~n ~capacity () =
+  let create ?(slots = 2) ?(obs = Aba_obs.Obs.noop) ~n ~capacity () =
     if n <= 0 then invalid_arg "Guarded.create: n must be positive";
     if slots <= 0 then invalid_arg "Guarded.create: slots must be positive";
     if capacity <= 0 then invalid_arg "Guarded.create: capacity must be positive";
@@ -59,6 +60,7 @@ module Make (L : Reclaim_intf.LLSC) (D : Reclaim_intf.DETECT) = struct
           Array.init n (fun _ ->
               Padded.copy (Backoff.make Backoff.default_spec));
         stats = Limbo_stats.create ();
+        obs;
       }
     in
     (* Seed the free stack single-handedly: pid 0's LL/SC cannot fail
@@ -159,10 +161,16 @@ module Make (L : Reclaim_intf.LLSC) (D : Reclaim_intf.DETECT) = struct
   let flush t ~pid = scan t ~pid
 
   let retire t ~pid i =
+    let t0 = Aba_obs.Obs.start t.obs in
     t.limbo.(pid) := i :: !(t.limbo.(pid));
     t.limbo_size.(pid) <- t.limbo_size.(pid) + 1;
     Limbo_stats.on_retire t.stats;
-    if t.limbo_size.(pid) >= t.threshold then scan t ~pid
+    if t.limbo_size.(pid) >= t.threshold then scan t ~pid;
+    (* Under this scheme the threshold-crossing retire pays a scan of
+       n*slots Figure-4 [DRead]s plus Figure-3 LL/SC pool pushes — the
+       paper's O(n) step complexity, visible as the latency tail. *)
+    Aba_obs.Obs.record t.obs ~pid ~kind:Aba_obs.Obs.Retire
+      ~outcome:Aba_obs.Obs.Ok ~retries:0 t0
 
   let recycle t ~pid i = pool_put t ~pid i
 

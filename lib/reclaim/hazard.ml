@@ -23,9 +23,10 @@ type t = {
   threshold : int;
   bo : Backoff.t array;  (** per-pid backoff for the acquire loop *)
   stats : Limbo_stats.t;
+  obs : Aba_obs.Obs.t;
 }
 
-let create ?(slots = 2) ~n ~capacity () =
+let create ?(slots = 2) ?(obs = Aba_obs.Obs.noop) ~n ~capacity () =
   if n <= 0 then invalid_arg "Hazard.create: n must be positive";
   if slots <= 0 then invalid_arg "Hazard.create: slots must be positive";
   if capacity <= 0 then invalid_arg "Hazard.create: capacity must be positive";
@@ -44,6 +45,7 @@ let create ?(slots = 2) ~n ~capacity () =
     threshold = max 2 (2 * n * slots);
     bo = Array.init n (fun _ -> Padded.copy (Backoff.make Backoff.default_spec));
     stats = Limbo_stats.create ();
+    obs;
   }
 
 let capacity t = t.capacity
@@ -104,10 +106,15 @@ let scan t ~pid =
 let flush t ~pid = scan t ~pid
 
 let retire t ~pid i =
+  let t0 = Aba_obs.Obs.start t.obs in
   t.limbo.(pid) := i :: !(t.limbo.(pid));
   t.limbo_size.(pid) <- t.limbo_size.(pid) + 1;
   Limbo_stats.on_retire t.stats;
-  if t.limbo_size.(pid) >= t.threshold then scan t ~pid
+  if t.limbo_size.(pid) >= t.threshold then scan t ~pid;
+  (* The latency captures the amortisation spike: most retires are a cons,
+     the threshold-crossing one pays a full O(n*slots + |limbo|) scan. *)
+  Aba_obs.Obs.record t.obs ~pid ~kind:Aba_obs.Obs.Retire
+    ~outcome:Aba_obs.Obs.Ok ~retries:0 t0
 
 let recycle t ~pid:_ i = Boxed_pool.put t.pool i
 

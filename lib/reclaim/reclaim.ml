@@ -23,7 +23,8 @@ let all_schemes = Reclaim_intf.all_schemes
 module Make (L : Reclaim_intf.LLSC) (D : Reclaim_intf.DETECT) : sig
   type t
 
-  val create : ?slots:int -> n:int -> capacity:int -> scheme -> t
+  val create :
+    ?slots:int -> ?obs:Aba_obs.Obs.t -> n:int -> capacity:int -> scheme -> t
   val scheme : t -> scheme
   val capacity : t -> int
   val alloc : t -> pid:int -> int option
@@ -39,10 +40,10 @@ end = struct
 
   type t = H of Hazard.t | E of Epoch.t | G of G.t
 
-  let create ?slots ~n ~capacity = function
-    | Hazard -> H (Hazard.create ?slots ~n ~capacity ())
-    | Epoch -> E (Epoch.create ?slots ~n ~capacity ())
-    | Guarded -> G (G.create ?slots ~n ~capacity ())
+  let create ?slots ?obs ~n ~capacity = function
+    | Hazard -> H (Hazard.create ?slots ?obs ~n ~capacity ())
+    | Epoch -> E (Epoch.create ?slots ?obs ~n ~capacity ())
+    | Guarded -> G (G.create ?slots ?obs ~n ~capacity ())
 
   let scheme = function H _ -> Hazard | E _ -> Epoch | G _ -> Guarded
 

@@ -50,11 +50,14 @@ let all_schemes = [ Hazard; Epoch; Guarded ]
 module type S = sig
   type t
 
-  val create : ?slots:int -> n:int -> capacity:int -> unit -> t
+  val create :
+    ?slots:int -> ?obs:Aba_obs.Obs.t -> n:int -> capacity:int -> unit -> t
   (** [create ~n ~capacity ()] prepares [capacity] node names for [n]
       domains (pids [0, n)).  [slots] (default 2) is the number of
       simultaneous per-domain protections; the Treiber stack needs 1,
-      the Michael–Scott queue 2. *)
+      the Michael–Scott queue 2.  [obs] (default {!Aba_obs.Obs.noop})
+      records each {!retire} as a [Retire] event whose latency includes
+      any reclamation scan the retire triggered. *)
 
   val capacity : t -> int
 

@@ -84,11 +84,31 @@ type t = {
   nslots : int;  (** 0 for the inert [Noop] instance *)
   window : int;
   locals : local array;
+  obs : Aba_obs.Obs.t;
 }
 
-let noop = { slots = [||]; nslots = 0; window = 0; locals = [||] }
+let noop =
+  { slots = [||]; nslots = 0; window = 0; locals = [||]; obs = Aba_obs.Obs.noop }
 
-let create ?(padded = true) ~spec ~n () =
+(* splitmix64 finalizer over the pid.  Seeding xorshift64 with the raw
+   [(i * 2) + 1] made neighbouring pids' streams start from
+   near-identical tiny states, so their early slot picks were strongly
+   correlated — synchronized collisions exactly when the exchanger is
+   supposed to spread offers out.  The finalizer's two multiply-xor
+   rounds disperse consecutive pids across the full word.  Int64
+   arithmetic because the constants exceed the native 63-bit int range;
+   the result is truncated to a nonneg native int and guarded away from
+   0, xorshift's absorbing state. *)
+let seed_of_pid i =
+  let open Int64 in
+  let z = add (of_int i) 0x9E3779B97F4A7C15L in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  let z = logxor z (shift_right_logical z 31) in
+  let s = to_int z land Stdlib.max_int in
+  if s = 0 then 1 else s
+
+let create ?(padded = true) ?(obs = Aba_obs.Obs.noop) ~spec ~n () =
   match spec with
   | Noop -> noop
   | Exchanger { slots; window; backoff } ->
@@ -103,12 +123,12 @@ let create ?(padded = true) ~spec ~n () =
            else Array.init slots (fun _ -> Atomic.make empty_w));
         nslots = slots;
         window;
+        obs;
         locals =
           Array.init n (fun i ->
               Padded.copy
                 {
-                  (* Any odd per-pid constant seeds the xorshift stream. *)
-                  seed = (i * 2) + 1;
+                  seed = seed_of_pid i;
                   range = 1;
                   bo = Backoff.make backoff;
                   attempts = 0;
@@ -123,57 +143,68 @@ let slot_count t = t.nslots
 let range t ~pid = if t.nslots = 0 then 0 else t.locals.(pid).range
 let peek t i = Slot.decode (Atomic.get t.slots.(i))
 
-(* xorshift64: cheap, allocation-free, per-pid deterministic. *)
-let next_slot l =
-  let s = l.seed in
+(* xorshift64: cheap, allocation-free, per-pid deterministic.  The step
+   is exposed ([xorshift_step]) so tests can check first-pick dispersion
+   without replicating the generator. *)
+let xorshift_step s =
   let s = s lxor (s lsl 13) in
   let s = s lxor (s lsr 7) in
-  let s = s lxor (s lsl 17) in
+  s lxor (s lsl 17)
+
+let next_slot l =
+  let s = xorshift_step l.seed in
   l.seed <- s;
   (s land max_int) mod l.range
 
-let collision t l =
+let collision t l ~pid t0 =
   l.collisions <- l.collisions + 1;
-  l.range <- adapt ~slots:t.nslots ~range:l.range `Collision
+  l.range <- adapt ~slots:t.nslots ~range:l.range `Collision;
+  Aba_obs.Obs.record t.obs ~pid ~kind:Aba_obs.Obs.Exchange
+    ~outcome:Aba_obs.Obs.Collision ~retries:0 t0
 
-let timeout t l =
+let timeout t l ~pid ~polls t0 =
   l.timeouts <- l.timeouts + 1;
-  l.range <- adapt ~slots:t.nslots ~range:l.range `Timeout
+  l.range <- adapt ~slots:t.nslots ~range:l.range `Timeout;
+  Aba_obs.Obs.record t.obs ~pid ~kind:Aba_obs.Obs.Exchange
+    ~outcome:Aba_obs.Obs.Timeout ~retries:polls t0
 
-let exchange t l =
+let exchange t l ~pid ~polls t0 =
   l.exchanges <- l.exchanges + 1;
-  l.range <- adapt ~slots:t.nslots ~range:l.range `Exchange
+  l.range <- adapt ~slots:t.nslots ~range:l.range `Exchange;
+  Aba_obs.Obs.record t.obs ~pid ~kind:Aba_obs.Obs.Exchange
+    ~outcome:Aba_obs.Obs.Eliminated ~retries:polls t0
 
 (* The pusher parked [w = WAITING_PUSH(v)] in [s] and polls it for at most
    [window] backoff-paced rounds.  The only transition another process can
    apply to [w] is a popper's CAS to [EXCHANGED], so [get s <> w] means the
    value was taken. *)
-let rec wait_push t l s w i =
+let rec wait_push t l ~pid s w i t0 =
   if i >= t.window then
     if Atomic.compare_and_set s w empty_w then begin
-      timeout t l;
+      timeout t l ~pid ~polls:i t0;
       false
     end
     else begin
       (* The withdraw lost: a popper took the value between our last poll
          and the CAS.  The slot is EXCHANGED and locked on us; release. *)
       Atomic.set s empty_w;
-      exchange t l;
+      exchange t l ~pid ~polls:i t0;
       true
     end
   else if Atomic.get s <> w then begin
     Atomic.set s empty_w;
-    exchange t l;
+    exchange t l ~pid ~polls:i t0;
     true
   end
   else begin
     Backoff.once l.bo;
-    wait_push t l s w (i + 1)
+    wait_push t l ~pid s w (i + 1) t0
   end
 
 let exchange_push t ~pid v =
   t.nslots > 0
   && begin
+       let t0 = Aba_obs.Obs.start t.obs in
        let l = t.locals.(pid) in
        l.attempts <- l.attempts + 1;
        let s = t.slots.(next_slot l) in
@@ -181,82 +212,83 @@ let exchange_push t ~pid v =
        if c = waiting_pop_w then
          (* A popper is parked here: hand the value over directly. *)
          if Atomic.compare_and_set s c ((v lsl 2) lor 3) then begin
-           exchange t l;
+           exchange t l ~pid ~polls:0 t0;
            true
          end
          else begin
-           collision t l;
+           collision t l ~pid t0;
            false
          end
        else if c = empty_w then
          if Atomic.compare_and_set s c ((v lsl 2) lor 1) then begin
            Backoff.reset l.bo;
-           wait_push t l s ((v lsl 2) lor 1) 0
+           wait_push t l ~pid s ((v lsl 2) lor 1) 0 t0
          end
          else begin
-           collision t l;
+           collision t l ~pid t0;
            false
          end
        else begin
-         collision t l;
+         collision t l ~pid t0;
          false
        end
      end
 
 (* Symmetric wait for a parked popper; fulfillment moves WAITING_POP to
    EXCHANGED(v), and again only we reset the slot. *)
-let rec wait_pop t l s i =
+let rec wait_pop t l ~pid s i t0 =
   if i >= t.window then
     if Atomic.compare_and_set s waiting_pop_w empty_w then begin
-      timeout t l;
+      timeout t l ~pid ~polls:i t0;
       None
     end
     else begin
       let c = Atomic.get s in
       Atomic.set s empty_w;
-      exchange t l;
+      exchange t l ~pid ~polls:i t0;
       Some (payload c)
     end
   else begin
     let c = Atomic.get s in
     if c <> waiting_pop_w then begin
       Atomic.set s empty_w;
-      exchange t l;
+      exchange t l ~pid ~polls:i t0;
       Some (payload c)
     end
     else begin
       Backoff.once l.bo;
-      wait_pop t l s (i + 1)
+      wait_pop t l ~pid s (i + 1) t0
     end
   end
 
 let exchange_pop t ~pid =
   if t.nslots = 0 then None
   else begin
+    let t0 = Aba_obs.Obs.start t.obs in
     let l = t.locals.(pid) in
     l.attempts <- l.attempts + 1;
     let s = t.slots.(next_slot l) in
     let c = Atomic.get s in
     if is_waiting_push c then
       if Atomic.compare_and_set s c (exchanged_of c) then begin
-        exchange t l;
+        exchange t l ~pid ~polls:0 t0;
         Some (payload c)
       end
       else begin
-        collision t l;
+        collision t l ~pid t0;
         None
       end
     else if c = empty_w then
       if Atomic.compare_and_set s c waiting_pop_w then begin
         Backoff.reset l.bo;
-        wait_pop t l s 0
+        wait_pop t l ~pid s 0 t0
       end
       else begin
-        collision t l;
+        collision t l ~pid t0;
         None
       end
     else begin
-      collision t l;
+      collision t l ~pid t0;
       None
     end
   end

@@ -71,12 +71,26 @@ val default_spec : spec
 
 type t
 
-val create : ?padded:bool -> spec:spec -> n:int -> unit -> t
+val create :
+  ?padded:bool -> ?obs:Aba_obs.Obs.t -> spec:spec -> n:int -> unit -> t
 (** An exchanger for [n] processes.  [padded] (default [true]) gives every
     slot its own cache line.  Values passed through the exchanger must fit
     in 60 signed bits (they share the slot word with the 2-bit tag).
-    Raises [Invalid_argument] on a non-positive [slots], [window] or [n]
-    of an [Exchanger] spec. *)
+    [obs] (default {!Aba_obs.Obs.noop}) records every exchange attempt as
+    an [Exchange] event — outcome [Eliminated]/[Collision]/[Timeout],
+    with the wait-window poll count as retries.  Raises
+    [Invalid_argument] on a non-positive [slots], [window] or [n] of an
+    [Exchanger] spec. *)
+
+val seed_of_pid : int -> int
+(** The per-pid xorshift64 seed: the pid run through a splitmix64
+    finalizer (nonzero, non-negative).  Exposed so tests can check that
+    consecutive pids start from well-dispersed states. *)
+
+val xorshift_step : int -> int
+(** One step of the slot-picking xorshift64 stream; pid [i]'s first slot
+    pick is [(xorshift_step (seed_of_pid i) land max_int) mod range].
+    Exposed for the dispersion tests. *)
 
 val exchange_push : t -> pid:Pid.t -> int -> bool
 (** Offer a value to a concurrent pop.  [true] means some pop took it —

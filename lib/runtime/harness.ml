@@ -1,27 +1,45 @@
 open Aba_primitives
 
 module Barrier = struct
-  type t = { arrived : int Atomic.t; parties : int }
+  (* Generation-based (sense-reversing): waiters spin on the generation
+     word, not the arrival counter, and the last arriver of each round
+     resets the counter before bumping the generation.  The old
+     counter-only barrier silently misbehaved on a second [wait] — the
+     count never reset, so round 2 sailed through without waiting. *)
+  type t = {
+    arrived : int Atomic.t;
+    generation : int Atomic.t;
+    parties : int;
+  }
 
   let create ~parties =
     if parties < 1 then invalid_arg "Harness.Barrier.create: parties < 1";
-    (* The counter owns its cache line: every participant CASes it on
-       arrival, and an unpadded cell would share a line with whatever the
-       caller allocated next — typically the very state the domains are
-       about to contend on. *)
-    { arrived = Padded.atomic 0; parties }
+    (* Both words own their cache lines: every participant RMWs
+       [arrived] on arrival, and an unpadded cell would share a line with
+       whatever the caller allocated next — typically the very state the
+       domains are about to contend on. *)
+    { arrived = Padded.atomic 0; generation = Padded.atomic 0; parties }
 
   let wait t =
-    Atomic.incr t.arrived;
-    (* Spin with exponential backoff rather than bare [cpu_relax]: with
-       [parties] > cores the arriving domains would otherwise hammer the
-       line in lockstep and starve the domains still being spawned
-       (thundering herd), which on small machines delays the very arrival
-       everyone is waiting for. *)
-    let bo = Backoff.create ~min:1 ~max:64 () in
-    while Atomic.get t.arrived < t.parties do
-      Backoff.once bo
-    done
+    let gen = Atomic.get t.generation in
+    if 1 + Atomic.fetch_and_add t.arrived 1 = t.parties then begin
+      (* Reset strictly before the generation bump: a party re-enters
+         [wait] only after observing the bump, so it cannot race the
+         reset. *)
+      Atomic.set t.arrived 0;
+      Atomic.incr t.generation
+    end
+    else begin
+      (* Spin with exponential backoff rather than bare [cpu_relax]: with
+         [parties] > cores the arriving domains would otherwise hammer
+         the line in lockstep and starve the domains still being spawned
+         (thundering herd), which on small machines delays the very
+         arrival everyone is waiting for. *)
+      let bo = Backoff.create ~min:1 ~max:64 () in
+      while Atomic.get t.generation = gen do
+        Backoff.once bo
+      done
+    end
 end
 
 let run_domains ~n body =
@@ -73,21 +91,35 @@ type churn_report = {
 
 type mix = Push_heavy | Paired
 
-let churn ?(mix = Push_heavy) ~n ~ops ~push ~pop ?(finish = fun ~pid:_ -> ())
-    () =
+let churn ?(mix = Push_heavy) ?(obs = Aba_obs.Obs.noop) ~n ~ops ~push ~pop
+    ?(finish = fun ~pid:_ -> ()) () =
   let results =
     run_domains ~n (fun d ->
         let pushed = ref [] and popped = ref [] in
         let record_pop () =
+          let t0 = Aba_obs.Obs.start obs in
           match pop ~pid:d with
-          | Some v -> popped := v :: !popped
-          | None -> ()
+          | Some v ->
+              Aba_obs.Obs.record obs ~pid:d ~kind:Aba_obs.Obs.Pop
+                ~outcome:Aba_obs.Obs.Ok ~retries:0 t0;
+              popped := v :: !popped
+          | None ->
+              Aba_obs.Obs.record obs ~pid:d ~kind:Aba_obs.Obs.Pop
+                ~outcome:Aba_obs.Obs.Empty ~retries:0 t0
         in
         for i = 1 to ops do
           (* Unique values per domain, so any re-delivered or invented
              value is caught by the audit. *)
           let v = (d * ops) + i in
-          if push ~pid:d v then pushed := v :: !pushed;
+          let t0 = Aba_obs.Obs.start obs in
+          if push ~pid:d v then begin
+            Aba_obs.Obs.record obs ~pid:d ~kind:Aba_obs.Obs.Push
+              ~outcome:Aba_obs.Obs.Ok ~retries:0 t0;
+            pushed := v :: !pushed
+          end
+          else
+            Aba_obs.Obs.record obs ~pid:d ~kind:Aba_obs.Obs.Push
+              ~outcome:Aba_obs.Obs.Fail ~retries:0 t0;
           match mix with
           | Push_heavy ->
               (* Pop slightly less than we push: the structure fills to its

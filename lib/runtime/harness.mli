@@ -2,9 +2,11 @@
     process, synchronize their start so contention actually overlaps, and
     join their results. *)
 
-(** A reusable one-shot start barrier: a cache-line-padded arrival counter
-    spun on with bounded exponential backoff, so [parties] domains arriving
-    together do not degenerate into a thundering herd on one line. *)
+(** A reusable generation-based (sense-reversing) barrier: waiters spin on
+    a cache-line-padded generation word with bounded exponential backoff,
+    so [parties] domains arriving together do not degenerate into a
+    thundering herd on one line, and the same barrier can synchronize any
+    number of successive rounds. *)
 module Barrier : sig
   type t
 
@@ -13,7 +15,9 @@ module Barrier : sig
 
   val wait : t -> unit
   (** Record arrival and block (spinning with backoff) until all [parties]
-      have arrived.  One-shot: create a fresh barrier per rendezvous. *)
+      have arrived for the current round.  Reusable: the last arriver
+      opens the next generation, so the same [parties] threads may [wait]
+      again to synchronize round after round. *)
 end
 
 val run_domains : n:int -> (int -> 'a) -> 'a array
@@ -51,6 +55,7 @@ type mix = Push_heavy | Paired
 
 val churn :
   ?mix:mix ->
+  ?obs:Aba_obs.Obs.t ->
   n:int ->
   ops:int ->
   push:(pid:int -> int -> bool) ->
@@ -65,4 +70,11 @@ val churn :
     runs in each domain after its loop and once more per pid after the
     final drain — reclaimer-backed structures pass their
     release-and-flush here so limbo empties before the caller reads
-    {!Rt_reclaim.stats}. *)
+    {!Rt_reclaim.stats}.
+
+    [obs] (default {!Aba_obs.Obs.noop}) records the harness's view of
+    every racing [push]/[pop] callback as [Push]/[Pop] events —
+    whole-callback latency, outcome [Ok]/[Fail]/[Empty], retries unknown
+    at this level (0).  Structures instrumented with their own [?obs]
+    record the same operations with retry counts; give [churn] a
+    different handle to avoid double counting. *)

@@ -33,11 +33,14 @@ module Fig4_impl =
     end))
 
 module Fig4 = struct
+  module Obs = Aba_obs.Obs
+
   type t = {
     base : Fig4_impl.t;
     combine : Aba_core.Combining.t option;
         (** read-combining cache over [base]'s [dread]; [None] = every
             read runs the full announce protocol *)
+    obs : Obs.t;
   }
 
   (* Figure 4's registers are bounded in their (writer, seq) components;
@@ -47,24 +50,33 @@ module Fig4 = struct
   let int63 =
     Aba_primitives.Bounded.make ~describe:"int63" (fun (_ : int) -> true)
 
-  let create ?(padded = false) ?(combining = false) ?window ~n init =
+  let create ?(padded = false) ?(combining = false) ?window
+      ?(obs = Obs.noop) ~n init =
     let base = Fig4_impl.create ~value_bound:int63 ~init ~padded ~n () in
     let combine =
       if combining then
         Some
-          (Aba_core.Combining.create ~padded ?window ~n
+          (Aba_core.Combining.create ~padded ?window ~obs ~n
              ~scan:(fun ~pid -> Fig4_impl.dread base ~pid)
              ())
       else None
     in
-    { base; combine }
+    { base; combine; obs }
 
-  let dwrite t ~pid v = Fig4_impl.dwrite t.base ~pid v
+  let dwrite t ~pid v =
+    let t0 = Obs.start t.obs in
+    Fig4_impl.dwrite t.base ~pid v;
+    Obs.record t.obs ~pid ~kind:Obs.Dwrite ~outcome:Obs.Ok ~retries:0 t0
 
   let dread t ~pid =
-    match t.combine with
-    | None -> Fig4_impl.dread t.base ~pid
-    | Some c -> Aba_core.Combining.dread c ~pid
+    let t0 = Obs.start t.obs in
+    let r =
+      match t.combine with
+      | None -> Fig4_impl.dread t.base ~pid
+      | Some c -> Aba_core.Combining.dread c ~pid
+    in
+    Obs.record t.obs ~pid ~kind:Obs.Dread ~outcome:Obs.Ok ~retries:0 t0;
+    r
 
   let combining_stats t = Option.map Aba_core.Combining.stats t.combine
 end
@@ -74,18 +86,31 @@ module From_llsc = struct
      from a single bounded CAS word, same functor chain as
      Instances.aba_thm2 under the seq/sim backends. *)
   module I = Aba_core.Aba_from_llsc.Make (Rt_llsc.Fig3)
+  module Obs = Aba_obs.Obs
 
-  type t = I.t
+  type t = { base : I.t; obs : Obs.t }
 
-  let create ?(padded = false) ?(backoff = Aba_primitives.Backoff.Noop) ~n
-      ~init () =
+  let create ?(padded = false) ?(backoff = Aba_primitives.Backoff.Noop)
+      ?(obs = Obs.noop) ~n ~init () =
     if n < 1 || n > 40 then
       invalid_arg "Rt_aba.From_llsc.create: n must be 1..40";
-    I.create
-      ~value_bound:
-        (Aba_primitives.Bounded.int_range ~lo:0 ~hi:((1 lsl (62 - n)) - 1))
-      ~init ~padded ~backoff ~n ()
+    {
+      base =
+        I.create
+          ~value_bound:
+            (Aba_primitives.Bounded.int_range ~lo:0 ~hi:((1 lsl (62 - n)) - 1))
+          ~init ~padded ~backoff ~n ();
+      obs;
+    }
 
-  let dwrite = I.dwrite
-  let dread = I.dread
+  let dwrite t ~pid v =
+    let t0 = Obs.start t.obs in
+    I.dwrite t.base ~pid v;
+    Obs.record t.obs ~pid ~kind:Obs.Dwrite ~outcome:Obs.Ok ~retries:0 t0
+
+  let dread t ~pid =
+    let t0 = Obs.start t.obs in
+    let r = I.dread t.base ~pid in
+    Obs.record t.obs ~pid ~kind:Obs.Dread ~outcome:Obs.Ok ~retries:0 t0;
+    r
 end

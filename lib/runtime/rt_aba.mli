@@ -29,14 +29,16 @@ end
 module Fig4 : sig
   type t
 
-  val create : ?padded:bool -> ?combining:bool -> ?window:int -> n:int ->
-    int -> t
+  val create : ?padded:bool -> ?combining:bool -> ?window:int ->
+    ?obs:Aba_obs.Obs.t -> n:int -> int -> t
   (** [padded] (default [false]) spreads [X] and the [n] announce registers
       over distinct cache lines.  [combining] (default [false]: opt-in)
       routes [dread] through an {!Aba_core.Combining} cache with adoption
       window [window] (default {!Aba_core.Combining.default_window}) —
       adopted reads return a conservatively-[true] detection flag, see
-      {!Aba_core.Combining}. *)
+      {!Aba_core.Combining}.  [obs] (default {!Aba_obs.Obs.noop}) records
+      [Dread]/[Dwrite] events and is shared with the combining cache,
+      whose [Combine] events land in the same handle. *)
 
   val dwrite : t -> pid:int -> int -> unit
   val dread : t -> pid:int -> int * bool
@@ -49,10 +51,11 @@ module From_llsc : sig
   type t
 
   val create :
-    ?padded:bool -> ?backoff:Aba_primitives.Backoff.spec -> n:int ->
-    init:int -> unit -> t
+    ?padded:bool -> ?backoff:Aba_primitives.Backoff.spec ->
+    ?obs:Aba_obs.Obs.t -> n:int -> init:int -> unit -> t
   (** Requires [1 <= n <= 40]; values are integers in [0 .. 2^(62-n)).
-      Contention options as in {!Rt_llsc.Packed_fig3.create}. *)
+      Contention and observability options as in
+      {!Rt_llsc.Packed_fig3.create} ([obs] records [Dread]/[Dwrite]). *)
 
   val dwrite : t -> pid:int -> int -> unit
   val dread : t -> pid:int -> int * bool

@@ -1,7 +1,7 @@
 type t = Rt_reclaim.t
 
-let create ?(scheme = Rt_reclaim.Guarded) ?slots ~n ~capacity () =
-  Rt_reclaim.create ?slots ~n ~capacity scheme
+let create ?(scheme = Rt_reclaim.Guarded) ?slots ?obs ~n ~capacity () =
+  Rt_reclaim.create ?slots ?obs ~n ~capacity scheme
 
 let take t ~pid = Rt_reclaim.alloc t ~pid
 let put t ~pid i = Rt_reclaim.recycle t ~pid i

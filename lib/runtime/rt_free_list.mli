@@ -21,12 +21,15 @@ type t = Rt_reclaim.t
 val create :
   ?scheme:Rt_reclaim.scheme ->
   ?slots:int ->
+  ?obs:Aba_obs.Obs.t ->
   n:int ->
   capacity:int ->
   unit ->
   t
 (** All indices in [0, capacity) start free; [n] is the number of
-    domains (pids).  Default scheme: {!Rt_reclaim.Guarded}. *)
+    domains (pids).  Default scheme: {!Rt_reclaim.Guarded}.  [obs]
+    (default {!Aba_obs.Obs.noop}) is passed to the reclaimer, which
+    records each [retire] as a [Retire] event. *)
 
 val take : t -> pid:int -> int option
 val put : t -> pid:int -> int -> unit

@@ -50,20 +50,38 @@ module Fig3 =
     end))
 
 module Packed_fig3 = struct
-  type t = Fig3.t
+  module Obs = Aba_obs.Obs
+
+  type t = { base : Fig3.t; obs : Obs.t }
 
   (* [n <= 40] keeps at least 22 value bits, the historical contract of
      this port; the value domain is everything the packing can hold. *)
-  let create ?(padded = false) ?(backoff = Aba_primitives.Backoff.Noop) ~n
-      ~init () =
+  let create ?(padded = false) ?(backoff = Aba_primitives.Backoff.Noop)
+      ?(obs = Obs.noop) ~n ~init () =
     if n < 1 || n > 40 then
       invalid_arg "Rt_llsc.Packed_fig3.create: n must be 1..40";
-    Fig3.create
-      ~value_bound:
-        (Aba_primitives.Bounded.int_range ~lo:0 ~hi:((1 lsl (62 - n)) - 1))
-      ~init ~padded ~backoff ~n ()
+    {
+      base =
+        Fig3.create
+          ~value_bound:
+            (Aba_primitives.Bounded.int_range ~lo:0 ~hi:((1 lsl (62 - n)) - 1))
+          ~init ~padded ~backoff ~n ();
+      obs;
+    }
 
-  let ll = Fig3.ll
-  let sc = Fig3.sc
-  let vl = Fig3.vl
+  let ll t ~pid =
+    let t0 = Obs.start t.obs in
+    let v = Fig3.ll t.base ~pid in
+    Obs.record t.obs ~pid ~kind:Obs.Ll ~outcome:Obs.Ok ~retries:0 t0;
+    v
+
+  let sc t ~pid v =
+    let t0 = Obs.start t.obs in
+    let ok = Fig3.sc t.base ~pid v in
+    Obs.record t.obs ~pid ~kind:Obs.Sc
+      ~outcome:(if ok then Obs.Ok else Obs.Fail)
+      ~retries:0 t0;
+    ok
+
+  let vl t ~pid = Fig3.vl t.base ~pid
 end

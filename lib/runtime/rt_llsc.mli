@@ -36,15 +36,17 @@ end
 module Fig3 : Aba_core.Llsc_intf.S
 
 module Packed_fig3 : sig
-  type t = Fig3.t
+  type t
 
   val create :
-    ?padded:bool -> ?backoff:Aba_primitives.Backoff.spec -> n:int ->
-    init:int -> unit -> t
+    ?padded:bool -> ?backoff:Aba_primitives.Backoff.spec ->
+    ?obs:Aba_obs.Obs.t -> n:int -> init:int -> unit -> t
   (** Requires [1 <= n <= 40] and [0 <= init < 2^(62-n)]; raises
       [Invalid_argument] otherwise.  [padded] (default [false]) puts the
       packed CAS word on its own cache line; [backoff] (default [Noop])
-      adds exponential backoff to the O(n) retry loops. *)
+      adds exponential backoff to the O(n) retry loops; [obs] (default
+      {!Aba_obs.Obs.noop}) records each [ll]/[sc] as an [Ll]/[Sc] event
+      ([sc] outcome [Ok]/[Fail]). *)
 
   val ll : t -> pid:int -> int
   val sc : t -> pid:int -> int -> bool

@@ -1,4 +1,5 @@
 open Aba_primitives
+module Obs = Aba_obs.Obs
 
 type protection = Tag_bits of int | Reclaimed of Rt_reclaim.scheme
 
@@ -23,6 +24,9 @@ type t = {
   free : Rt_free_list.t;
   bo : Backoff.t array;  (** per-pid retry backoff, {!Backoff.noop} when
                              backoff is disabled *)
+  obs : Obs.t;  (** records [Enqueue]/[Dequeue] with failed-CAS retry
+                    counts; shared with the reclaimer under [Reclaimed],
+                    inert under {!Obs.noop} *)
 }
 
 (* Pointer layout: index + 1 (so null = -1 maps to 0) shifted past the
@@ -40,7 +44,8 @@ let atomics ~padded n v =
   if padded then Padded.atomic_array n v
   else Array.init n (fun _ -> Atomic.make v)
 
-let create ?(padded = true) ?(backoff = true) ~protection ~capacity ~n () =
+let create ?(padded = true) ?(backoff = true) ?(obs = Obs.noop) ~protection
+    ~capacity ~n () =
   let slots = capacity + 1 in
   let pad_cell c = if padded then Padded.copy c else c in
   let spec = if backoff then Backoff.default_spec else Backoff.Noop in
@@ -64,9 +69,14 @@ let create ?(padded = true) ?(backoff = true) ~protection ~capacity ~n () =
         values = Array.make slots 0;
         free;
         bo;
+        obs;
       }
   | Reclaimed scheme ->
-      let free = Rt_free_list.create ~scheme ~slots:2 ~n ~capacity:slots () in
+      (* The reclaimer shares the queue's handle so its [Retire] events
+         land in the same timeline as the dequeues that caused them. *)
+      let free =
+        Rt_free_list.create ~scheme ~slots:2 ~obs ~n ~capacity:slots ()
+      in
       let dummy = Option.get (Rt_free_list.take free ~pid:0) in
       {
         impl =
@@ -79,6 +89,7 @@ let create ?(padded = true) ?(backoff = true) ~protection ~capacity ~n () =
         values = Array.make slots 0;
         free;
         bo;
+        obs;
       }
 
 let reclaimer t =
@@ -90,13 +101,15 @@ let reclaim_stats t = Option.map Rt_reclaim.stats (reclaimer t)
 
 (* ----- Tagged (counted-pointer) variant: Michael & Scott's original ----- *)
 
+(* Returns the failed-link-CAS count, reported to [obs] by [enqueue];
+   tail-helping rounds are not counted — they are progress, not failure. *)
 let enqueue_tagged q bo i =
   let tag_bits = q.tag_bits in
   (* Reset the link, bumping its counter so CASes armed against the
      node's previous life fail. *)
   let _, old_tag = unpack ~tag_bits (Atomic.get q.t_nexts.(i)) in
   Atomic.set q.t_nexts.(i) (pack ~tag_bits (-1) (old_tag + 1));
-  let rec attempt () =
+  let rec attempt retries =
     let tail_seen = Atomic.get q.t_tail in
     let t_idx, t_tag = unpack ~tag_bits tail_seen in
     let next_seen = Atomic.get q.t_nexts.(t_idx) in
@@ -105,45 +118,51 @@ let enqueue_tagged q bo i =
       if
         Atomic.compare_and_set q.t_nexts.(t_idx) next_seen
           (pack ~tag_bits i (n_tag + 1))
-      then
+      then begin
         ignore
           (Atomic.compare_and_set q.t_tail tail_seen
-             (pack ~tag_bits i (t_tag + 1)))
+             (pack ~tag_bits i (t_tag + 1)));
+        retries
+      end
       else begin
         Backoff.once bo;
-        attempt ()
+        attempt (retries + 1)
       end
     else begin
       (* Help the lagging tail forward. *)
       ignore
         (Atomic.compare_and_set q.t_tail tail_seen
            (pack ~tag_bits n_idx (t_tag + 1)));
-      attempt ()
+      attempt retries
     end
   in
-  attempt ()
+  attempt 0
 
-let dequeue_tagged t q ~pid =
+let dequeue_tagged t q ~pid t0 =
   let tag_bits = q.tag_bits in
   let bo = t.bo.(pid) in
-  let rec attempt () =
+  let rec attempt retries =
     let head_seen = Atomic.get q.t_head in
     let h_idx, h_tag = unpack ~tag_bits head_seen in
     let tail_seen = Atomic.get q.t_tail in
     let t_idx, t_tag = unpack ~tag_bits tail_seen in
     let n_idx, _ = unpack ~tag_bits (Atomic.get q.t_nexts.(h_idx)) in
     if h_idx = t_idx then
-      if n_idx = -1 then None
+      if n_idx = -1 then begin
+        Obs.record t.obs ~pid ~kind:Obs.Dequeue ~outcome:Obs.Empty ~retries
+          t0;
+        None
+      end
       else begin
         ignore
           (Atomic.compare_and_set q.t_tail tail_seen
              (pack ~tag_bits n_idx (t_tag + 1)));
-        attempt ()
+        attempt retries
       end
     else if n_idx = -1 then
       (* Stale snapshot: the observed dummy was recycled (its link reset)
          between our reads.  Retry with a fresh head. *)
-      attempt ()
+      attempt retries
     else begin
       (* Read the value before the CAS: afterwards the new dummy may be
          dequeued and recycled by others. *)
@@ -153,15 +172,16 @@ let dequeue_tagged t q ~pid =
           (pack ~tag_bits n_idx (h_tag + 1))
       then begin
         Rt_free_list.put t.free ~pid h_idx;
+        Obs.record t.obs ~pid ~kind:Obs.Dequeue ~outcome:Obs.Ok ~retries t0;
         Some v
       end
       else begin
         Backoff.once bo;
-        attempt ()
+        attempt (retries + 1)
       end
     end
   in
-  attempt ()
+  attempt 0
 
 (* ----- Reclaimed variant: Michael's hazard-pointer protocol -----
 
@@ -170,49 +190,54 @@ let dequeue_tagged t q ~pid =
    and re-validated against the head before any dereference, so neither
    can be recycled mid-operation. *)
 
+(* Returns the failed-link-CAS count, as in {!enqueue_tagged}. *)
 let enqueue_reclaimed q rc bo ~pid i =
   Atomic.set q.r_nexts.(i) (-1);
-  let rec attempt () =
+  let rec attempt retries =
     let tl =
       Rt_reclaim.acquire rc ~pid ~slot:0 ~read:(fun () -> Atomic.get q.r_tail)
     in
     let nxt = Atomic.get q.r_nexts.(tl) in
-    if Atomic.get q.r_tail <> tl then attempt ()
+    if Atomic.get q.r_tail <> tl then attempt retries
     else if nxt <> -1 then begin
       (* Help the lagging tail forward. *)
       ignore (Atomic.compare_and_set q.r_tail tl nxt);
-      attempt ()
+      attempt retries
     end
-    else if Atomic.compare_and_set q.r_nexts.(tl) (-1) i then
-      ignore (Atomic.compare_and_set q.r_tail tl i)
+    else if Atomic.compare_and_set q.r_nexts.(tl) (-1) i then begin
+      ignore (Atomic.compare_and_set q.r_tail tl i);
+      retries
+    end
     else begin
       Backoff.once bo;
-      attempt ()
+      attempt (retries + 1)
     end
   in
-  attempt ();
-  Rt_reclaim.release rc ~pid
+  let retries = attempt 0 in
+  Rt_reclaim.release rc ~pid;
+  retries
 
-let dequeue_reclaimed t q rc ~pid =
+let dequeue_reclaimed t q rc ~pid t0 =
   let bo = t.bo.(pid) in
-  let rec attempt () =
+  let rec attempt retries =
     let h =
       Rt_reclaim.acquire rc ~pid ~slot:0 ~read:(fun () -> Atomic.get q.r_head)
     in
     let tl = Atomic.get q.r_tail in
     let nxt = Atomic.get q.r_nexts.(h) in
-    if Atomic.get q.r_head <> h then attempt ()
+    if Atomic.get q.r_head <> h then attempt retries
     else if nxt = -1 then begin
       Rt_reclaim.release rc ~pid;
+      Obs.record t.obs ~pid ~kind:Obs.Dequeue ~outcome:Obs.Empty ~retries t0;
       None
     end
     else if h = tl then begin
       ignore (Atomic.compare_and_set q.r_tail tl nxt);
-      attempt ()
+      attempt retries
     end
     else begin
       Rt_reclaim.protect rc ~pid ~slot:1 nxt;
-      if Atomic.get q.r_head <> h then attempt ()
+      if Atomic.get q.r_head <> h then attempt retries
       else begin
         (* [nxt] is protected and still the successor of the live dummy,
            so its value slot cannot be recycled under us. *)
@@ -220,31 +245,39 @@ let dequeue_reclaimed t q rc ~pid =
         if Atomic.compare_and_set q.r_head h nxt then begin
           Rt_reclaim.release rc ~pid;
           Rt_reclaim.retire rc ~pid h;
+          Obs.record t.obs ~pid ~kind:Obs.Dequeue ~outcome:Obs.Ok ~retries t0;
           Some v
         end
         else begin
           Backoff.once bo;
-          attempt ()
+          attempt (retries + 1)
         end
       end
     end
   in
-  attempt ()
+  attempt 0
 
 let enqueue t ~pid v =
+  let t0 = Obs.start t.obs in
   match Rt_free_list.take t.free ~pid with
-  | None -> false
+  | None ->
+      Obs.record t.obs ~pid ~kind:Obs.Enqueue ~outcome:Obs.Fail ~retries:0 t0;
+      false
   | Some i ->
       t.values.(i) <- v;
       Backoff.reset t.bo.(pid);
-      (match t.impl with
-      | Tagged q -> enqueue_tagged q t.bo.(pid) i
-      | Via_reclaim q ->
-          enqueue_reclaimed q (t.free : Rt_reclaim.t) t.bo.(pid) ~pid i);
+      let retries =
+        match t.impl with
+        | Tagged q -> enqueue_tagged q t.bo.(pid) i
+        | Via_reclaim q ->
+            enqueue_reclaimed q (t.free : Rt_reclaim.t) t.bo.(pid) ~pid i
+      in
+      Obs.record t.obs ~pid ~kind:Obs.Enqueue ~outcome:Obs.Ok ~retries t0;
       true
 
 let dequeue t ~pid =
+  let t0 = Obs.start t.obs in
   Backoff.reset t.bo.(pid);
   match t.impl with
-  | Tagged q -> dequeue_tagged t q ~pid
-  | Via_reclaim q -> dequeue_reclaimed t q (t.free : Rt_reclaim.t) ~pid
+  | Tagged q -> dequeue_tagged t q ~pid t0
+  | Via_reclaim q -> dequeue_reclaimed t q (t.free : Rt_reclaim.t) ~pid t0

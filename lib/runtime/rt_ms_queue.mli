@@ -21,12 +21,16 @@ type t
 type protection = Tag_bits of int | Reclaimed of Rt_reclaim.scheme
 
 val create :
-  ?padded:bool -> ?backoff:bool -> protection:protection -> capacity:int ->
-  n:int -> unit -> t
+  ?padded:bool -> ?backoff:bool -> ?obs:Aba_obs.Obs.t ->
+  protection:protection -> capacity:int -> n:int -> unit -> t
 (** [capacity] payload nodes plus one internal dummy; [n] domains.
     [padded] (default [true]) puts head, tail and each link word on their
     own cache lines; [backoff] (default [true]) adds bounded exponential
-    backoff to the enqueue/dequeue retry loops. *)
+    backoff to the enqueue/dequeue retry loops.  [obs] (default
+    {!Aba_obs.Obs.noop}) records each operation as an [Enqueue]/[Dequeue]
+    event with its failed-CAS count as [retries] ([Ok]/[Empty]/[Fail] =
+    pool exhausted); under [Reclaimed] the handle is shared with the
+    reclaimer, whose [Retire] events land in the same timeline. *)
 
 val enqueue : t -> pid:int -> int -> bool
 (** [false] when the pool is exhausted. *)

@@ -1,4 +1,5 @@
 open Aba_primitives
+module Obs = Aba_obs.Obs
 
 type protection = Tag_bits of int | Llsc | Reclaimed of Rt_reclaim.scheme
 
@@ -17,6 +18,9 @@ type t = {
   elim : Elimination.t;  (** push/pop pair exchanger, consulted only after
                              a failed head CAS; inert under
                              {!Elimination.Noop} *)
+  obs : Obs.t;  (** records [Push]/[Pop] with head-CAS retry counts; the
+                    same handle is threaded into the elimination layer and
+                    the reclaimer, inert under {!Obs.noop} *)
 }
 
 (* Packed head layout: low [tag_bits] bits are the tag, the rest the node
@@ -31,7 +35,7 @@ let unpack ~tag_bits packed =
    and unlike the primitive layer there is no checking backend running the
    same code that a layout or timing change could perturb. *)
 let create ?(padded = true) ?(backoff = true) ?(elimination = Elimination.Noop)
-    ~protection ~capacity ~n () =
+    ?(obs = Obs.noop) ~protection ~capacity ~n () =
   let pad_cell c = if padded then Padded.copy c else c in
   let spec =
     if backoff then Backoff.default_spec else Backoff.Noop
@@ -50,8 +54,10 @@ let create ?(padded = true) ?(backoff = true) ?(elimination = Elimination.Noop)
             (Rt_llsc.Packed_fig3.create ~padded ~backoff:spec ~n ~init:0 ()),
           Rt_free_list.create ~n ~capacity () )
     | Reclaimed scheme ->
+        (* The reclaimer shares the stack's handle so its [Retire] events
+           land in the same timeline as the pops that caused them. *)
         ( Via_reclaim (pad_cell (Atomic.make (-1))),
-          Rt_free_list.create ~scheme ~slots:1 ~n ~capacity () )
+          Rt_free_list.create ~scheme ~slots:1 ~obs ~n ~capacity () )
   in
   {
     head;
@@ -59,7 +65,8 @@ let create ?(padded = true) ?(backoff = true) ?(elimination = Elimination.Noop)
     nexts = Array.make capacity (-1);
     free;
     bo = Array.init n (fun _ -> Padded.copy (Backoff.make spec));
-    elim = Elimination.create ~padded ~spec:elimination ~n ();
+    elim = Elimination.create ~padded ~obs ~spec:elimination ~n ();
+    obs;
   }
 
 let reclaimer t =
@@ -93,45 +100,66 @@ let cas_head t ~pid ~witness ~update =
    concurrent pop that takes the value there linearizes the pair off the
    head entirely — the composite push-then-pop is a stack no-op, so the
    head word never learns the pair existed.  The backoff reset is lazy
-   ([first]): an uncontended operation does zero backoff stores. *)
+   ([retries = 0]): an uncontended operation does zero backoff stores. *)
 
 (* Pooled variants recycle immediately: their own head word (tag or
    LL/SC) is the ABA protection, exactly as before the reclaim layer. *)
 let push t ~pid v =
+  let t0 = Obs.start t.obs in
   match Rt_free_list.take t.free ~pid with
-  | None -> false
+  | None ->
+      Obs.record t.obs ~pid ~kind:Obs.Push ~outcome:Obs.Fail ~retries:0 t0;
+      false
   | Some i ->
       t.values.(i) <- v;
+      (* [retries] counts failed head CASes; [record] runs at the outcome
+         point so the latency covers the whole retry span. *)
       let outcome =
         match t.head with
         | Packed _ | Via_llsc _ ->
-            let rec attempt first =
+            let rec attempt retries =
               let h, witness = read_head t ~pid in
               t.nexts.(i) <- h;
-              if cas_head t ~pid ~witness ~update:i then `Pushed
-              else if Elimination.exchange_push t.elim ~pid v then `Eliminated
+              if cas_head t ~pid ~witness ~update:i then begin
+                Obs.record t.obs ~pid ~kind:Obs.Push ~outcome:Obs.Ok ~retries
+                  t0;
+                `Pushed
+              end
+              else if Elimination.exchange_push t.elim ~pid v then begin
+                Obs.record t.obs ~pid ~kind:Obs.Push ~outcome:Obs.Eliminated
+                  ~retries t0;
+                `Eliminated
+              end
               else begin
-                if first then Backoff.reset t.bo.(pid);
+                if retries = 0 then Backoff.reset t.bo.(pid);
                 Backoff.once t.bo.(pid);
-                attempt false
+                attempt (retries + 1)
               end
             in
-            attempt true
+            attempt 0
         | Via_reclaim cell ->
             (* A push CAS cannot ABA: success only requires the head to
                equal the observed value at linearization. *)
-            let rec attempt first =
+            let rec attempt retries =
               let h = Atomic.get cell in
               t.nexts.(i) <- h;
-              if Atomic.compare_and_set cell h i then `Pushed
-              else if Elimination.exchange_push t.elim ~pid v then `Eliminated
+              if Atomic.compare_and_set cell h i then begin
+                Obs.record t.obs ~pid ~kind:Obs.Push ~outcome:Obs.Ok ~retries
+                  t0;
+                `Pushed
+              end
+              else if Elimination.exchange_push t.elim ~pid v then begin
+                Obs.record t.obs ~pid ~kind:Obs.Push ~outcome:Obs.Eliminated
+                  ~retries t0;
+                `Eliminated
+              end
               else begin
-                if first then Backoff.reset t.bo.(pid);
+                if retries = 0 then Backoff.reset t.bo.(pid);
                 Backoff.once t.bo.(pid);
-                attempt false
+                attempt (retries + 1)
               end
             in
-            attempt true
+            attempt 0
       in
       (match outcome with
       | `Pushed -> ()
@@ -147,13 +175,14 @@ let push t ~pid v =
    node, re-validate, and only then read its successor — the reclaimer
    guarantees a protected node is never handed back to [alloc], so the
    CAS can never see a recycled index. *)
-let pop_reclaimed t rc cell ~pid =
-  let rec attempt first =
+let pop_reclaimed t rc cell ~pid t0 =
+  let rec attempt retries =
     let h =
       Rt_reclaim.acquire rc ~pid ~slot:0 ~read:(fun () -> Atomic.get cell)
     in
     if h = -1 then begin
       Rt_reclaim.release rc ~pid;
+      Obs.record t.obs ~pid ~kind:Obs.Pop ~outcome:Obs.Empty ~retries t0;
       None
     end
     else begin
@@ -162,46 +191,57 @@ let pop_reclaimed t rc cell ~pid =
         let v = t.values.(h) in
         Rt_reclaim.release rc ~pid;
         Rt_reclaim.retire rc ~pid h;
+        Obs.record t.obs ~pid ~kind:Obs.Pop ~outcome:Obs.Ok ~retries t0;
         Some v
       end
       else begin
         match Elimination.exchange_pop t.elim ~pid with
         | Some _ as eliminated ->
             Rt_reclaim.release rc ~pid;
+            Obs.record t.obs ~pid ~kind:Obs.Pop ~outcome:Obs.Eliminated
+              ~retries t0;
             eliminated
         | None ->
-            if first then Backoff.reset t.bo.(pid);
+            if retries = 0 then Backoff.reset t.bo.(pid);
             Backoff.once t.bo.(pid);
-            attempt false
+            attempt (retries + 1)
       end
     end
   in
-  attempt true
+  attempt 0
 
 let pop t ~pid =
+  let t0 = Obs.start t.obs in
   match t.head with
-  | Via_reclaim cell -> pop_reclaimed t (t.free : Rt_reclaim.t) cell ~pid
+  | Via_reclaim cell -> pop_reclaimed t (t.free : Rt_reclaim.t) cell ~pid t0
   | Packed _ | Via_llsc _ ->
-      let rec attempt first =
+      let rec attempt retries =
         let h, witness = read_head t ~pid in
-        if h = -1 then None
+        if h = -1 then begin
+          Obs.record t.obs ~pid ~kind:Obs.Pop ~outcome:Obs.Empty ~retries t0;
+          None
+        end
         else begin
           let nxt = t.nexts.(h) in
           if cas_head t ~pid ~witness ~update:nxt then begin
             let v = t.values.(h) in
             Rt_free_list.put t.free ~pid h;
+            Obs.record t.obs ~pid ~kind:Obs.Pop ~outcome:Obs.Ok ~retries t0;
             Some v
           end
           else begin
             match Elimination.exchange_pop t.elim ~pid with
-            | Some _ as eliminated -> eliminated
+            | Some _ as eliminated ->
+                Obs.record t.obs ~pid ~kind:Obs.Pop ~outcome:Obs.Eliminated
+                  ~retries t0;
+                eliminated
             | None ->
-                if first then Backoff.reset t.bo.(pid);
+                if retries = 0 then Backoff.reset t.bo.(pid);
                 Backoff.once t.bo.(pid);
-                attempt false
+                attempt (retries + 1)
           end
         end
       in
-      attempt true
+      attempt 0
 
 let check_multiset = Harness.check_multiset

@@ -37,6 +37,7 @@ type protection = Tag_bits of int | Llsc | Reclaimed of Rt_reclaim.scheme
 
 val create :
   ?padded:bool -> ?backoff:bool -> ?elimination:Elimination.spec ->
+  ?obs:Aba_obs.Obs.t ->
   protection:protection -> capacity:int -> n:int -> unit -> t
 (** [padded] (default [true]) puts the head word on its own cache line;
     [backoff] (default [true]) adds bounded exponential backoff to the
@@ -44,7 +45,12 @@ val create :
     surface; the benchmark sweep turns them off to measure their cost.
     [elimination] (default {!Elimination.Noop}: opt-in) adds the push/pop
     exchanger, consulted only after a failed head CAS, so the uncontended
-    paths are unchanged. *)
+    paths are unchanged.  [obs] (default {!Aba_obs.Obs.noop}) records each
+    operation as a [Push]/[Pop] event with its failed-head-CAS count as
+    [retries] ([Ok]/[Empty]/[Eliminated]/[Fail] = pool exhausted); the
+    handle is shared with the elimination layer and, under [Reclaimed],
+    the reclaimer, so their [Exchange]/[Retire] events land in the same
+    timeline. *)
 
 val push : t -> pid:int -> int -> bool
 (** [false] when the pool is exhausted. *)

@@ -118,6 +118,39 @@ let barrier_invalid () =
     (Invalid_argument "Harness.Barrier.create: parties < 1") (fun () ->
       ignore (Aba_runtime.Harness.Barrier.create ~parties:0))
 
+(* The old barrier was single-shot (the arrival count never reset), so a
+   second wait on the same instance deadlocked.  The generation-based
+   barrier must release every round. *)
+let barrier_single_party_reuse () =
+  let barrier = Aba_runtime.Harness.Barrier.create ~parties:1 in
+  for round = 1 to 5 do
+    Aba_runtime.Harness.Barrier.wait barrier;
+    Alcotest.(check pass) (Printf.sprintf "round %d releases" round) () ()
+  done
+
+(* Two-round exerciser: the first barrier separates the [a] increments
+   from the reads (every domain must see all [n]), the second separates
+   phase 1 from the [b] increments, the third the [b] increments from
+   their reads.  Any failed release deadlocks the run; a premature
+   release shows up as a torn count. *)
+let barrier_reuse_across_rounds () =
+  let n = 4 in
+  let barrier = Aba_runtime.Harness.Barrier.create ~parties:n in
+  let a = Atomic.make 0 and b = Atomic.make 0 in
+  let a_seen = Atomic.make 0 and b_seen = Atomic.make 0 in
+  let _ =
+    Aba_runtime.Harness.run_domains ~n (fun _ ->
+        Atomic.incr a;
+        Aba_runtime.Harness.Barrier.wait barrier;
+        if Atomic.get a = n then Atomic.incr a_seen;
+        Aba_runtime.Harness.Barrier.wait barrier;
+        Atomic.incr b;
+        Aba_runtime.Harness.Barrier.wait barrier;
+        if Atomic.get b = n then Atomic.incr b_seen)
+  in
+  Alcotest.(check int) "every domain saw all of round 1" n (Atomic.get a_seen);
+  Alcotest.(check int) "every domain saw all of round 2" n (Atomic.get b_seen)
+
 (* ----- Json ----- *)
 
 module Json = Aba_experiments.Json
@@ -173,6 +206,10 @@ let suite =
     Alcotest.test_case "barrier releases all parties" `Quick
       barrier_releases_all;
     Alcotest.test_case "barrier argument validation" `Quick barrier_invalid;
+    Alcotest.test_case "barrier reuse, single party" `Quick
+      barrier_single_party_reuse;
+    Alcotest.test_case "barrier reuse across rounds, 4 domains" `Quick
+      barrier_reuse_across_rounds;
     Alcotest.test_case "json string escaping" `Quick json_escaping;
     Alcotest.test_case "json document structure" `Quick json_structure;
     Alcotest.test_case "json non-finite floats" `Quick json_non_finite;

@@ -18,4 +18,5 @@ let () =
       ("backends", Test_backends.suite);
       ("contention", Test_contention.suite);
       ("elimination", Test_elimination.suite);
+      ("observability", Test_obs.suite);
     ]
