@@ -690,6 +690,154 @@ let latency_percentiles ~domains ~ops () =
       done);
   List.rev !rows
 
+(* ----- Part 6: bounded-queue capacity sweep -----
+
+   The ingress tier: the lock-free ring, its blocking (backpressure)
+   wrapper and the two-lock baseline, across a producers x consumers x
+   capacity grid.  The skewed cells put the queue under the two boundary
+   pressures — more producers than consumers against a tiny capacity
+   keeps it full (enqueue [Fail] / [Wait_full] traffic), the converse
+   keeps it empty ([Empty] / [Wait_empty]) — and each cell's Obs
+   histograms become per-kind latency percentile rows.  The blocking
+   wrapper's wait phase is recorded separately from the ring's own
+   operations, so the rows distinguish "the CAS was contended" from "the
+   queue was at its bound". *)
+
+type capacity_row = {
+  cs_impl : string;  (** ring-lf | ring-blocking | two-lock *)
+  cs_producers : int;
+  cs_consumers : int;
+  cs_capacity : int;
+  cs_kind : string;
+  cs_count : int;  (** events recorded for this kind *)
+  cs_retries : int;
+  cs_ops : int;  (** enqueues per producer *)
+  cs_throughput : float;  (** transferred items per second, whole cell *)
+  cs_p50 : int;
+  cs_p90 : int;
+  cs_p99 : int;
+  cs_p999 : int;
+}
+
+(* One bounded queue reduced to the two closures the workload needs. *)
+let queue_impls =
+  [
+    ( "ring-lf",
+      fun obs ~capacity ~n ->
+        let q = Aba_queue.Rt_ring.create ~obs ~capacity ~n () in
+        ( (fun ~pid v -> Aba_queue.Rt_ring.try_enqueue q ~pid v),
+          fun ~pid -> Aba_queue.Rt_ring.try_dequeue q ~pid ) );
+    ( "ring-blocking",
+      fun obs ~capacity ~n ->
+        let q = Aba_queue.Blocking.create ~obs ~capacity ~n () in
+        ( (fun ~pid v -> Aba_queue.Blocking.enqueue q ~pid v),
+          fun ~pid -> Aba_queue.Blocking.dequeue q ~pid ) );
+    ( "two-lock",
+      fun obs ~capacity ~n ->
+        let q = Aba_queue.Two_lock_queue.create ~obs ~capacity ~n () in
+        ( (fun ~pid v -> Aba_queue.Two_lock_queue.try_enqueue q ~pid v),
+          fun ~pid -> Aba_queue.Two_lock_queue.try_dequeue q ~pid ) );
+  ]
+
+let capacity_sweep ~grid ~capacities ~ops () =
+  Printf.printf "\nCapacity sweep (bounded queues, %d enqueues/producer):\n" ops;
+  Printf.printf "  %-14s %5s %3s %3s %-10s %9s %9s %8s %8s %8s %8s %12s\n"
+    "impl" "cap" "p" "c" "kind" "count" "retries" "p50" "p90" "p99" "p999"
+    "items/s";
+  let rows = ref [] in
+  let cell ~producers ~consumers ~capacity (cs_impl, build) =
+    let n = producers + consumers in
+    let obs = Obs.create ~trace:0 ~n () in
+    let enq, deq = build obs ~capacity ~n in
+    let total = producers * ops in
+    let consumed = Atomic.make 0 in
+    let t0 = Aba_obs.Clock.now_ns () in
+    let _ =
+      Aba_runtime.Harness.run_domains ~n (fun pid ->
+          if pid < producers then
+            (* Producers push a fixed quota; a Fail/Timeout verdict is
+               recorded by the queue itself, then retried here. *)
+            for i = 1 to ops do
+              while not (enq ~pid i) do
+                Domain.cpu_relax ()
+              done
+            done
+          else
+            (* Consumers drain until every produced item is accounted
+               for; the blocking dequeue's bounded wait window keeps the
+               final laps from hanging once producers are done. *)
+            while Atomic.get consumed < total do
+              match deq ~pid with
+              | Some _ -> Atomic.incr consumed
+              | None -> Domain.cpu_relax ()
+            done)
+    in
+    let dt = Aba_obs.Clock.elapsed_s t0 in
+    let cs_throughput = float_of_int total /. dt in
+    List.iter
+      (fun kind ->
+        let count = Obs.op_count obs kind in
+        match Obs.histogram obs kind with
+        | Some h when count > 0 ->
+            let s = Aba_obs.Histogram.summarize h in
+            let row =
+              {
+                cs_impl;
+                cs_producers = producers;
+                cs_consumers = consumers;
+                cs_capacity = capacity;
+                cs_kind = Obs.kind_name kind;
+                cs_count = count;
+                cs_retries = Obs.retry_count obs kind;
+                cs_ops = ops;
+                cs_throughput;
+                cs_p50 = s.Aba_obs.Histogram.p50;
+                cs_p90 = s.Aba_obs.Histogram.p90;
+                cs_p99 = s.Aba_obs.Histogram.p99;
+                cs_p999 = s.Aba_obs.Histogram.p999;
+              }
+            in
+            Printf.printf
+              "  %-14s %5d %3d %3d %-10s %9d %9d %8d %8d %8d %8d %12.0f\n"
+              row.cs_impl row.cs_capacity row.cs_producers row.cs_consumers
+              row.cs_kind row.cs_count row.cs_retries row.cs_p50 row.cs_p90
+              row.cs_p99 row.cs_p999 row.cs_throughput;
+            rows := row :: !rows
+        | Some _ | None -> ())
+      Obs.all_kinds
+  in
+  List.iter
+    (fun (producers, consumers) ->
+      List.iter
+        (fun capacity ->
+          List.iter (cell ~producers ~consumers ~capacity) queue_impls)
+        capacities)
+    grid;
+  List.rev !rows
+
+(* The ring's hot-path allocation claim: 0.00 minor words/op on an
+   uncontended enqueue + [dequeue_or] pair (the counters are immediate-int
+   hardware CAS words, the retry loops are module-level recursion, and
+   [dequeue_or] returns the bare int — [try_dequeue]'s only allocation
+   would be its [Some] box).  The two-lock baseline rides along for the
+   time column: what a Mutex pair per op costs even uncontended. *)
+let ring_hotpath_tests =
+  let ring = Aba_queue.Rt_ring.create ~capacity:64 ~n:2 () in
+  let tl = Aba_queue.Two_lock_queue.create ~capacity:64 ~n:2 () in
+  (* One resident element: both ends of each pair always succeed. *)
+  ignore (Aba_queue.Rt_ring.try_enqueue ring ~pid:0 1);
+  ignore (Aba_queue.Two_lock_queue.try_enqueue tl ~pid:0 1);
+  [
+    Test.make ~name:"ring.enq+deq_or n=2"
+      (staged (fun () ->
+           ignore (Aba_queue.Rt_ring.try_enqueue ring ~pid:1 42);
+           ignore (Aba_queue.Rt_ring.dequeue_or ring ~pid:1 ~default:0)));
+    Test.make ~name:"two_lock.enq+deq_or n=2"
+      (staged (fun () ->
+           ignore (Aba_queue.Two_lock_queue.try_enqueue tl ~pid:1 42);
+           ignore (Aba_queue.Two_lock_queue.dequeue_or tl ~pid:1 ~default:0)));
+  ]
+
 (* ----- Command line ----- *)
 
 type options = {
@@ -725,7 +873,7 @@ let usage_and_exit code =
     \  --ops N         per-domain ops for the treiber and reclaim tables\n\
     \  --max-domains N scalability sweep upper bound (default: all cores)\n\
     \  --sweep-ops N   per-domain ops per sweep cell (default 10000)\n\
-    \  --smoke         run only the sweep (plus JSON output): CI smoke test\n\
+    \  --smoke         only the sweeps + percentiles (plus JSON): CI smoke\n\
     \  --elimination   sweep the elimination/combining axis too (2x2x2)";
   exit code
 
@@ -782,7 +930,7 @@ let meta_json () =
   let tm = Unix.gmtime (Unix.time ()) in
   Json.Obj
     [
-      ("schema_version", Json.Int 4);
+      ("schema_version", Json.Int 5);
       ("git_commit", Json.Str (git_commit ()));
       ("ocaml_version", Json.Str Sys.ocaml_version);
       ( "available_domains",
@@ -849,7 +997,26 @@ let percentile_row_json r =
       ("p999_ns", Json.Int r.lp_p999);
     ]
 
-let write_json path ~treiber_rows ~reclaim_rows ~sweep_rows ~percentile_rows =
+let capacity_row_json r =
+  Json.Obj
+    [
+      ("impl", Json.Str r.cs_impl);
+      ("producers", Json.Int r.cs_producers);
+      ("consumers", Json.Int r.cs_consumers);
+      ("capacity", Json.Int r.cs_capacity);
+      ("kind", Json.Str r.cs_kind);
+      ("count", Json.Int r.cs_count);
+      ("retries", Json.Int r.cs_retries);
+      ("ops", Json.Int r.cs_ops);
+      ("items_per_sec", Json.Float r.cs_throughput);
+      ("p50_ns", Json.Int r.cs_p50);
+      ("p90_ns", Json.Int r.cs_p90);
+      ("p99_ns", Json.Int r.cs_p99);
+      ("p999_ns", Json.Int r.cs_p999);
+    ]
+
+let write_json path ~treiber_rows ~reclaim_rows ~sweep_rows ~percentile_rows
+    ~capacity_rows =
   let doc =
     Json.Obj
       [
@@ -859,6 +1026,7 @@ let write_json path ~treiber_rows ~reclaim_rows ~sweep_rows ~percentile_rows =
         ("scalability_sweep", Json.Arr (List.map sweep_row_json sweep_rows));
         ( "latency_percentiles",
           Json.Arr (List.map percentile_row_json percentile_rows) );
+        ("capacity_sweep", Json.Arr (List.map capacity_row_json capacity_rows));
       ]
   in
   let oc = open_out path in
@@ -890,7 +1058,8 @@ let () =
     benchmark_report "treiber-runtime" treiber_tests;
     benchmark_report ~alloc:true "elimination-hotpath"
       elimination_hotpath_tests;
-    benchmark_report "msqueue-runtime" msqueue_tests
+    benchmark_report "msqueue-runtime" msqueue_tests;
+    benchmark_report ~alloc:true "ring-hotpath" ring_hotpath_tests
   end;
   let treiber_rows =
     if o.smoke then []
@@ -908,13 +1077,21 @@ let () =
     scalability_sweep ~max_domains:o.max_domains ~ops:o.sweep_ops
       ~elimination:o.elimination ()
   in
-  (* Part 5: tail-latency percentiles (runs in --smoke too: it is the
-     schema-4 surface CI validates). *)
+  (* Part 5: tail-latency percentiles (runs in --smoke too: with the
+     capacity sweep below it is the schema-5 surface CI validates). *)
   let percentile_rows =
     latency_percentiles ~domains:(min o.domains o.max_domains)
       ~ops:o.sweep_ops ()
   in
+  (* Part 6: the bounded-queue capacity sweep (also part of the smoke
+     surface, on a reduced grid). *)
+  let grid, capacities =
+    if o.smoke then ([ (1, 1); (2, 1); (1, 2) ], [ 2; 64 ])
+    else ([ (1, 1); (2, 1); (1, 2); (2, 2) ], [ 2; 64; 1024 ])
+  in
+  let capacity_rows = capacity_sweep ~grid ~capacities ~ops:o.sweep_ops () in
   match o.json with
   | None -> ()
   | Some path ->
       write_json path ~treiber_rows ~reclaim_rows ~sweep_rows ~percentile_rows
+        ~capacity_rows

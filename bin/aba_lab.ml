@@ -155,6 +155,106 @@ let obs_cmd =
           histogram + trace.")
     Term.(const run $ domains $ ops $ events)
 
+(* E15: the ingress tier exercised end to end — a capacity-limited
+   bounded churn over the instrumented lock-free ring (with the multiset
+   audit), then a saturated producer/consumer run through the blocking
+   wrapper so the backpressure wait kinds show up in the same per-kind
+   summary.  [--seq-bits] exposes the bounded-tag axis: tiny widths make
+   the slot sequence words wrap constantly (the audit still passes —
+   that is the wraparound safety condition of DESIGN E15). *)
+let queue_cmd =
+  let domains =
+    Arg.(value & opt int 4 & info [ "domains" ] ~doc:"concurrent domains")
+  in
+  let ops =
+    Arg.(value & opt int 10_000 & info [ "ops" ] ~doc:"operations per domain")
+  in
+  let capacity =
+    Arg.(value & opt int 64 & info [ "capacity" ] ~doc:"ring capacity")
+  in
+  let seq_bits =
+    Arg.(
+      value & opt int 61
+      & info [ "seq-bits" ] ~doc:"slot sequence tag width (2..61)")
+  in
+  let run domains ops capacity seq_bits =
+    let module Obs = Aba_obs.Obs in
+    let print_kinds obs =
+      Printf.printf "\n%-10s %9s %9s %8s %8s %8s %8s  (ns)\n" "kind" "ops"
+        "retries" "p50" "p90" "p99" "p999";
+      List.iter
+        (fun kind ->
+          let count = Obs.op_count obs kind in
+          if count > 0 then
+            match Obs.histogram obs kind with
+            | Some h ->
+                let s = Aba_obs.Histogram.summarize h in
+                Printf.printf "%-10s %9d %9d %8d %8d %8d %8d\n"
+                  (Obs.kind_name kind) count
+                  (Obs.retry_count obs kind)
+                  s.Aba_obs.Histogram.p50 s.Aba_obs.Histogram.p90
+                  s.Aba_obs.Histogram.p99 s.Aba_obs.Histogram.p999
+            | None ->
+                Printf.printf "%-10s %9d %9d\n" (Obs.kind_name kind) count
+                  (Obs.retry_count obs kind))
+        Obs.all_kinds
+    in
+    let obs = Obs.create ~trace:0 ~n:domains () in
+    let q =
+      Aba_queue.Rt_ring.create ~obs ~seq_bits ~capacity ~n:domains ()
+    in
+    let report =
+      Aba_runtime.Harness.churn ~mix:Aba_runtime.Harness.Bounded ~n:domains
+        ~ops
+        ~push:(fun ~pid v -> Aba_queue.Rt_ring.try_enqueue q ~pid v)
+        ~pop:(fun ~pid -> Aba_queue.Rt_ring.try_dequeue q ~pid)
+        ()
+    in
+    Printf.printf
+      "bounded churn (ring-lf, capacity=%d, seq_bits=%d): attempted=%d \
+       pushed=%d popped=%d remaining=%d multiset=%s\n"
+      capacity seq_bits report.Aba_runtime.Harness.attempted
+      report.Aba_runtime.Harness.pushed report.Aba_runtime.Harness.popped
+      report.Aba_runtime.Harness.remaining
+      (match report.Aba_runtime.Harness.outcome with
+      | Ok () -> "ok"
+      | Error e -> "CORRUPT: " ^ e);
+    print_kinds obs;
+    (* Backpressure: one producer, one consumer, a deliberately tiny
+       window — the blocking wrapper's wait phases (Wait_full on the
+       producer, Wait_empty on the consumer) dominate the summary. *)
+    let wait_cap = min capacity 4 in
+    let obs2 = Obs.create ~trace:0 ~n:2 () in
+    let b =
+      Aba_queue.Blocking.create ~obs:obs2 ~seq_bits ~capacity:wait_cap ~n:2 ()
+    in
+    let _ =
+      Aba_runtime.Harness.run_domains ~n:2 (fun pid ->
+          if pid = 0 then
+            for i = 1 to ops do
+              while not (Aba_queue.Blocking.enqueue b ~pid i) do () done
+            done
+          else
+            let popped = ref 0 in
+            while !popped < ops do
+              match Aba_queue.Blocking.dequeue b ~pid with
+              | Some _ -> incr popped
+              | None -> ()
+            done)
+    in
+    Printf.printf
+      "\nblocking producer/consumer (capacity=%d, %d items): drained, \
+       length=%d\n"
+      wait_cap ops (Aba_queue.Blocking.length b);
+    print_kinds obs2
+  in
+  Cmd.v
+    (Cmd.info "queue"
+       ~doc:
+         "Ingress tier demo (E15): bounded churn over the lock-free ring, \
+          then backpressure waits through the blocking wrapper.")
+    Term.(const run $ domains $ ops $ capacity $ seq_bits)
+
 let all_cmd =
   let run () =
     run_space [ 3; 4; 6; 8 ];
@@ -175,7 +275,8 @@ let main =
        ~doc:"Experiments for the PODC 2015 ABA prevention/detection paper.")
     [
       space_cmd; covering_cmd; wraparound_cmd; tradeoff_cmd; steps_cmd;
-      explore_cmd; ablate_cmd; stack_cmd; reclaim_cmd; obs_cmd; all_cmd;
+      explore_cmd; ablate_cmd; stack_cmd; reclaim_cmd; obs_cmd; queue_cmd;
+      all_cmd;
     ]
 
 let () = exit (Cmd.eval main)

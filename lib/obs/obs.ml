@@ -17,6 +17,8 @@ type kind =
   | Exchange
   | Combine
   | Retire
+  | Wait_full
+  | Wait_empty
 
 let kind_index = function
   | Push -> 0
@@ -30,12 +32,14 @@ let kind_index = function
   | Exchange -> 8
   | Combine -> 9
   | Retire -> 10
+  | Wait_full -> 11
+  | Wait_empty -> 12
 
-let kind_count = 11
+let kind_count = 13
 
 let all_kinds =
   [ Push; Pop; Enqueue; Dequeue; Ll; Sc; Dread; Dwrite; Exchange; Combine;
-    Retire ]
+    Retire; Wait_full; Wait_empty ]
 
 let kind_name = function
   | Push -> "push"
@@ -49,6 +53,8 @@ let kind_name = function
   | Exchange -> "exchange"
   | Combine -> "combine"
   | Retire -> "retire"
+  | Wait_full -> "wait-full"
+  | Wait_empty -> "wait-empty"
 
 type outcome =
   | Ok

@@ -30,6 +30,8 @@ type kind =
   | Exchange  (** an elimination-exchanger visit *)
   | Combine  (** a combining-cache read *)
   | Retire  (** handing a node to the reclaimer *)
+  | Wait_full  (** a blocking enqueue's wait for queue space *)
+  | Wait_empty  (** a blocking dequeue's wait for an element *)
 
 (** How it ended. *)
 type outcome =

@@ -1,0 +1,46 @@
+(* One per-pid PRNG for every runtime structure that needs cheap,
+   allocation-free, deterministic-per-pid randomness (elimination slot
+   picks, harness workload shuffles, ...).  Previously each user carried
+   its own copy of the same splitmix-seeded xorshift; keeping a single
+   implementation means the dispersion properties are tested once and
+   hold everywhere. *)
+
+(* splitmix64 finalizer over the pid.  Seeding xorshift64 with a raw
+   small value like [(i * 2) + 1] makes neighbouring pids' streams start
+   from near-identical tiny states, so their early draws are strongly
+   correlated — synchronized collisions exactly where callers (e.g. the
+   elimination exchanger) rely on spreading out.  The finalizer's two
+   multiply-xor rounds disperse consecutive pids across the full word.
+   Int64 arithmetic because the constants exceed the native 63-bit int
+   range; the result is truncated to a nonneg native int and guarded
+   away from 0, xorshift's absorbing state. *)
+let seed_of_pid i =
+  let open Int64 in
+  let z = add (of_int i) 0x9E3779B97F4A7C15L in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  let z = logxor z (shift_right_logical z 31) in
+  let s = to_int z land Stdlib.max_int in
+  if s = 0 then 1 else s
+
+(* xorshift64: three shift-xors, no allocation, full-period over the
+   nonzero states.  Exposed raw so tests (and callers that keep their own
+   mutable seed field for cache-layout reasons) can drive the stream
+   without an extra box. *)
+let xorshift_step s =
+  let s = s lxor (s lsl 13) in
+  let s = s lxor (s lsr 7) in
+  s lxor (s lsl 17)
+
+type t = { mutable seed : int }
+
+let create ~pid = { seed = seed_of_pid pid }
+
+let next t =
+  let s = xorshift_step t.seed in
+  t.seed <- s;
+  s
+
+let next_int t bound =
+  if bound <= 0 then invalid_arg "Rand.next_int: bound must be positive";
+  next t land max_int mod bound

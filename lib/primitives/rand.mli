@@ -1,0 +1,35 @@
+(** Per-pid deterministic PRNG: a splitmix64-seeded xorshift64.
+
+    The one pseudo-random stream shared by every runtime structure that
+    picks slots, shuffles probes or paces jitter on its hot path: cheap
+    (three shift-xors per draw), allocation-free, and deterministic per
+    pid so contended runs are reproducible modulo scheduling.  The
+    splitmix64 seeding guarantees that consecutive pids start from
+    well-dispersed states — the dispersion property is tested once, here,
+    instead of once per embedding. *)
+
+val seed_of_pid : int -> int
+(** The pid run through a splitmix64 finalizer: nonzero, non-negative,
+    pairwise distinct for distinct pids, and dispersed across the full
+    word even for consecutive pids. *)
+
+val xorshift_step : int -> int
+(** One step of the xorshift64 stream.  [xorshift_step (seed_of_pid i)]
+    is pid [i]'s first draw; 0 is the absorbing state ({!seed_of_pid}
+    never returns it). *)
+
+type t = { mutable seed : int }
+(** The stream state is exposed as a bare mutable record so embedders
+    that pack it into their own padded per-pid scratch (e.g. the
+    elimination exchanger's [local]) can inline the field instead of
+    boxing a second object. *)
+
+val create : pid:int -> t
+(** A fresh stream seeded with [seed_of_pid pid]. *)
+
+val next : t -> int
+(** The next raw draw (may be negative; full 63-bit word). *)
+
+val next_int : t -> int -> int
+(** [next_int t bound] draws uniformly-ish from [0, bound).  Raises
+    [Invalid_argument] if [bound <= 0].  Allocation-free. *)

@@ -1,0 +1,85 @@
+open Aba_primitives
+module Obs = Aba_obs.Obs
+
+(* Backpressure wrapper over {!Rt_ring}: a full enqueue (or empty dequeue)
+   does not fail immediately but polls the ring for a bounded,
+   backoff-paced window.  The wait phase gets its own observability —
+   [Wait_full]/[Wait_empty] events with the poll count as retries — so a
+   capacity sweep can separate "how long did the operation take" (the
+   ring's own Enqueue/Dequeue histograms) from "how long did we stall
+   against the bound" (this module's Wait histograms).
+
+   The fast path is exactly the ring's: one try, and only on Full/Empty
+   do we start a wait-phase clock, so an unsaturated blocking queue is
+   observationally (and allocation-wise) identical to the raw ring. *)
+
+type t = {
+  q : Rt_ring.t;
+  max_polls : int;
+  waits : Backoff.t array;  (** per-pid wait pacing, distinct from the
+                                ring's CAS-retry backoff *)
+  obs : Obs.t;
+}
+
+let create ?value_bound ?seq_bits ?padded
+    ?(backoff = Backoff.default_spec) ?(obs = Obs.noop)
+    ?(max_polls = 1024) ~capacity ~n () =
+  if max_polls < 1 then invalid_arg "Blocking.create: max_polls < 1";
+  {
+    q = Rt_ring.create ?value_bound ?seq_bits ?padded ~backoff ~obs ~capacity ~n ();
+    max_polls;
+    waits = Array.init n (fun _ -> Padded.copy (Backoff.make backoff));
+    obs;
+  }
+
+let ring t = t.q
+let capacity t = Rt_ring.capacity t.q
+let length t = Rt_ring.length t.q
+
+let rec wait_enq t ~pid v t0 polls =
+  if polls >= t.max_polls then begin
+    Obs.record t.obs ~pid ~kind:Obs.Wait_full ~outcome:Obs.Timeout
+      ~retries:polls t0;
+    false
+  end
+  else begin
+    Backoff.once t.waits.(pid);
+    if Rt_ring.try_enqueue t.q ~pid v then begin
+      Obs.record t.obs ~pid ~kind:Obs.Wait_full ~outcome:Obs.Ok
+        ~retries:(polls + 1) t0;
+      true
+    end
+    else wait_enq t ~pid v t0 (polls + 1)
+  end
+
+let enqueue t ~pid v =
+  Rt_ring.try_enqueue t.q ~pid v
+  || begin
+       let t0 = Obs.start t.obs in
+       Backoff.reset t.waits.(pid);
+       wait_enq t ~pid v t0 0
+     end
+
+let rec wait_deq t ~pid t0 polls =
+  if polls >= t.max_polls then begin
+    Obs.record t.obs ~pid ~kind:Obs.Wait_empty ~outcome:Obs.Timeout
+      ~retries:polls t0;
+    None
+  end
+  else begin
+    Backoff.once t.waits.(pid);
+    match Rt_ring.try_dequeue t.q ~pid with
+    | Some _ as r ->
+        Obs.record t.obs ~pid ~kind:Obs.Wait_empty ~outcome:Obs.Ok
+          ~retries:(polls + 1) t0;
+        r
+    | None -> wait_deq t ~pid t0 (polls + 1)
+  end
+
+let dequeue t ~pid =
+  match Rt_ring.try_dequeue t.q ~pid with
+  | Some _ as r -> r
+  | None ->
+      let t0 = Obs.start t.obs in
+      Backoff.reset t.waits.(pid);
+      wait_deq t ~pid t0 0

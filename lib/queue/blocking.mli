@@ -1,0 +1,41 @@
+(** Backpressure wrapper over {!Rt_ring}: bounded spin-then-backoff on
+    full/empty.
+
+    [enqueue] and [dequeue] first try the ring once (the unsaturated fast
+    path is the ring's, unchanged); on Full/Empty they poll for at most
+    [max_polls] backoff-paced rounds before giving up.  The wait phase is
+    recorded on [obs] separately from the ring's own Enqueue/Dequeue
+    events, as [Wait_full]/[Wait_empty] with outcome [Ok] (space/an
+    element appeared, with the poll count as retries) or [Timeout] (the
+    window expired against the bound). *)
+
+type t
+
+val create :
+  ?value_bound:int Aba_primitives.Bounded.t ->
+  ?seq_bits:int ->
+  ?padded:bool ->
+  ?backoff:Aba_primitives.Backoff.spec ->
+  ?obs:Aba_obs.Obs.t ->
+  ?max_polls:int ->
+  capacity:int ->
+  n:int ->
+  unit ->
+  t
+(** [backoff] (default {!Aba_primitives.Backoff.default_spec}) paces both
+    the ring's CAS retries and the wait-phase polls (each pid gets its own
+    wait state).  [max_polls] defaults to 1024.  Raises
+    [Invalid_argument] if [max_polls < 1]; other arguments as in
+    {!Rt_ring.create}. *)
+
+val ring : t -> Rt_ring.t
+(** The underlying ring, for non-blocking access and space accounting. *)
+
+val capacity : t -> int
+val length : t -> int
+
+val enqueue : t -> pid:Aba_primitives.Pid.t -> int -> bool
+(** [false] only after the full wait window expired with the queue full. *)
+
+val dequeue : t -> pid:Aba_primitives.Pid.t -> int option
+(** [None] only after the full wait window expired with the queue empty. *)

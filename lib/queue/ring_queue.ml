@@ -1,0 +1,255 @@
+(** Bounded MPMC ring queue with per-slot sequence numbers (Vyukov-style),
+    written once as a functor over {!Mem_intf.S} so the same body runs
+    under the sequential reference memory, the model-checking simulator
+    and the multicore runtime.
+
+    {2 The algorithm}
+
+    [capacity] slots, two ticket counters: [head] (next enqueue position)
+    and [tail] (next dequeue position).  Position [pos] maps to slot
+    [pos mod capacity]; slot [s] carries a sequence word [seq] encoding
+    which generation of traffic the slot is ready for:
+
+    - [seq = pos] (mod [2^seq_bits]): the slot is free and waiting for the
+      enqueue at position [pos];
+    - [seq = pos + 1]: the enqueue at [pos] has published; the slot waits
+      for the dequeue at position [pos];
+    - after that dequeue, [seq = pos + capacity]: free again, one lap on.
+
+    An enqueuer reads [head], checks the slot's [seq], and claims the
+    ticket with a CAS on [head]; the winner writes the value and then
+    publishes [seq + 1].  Dequeue is symmetric on [tail].  The CAS is on
+    the {e ticket counter}, not the slot, so a winner has exclusive
+    ownership of its slot between claim and publish — the value and
+    sequence writes are plain register writes.
+
+    {2 Why this is an ABA scheme}
+
+    The per-slot sequence number is exactly the paper's bounded-tag
+    discipline applied per array cell: the slot's word versions every
+    reuse, so a CAS armed against one generation of the slot cannot land
+    on a later one.  Like every bounded tag it wraps — at [2^seq_bits] —
+    and the wraparound adversary of {!Aba_lowerbound.Wraparound} applies:
+    if [2^seq_bits] positions pass through the queue within one
+    operation's read-to-CAS window, a stale ticket becomes
+    indistinguishable from a fresh one (the classic ABA).  The safety
+    condition, stated and tested against a deliberately tiny [seq_bits]:
+    the scheme is exact while fewer than [2^(seq_bits-1) - capacity]
+    operations complete inside any single operation's window.  At the
+    default [seq_bits = 61] that is ~1.15e18 operations — centuries at a
+    nanosecond per op — which is the precise sense in which "unbounded"
+    tags on a 62-bit word are safe, and the same argument the DESIGN note
+    makes for the counted-pointer structures. *)
+
+open Aba_primitives
+module Obs = Aba_obs.Obs
+
+module type S = sig
+  type t
+
+  val create :
+    ?value_bound:int Bounded.t ->
+    ?seq_bits:int ->
+    ?padded:bool ->
+    ?backoff:Backoff.spec ->
+    ?obs:Obs.t ->
+    capacity:int ->
+    n:int ->
+    unit ->
+    t
+
+  val capacity : t -> int
+  val seq_bits : t -> int
+
+  val length : t -> int
+  (** Instantaneous occupancy estimate (exact when quiescent). *)
+
+  val try_enqueue : t -> pid:Pid.t -> int -> bool
+  (** [false] means the queue was full at linearization. *)
+
+  val try_dequeue : t -> pid:Pid.t -> int option
+
+  val dequeue_or : t -> pid:Pid.t -> default:int -> int
+  (** [try_dequeue] without the [Some] box: returns [default] on empty.
+      The allocation-free hot path ([try_dequeue] itself allocates only
+      its result option). *)
+
+  val space : t -> (string * string) list
+end
+
+module Make (M : Mem_intf.S) : S = struct
+  (* Per-pid scratch: the retry backoff plus the out-of-band hit flag
+     that lets the dequeue loop return a bare int.  One padded record
+     per pid — both fields mutate on every contended operation. *)
+  type scratch = { bo : Backoff.t; mutable hit : bool }
+
+  type t = {
+    capacity : int;
+    bits : int;
+    mask : int;  (** [2^bits - 1]: sequence words live in [0, mask] *)
+    shift : int;  (** [63 - bits], for k-bit signed reinterpretation *)
+    head : int M.cas;  (** next enqueue position (raw ticket) *)
+    tail : int M.cas;  (** next dequeue position (raw ticket) *)
+    seqs : int M.register array;
+    values : int M.register array;
+    locals : scratch array;
+    obs : Obs.t;
+  }
+
+  (* Tickets travel through the packed accessors as themselves: on the
+     runtime backend the counters are immediate-int [Atomic]s (hardware
+     CAS, no allocation); on seq/sim each access is one checked step. *)
+  let ticket_codec : int Mem_intf.codec =
+    { Mem_intf.encode = Fun.id; decode = Fun.id }
+
+  let show_int = string_of_int
+
+  let create ?(value_bound = Bounded.unbounded ~describe:"int")
+      ?(seq_bits = 61) ?(padded = false) ?(backoff = Backoff.Noop)
+      ?(obs = Obs.noop) ~capacity ~n () =
+    if capacity < 1 then invalid_arg "Ring_queue.create: capacity < 1";
+    if n < 1 then invalid_arg "Ring_queue.create: n < 1";
+    if seq_bits < 2 || seq_bits > 61 then
+      invalid_arg "Ring_queue.create: seq_bits must be 2..61";
+    (* Below this floor the k-bit signed window cannot even distinguish a
+       full slot from a free one between two quiescent states, never mind
+       tolerate concurrent staleness. *)
+    if capacity >= 1 lsl (seq_bits - 1) then
+      invalid_arg "Ring_queue.create: capacity must be < 2^(seq_bits-1)";
+    let mask = (1 lsl seq_bits) - 1 in
+    let seq_bound = Bounded.bits ~width:seq_bits in
+    let ticket_bound = Bounded.int_range ~lo:0 ~hi:max_int in
+    {
+      capacity;
+      bits = seq_bits;
+      mask;
+      shift = 63 - seq_bits;
+      head =
+        M.make_cas_packed ~bound:ticket_bound ~padded ~name:"ring.head"
+          ~show:show_int ~codec:ticket_codec 0;
+      tail =
+        M.make_cas_packed ~bound:ticket_bound ~padded ~name:"ring.tail"
+          ~show:show_int ~codec:ticket_codec 0;
+      seqs =
+        Array.init capacity (fun i ->
+            M.make_register ~bound:seq_bound ~padded
+              ~name:(Printf.sprintf "ring.seq[%d]" i)
+              ~show:show_int (i land mask));
+      values =
+        Array.init capacity (fun i ->
+            M.make_register ~bound:value_bound ~padded
+              ~name:(Printf.sprintf "ring.val[%d]" i)
+              ~show:show_int 0);
+      locals = Array.init n (fun _ -> Padded.copy { bo = Backoff.make backoff; hit = false });
+      obs;
+    }
+
+  let capacity t = t.capacity
+  let seq_bits t = t.bits
+
+  let length t =
+    let h = M.cas_read_packed t.head in
+    let l = M.cas_read_packed t.tail in
+    min t.capacity (max 0 (h - l))
+
+  (* Signed difference in [bits]-bit arithmetic: the lsl/asr pair
+     reinterprets the low [bits] bits of [a - b] as a signed value, so
+     the comparison is exact across sequence wraparound as long as the
+     true distance stays within [±2^(bits-1)] — the safety condition in
+     the header comment. *)
+  (* The shifts are explicitly parenthesized: [lsl]/[asr] associate to the
+     right in OCaml, so without them [x lsl shift asr shift] is
+     [x lsl (shift asr shift)] = [x] — no window at all. *)
+  let sdiff t a b = ((a - b) lsl t.shift) asr t.shift
+
+  (* The retry loops are module-level recursive functions, not local
+     closures: a closure capturing [t]/[pid] would allocate on every
+     operation, and the structure's claim is 0 words/op uncontended.
+     [Backoff.reset] is lazy (first failed CAS only), so the uncontended
+     path does zero backoff stores. *)
+
+  (* Returns [retries >= 0] on success, [-(retries + 1)] on full. *)
+  let rec enq t l v retries =
+    let pos = M.cas_read_packed t.head in
+    let slot = pos mod t.capacity in
+    let seq = M.read t.seqs.(slot) in
+    let dif = sdiff t seq (pos land t.mask) in
+    if dif = 0 then
+      if M.cas_packed t.head ~expect:pos ~update:(pos + 1) then begin
+        (* Ticket won: the slot is exclusively ours until we publish. *)
+        M.write t.values.(slot) v;
+        M.write t.seqs.(slot) ((pos + 1) land t.mask);
+        retries
+      end
+      else begin
+        if retries = 0 then Backoff.reset l.bo;
+        Backoff.once l.bo;
+        enq t l v (retries + 1)
+      end
+    else if dif < 0 then
+      (* The slot is still a lap behind: full — unless our head read was
+         stale, in which case chase the fresh head. *)
+      if M.cas_read_packed t.head = pos then -retries - 1 else enq t l v retries
+    else
+      (* dif > 0: the enqueue at [pos] already published; our head read
+         is stale.  No backoff — this is progress, not failure. *)
+      enq t l v retries
+
+  let try_enqueue t ~pid v =
+    let t0 = Obs.start t.obs in
+    let r = enq t t.locals.(pid) v 0 in
+    if r >= 0 then begin
+      Obs.record t.obs ~pid ~kind:Obs.Enqueue ~outcome:Obs.Ok ~retries:r t0;
+      true
+    end
+    else begin
+      Obs.record t.obs ~pid ~kind:Obs.Enqueue ~outcome:Obs.Fail
+        ~retries:(-r - 1) t0;
+      false
+    end
+
+  (* Returns the dequeued value and sets [l.hit]; leaves [l.hit] false on
+     empty (the caller translates to its own empty representation). *)
+  let rec deq t l ~pid t0 retries =
+    let pos = M.cas_read_packed t.tail in
+    let slot = pos mod t.capacity in
+    let seq = M.read t.seqs.(slot) in
+    let dif = sdiff t seq ((pos + 1) land t.mask) in
+    if dif = 0 then
+      if M.cas_packed t.tail ~expect:pos ~update:(pos + 1) then begin
+        let v = M.read t.values.(slot) in
+        (* Free the slot for the enqueue one lap ahead. *)
+        M.write t.seqs.(slot) ((pos + t.capacity) land t.mask);
+        l.hit <- true;
+        Obs.record t.obs ~pid ~kind:Obs.Dequeue ~outcome:Obs.Ok ~retries t0;
+        v
+      end
+      else begin
+        if retries = 0 then Backoff.reset l.bo;
+        Backoff.once l.bo;
+        deq t l ~pid t0 (retries + 1)
+      end
+    else if dif < 0 then
+      if M.cas_read_packed t.tail = pos then begin
+        Obs.record t.obs ~pid ~kind:Obs.Dequeue ~outcome:Obs.Empty ~retries t0;
+        0
+      end
+      else deq t l ~pid t0 retries
+    else deq t l ~pid t0 retries
+
+  let dequeue_or t ~pid ~default =
+    let t0 = Obs.start t.obs in
+    let l = t.locals.(pid) in
+    l.hit <- false;
+    let v = deq t l ~pid t0 0 in
+    if l.hit then v else default
+
+  let try_dequeue t ~pid =
+    let t0 = Obs.start t.obs in
+    let l = t.locals.(pid) in
+    l.hit <- false;
+    let v = deq t l ~pid t0 0 in
+    if l.hit then Some v else None
+
+  let space _ = M.space ()
+end

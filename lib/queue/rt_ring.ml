@@ -1,0 +1,26 @@
+(* The ring functor instantiated over the multicore memory, with runtime
+   defaults flipped on: padding (head, tail and every slot word on their
+   own cache lines) and exponential backoff.  The head/tail tickets travel
+   through the identity codec as immediate ints, so every CAS of the
+   algorithm is a hardware compare-and-set on an int word — exact value
+   comparison, no allocation.  All Rt_ring objects share one memory
+   instance; it only collects space-accounting entries. *)
+module M = Aba_primitives.Rt_mem.Make (struct
+  let n = 64 (* the ring uses no LL/SC base object, so this is inert *)
+end)
+
+module Q = Ring_queue.Make (M)
+
+type t = Q.t
+
+let create ?value_bound ?seq_bits ?(padded = true)
+    ?(backoff = Aba_primitives.Backoff.default_spec) ?obs ~capacity ~n () =
+  Q.create ?value_bound ?seq_bits ~padded ~backoff ?obs ~capacity ~n ()
+
+let capacity = Q.capacity
+let seq_bits = Q.seq_bits
+let length = Q.length
+let try_enqueue = Q.try_enqueue
+let try_dequeue = Q.try_dequeue
+let dequeue_or = Q.dequeue_or
+let space = Q.space

@@ -1,0 +1,29 @@
+(** {!Ring_queue} over the multicore memory ({!Aba_primitives.Rt_mem}),
+    with the runtime defaults: [padded] and exponential [backoff] on.
+    The uncontended [try_enqueue]/[dequeue_or] paths allocate nothing —
+    head and tail are immediate-int hardware CAS words and the retry
+    loops build no closures. *)
+
+type t
+
+val create :
+  ?value_bound:int Aba_primitives.Bounded.t ->
+  ?seq_bits:int ->
+  ?padded:bool ->
+  ?backoff:Aba_primitives.Backoff.spec ->
+  ?obs:Aba_obs.Obs.t ->
+  capacity:int ->
+  n:int ->
+  unit ->
+  t
+(** Defaults: [padded = true], [backoff = Backoff.default_spec],
+    [seq_bits = 61].  See {!Ring_queue.S.create} for the argument
+    contracts. *)
+
+val capacity : t -> int
+val seq_bits : t -> int
+val length : t -> int
+val try_enqueue : t -> pid:Aba_primitives.Pid.t -> int -> bool
+val try_dequeue : t -> pid:Aba_primitives.Pid.t -> int option
+val dequeue_or : t -> pid:Aba_primitives.Pid.t -> default:int -> int
+val space : t -> (string * string) list

@@ -1,0 +1,78 @@
+open Aba_primitives
+module Obs = Aba_obs.Obs
+
+(* The baseline the ring is benchmarked against: a bounded circular buffer
+   with one mutex per end (Michael–Scott's two-lock discipline applied to
+   an array).  Enqueuers serialize on [enq_lock], dequeuers on [deq_lock];
+   the two ends only communicate through the atomic position counters, so
+   an enqueue and a dequeue can run concurrently — but two enqueues never
+   can, which is exactly the scalability ceiling the capacity sweep
+   measures.
+
+   Memory ordering: the slot write precedes the [Atomic.set] of [head]
+   (release), and a dequeuer reads the slot only after observing the
+   advanced [head] via [Atomic.get] (acquire), so the plain [buf] accesses
+   are race-free.  No ABA story here at all — that is the point of a lock
+   baseline: mutual exclusion buys freedom from ABA with time instead of
+   tag space. *)
+
+type t = {
+  buf : int array;
+  capacity : int;
+  head : int Atomic.t;  (** next enqueue position *)
+  tail : int Atomic.t;  (** next dequeue position *)
+  enq_lock : Mutex.t;
+  deq_lock : Mutex.t;
+  obs : Obs.t;
+}
+
+let create ?(padded = true) ?(obs = Obs.noop) ~capacity ~n () =
+  if capacity < 1 then invalid_arg "Two_lock_queue.create: capacity < 1";
+  if n < 1 then invalid_arg "Two_lock_queue.create: n < 1";
+  let atomic v = if padded then Padded.atomic v else Atomic.make v in
+  {
+    buf = Array.make capacity 0;
+    capacity;
+    head = atomic 0;
+    tail = atomic 0;
+    enq_lock = Mutex.create ();
+    deq_lock = Mutex.create ();
+    obs;
+  }
+
+let capacity t = t.capacity
+
+let length t =
+  let h = Atomic.get t.head and l = Atomic.get t.tail in
+  min t.capacity (max 0 (h - l))
+
+let try_enqueue t ~pid v =
+  let t0 = Obs.start t.obs in
+  Mutex.lock t.enq_lock;
+  let h = Atomic.get t.head in
+  let full = h - Atomic.get t.tail >= t.capacity in
+  if not full then begin
+    t.buf.(h mod t.capacity) <- v;
+    Atomic.set t.head (h + 1)
+  end;
+  Mutex.unlock t.enq_lock;
+  Obs.record t.obs ~pid ~kind:Obs.Enqueue
+    ~outcome:(if full then Obs.Fail else Obs.Ok)
+    ~retries:0 t0;
+  not full
+
+let try_dequeue t ~pid =
+  let t0 = Obs.start t.obs in
+  Mutex.lock t.deq_lock;
+  let l = Atomic.get t.tail in
+  let empty = Atomic.get t.head - l <= 0 in
+  let v = if empty then 0 else t.buf.(l mod t.capacity) in
+  if not empty then Atomic.set t.tail (l + 1);
+  Mutex.unlock t.deq_lock;
+  Obs.record t.obs ~pid ~kind:Obs.Dequeue
+    ~outcome:(if empty then Obs.Empty else Obs.Ok)
+    ~retries:0 t0;
+  if empty then None else Some v
+
+let dequeue_or t ~pid ~default =
+  match try_dequeue t ~pid with Some v -> v | None -> default

@@ -1,0 +1,24 @@
+(** Two-lock bounded queue baseline: a circular buffer with one mutex per
+    end (enqueuers serialize on one, dequeuers on the other; the ends
+    communicate only through atomic position counters).  Same operation
+    contracts as {!Rt_ring} — the capacity sweep runs both over the same
+    workload to measure what the lock-free ring buys. *)
+
+type t
+
+val create :
+  ?padded:bool ->
+  ?obs:Aba_obs.Obs.t ->
+  capacity:int ->
+  n:int ->
+  unit ->
+  t
+(** [padded] (default [true]) pads the position counters.  [n] is
+    accepted for interface symmetry (locks need no per-pid state) but
+    must be positive. *)
+
+val capacity : t -> int
+val length : t -> int
+val try_enqueue : t -> pid:Aba_primitives.Pid.t -> int -> bool
+val try_dequeue : t -> pid:Aba_primitives.Pid.t -> int option
+val dequeue_or : t -> pid:Aba_primitives.Pid.t -> default:int -> int

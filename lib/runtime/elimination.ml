@@ -90,24 +90,6 @@ type t = {
 let noop =
   { slots = [||]; nslots = 0; window = 0; locals = [||]; obs = Aba_obs.Obs.noop }
 
-(* splitmix64 finalizer over the pid.  Seeding xorshift64 with the raw
-   [(i * 2) + 1] made neighbouring pids' streams start from
-   near-identical tiny states, so their early slot picks were strongly
-   correlated — synchronized collisions exactly when the exchanger is
-   supposed to spread offers out.  The finalizer's two multiply-xor
-   rounds disperse consecutive pids across the full word.  Int64
-   arithmetic because the constants exceed the native 63-bit int range;
-   the result is truncated to a nonneg native int and guarded away from
-   0, xorshift's absorbing state. *)
-let seed_of_pid i =
-  let open Int64 in
-  let z = add (of_int i) 0x9E3779B97F4A7C15L in
-  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
-  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
-  let z = logxor z (shift_right_logical z 31) in
-  let s = to_int z land Stdlib.max_int in
-  if s = 0 then 1 else s
-
 let create ?(padded = true) ?(obs = Aba_obs.Obs.noop) ~spec ~n () =
   match spec with
   | Noop -> noop
@@ -128,7 +110,7 @@ let create ?(padded = true) ?(obs = Aba_obs.Obs.noop) ~spec ~n () =
           Array.init n (fun i ->
               Padded.copy
                 {
-                  seed = seed_of_pid i;
+                  seed = Rand.seed_of_pid i;
                   range = 1;
                   bo = Backoff.make backoff;
                   attempts = 0;
@@ -143,16 +125,11 @@ let slot_count t = t.nslots
 let range t ~pid = if t.nslots = 0 then 0 else t.locals.(pid).range
 let peek t i = Slot.decode (Atomic.get t.slots.(i))
 
-(* xorshift64: cheap, allocation-free, per-pid deterministic.  The step
-   is exposed ([xorshift_step]) so tests can check first-pick dispersion
-   without replicating the generator. *)
-let xorshift_step s =
-  let s = s lxor (s lsl 13) in
-  let s = s lxor (s lsr 7) in
-  s lxor (s lsl 17)
-
+(* The slot pick is one {!Rand} draw; the seed lives inline in [local]
+   (rather than as a boxed [Rand.t]) so the per-pid scratch stays one
+   padded record. *)
 let next_slot l =
-  let s = xorshift_step l.seed in
+  let s = Rand.xorshift_step l.seed in
   l.seed <- s;
   (s land max_int) mod l.range
 

@@ -82,16 +82,6 @@ val create :
     [Invalid_argument] on a non-positive [slots], [window] or [n] of an
     [Exchanger] spec. *)
 
-val seed_of_pid : int -> int
-(** The per-pid xorshift64 seed: the pid run through a splitmix64
-    finalizer (nonzero, non-negative).  Exposed so tests can check that
-    consecutive pids start from well-dispersed states. *)
-
-val xorshift_step : int -> int
-(** One step of the slot-picking xorshift64 stream; pid [i]'s first slot
-    pick is [(xorshift_step (seed_of_pid i) land max_int) mod range].
-    Exposed for the dispersion tests. *)
-
 val exchange_push : t -> pid:Pid.t -> int -> bool
 (** Offer a value to a concurrent pop.  [true] means some pop took it —
     the pair has linearized off the stack and the caller must {e not}

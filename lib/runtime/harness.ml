@@ -89,7 +89,7 @@ type churn_report = {
   outcome : (unit, string) result;
 }
 
-type mix = Push_heavy | Paired
+type mix = Push_heavy | Paired | Bounded
 
 let churn ?(mix = Push_heavy) ?(obs = Aba_obs.Obs.noop) ~n ~ops ~push ~pop
     ?(finish = fun ~pid:_ -> ()) () =
@@ -107,19 +107,25 @@ let churn ?(mix = Push_heavy) ?(obs = Aba_obs.Obs.noop) ~n ~ops ~push ~pop
               Aba_obs.Obs.record obs ~pid:d ~kind:Aba_obs.Obs.Pop
                 ~outcome:Aba_obs.Obs.Empty ~retries:0 t0
         in
-        for i = 1 to ops do
-          (* Unique values per domain, so any re-delivered or invented
-             value is caught by the audit. *)
-          let v = (d * ops) + i in
+        let attempt_push v =
           let t0 = Aba_obs.Obs.start obs in
           if push ~pid:d v then begin
             Aba_obs.Obs.record obs ~pid:d ~kind:Aba_obs.Obs.Push
               ~outcome:Aba_obs.Obs.Ok ~retries:0 t0;
-            pushed := v :: !pushed
+            pushed := v :: !pushed;
+            true
           end
-          else
+          else begin
             Aba_obs.Obs.record obs ~pid:d ~kind:Aba_obs.Obs.Push
               ~outcome:Aba_obs.Obs.Fail ~retries:0 t0;
+            false
+          end
+        in
+        for i = 1 to ops do
+          (* Unique values per domain, so any re-delivered or invented
+             value is caught by the audit. *)
+          let v = (d * ops) + i in
+          let ok = attempt_push v in
           match mix with
           | Push_heavy ->
               (* Pop slightly less than we push: the structure fills to its
@@ -134,6 +140,19 @@ let churn ?(mix = Push_heavy) ?(obs = Aba_obs.Obs.noop) ~n ~ops ~push ~pop
                  on the head — the regime where elimination actually
                  fires. *)
               record_pop ()
+          | Bounded ->
+              (* Capacity-limited flow: a failed push means the bound was
+                 hit — react with backpressure (drain one element, retry
+                 the value once), and pop every fourth round so the queue
+                 hovers at its ceiling with both full-side drops and
+                 empty-side misses exercised.  The audit counts a value as
+                 pushed only if some attempt succeeded, so dropped values
+                 are exactly the audit's slack. *)
+              if not ok then begin
+                record_pop ();
+                ignore (attempt_push v : bool)
+              end;
+              if i land 3 = 0 then record_pop ()
         done;
         finish ~pid:d;
         (!pushed, !popped))

@@ -50,8 +50,13 @@ type churn_report = {
     node-recycling regime where ABA bites.  [Paired] pops right after
     every push, keeping the structure near empty so concurrent pushers
     and poppers collide on the head — the regime where an elimination
-    layer actually fires. *)
-type mix = Push_heavy | Paired
+    layer actually fires.  [Bounded] drives a capacity-limited container:
+    on a failed (full) push the domain reacts with backpressure — it
+    drains one element and retries the value once — and pops every fourth
+    round, so the structure hovers at its ceiling with both full-side
+    drops and empty-side misses exercised; values dropped after the retry
+    are exactly the slack the multiset audit tolerates. *)
+type mix = Push_heavy | Paired | Bounded
 
 val churn :
   ?mix:mix ->

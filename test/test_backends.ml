@@ -147,6 +147,73 @@ let aba_combined (label, builder) =
       in
       agree (label ^ " combined") t_seq t_seq t_rt)
 
+(* The ring queue is the one functor in lib/queue; same discipline as the
+   ABA/LL-SC builders above: identical transcripts across the three
+   backends when driven sequentially.  Capacity 3 against up-to-120 op
+   sequences exercises both the full and the empty boundary, and the
+   4-bit variant wraps every slot's sequence word several times, so the
+   signed-window tag comparison is differentially checked across
+   wraparound too (capacity must stay < 2^(seq_bits-1) = 8). *)
+let ring_transcript ~wrap ?seq_bits mem ops =
+  let module M = (val mem : Aba_primitives.Mem_intf.S) in
+  let module Q = Aba_queue.Ring_queue.Make (M) in
+  let q = Q.create ?seq_bits ~capacity:3 ~n () in
+  List.map
+    (fun (p_sel, op_sel, v) ->
+      let p = p_sel mod n in
+      if op_sel mod 2 = 0 then
+        Printf.sprintf "p%d:enq %d=%b" p v
+          (wrap.run p (fun () -> Q.try_enqueue q ~pid:p v))
+      else
+        Printf.sprintf "p%d:deq=%s" p
+          (match wrap.run p (fun () -> Q.try_dequeue q ~pid:p) with
+          | Some x -> string_of_int x
+          | None -> "empty"))
+    ops
+
+let ring_cross ?seq_bits label =
+  qtest (label ^ ": seq, sim and rt backends agree") gen_ops (fun ops ->
+      let t_seq =
+        ring_transcript ~wrap:direct ?seq_bits (Aba_primitives.Seq_mem.make ())
+          ops
+      in
+      let sim = Aba_sim.Sim.create ~n in
+      let t_sim =
+        ring_transcript ~wrap:(solo sim) ?seq_bits (Aba_sim.Sim_mem.make sim)
+          ops
+      in
+      let t_rt =
+        ring_transcript ~wrap:direct ?seq_bits
+          (Aba_primitives.Rt_mem.make ~n ())
+          ops
+      in
+      agree label t_seq t_sim t_rt)
+
+let ring_contended =
+  qtest "ring queue: padded+backoff rt matches seq" gen_ops (fun ops ->
+      let t_seq =
+        ring_transcript ~wrap:direct (Aba_primitives.Seq_mem.make ()) ops
+      in
+      let module M =
+        (val Aba_primitives.Rt_mem.make ~n () : Aba_primitives.Mem_intf.S)
+      in
+      let module Q = Aba_queue.Ring_queue.Make (M) in
+      let q = Q.create ~padded:true ~backoff:contended_spec ~capacity:3 ~n () in
+      let t_rt =
+        List.map
+          (fun (p_sel, op_sel, v) ->
+            let p = p_sel mod n in
+            if op_sel mod 2 = 0 then
+              Printf.sprintf "p%d:enq %d=%b" p v (Q.try_enqueue q ~pid:p v)
+            else
+              Printf.sprintf "p%d:deq=%s" p
+                (match Q.try_dequeue q ~pid:p with
+                | Some x -> string_of_int x
+                | None -> "empty"))
+          ops
+      in
+      agree "ring contended" t_seq t_seq t_rt)
+
 (* The runtime wrappers in [lib/runtime] are the same functors over the
    same backend; spot-check that they too match the sequential reference,
    through their own (packed, validated) [create] paths. *)
@@ -186,6 +253,11 @@ let suite =
       List.map aba_contended (Instances.all_aba ());
       List.map llsc_contended (Instances.all_llsc ());
       List.map aba_combined (Instances.all_aba ());
+      [
+        ring_cross "ring queue";
+        ring_cross ~seq_bits:4 "ring queue, 4-bit tags (wrapping)";
+        ring_contended;
+      ];
       [
         Alcotest.test_case "runtime wrapper transcripts" `Quick
           runtime_wrappers_match;

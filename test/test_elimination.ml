@@ -323,32 +323,6 @@ let combining_validation () =
   check_bool "n 0 rejected" true
     (bad (fun () -> C.create ~n:0 ~scan:(fun ~pid:_ -> (0, false)) ()))
 
-(* ----- Seeding ----- *)
-
-(* The first slot a pid probes is [(xorshift_step (seed_of_pid i)) land
-   max_int mod range].  The old [(i * 2) + 1] seeding made that first
-   pick periodic in the pid (period 8 over a 16-slot array, odd slots
-   only), so neighbouring pids collided systematically.  The splitmix64
-   seeding must (a) give distinct nonzero seeds and (b) spread the first
-   picks over most of the slot range, both parities included. *)
-let seeding_disperses_first_picks () =
-  let pids = List.init 64 Fun.id in
-  let seeds = List.map E.seed_of_pid pids in
-  check_bool "seeds are nonzero" true (List.for_all (fun s -> s > 0) seeds)
-  ;
-  check_int "seeds are pairwise distinct" 64
-    (List.length (List.sort_uniq compare seeds));
-  let range = 16 in
-  let first_pick i = E.xorshift_step (E.seed_of_pid i) land max_int mod range in
-  let picks = List.map first_pick (List.init 16 Fun.id) in
-  let distinct = List.length (List.sort_uniq compare picks) in
-  check_bool
-    (Printf.sprintf "16 pids spread over >8 of 16 slots (got %d)" distinct)
-    true (distinct > 8);
-  check_bool "both parities are picked" true
-    (List.exists (fun p -> p mod 2 = 0) picks
-    && List.exists (fun p -> p mod 2 = 1) picks)
-
 let suite =
   [
     slot_roundtrip;
@@ -375,6 +349,4 @@ let suite =
       `Quick combining_concurrent_values;
     Alcotest.test_case "combining create validation" `Quick
       combining_validation;
-    Alcotest.test_case "splitmix64 seeding disperses first picks" `Quick
-      seeding_disperses_first_picks;
   ]

@@ -18,5 +18,6 @@ let () =
       ("backends", Test_backends.suite);
       ("contention", Test_contention.suite);
       ("elimination", Test_elimination.suite);
+      ("queue", Test_queue.suite);
       ("observability", Test_obs.suite);
     ]

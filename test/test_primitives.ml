@@ -91,9 +91,61 @@ let event_utilities () =
   Alcotest.(check bool) "double response is malformed" false
     (Event.well_formed [ Event.Response (0, 1) ])
 
+(* ----- Rand ----- *)
+
+(* The first slot a pid probes through {!Rand} is
+   [(xorshift_step (seed_of_pid i)) land max_int mod range].  A linear
+   seeding like [(i * 2) + 1] makes that first pick periodic in the pid
+   (period 8 over a 16-slot array, odd slots only), so neighbouring pids
+   collide systematically.  The splitmix64 seeding must (a) give distinct
+   nonzero seeds and (b) spread the first picks over most of the slot
+   range, both parities included. *)
+let rand_seeding_disperses_first_picks () =
+  let pids = List.init 64 Fun.id in
+  let seeds = List.map Rand.seed_of_pid pids in
+  Alcotest.(check bool)
+    "seeds are nonzero" true
+    (List.for_all (fun s -> s > 0) seeds);
+  Alcotest.(check int)
+    "seeds are pairwise distinct" 64
+    (List.length (List.sort_uniq compare seeds));
+  let range = 16 in
+  let first_pick i =
+    Rand.xorshift_step (Rand.seed_of_pid i) land max_int mod range
+  in
+  let picks = List.map first_pick (List.init 16 Fun.id) in
+  let distinct = List.length (List.sort_uniq compare picks) in
+  Alcotest.(check bool)
+    (Printf.sprintf "16 pids spread over >8 of 16 slots (got %d)" distinct)
+    true (distinct > 8);
+  Alcotest.(check bool)
+    "both parities are picked" true
+    (List.exists (fun p -> p mod 2 = 0) picks
+    && List.exists (fun p -> p mod 2 = 1) picks)
+
+let rand_state_api () =
+  let r = Rand.create ~pid:3 in
+  (* The boxed state must agree with the raw step on the same seed. *)
+  let s0 = Rand.seed_of_pid 3 in
+  let s1 = Rand.xorshift_step s0 in
+  Alcotest.(check int) "next matches raw step" s1 (Rand.next r);
+  let b = 10 in
+  let ok = ref true in
+  for _ = 1 to 1000 do
+    let v = Rand.next_int r b in
+    if v < 0 || v >= b then ok := false
+  done;
+  Alcotest.(check bool) "next_int stays in range" true !ok;
+  Alcotest.check_raises "next_int rejects bound 0"
+    (Invalid_argument "Rand.next_int: bound must be positive") (fun () ->
+      ignore (Rand.next_int r 0))
+
 let suite =
   [
     Alcotest.test_case "pid basics" `Quick pid_basics;
+    Alcotest.test_case "splitmix64 seeding disperses first picks" `Quick
+      rand_seeding_disperses_first_picks;
+    Alcotest.test_case "rand state api" `Quick rand_state_api;
     Alcotest.test_case "bounded composites" `Quick bounded_composites;
     Alcotest.test_case "seq_mem LL/SC convention" `Quick
       seq_mem_llsc_convention;
