@@ -32,12 +32,19 @@ let covered_cell_ids (cov : covering) =
   List.map (fun (_, (c : Aba_sim.Cell.t)) -> c.Aba_sim.Cell.id) cov
 
 (* Execute the block-write: each coverer takes exactly its poised write
-   step, in pid order. *)
+   step, in pid order.  The invariant is stated on footprints: the poised
+   step must be an unconditional store ([Store], i.e. [would_succeed]
+   returns [None] — a write cannot fail) on the covered cell. *)
 let block_write ctx (cov : covering) =
   List.iter
     (fun (p, (cell : Aba_sim.Cell.t)) ->
       (match Weak_runner.poised ctx.runner p with
-      | Some (Aba_sim.Step.Write (c, _)) when c.Aba_sim.Cell.id = cell.id -> ()
+      | Some s
+        when (let fp = Aba_sim.Step.footprint s in
+              fp.Aba_sim.Step.access = Aba_sim.Step.Store
+              && Aba_sim.Cell.same fp.Aba_sim.Step.on cell)
+             && Aba_sim.Step.would_succeed ~pid:p s = None ->
+          ()
       | _ ->
           failwith
             (Printf.sprintf

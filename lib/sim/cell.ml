@@ -29,6 +29,7 @@ let make ~id ~name ~kind ~show ~check_domain ~domain_desc ~init =
   }
 
 let is_register c = c.kind = Register
+let same a b = a.id = b.id
 let rendered_value c = c.show c.value
 
 let kind_name = function

@@ -39,6 +39,12 @@ val is_register : t -> bool
 (** True for plain read/write registers (the objects counted by
     Theorem 1(a)). *)
 
+val same : t -> t -> bool
+(** Identity of base objects — [id] equality.  Ids are unique within one
+    simulation instance, so two steps of the same execution operate on the
+    same base object iff their cells are [same].  This is the cell-identity
+    half of the dependence relation {!Step.conflicts}. *)
+
 val rendered_value : t -> string
 
 val kind_name : kind -> string

@@ -76,6 +76,117 @@ let last_steps d p = d.last_steps.(p)
 let max_op_steps d = d.max_op_steps
 let history d = List.rev d.events_rev
 
+module Incremental = struct
+  (* One action of process [p]: lazily invoke its next scripted operation
+     if it is idle, then execute one shared-memory step (unless the
+     invocation completed with zero steps).  This is the unit of
+     scheduling of both explorers; the executed step's footprint is
+     returned so the DPOR engine can compute dependences. *)
+  type ('op, 'res) u = {
+    make : unit -> ('op, 'res) t;
+    scripts : 'op list array;
+    mutable driver : ('op, 'res) t;
+    mutable remaining : 'op list array;
+    mutable path_rev : Pid.t list;  (** executed actions, newest first *)
+    mutable depth : int;
+    mutable rebuilds : int;
+    mutable actions_executed : int;
+    mutable actions_replayed : int;
+  }
+
+  let act u p =
+    let d = u.driver in
+    if pending d p then begin
+      let fp = Option.map Step.footprint (Sim.poised (sim d) p) in
+      step d p;
+      fp
+    end
+    else
+      match u.remaining.(p) with
+      | [] -> invalid_arg "Driver.Incremental: process has no work"
+      | op :: rest ->
+          u.remaining.(p) <- rest;
+          invoke d p op;
+          if pending d p then begin
+            let fp = Option.map Step.footprint (Sim.poised (sim d) p) in
+            step d p;
+            fp
+          end
+          else None (* zero-step operation: empty footprint *)
+
+  let create ~make ~scripts =
+    {
+      make;
+      scripts;
+      driver = make ();
+      remaining = Array.copy scripts;
+      path_rev = [];
+      depth = 0;
+      rebuilds = 0;
+      actions_executed = 0;
+      actions_replayed = 0;
+    }
+
+  let driver u = u.driver
+  let depth u = u.depth
+  let path u = List.rev u.path_rev
+
+  let enabled u =
+    let d = u.driver in
+    List.filter
+      (fun p -> pending d p || u.remaining.(p) <> [])
+      (Pid.all ~n:(Sim.n (sim d)))
+
+  let next_footprint u p =
+    Option.map Step.footprint (Sim.poised (sim u.driver) p)
+
+  let advance u p =
+    let fp = act u p in
+    u.path_rev <- p :: u.path_rev;
+    u.depth <- u.depth + 1;
+    u.actions_executed <- u.actions_executed + 1;
+    fp
+
+  (* Checkpointed re-execution: the retained path is the checkpoint.  A
+     rewind to depth [d] rebuilds a fresh instance and replays exactly the
+     deepest common prefix (the first [d] actions) — once per backtrack,
+     not once per node as the naive explorer does. *)
+  let rec take k = function
+    | x :: rest when k > 0 -> x :: take (k - 1) rest
+    | _ -> []
+
+  let rewind u ~depth:d =
+    if d < 0 || d > u.depth then invalid_arg "Driver.Incremental.rewind";
+    if d <> u.depth then begin
+      let prefix = take d (List.rev u.path_rev) in
+      u.driver <- u.make ();
+      u.remaining <- Array.copy u.scripts;
+      u.path_rev <- [];
+      u.depth <- 0;
+      u.rebuilds <- u.rebuilds + 1;
+      List.iter
+        (fun p ->
+          ignore (act u p);
+          u.path_rev <- p :: u.path_rev;
+          u.depth <- u.depth + 1;
+          u.actions_replayed <- u.actions_replayed + 1)
+        prefix
+    end
+
+  type stats = {
+    rebuilds : int;
+    actions_executed : int;
+    actions_replayed : int;
+  }
+
+  let stats (u : _ u) =
+    {
+      rebuilds = u.rebuilds;
+      actions_executed = u.actions_executed;
+      actions_replayed = u.actions_replayed;
+    }
+end
+
 let run_random d ~scripts ~seed ?(max_actions = 1_000_000) () =
   let n = Sim.n d.sim in
   if Array.length scripts <> n then

@@ -48,6 +48,64 @@ val max_op_steps : ('op, 'res) t -> int
 
 val history : ('op, 'res) t -> ('op, 'res) Event.history
 
+(** {1 Incremental execution}
+
+    Stateful exploration support: a single live instance advanced one
+    {e action} at a time, rewound to a prefix by rebuilding and replaying
+    exactly that prefix.  An action of process [p] lazily invokes [p]'s
+    next scripted operation if [p] is idle, then executes one
+    shared-memory step (operations that complete at invocation with zero
+    steps consume the whole action).  This replaces the naive explorer's
+    full re-execution per DFS node: the cost of a backtrack is one rebuild
+    plus a replay of the deepest common prefix. *)
+
+module Incremental : sig
+  type ('op, 'res) u
+
+  val create :
+    make:(unit -> ('op, 'res) t) -> scripts:'op list array -> ('op, 'res) u
+  (** [make ()] must build a fresh driver over a fresh simulator/instance;
+      [scripts.(p)] is process [p]'s operation list.  Determinism of
+      [make] is what makes replay sound. *)
+
+  val driver : ('op, 'res) u -> ('op, 'res) t
+  (** The current live driver (changes across {!rewind}). *)
+
+  val depth : _ u -> int
+  (** Number of actions executed on the current path. *)
+
+  val path : _ u -> Pid.t list
+  (** The executed actions, oldest first. *)
+
+  val enabled : _ u -> Pid.t list
+  (** Processes that can take an action: pending mid-operation, or idle
+      with scripted operations remaining. *)
+
+  val next_footprint : _ u -> Pid.t -> Step.footprint option
+  (** Footprint of the step [p] would execute next, without executing it.
+      [None] if [p] is idle (its next action would start with an
+      invocation whose first step is not yet known). *)
+
+  val advance : ('op, 'res) u -> Pid.t -> Step.footprint option
+  (** Execute one action of [p]; returns the footprint of the executed
+      step, or [None] for a zero-step operation.  Raises
+      [Invalid_argument] if [p] is not enabled. *)
+
+  val rewind : ('op, 'res) u -> depth:int -> unit
+  (** Truncate the path to its first [depth] actions by rebuilding a
+      fresh instance and replaying that prefix.  No-op when [depth] is
+      the current depth. *)
+
+  type stats = {
+    rebuilds : int;  (** fresh instances built by {!rewind} *)
+    actions_executed : int;  (** forward actions via {!advance} *)
+    actions_replayed : int;  (** prefix actions re-executed by {!rewind} *)
+  }
+
+  val stats : _ u -> stats
+  (** Cumulative re-execution cost over the instance's lifetime. *)
+end
+
 (** {1 Randomized runs} *)
 
 val run_random :

@@ -61,18 +61,264 @@ let exhaustive ~make ~scripts ~check ?(max_schedules = 2_000_000)
       ignore remaining;
       Violation (path, Driver.history driver)
 
-let count_schedules ~n_actions =
-  (* Multinomial coefficient; saturates at max_int on overflow. *)
+let rec gcd a b = if b = 0 then a else gcd b (a mod b)
+
+let count_schedules_opt ~n_actions =
+  (* Multinomial coefficient, built binomial by binomial.  Each binomial
+     C(rem, k) is taken through its smaller side (C(rem, min k (rem-k)))
+     so the running value only climbs, and each inner step reduces
+     numerator and denominator by their gcd before the overflow-checked
+     multiplication — together these make the computation exact whenever
+     the result fits in [int], and [None] exactly when it does not. *)
   let total = Array.fold_left ( + ) 0 n_actions in
-  let result = ref 1 in
+  let result = ref (Some 1) in
   let remaining = ref total in
   Array.iter
     (fun k ->
-      (* multiply by C(remaining, k) *)
-      for i = 1 to k do
-        let c = (!result * (!remaining - k + i)) / i in
-        result := if c < !result then max_int else c
+      let kk = min k (!remaining - k) in
+      for i = 1 to kk do
+        match !result with
+        | None -> ()
+        | Some r ->
+            let num = !remaining - kk + i in
+            let g = gcd num i in
+            let num = num / g and i = i / g in
+            (* i is now coprime to num, so it divides r exactly. *)
+            let r = r / i in
+            if num > 0 && r > max_int / num then result := None
+            else result := Some (r * num)
       done;
       remaining := !remaining - k)
     n_actions;
   !result
+
+let count_schedules ~n_actions =
+  match count_schedules_opt ~n_actions with Some c -> c | None -> max_int
+
+(* {1 Dynamic partial-order reduction} *)
+
+type dpor_stats = {
+  explored : int;
+  schedule_bound : int option;
+  sleep_set_prunes : int;
+  preemption_prunes : int;
+  races_detected : int;
+  max_depth_reached : int;
+  rebuilds : int;
+  actions_executed : int;
+  actions_replayed : int;
+}
+
+type ('op, 'res) dpor_result = {
+  verdict : ('op, 'res) outcome;
+  stats : dpor_stats;
+}
+
+module Pid_set = Set.Make (Int)
+
+(* One DFS node.  [f_enabled] is the enabled set {e before} the node's
+   action; [f_chosen]/[f_fp]/[f_clock] describe the action most recently
+   taken from the node (the event at this depth on the current path). *)
+type frame = {
+  f_enabled : Pid.t list;
+  mutable f_backtrack : Pid_set.t;
+  mutable f_done : Pid_set.t;
+  mutable f_done_moves : (Pid.t * Step.footprint option) list;
+  f_sleep : (Pid.t * Step.footprint option) list;
+  mutable f_chosen : Pid.t;
+  mutable f_fp : Step.footprint option;
+  mutable f_clock : int array;
+}
+
+(* Independence of whole actions: an action with no footprint performed no
+   shared-memory step, so it commutes with everything. *)
+let independent fpa fpb =
+  match (fpa, fpb) with
+  | Some a, Some b -> not (Step.conflicts a b)
+  | None, _ | _, None -> true
+
+let dpor ~make ~scripts ~check ?(max_schedules = 2_000_000)
+    ?(max_depth = 10_000) ?preemption_bound () =
+  let n = Array.length scripts in
+  let make_driver () = (make () : _ instance).driver in
+  (* Reference solo run: per-process action counts under the sequential
+     schedule p0..p(n-1), sizing the multinomial bound that the reduction
+     factor is measured against.  Retry loops can make counts schedule-
+     dependent, so for such workloads the bound is a reference point, not
+     a certified maximum. *)
+  let ref_counts =
+    let u = Driver.Incremental.create ~make:make_driver ~scripts in
+    let counts = Array.make (max n 1) 0 in
+    for p = 0 to n - 1 do
+      while List.mem p (Driver.Incremental.enabled u) do
+        ignore (Driver.Incremental.advance u p);
+        counts.(p) <- counts.(p) + 1
+      done
+    done;
+    if n = 0 then [||] else counts
+  in
+  let schedule_bound = count_schedules_opt ~n_actions:ref_counts in
+  let u = Driver.Incremental.create ~make:make_driver ~scripts in
+  let frames : frame option array = Array.make (max_depth + 1) None in
+  let explored = ref 0 in
+  let sleep_set_prunes = ref 0 in
+  let preemption_prunes = ref 0 in
+  let races_detected = ref 0 in
+  let deepest = ref 0 in
+  let violation = ref None in
+  let frame_at j =
+    match frames.(j) with Some f -> f | None -> assert false
+  in
+  (* Schedule the race reversal at [pre(event j)]: run the later event's
+     process there if it was enabled, otherwise conservatively everything
+     that was (Flanagan–Godefroid's backtrack-insertion rule). *)
+  let insert_backtrack fj p =
+    if not (Pid_set.mem p fj.f_done || Pid_set.mem p fj.f_backtrack) then
+      if List.mem p fj.f_enabled then
+        fj.f_backtrack <- Pid_set.add p fj.f_backtrack
+      else
+        fj.f_backtrack <-
+          List.fold_left
+            (fun s q -> Pid_set.add q s)
+            fj.f_backtrack fj.f_enabled
+  in
+  (* Compute the happens-before clock of the event just executed at depth
+     [d] by [p] and detect reversible races against earlier events on the
+     path.  [cv] starts from [p]'s program-order predecessor and absorbs,
+     scanning backwards, the clock of every earlier conflicting event; an
+     earlier event [j] by [q] races iff it conflicts and is not already
+     ordered before this one (j+1 > cv.(q) at scan time). *)
+  let update_clock_and_races d p fp fr =
+    let cv = Array.make n 0 in
+    let rec find_po j =
+      if j >= 0 then
+        let fj = frame_at j in
+        if fj.f_chosen = p then Array.blit fj.f_clock 0 cv 0 n
+        else find_po (j - 1)
+    in
+    find_po (d - 1);
+    (match fp with
+    | None -> ()
+    | Some fpi ->
+        for j = d - 1 downto 0 do
+          let fj = frame_at j in
+          let q = fj.f_chosen in
+          if q <> p then
+            match fj.f_fp with
+            | Some fpj when Step.conflicts fpj fpi ->
+                if j + 1 > cv.(q) then begin
+                  incr races_detected;
+                  insert_backtrack fj p
+                end;
+                for r = 0 to n - 1 do
+                  if fj.f_clock.(r) > cv.(r) then cv.(r) <- fj.f_clock.(r)
+                done
+            | _ -> ()
+        done);
+    cv.(p) <- d + 1;
+    fr.f_clock <- cv
+  in
+  let rec node depth sleep preemptions =
+    if depth > max_depth then
+      failwith "Explore.dpor: branch exceeded max_depth";
+    if depth > !deepest then deepest := depth;
+    let enabled = Driver.Incremental.enabled u in
+    match enabled with
+    | [] ->
+        incr explored;
+        let history = Driver.history (Driver.Incremental.driver u) in
+        if not (check history) then begin
+          let path = Driver.Incremental.path u in
+          violation := Some (path, history);
+          raise (Found path)
+        end;
+        if !explored >= max_schedules then raise (Stop !explored)
+    | _ -> (
+        let sleeping p = List.exists (fun (q, _) -> q = p) sleep in
+        let awake = List.filter (fun p -> not (sleeping p)) enabled in
+        match awake with
+        | [] -> incr sleep_set_prunes
+        | _ ->
+            let prev =
+              if depth = 0 then -1 else (frame_at (depth - 1)).f_chosen
+            in
+            (* Prefer continuing the previous process: keeps the schedule
+               preemption-free by default, so a preemption bound prunes
+               only genuine context switches. *)
+            let first =
+              if prev >= 0 && List.mem prev awake then prev
+              else List.hd awake
+            in
+            let fr =
+              {
+                f_enabled = enabled;
+                f_backtrack = Pid_set.singleton first;
+                f_done = Pid_set.empty;
+                f_done_moves = [];
+                f_sleep = sleep;
+                f_chosen = -1;
+                f_fp = None;
+                f_clock = [||];
+              }
+            in
+            frames.(depth) <- Some fr;
+            let rec loop () =
+              let todo =
+                Pid_set.filter
+                  (fun p -> not (sleeping p))
+                  (Pid_set.diff fr.f_backtrack fr.f_done)
+              in
+              match Pid_set.min_elt_opt todo with
+              | None -> ()
+              | Some p ->
+                  fr.f_done <- Pid_set.add p fr.f_done;
+                  let preemptions' =
+                    if prev >= 0 && p <> prev && List.mem prev enabled then
+                      preemptions + 1
+                    else preemptions
+                  in
+                  (match preemption_bound with
+                  | Some b when preemptions' > b -> incr preemption_prunes
+                  | _ ->
+                      if Driver.Incremental.depth u <> depth then
+                        Driver.Incremental.rewind u ~depth;
+                      let fp = Driver.Incremental.advance u p in
+                      fr.f_chosen <- p;
+                      fr.f_fp <- fp;
+                      update_clock_and_races depth p fp fr;
+                      let child_sleep =
+                        List.filter
+                          (fun (_, fpq) -> independent fpq fp)
+                          (fr.f_sleep @ fr.f_done_moves)
+                      in
+                      node (depth + 1) child_sleep preemptions';
+                      fr.f_done_moves <- (p, fp) :: fr.f_done_moves);
+                  loop ()
+            in
+            loop ())
+  in
+  let verdict =
+    match node 0 [] 0 with
+    | () -> Ok !explored
+    | exception Stop k -> Budget_exhausted k
+    | exception Found _ -> (
+        match !violation with
+        | Some (path, history) -> Violation (path, history)
+        | None -> assert false)
+  in
+  let istats = Driver.Incremental.stats u in
+  {
+    verdict;
+    stats =
+      {
+        explored = !explored;
+        schedule_bound;
+        sleep_set_prunes = !sleep_set_prunes;
+        preemption_prunes = !preemption_prunes;
+        races_detected = !races_detected;
+        max_depth_reached = !deepest;
+        rebuilds = istats.Driver.Incremental.rebuilds;
+        actions_executed = istats.Driver.Incremental.actions_executed;
+        actions_replayed = istats.Driver.Incremental.actions_replayed;
+      };
+  }

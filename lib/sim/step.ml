@@ -16,10 +16,33 @@ let cell = function
 let is_write = function Write _ -> true | _ -> false
 let is_cas = function Cas _ -> true | _ -> false
 
-let would_succeed = function
-  | Write _ -> true
-  | Cas (c, expect, _) -> Univ.equal c.Cell.value expect
-  | Read _ | Ll _ | Sc _ | Vl _ -> false
+type access = Load | Store | Rmw
+
+type footprint = { on : Cell.t; access : access }
+
+(* [Ll] and [Vl] touch only the cell's value/sequence as readers: the
+   per-pid link entry they maintain is private to the linking process, so
+   no other process's outcome can depend on it.  Classifying them as
+   [Load] is what lets two concurrent [Ll]s commute. *)
+let footprint step =
+  let access =
+    match step with
+    | Read _ | Ll _ | Vl _ -> Load
+    | Write _ -> Store
+    | Cas _ | Sc _ -> Rmw
+  in
+  { on = cell step; access }
+
+let mutates step =
+  match (footprint step).access with Load -> false | Store | Rmw -> true
+
+(* The dependence relation of the DPOR engine: two steps of different
+   processes commute unless they touch the same base object and at least
+   one of them (potentially) mutates it.  A failed CAS/SC is a read at
+   execution time, but whether it fails can depend on the order, so [Rmw]
+   conservatively counts as mutating. *)
+let conflicts a b =
+  Cell.same a.on b.on && not (a.access = Load && b.access = Load)
 
 let bad_kind step_name (c : Cell.t) =
   invalid_arg
@@ -30,6 +53,12 @@ let link_valid (c : Cell.t) pid =
   match Hashtbl.find_opt c.llsc_link pid with
   | Some s -> s = c.llsc_seq
   | None -> c.llsc_seq = 0
+
+let would_succeed ~pid step =
+  match step with
+  | Cas (c, expect, _) -> Some (Univ.equal c.Cell.value expect)
+  | Sc (c, _) -> Some (link_valid c pid)
+  | Read _ | Write _ | Ll _ | Vl _ -> None
 
 let execute ~pid step =
   match step with

@@ -26,11 +26,43 @@ val is_write : t -> bool
 val is_cas : t -> bool
 (** True for [Cas] steps — membership in [CCov] (Section 2.2). *)
 
-val would_succeed : t -> bool
-(** For a [Cas] step, whether it would succeed if executed in the current
-    configuration; [Write] steps always "succeed"; other steps are not
-    conditional and return [false].  Used to build [P]-successful schedules
-    (Lemma 2/3). *)
+(** {1 Footprints and dependence}
+
+    The DPOR engine ({!Explore.dpor}) decides which schedule reorderings
+    can matter from per-step footprints: the base object a step touches
+    plus how it touches it. *)
+
+type access =
+  | Load  (** [Read], [Ll], [Vl] — never changes what others observe *)
+  | Store  (** [Write] — unconditional mutation *)
+  | Rmw  (** [Cas], [Sc] — mutation conditional on the current contents *)
+
+type footprint = { on : Cell.t; access : access }
+
+val footprint : t -> footprint
+(** The cell identity and access kind of the step.  [Ll]'s per-process
+    link entry is private to the linking process and therefore not part of
+    the footprint. *)
+
+val mutates : t -> bool
+(** True for [Store] and [Rmw] footprints. *)
+
+val conflicts : footprint -> footprint -> bool
+(** The dependence relation: two steps conflict iff they touch the {e
+    same} cell and at least one of them mutates it.  Steps of different
+    processes whose footprints do not conflict commute: executing them in
+    either order yields the same configuration and the same outcomes.
+    Conditional mutations ([Rmw]) count as mutating even when they would
+    fail, because success itself is order-dependent. *)
+
+val would_succeed : pid:Pid.t -> t -> bool option
+(** Whether the step's {e conditional} mutation would succeed if executed
+    by [pid] in the current configuration: [Some] for [Cas] (expected
+    value is current) and [Sc] ([pid]'s link is valid), [None] for the
+    unconditional steps ([Read]/[Write]/[Ll]/[Vl]), which cannot fail.
+    Used to build [P]-successful schedules (Lemma 2/3); the explicit
+    [None] keeps call sites from conflating "unconditional" with "would
+    fail". *)
 
 val execute : pid:Pid.t -> t -> outcome
 (** Atomically apply the step to its cell.  Raises [Invalid_argument] if the

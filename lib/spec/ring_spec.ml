@@ -1,0 +1,41 @@
+open Aba_primitives
+
+module Make (C : sig
+  val capacity : int
+end) =
+struct
+  type op = Enqueue of int | Dequeue
+  type res = Enqueued of bool | Dequeued of int option
+
+  (* Front list, reversed back list, occupancy; the bound makes this a
+     different object from {!Queue_spec}: a full queue refuses. *)
+  type state = { front : int list; back : int list; len : int }
+
+  let init ~n:_ = { front = []; back = []; len = 0 }
+
+  let apply st (_ : Pid.t) = function
+    | Enqueue x ->
+        if st.len >= C.capacity then (st, Enqueued false)
+        else
+          ({ st with back = x :: st.back; len = st.len + 1 }, Enqueued true)
+    | Dequeue -> (
+        match st.front with
+        | x :: front -> ({ st with front; len = st.len - 1 }, Dequeued (Some x))
+        | [] -> (
+            match List.rev st.back with
+            | x :: front ->
+                ({ front; back = []; len = st.len - 1 }, Dequeued (Some x))
+            | [] -> (st, Dequeued None)))
+
+  let equal_res (a : res) (b : res) = a = b
+
+  let pp_op ppf = function
+    | Enqueue x -> Format.fprintf ppf "Enq(%d)" x
+    | Dequeue -> Format.pp_print_string ppf "Deq"
+
+  let pp_res ppf = function
+    | Enqueued true -> Format.pp_print_string ppf "ok"
+    | Enqueued false -> Format.pp_print_string ppf "->full"
+    | Dequeued None -> Format.pp_print_string ppf "->empty"
+    | Dequeued (Some x) -> Format.fprintf ppf "->%d" x
+end

@@ -1,0 +1,18 @@
+(** Sequential specification of a {e bounded} FIFO queue.
+
+    {!Queue_spec} models the unbounded object; the ring buffer refuses
+    enqueues at [capacity], so its correctness condition needs the bound
+    in the state machine — an [Enqueued false] response is legal exactly
+    when the queue was full at the linearization point.  The capacity is
+    a functor parameter because it is part of the object's identity, not
+    of any particular history. *)
+
+module Make (_ : sig
+  val capacity : int
+end) : sig
+  type op = Enqueue of int | Dequeue
+  type res = Enqueued of bool | Dequeued of int option
+
+  include
+    Seq_spec.S with type op := op and type res := res
+end

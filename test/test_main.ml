@@ -4,6 +4,7 @@ let () =
       ("aba-implementations", Test_aba_impls.suite);
       ("llsc-implementations", Test_llsc_impls.suite);
       ("exhaustive-exploration", Test_explore.suite);
+      ("dpor", Test_dpor.suite);
       ("lower-bounds", Test_lowerbound.suite);
       ("applications", Test_apps.suite);
       ("primitives", Test_primitives.suite);

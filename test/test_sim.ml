@@ -68,8 +68,8 @@ let cas_semantics () =
 
 let poised_would_succeed () =
   (* [Step.would_succeed] is what P-successful schedules (Lemma 2/3) are
-     built from: writes always count, CASes only when the expected value is
-     current. *)
+     built from: CASes succeed only when the expected value is current;
+     unconditional steps (writes, reads) are [None], not [Some false]. *)
   let sim, m = make_mem () in
   let module M = (val m) in
   let c = M.make_cas ~writable:true ~name:"c" ~show:string_of_int 5 in
@@ -78,15 +78,71 @@ let poised_would_succeed () =
   ignore (Aba_sim.Sim.invoke sim 2 (fun () -> M.cas_write c 8));
   let would p =
     match Aba_sim.Sim.poised sim p with
-    | Some s -> Aba_sim.Step.would_succeed s
+    | Some s -> Aba_sim.Step.would_succeed ~pid:p s
     | None -> Alcotest.fail "expected a poised step"
   in
-  Alcotest.(check bool) "matching CAS would succeed" true (would 0);
-  Alcotest.(check bool) "mismatched CAS would fail" false (would 1);
-  Alcotest.(check bool) "a write always succeeds" true (would 2);
+  let opt_bool = Alcotest.(option bool) in
+  Alcotest.check opt_bool "matching CAS would succeed" (Some true) (would 0);
+  Alcotest.check opt_bool "mismatched CAS would fail" (Some false) (would 1);
+  Alcotest.check opt_bool "a write is unconditional" None (would 2);
   (* Executing p2's write changes the picture for p0. *)
   Aba_sim.Sim.step sim 2;
-  Alcotest.(check bool) "CAS invalidated by the write" false (would 0)
+  Alcotest.check opt_bool "CAS invalidated by the write" (Some false) (would 0)
+
+let sc_would_succeed () =
+  (* The other conditional step: a poised SC reports link validity for the
+     process that will execute it — per-pid, unlike a CAS. *)
+  let sim, m = make_mem () in
+  let module M = (val m) in
+  let o = M.make_llsc ~name:"o" ~show:string_of_int 0 in
+  let run p f =
+    let pr = Aba_sim.Sim.invoke sim p f in
+    Aba_sim.Sim.run_solo sim p;
+    Option.get (Aba_sim.Sim.result pr)
+  in
+  ignore (run 0 (fun () -> M.ll o ~pid:0));
+  ignore (run 1 (fun () -> M.ll o ~pid:1));
+  ignore (Aba_sim.Sim.invoke sim 0 (fun () -> M.sc o ~pid:0 1));
+  ignore (Aba_sim.Sim.invoke sim 1 (fun () -> M.sc o ~pid:1 2));
+  let would p =
+    match Aba_sim.Sim.poised sim p with
+    | Some s -> Aba_sim.Step.would_succeed ~pid:p s
+    | None -> Alcotest.fail "expected a poised step"
+  in
+  let opt_bool = Alcotest.(option bool) in
+  Alcotest.check opt_bool "p0's linked SC would succeed" (Some true) (would 0);
+  Alcotest.check opt_bool "p1's linked SC would succeed" (Some true) (would 1);
+  (* p0's SC lands first and invalidates p1's link. *)
+  Aba_sim.Sim.step sim 0;
+  Alcotest.check opt_bool "p1's SC is now doomed" (Some false) (would 1)
+
+let footprints_and_conflicts () =
+  let sim, m = make_mem () in
+  let module M = (val m) in
+  let r = M.make_register ~name:"r" ~show:string_of_int 0 in
+  let c = M.make_cas ~name:"c" ~show:string_of_int 0 in
+  let o = M.make_llsc ~name:"o" ~show:string_of_int 0 in
+  let poise p f =
+    ignore (Aba_sim.Sim.invoke sim p f);
+    match Aba_sim.Sim.poised sim p with
+    | Some s -> Aba_sim.Step.footprint s
+    | None -> Alcotest.fail "expected a poised step"
+  in
+  let read_r = poise 0 (fun () -> M.read r) in
+  let write_r = poise 1 (fun () -> M.write r 1) in
+  let cas_c = poise 2 (fun () -> M.cas c ~expect:0 ~update:1) in
+  Aba_sim.Sim.step sim 2;
+  let ll_o = poise 2 (fun () -> M.ll o ~pid:2) in
+  let check = Alcotest.(check bool) in
+  let conflicts = Aba_sim.Step.conflicts in
+  check "read/write on the same cell conflict" true (conflicts read_r write_r);
+  check "conflict is symmetric" true (conflicts write_r read_r);
+  check "read/read never conflicts" false (conflicts read_r read_r);
+  check "different cells never conflict" false (conflicts write_r cas_c);
+  check "a failed CAS still counts as mutating" true (conflicts cas_c cas_c);
+  check "LL is a load: two LLs commute" false (conflicts ll_o ll_o);
+  check "write and CAS on different cells commute" false
+    (conflicts write_r cas_c)
 
 let writable_cas () =
   let sim, m = make_mem () in
@@ -222,6 +278,9 @@ let suite =
       cas_semantics;
     Alcotest.test_case "poised steps and would_succeed" `Quick
       poised_would_succeed;
+    Alcotest.test_case "SC would_succeed is per-pid" `Quick sc_would_succeed;
+    Alcotest.test_case "footprints and the dependence relation" `Quick
+      footprints_and_conflicts;
     Alcotest.test_case "writable CAS" `Quick writable_cas;
     Alcotest.test_case "LL/SC/VL base object" `Quick llsc_base_object;
     Alcotest.test_case "bounded domains enforced" `Quick boundedness_enforced;
