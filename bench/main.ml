@@ -838,6 +838,48 @@ let ring_hotpath_tests =
            ignore (Aba_queue.Two_lock_queue.dequeue_or tl ~pid:1 ~default:0)));
   ]
 
+(* ----- Part 7: sharded service tier (open-loop SLO sweep) -----
+
+   The sweep itself lives in {!Aba_experiments.Service_bench} (shared
+   with the [aba_lab service] subcommand); this file contributes the
+   hot-path allocation group.  The claim mirrors [ring-hotpath]: with
+   combining disabled the router adds {e zero} minor words per op over
+   the bare structure — the key hash is an int mix, the depth estimate
+   an owner-only strided-array bump, and a pop hands back the shard's
+   own [Some] box unopened.  The flat-combined row allocates the same 2
+   words (the decoded pop's [Some]): the publication protocol itself is
+   raw-int CAS on immediate-tagged words. *)
+let service_hotpath_tests =
+  let module Svc = Aba_apps.Service in
+  let bare =
+    Aba_runtime.Rt_treiber.create
+      ~protection:(Aba_runtime.Rt_treiber.Tag_bits 16) ~capacity:64 ~n:2 ()
+  in
+  let direct = Svc.Stack_service.create ~steal:true ~shards:4 ~capacity:64 ~n:2 () in
+  let combined =
+    Svc.Stack_service.create ~steal:true ~combining:true ~shards:4
+      ~capacity:64 ~n:2 ()
+  in
+  (* One resident element under the benched key: both ends of every
+     push+pop pair succeed and the steal path stays cold. *)
+  ignore (Aba_runtime.Rt_treiber.push bare ~pid:0 1 : bool);
+  ignore (Svc.Stack_service.push direct ~pid:0 ~key:7 1 : bool);
+  ignore (Svc.Stack_service.push combined ~pid:0 ~key:7 1 : bool);
+  [
+    Test.make ~name:"treiber-tag16.push+pop bare baseline"
+      (staged (fun () ->
+           ignore (Aba_runtime.Rt_treiber.push bare ~pid:1 42 : bool);
+           ignore (Aba_runtime.Rt_treiber.pop bare ~pid:1 : int option)));
+    Test.make ~name:"service.push+pop 4-shard direct"
+      (staged (fun () ->
+           ignore (Svc.Stack_service.push direct ~pid:1 ~key:7 42 : bool);
+           ignore (Svc.Stack_service.pop direct ~pid:1 ~key:7 : int option)));
+    Test.make ~name:"service.push+pop 4-shard flat-combined"
+      (staged (fun () ->
+           ignore (Svc.Stack_service.push combined ~pid:1 ~key:7 42 : bool);
+           ignore (Svc.Stack_service.pop combined ~pid:1 ~key:7 : int option)));
+  ]
+
 (* ----- Command line ----- *)
 
 type options = {
@@ -849,6 +891,9 @@ type options = {
   sweep_ops : int;
   smoke : bool;  (** sweep + JSON only: CI-sized smoke run *)
   elimination : bool;  (** add the elimination/combining axis to the sweep *)
+  service : bool;  (** part 7: the sharded-service open-loop sweep *)
+  slo_ns : int;
+  arrival_ns : int;
 }
 
 let default_options () =
@@ -861,12 +906,16 @@ let default_options () =
     sweep_ops = 10_000;
     smoke = false;
     elimination = false;
+    service = false;
+    slo_ns = 10_000;
+    arrival_ns = 1_000;
   }
 
 let usage_and_exit code =
   prerr_endline
     "usage: bench [--json FILE] [--domains N] [--ops N] [--max-domains N]\n\
-    \             [--sweep-ops N] [--smoke] [--elimination]\n\n\
+    \             [--sweep-ops N] [--smoke] [--elimination] [--service]\n\
+    \             [--slo-ns N] [--arrival-ns N]\n\n\
     \  --json FILE     write machine-readable results to FILE\n\
     \  --domains N     domain count for the treiber/reclaim tables \
      (default 4)\n\
@@ -874,7 +923,10 @@ let usage_and_exit code =
     \  --max-domains N scalability sweep upper bound (default: all cores)\n\
     \  --sweep-ops N   per-domain ops per sweep cell (default 10000)\n\
     \  --smoke         only the sweeps + percentiles (plus JSON): CI smoke\n\
-    \  --elimination   sweep the elimination/combining axis too (2x2x2)";
+    \  --elimination   sweep the elimination/combining axis too (2x2x2)\n\
+    \  --service       part 7: the sharded service tier open-loop sweep\n\
+    \  --slo-ns N      service SLO budget in ns (default 10000)\n\
+    \  --arrival-ns N  service mean inter-arrival in ns (default 1000)";
   exit code
 
 let parse_options () =
@@ -903,6 +955,9 @@ let parse_options () =
       | "--sweep-ops" -> o := { !o with sweep_ops = int_value i }; go (i + 2)
       | "--smoke" -> o := { !o with smoke = true }; go (i + 1)
       | "--elimination" -> o := { !o with elimination = true }; go (i + 1)
+      | "--service" -> o := { !o with service = true }; go (i + 1)
+      | "--slo-ns" -> o := { !o with slo_ns = int_value i }; go (i + 2)
+      | "--arrival-ns" -> o := { !o with arrival_ns = int_value i }; go (i + 2)
       | "--help" | "-h" -> usage_and_exit 0
       | arg ->
           Printf.eprintf "bench: unknown argument %s\n" arg;
@@ -930,7 +985,7 @@ let meta_json () =
   let tm = Unix.gmtime (Unix.time ()) in
   Json.Obj
     [
-      ("schema_version", Json.Int 5);
+      ("schema_version", Json.Int 6);
       ("git_commit", Json.Str (git_commit ()));
       ("ocaml_version", Json.Str Sys.ocaml_version);
       ( "available_domains",
@@ -1016,7 +1071,7 @@ let capacity_row_json r =
     ]
 
 let write_json path ~treiber_rows ~reclaim_rows ~sweep_rows ~percentile_rows
-    ~capacity_rows =
+    ~capacity_rows ~service_rows =
   let doc =
     Json.Obj
       [
@@ -1027,6 +1082,9 @@ let write_json path ~treiber_rows ~reclaim_rows ~sweep_rows ~percentile_rows
         ( "latency_percentiles",
           Json.Arr (List.map percentile_row_json percentile_rows) );
         ("capacity_sweep", Json.Arr (List.map capacity_row_json capacity_rows));
+        ( "service_sweep",
+          Json.Arr
+            (List.map Aba_experiments.Service_bench.row_to_json service_rows) );
       ]
   in
   let oc = open_out path in
@@ -1090,8 +1148,27 @@ let () =
     else ([ (1, 1); (2, 1); (1, 2); (2, 2) ], [ 2; 64; 1024 ])
   in
   let capacity_rows = capacity_sweep ~grid ~capacities ~ops:o.sweep_ops () in
+  (* Part 7: the sharded service tier, opt-in via --service.  Smoke keeps
+     one structure and the two shard counts the CI assertions compare
+     (the 1-shard baseline and the 4-shard sharded cells). *)
+  let service_rows =
+    if not o.service then []
+    else begin
+      if not o.smoke then
+        benchmark_report ~alloc:true "service-hotpath" service_hotpath_tests;
+      let dedup l = List.sort_uniq compare l in
+      let structures = if o.smoke then [ "stack" ] else [ "stack"; "queue" ] in
+      let shards = if o.smoke then [ 1; 4 ] else [ 1; 2; 4 ] in
+      let domains =
+        dedup [ 1; min 2 o.max_domains; min 4 o.max_domains; o.max_domains ]
+      in
+      Aba_experiments.Service_bench.sweep ~slo_ns:o.slo_ns
+        ~arrival_ns:o.arrival_ns ~structures ~shards ~domains ~ops:o.sweep_ops
+        ()
+    end
+  in
   match o.json with
   | None -> ()
   | Some path ->
       write_json path ~treiber_rows ~reclaim_rows ~sweep_rows ~percentile_rows
-        ~capacity_rows
+        ~capacity_rows ~service_rows

@@ -335,6 +335,68 @@ let queue_cmd =
           then backpressure waits through the blocking wrapper.")
     Term.(const run $ domains $ ops $ capacity $ seq_bits)
 
+(* E17: the sharded service tier under an open-loop Poisson workload —
+   the same sweep bench part 7 runs, exposed interactively so a single
+   configuration (or a custom grid) can be replayed with its SLO knobs.
+   [--json] dumps the rows in the bench schema-6 [service_sweep] shape. *)
+let service_cmd =
+  let structures =
+    Arg.(
+      value
+      & opt (list string) [ "stack" ]
+      & info [ "structures" ] ~doc:"Structures to sweep (stack, queue).")
+  in
+  let shards =
+    Arg.(
+      value & opt (list int) [ 1; 4 ]
+      & info [ "shards" ] ~doc:"Shard counts to sweep (comma separated).")
+  in
+  let domains =
+    Arg.(
+      value & opt (list int) [ 1; 4 ]
+      & info [ "domains" ] ~doc:"Domain counts to sweep (comma separated).")
+  in
+  let ops =
+    Arg.(value & opt int 10_000 & info [ "ops" ] ~doc:"operations per domain")
+  in
+  let slo_ns =
+    Arg.(value & opt int 10_000 & info [ "slo-ns" ] ~doc:"SLO budget in ns")
+  in
+  let arrival_ns =
+    Arg.(
+      value & opt int 1_000
+      & info [ "arrival-ns" ] ~doc:"mean inter-arrival per domain in ns")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the rows as JSON.")
+  in
+  let run structures shards domains ops slo_ns arrival_ns json =
+    let module Sb = Aba_experiments.Service_bench in
+    List.iter
+      (fun s ->
+        if s <> "stack" && s <> "queue" then begin
+          Printf.eprintf "unknown structure %S (want stack or queue)\n" s;
+          exit 2
+        end)
+      structures;
+    let rows =
+      Sb.sweep ~quiet:json ~slo_ns ~arrival_ns ~structures ~shards ~domains
+        ~ops ()
+    in
+    if json then
+      print_string
+        (Aba_experiments.Json.to_string
+           (Aba_experiments.Json.Arr (List.map Sb.row_to_json rows)))
+  in
+  Cmd.v
+    (Cmd.info "service"
+       ~doc:
+         "Sharded service tier sweep (E17): open-loop Poisson workload with \
+          SLO attainment, work stealing and flat combining.")
+    Term.(
+      const run $ structures $ shards $ domains $ ops $ slo_ns $ arrival_ns
+      $ json)
+
 let all_cmd =
   let run () =
     run_space [ 3; 4; 6; 8 ];
@@ -356,7 +418,7 @@ let main =
     [
       space_cmd; covering_cmd; wraparound_cmd; tradeoff_cmd; steps_cmd;
       explore_cmd; ablate_cmd; stack_cmd; reclaim_cmd; obs_cmd; queue_cmd;
-      all_cmd;
+      service_cmd; all_cmd;
     ]
 
 let () = exit (Cmd.eval main)

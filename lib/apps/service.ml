@@ -1,0 +1,347 @@
+open Aba_primitives
+
+module type SHARD = sig
+  type t
+
+  val push : t -> pid:int -> int -> bool
+  val pop : t -> pid:int -> int option
+end
+
+(* Key hashing.  [Rand.seed_of_pid] is a splitmix64 finalizer: nonzero,
+   non-negative and dispersed across the word even for consecutive keys,
+   so [mod nshards] spreads dense key ranges evenly — the same dispersion
+   property the per-pid PRNG seeding relies on, reused instead of
+   re-derived. *)
+let hash_key k = Rand.seed_of_pid k
+
+module Shard_router (S : SHARD) = struct
+  (* Per-pid scratch: steal counters and the victim-probe cursor live on
+     the owner's cache line; nothing here is read by other pids until the
+     final [stats] fold. *)
+  type local = {
+    rand : Rand.t;
+    mutable steals : int;
+    mutable stolen : int;
+    mutable spills : int;
+  }
+
+  type t = {
+    shards : S.t array;
+    nshards : int;
+    steal : bool;
+    steal_batch : int;
+    (* Depth estimates: one strided per-pid row of plain int cells per
+       shard.  A pid bumps only its own cell (owner-only, no atomics, no
+       coherence traffic on the hot path); a reader sums the row and gets
+       a racy but bounded-error estimate — exact once domains are joined,
+       and always >= 0 in the sum even when individual cells go negative
+       (a pid that pops from a shard it never pushed to). *)
+    depth : int Padded.t array;
+    comb : Aba_core.Combining.t array;  (** empty when combining is off *)
+    locals : local array;
+    obs : Aba_obs.Obs.t;
+  }
+
+  let depth_estimate t s =
+    let row = t.depth.(s) in
+    let d = ref 0 in
+    for p = 0 to Padded.length row - 1 do
+      d := !d + Padded.get row p
+    done;
+    !d
+
+  let depths t = Array.init t.nshards (depth_estimate t)
+  let nshards t = t.nshards
+  let shard_of_key t key = hash_key key mod t.nshards
+
+  (* The shard ops with depth accounting attached.  These are also the
+     [apply] body of the combining layer, so a combiner's batch keeps the
+     estimates current under the combiner's own pid — each pid executes
+     at most one operation at a time, so every cell stays owner-only. *)
+  let raw_push t s ~pid v =
+    if S.push t.shards.(s) ~pid v then begin
+      Padded.set t.depth.(s) pid (Padded.get t.depth.(s) pid + 1);
+      true
+    end
+    else false
+
+  let raw_pop t s ~pid =
+    match S.pop t.shards.(s) ~pid with
+    | Some _ as r ->
+        Padded.set t.depth.(s) pid (Padded.get t.depth.(s) pid - 1);
+        r
+    | None -> None
+
+  (* Combining codec: push v = v<<1|1, pop = 0; results: push success as
+     0/1, pop as 0 for empty and v<<1|1 otherwise.  Shifts are arithmetic
+     on decode so negative payloads survive; everything stays an
+     immediate int — the combining hot path never allocates. *)
+  let apply_op t s ~pid op =
+    if op land 1 = 1 then if raw_push t s ~pid (op asr 1) then 1 else 0
+    else match raw_pop t s ~pid with None -> 0 | Some v -> (v lsl 1) lor 1
+
+  let create ?(steal = true) ?(steal_batch = 8) ?(combining = false) ?window
+      ?(obs = Aba_obs.Obs.noop) ~shards ~n () =
+    let nshards = Array.length shards in
+    if nshards < 1 then
+      invalid_arg "Service.Shard_router.create: needs at least one shard";
+    if n < 1 then invalid_arg "Service.Shard_router.create: n must be positive";
+    if steal_batch < 1 then
+      invalid_arg "Service.Shard_router.create: steal_batch must be positive";
+    let t =
+      {
+        shards;
+        nshards;
+        steal;
+        steal_batch;
+        depth = Array.init nshards (fun _ -> Padded.make_array n 0);
+        comb = [||];
+        locals =
+          Array.init n (fun pid ->
+              Padded.copy
+                { rand = Rand.create ~pid; steals = 0; stolen = 0; spills = 0 });
+        obs;
+      }
+    in
+    if not combining then t
+    else
+      {
+        t with
+        comb =
+          Array.init nshards (fun s ->
+              Aba_core.Combining.create ?window ~n
+                ~apply:(fun ~pid op -> apply_op t s ~pid op)
+                ());
+      }
+
+  let combined t = Array.length t.comb > 0
+
+  let shard_push t s ~pid v =
+    if combined t then
+      Aba_core.Combining.submit t.comb.(s) ~pid ((v lsl 1) lor 1) = 1
+    else raw_push t s ~pid v
+
+  let shard_pop t s ~pid =
+    if combined t then
+      match Aba_core.Combining.submit t.comb.(s) ~pid 0 with
+      | 0 -> None
+      | w -> Some (w asr 1)
+    else raw_pop t s ~pid
+
+  (* An in-flight stolen/spilled value must land somewhere: walk the
+     shards from [home] with backoff until one accepts.  Termination in
+     practice: the value's node was just freed in some shard's pool, so a
+     full sweep can only keep failing while other pushers keep consuming
+     exactly the slots this loop frees up — transient by construction.
+     Reinsertion bypasses combining: the value is already off any shard,
+     so the direct push is its own linearization point. *)
+  let reinsert t ~pid ~home v =
+    let bo = Backoff.create ~min:1 ~max:256 () in
+    let rec sweep i =
+      if raw_push t ((home + i) mod t.nshards) ~pid v then ()
+      else if i + 1 < t.nshards then sweep (i + 1)
+      else begin
+        Backoff.once bo;
+        sweep 0
+      end
+    in
+    sweep 0
+
+  (* Pick the victim with the largest depth estimate.  [exclude] is the
+     (empty) home shard; ties and the scan order are deterministic, the
+     racy cell reads are not — a stale estimate costs one wasted probe,
+     never a lost value. *)
+  let pick_victim t ~exclude =
+    let best = ref (-1) and best_d = ref 0 in
+    for s = 0 to t.nshards - 1 do
+      if s <> exclude then begin
+        let d = depth_estimate t s in
+        if d > !best_d then begin
+          best := s;
+          best_d := d
+        end
+      end
+    done;
+    !best
+
+  (* Bulk steal: the stealer keeps the first item popped from the victim
+     as its own result and rebalances up to [steal_batch - 1] more into
+     its (empty) home shard.  Every drained value is either returned or
+     reinserted — the multiset audit sees a steal as a sequence of
+     ordinary pops and pushes, which is exactly what it is: each item
+     moves under the victim's own protection scheme. *)
+  let steal_from t ~pid ~home =
+    let l = t.locals.(pid) in
+    let t0 = Aba_obs.Obs.start t.obs in
+    match pick_victim t ~exclude:home with
+    | -1 ->
+        Aba_obs.Obs.record t.obs ~pid ~kind:Aba_obs.Obs.Steal
+          ~outcome:Aba_obs.Obs.Empty ~retries:0 t0;
+        None
+    | victim -> (
+        match raw_pop t victim ~pid with
+        | None ->
+            (* The estimate was stale or racing pops beat us. *)
+            Aba_obs.Obs.record t.obs ~pid ~kind:Aba_obs.Obs.Steal
+              ~outcome:Aba_obs.Obs.Empty ~retries:0 t0;
+            None
+        | Some _ as r ->
+            let moved = ref 1 in
+            let draining = ref true in
+            while !moved < t.steal_batch && !draining do
+              match raw_pop t victim ~pid with
+              | Some v ->
+                  reinsert t ~pid ~home v;
+                  incr moved
+              | None -> draining := false
+            done;
+            l.steals <- l.steals + 1;
+            l.stolen <- l.stolen + !moved;
+            Aba_obs.Obs.record t.obs ~pid ~kind:Aba_obs.Obs.Steal
+              ~outcome:Aba_obs.Obs.Ok ~retries:!moved t0;
+            r)
+
+  let push t ~pid ~key v =
+    let home = shard_of_key t key in
+    if shard_push t home ~pid v then true
+    else if not t.steal then false
+    else begin
+      (* Home pool exhausted: spill to the emptiest shard, then sweep the
+         rest from a random start (so concurrent spillers don't convoy on
+         one alternate).  All full -> honest [false]. *)
+      let l = t.locals.(pid) in
+      let least = ref home and least_d = ref max_int in
+      for s = 0 to t.nshards - 1 do
+        if s <> home then begin
+          let d = depth_estimate t s in
+          if d < !least_d then begin
+            least := s;
+            least_d := d
+          end
+        end
+      done;
+      let try_spill s = s <> home && raw_push t s ~pid v in
+      if try_spill !least then begin
+        l.spills <- l.spills + 1;
+        true
+      end
+      else begin
+        let start = Rand.next_int l.rand t.nshards in
+        let rec sweep i =
+          if i >= t.nshards then false
+          else if try_spill ((start + i) mod t.nshards) then begin
+            l.spills <- l.spills + 1;
+            true
+          end
+          else sweep (i + 1)
+        in
+        sweep 0
+      end
+    end
+
+  let pop t ~pid ~key =
+    let home = shard_of_key t key in
+    match shard_pop t home ~pid with
+    | Some _ as r -> r
+    | None ->
+        if t.steal && t.nshards > 1 then steal_from t ~pid ~home else None
+
+  type stats = { steals : int; stolen : int; spills : int }
+
+  let stats t =
+    Array.fold_left
+      (fun acc (l : local) ->
+        {
+          steals = acc.steals + l.steals;
+          stolen = acc.stolen + l.stolen;
+          spills = acc.spills + l.spills;
+        })
+      { steals = 0; stolen = 0; spills = 0 }
+      t.locals
+
+  let combining_stats t =
+    if combined t then
+      Some
+        (Array.fold_left
+           (fun acc c ->
+             let s = Aba_core.Combining.stats c in
+             Aba_core.Combining.
+               {
+                 scans = acc.scans + s.scans;
+                 adopted = acc.adopted + s.adopted;
+                 fallbacks = acc.fallbacks + s.fallbacks;
+                 batched = acc.batched + s.batched;
+               })
+           Aba_core.Combining.{ scans = 0; adopted = 0; fallbacks = 0; batched = 0 }
+           t.comb)
+    else None
+end
+
+(* ----- Concrete services ----- *)
+
+module Stack_shard = struct
+  type t = Aba_runtime.Rt_treiber.t
+
+  let push = Aba_runtime.Rt_treiber.push
+  let pop = Aba_runtime.Rt_treiber.pop
+end
+
+module Queue_shard = struct
+  type t = Aba_runtime.Rt_ms_queue.t
+
+  let push = Aba_runtime.Rt_ms_queue.enqueue
+  let pop = Aba_runtime.Rt_ms_queue.dequeue
+end
+
+module Stack_router = Shard_router (Stack_shard)
+module Queue_router = Shard_router (Queue_shard)
+
+module Stack_service = struct
+  type t = Stack_router.t
+
+  let create ?(protection = Aba_runtime.Rt_treiber.Tag_bits 16) ?steal
+      ?steal_batch ?combining ?window ?obs
+      ?(shard_obs = fun _ -> Aba_obs.Obs.noop) ~shards ~capacity ~n () =
+    if shards < 1 then
+      invalid_arg "Service.Stack_service.create: shards must be positive";
+    let arr =
+      Array.init shards (fun s ->
+          Aba_runtime.Rt_treiber.create ~protection ~capacity ~n
+            ~obs:(shard_obs s) ())
+    in
+    Stack_router.create ?steal ?steal_batch ?combining ?window ?obs
+      ~shards:arr ~n ()
+
+  let push = Stack_router.push
+  let pop = Stack_router.pop
+  let depths = Stack_router.depths
+  let nshards = Stack_router.nshards
+  let shard_of_key = Stack_router.shard_of_key
+  let stats = Stack_router.stats
+  let combining_stats = Stack_router.combining_stats
+end
+
+module Queue_service = struct
+  type t = Queue_router.t
+
+  let create ?(protection = Aba_runtime.Rt_ms_queue.Tag_bits 16) ?steal
+      ?steal_batch ?combining ?window ?obs
+      ?(shard_obs = fun _ -> Aba_obs.Obs.noop) ~shards ~capacity ~n () =
+    if shards < 1 then
+      invalid_arg "Service.Queue_service.create: shards must be positive";
+    let arr =
+      Array.init shards (fun s ->
+          Aba_runtime.Rt_ms_queue.create ~protection ~capacity ~n
+            ~obs:(shard_obs s) ())
+    in
+    Queue_router.create ?steal ?steal_batch ?combining ?window ?obs
+      ~shards:arr ~n ()
+
+  let push = Queue_router.push
+  let pop = Queue_router.pop
+  let depths = Queue_router.depths
+  let nshards = Queue_router.nshards
+  let shard_of_key = Queue_router.shard_of_key
+  let stats = Queue_router.stats
+  let combining_stats = Queue_router.combining_stats
+end

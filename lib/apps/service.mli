@@ -1,0 +1,167 @@
+(** The sharded service tier: many small protected instances composing
+    one large logical container.
+
+    The paper's protections (bounded tags, LL/SC, ABA-detecting
+    registers) are all per-object; this layer is the horizontal
+    composition that makes them serve a key-addressed workload.  A
+    {!Shard_router} spreads operations over an array of independently
+    protected shards by key hash ([splitmix64] over the key, reusing
+    {!Aba_primitives.Rand.seed_of_pid}'s dispersion), so unrelated keys
+    contend on unrelated head words and throughput scales with the shard
+    count.
+
+    Three mechanisms ride on top of plain routing:
+
+    - {b Work stealing.}  Owner-only per-pid depth cells give each shard
+      a racy-but-bounded depth estimate at zero hot-path cost.  A pop
+      that finds its home shard empty picks the deepest victim, keeps
+      the first item popped there, and rebalances up to [steal_batch - 1]
+      more into the home shard.  Every moved item travels by ordinary
+      pop-then-push under the victim's own protection scheme, so a steal
+      is multiset-transparent: nothing is duplicated or dropped, and
+      {!Aba_runtime.Harness.check_multiset} audits it unchanged.  A push
+      that finds its home pool exhausted spills to the emptiest shard.
+    - {b Flat combining} (opt-in): each shard's push/pop traffic is
+      funneled through an {!Aba_core.Combining} instance in [~apply]
+      mode — under contention one combiner walks the shard on behalf of
+      a whole batch.  Steal/spill transfers bypass combining (the moved
+      value is off every shard; the direct push is its own linearization
+      point).
+    - {b Observability}: a service-level [obs] records [Steal] events
+      (items moved as retries); a [shard_obs] factory threads one handle
+      per shard, whose histograms merge into end-to-end percentiles via
+      {!Aba_obs.Obs.Histogram.merge}. *)
+
+val hash_key : int -> int
+(** The key hash (splitmix64 finalizer): non-negative, so
+    [hash_key k mod nshards] is a valid shard index for any [k]. *)
+
+(** What a router shards: any push/pop container on immediate ints.
+    LIFO vs FIFO is the shard's business — the router preserves the
+    discipline per shard, not across shards. *)
+module type SHARD = sig
+  type t
+
+  val push : t -> pid:int -> int -> bool
+  (** [false] when the shard's node pool is exhausted. *)
+
+  val pop : t -> pid:int -> int option
+end
+
+module Shard_router (S : SHARD) : sig
+  type t
+
+  val create :
+    ?steal:bool ->
+    ?steal_batch:int ->
+    ?combining:bool ->
+    ?window:int ->
+    ?obs:Aba_obs.Obs.t ->
+    shards:S.t array ->
+    n:int ->
+    unit ->
+    t
+  (** Route over the given pre-built shards (the caller threads any
+      per-shard observability into them) for pids [0, n).  [steal]
+      (default [true]) enables pop-side stealing and push-side spilling;
+      [steal_batch] (default 8) bounds the items one steal moves;
+      [combining] (default [false]) funnels each shard through a flat
+      combining instance with the given [window].  [obs] (default
+      {!Aba_obs.Obs.noop}) records [Steal] events.  Raises
+      [Invalid_argument] on an empty shard array or non-positive [n] or
+      [steal_batch]. *)
+
+  val shard_of_key : t -> int -> int
+  val nshards : t -> int
+
+  val push : t -> pid:int -> key:int -> int -> bool
+  (** Push to the key's home shard; on a full pool with [steal] on,
+      spill to the emptiest shard, then sweep the rest.  [false] only
+      when every shard is full. *)
+
+  val pop : t -> pid:int -> key:int -> int option
+  (** Pop the key's home shard; on empty with [steal] on, bulk-steal
+      from the deepest shard (see above).  [None] when home is empty and
+      no victim has work. *)
+
+  val depths : t -> int array
+  (** Per-shard depth estimates.  Racy while domains run (bounded error:
+      in-flight ops); exact after they join. *)
+
+  type stats = {
+    steals : int;  (** successful bulk steals *)
+    stolen : int;  (** items moved by steals, incl. the returned ones *)
+    spills : int;  (** pushes redirected off a full home shard *)
+  }
+
+  val stats : t -> stats
+  (** Summed over per-pid counters; exact once domains are joined. *)
+
+  val combining_stats : t -> Aba_core.Combining.stats option
+  (** All shards' combining counters summed ([None] when created with
+      [combining:false]). *)
+end
+
+module Stack_shard : SHARD with type t = Aba_runtime.Rt_treiber.t
+module Queue_shard : SHARD with type t = Aba_runtime.Rt_ms_queue.t
+module Stack_router : module type of Shard_router (Stack_shard)
+module Queue_router : module type of Shard_router (Queue_shard)
+
+(** {!Shard_router} over {!Aba_runtime.Rt_treiber} shards it builds
+    itself: the packaged LIFO service. *)
+module Stack_service : sig
+  type t = Stack_router.t
+
+  val create :
+    ?protection:Aba_runtime.Rt_treiber.protection ->
+    ?steal:bool ->
+    ?steal_batch:int ->
+    ?combining:bool ->
+    ?window:int ->
+    ?obs:Aba_obs.Obs.t ->
+    ?shard_obs:(int -> Aba_obs.Obs.t) ->
+    shards:int ->
+    capacity:int ->
+    n:int ->
+    unit ->
+    t
+  (** [shards] Treiber stacks of [capacity] nodes each (protection
+      default [Tag_bits 16]); [shard_obs s] (default [noop]) is shard
+      [s]'s handle.  Other parameters as {!Shard_router.create}. *)
+
+  val push : t -> pid:int -> key:int -> int -> bool
+  val pop : t -> pid:int -> key:int -> int option
+  val depths : t -> int array
+  val nshards : t -> int
+  val shard_of_key : t -> int -> int
+  val stats : t -> Stack_router.stats
+  val combining_stats : t -> Aba_core.Combining.stats option
+end
+
+(** {!Shard_router} over {!Aba_runtime.Rt_ms_queue} shards: the packaged
+    FIFO service. *)
+module Queue_service : sig
+  type t = Queue_router.t
+
+  val create :
+    ?protection:Aba_runtime.Rt_ms_queue.protection ->
+    ?steal:bool ->
+    ?steal_batch:int ->
+    ?combining:bool ->
+    ?window:int ->
+    ?obs:Aba_obs.Obs.t ->
+    ?shard_obs:(int -> Aba_obs.Obs.t) ->
+    shards:int ->
+    capacity:int ->
+    n:int ->
+    unit ->
+    t
+
+  val push : t -> pid:int -> key:int -> int -> bool
+  val pop : t -> pid:int -> key:int -> int option
+  val depths : t -> int array
+  val nshards : t -> int
+  val shard_of_key : t -> int -> int
+  val stats : t -> Queue_router.stats
+  val combining_stats : t -> Aba_core.Combining.stats option
+end

@@ -8,18 +8,48 @@ type local = {
   mutable scans : int;
   mutable adopted : int;
   mutable fallbacks : int;
+  mutable batched : int;
 }
+
+(* What the epoch owner combines.  [Read] is the original read-combining
+   cache: the winner runs one scan and everyone adopts the snapshot — the
+   degenerate case where all queued "mutations" are the same read.
+   [Mutate] is full flat combining: each process queues an encoded
+   mutation in its publication slot and the owner applies the batch.  The
+   two are exclusive per instance because [Read]'s adoption rule (epoch
+   advanced twice since my start) is only sound when every epoch bump
+   published a fresh snapshot, which [Mutate] rounds do not. *)
+type role =
+  | Read of (pid:Pid.t -> int * bool)
+  | Mutate of (pid:Pid.t -> int -> int)
 
 type t = {
   epoch : int Atomic.t;
-      (** Even: no scan in flight.  Odd: a scanner claimed the cache and is
-          running the underlying read.  Monotonically increasing. *)
+      (** Even: no combining round in flight.  Odd: an owner claimed the
+          cache and is scanning ([Read]) or draining the publication array
+          ([Mutate]).  Monotonically increasing. *)
   snapshot : int Atomic.t;
-      (** The value published by the last completed scan; only meaningful
-          between the scanner's [set snapshot] and the next claim, which is
-          exactly the window the adopter's epoch re-check validates. *)
+      (** [Read] only: the value published by the last completed scan;
+          meaningful between the scanner's [set snapshot] and the next
+          claim, which is exactly the window the adopter's epoch re-check
+          validates. *)
   window : int;
-  scan : pid:Pid.t -> int * bool;
+  role : role;
+  pub : int Atomic.t array;
+      (** [Mutate] only: one padded publication slot per pid.  Low two
+          bits are the state tag, the rest the payload (arithmetic shift,
+          so negative payloads round-trip):
+
+          {v EMPTY=0  PENDING(op)=op<<2|1  CLAIMED(op)=op<<2|3  DONE(r)=r<<2|2 v}
+
+          Transitions: the owner posts PENDING (plain store — the slot is
+          its own), withdraws by CAS PENDING->EMPTY; a combiner takes an
+          op by CAS PENDING->CLAIMED (so a withdraw can never race a
+          half-applied op), applies it, and publishes DONE with a plain
+          store (it owns CLAIMED); only the posting process resets
+          DONE->EMPTY.  The same waiter-owns-the-locked-state shape as
+          the elimination slot: a stranger's identical word can never be
+          confused for a live offer. *)
   locals : local array;
   obs : Aba_obs.Obs.t;
 }
@@ -28,15 +58,32 @@ let default_window = 64
 
 let create ?(padded = true) ?(window = default_window)
     ?(backoff = Backoff.Exp { min_spins = 1; max_spins = 32 })
-    ?(obs = Aba_obs.Obs.noop) ~n ~scan () =
+    ?(obs = Aba_obs.Obs.noop) ?scan ?apply ~n () =
   if window < 1 then invalid_arg "Combining.create: window must be positive";
   if n < 1 then invalid_arg "Combining.create: n must be positive";
+  let role =
+    match (scan, apply) with
+    | Some scan, None -> Read scan
+    | None, Some apply -> Mutate apply
+    | None, None ->
+        invalid_arg "Combining.create: needs a scan or an apply function"
+    | Some _, Some _ ->
+        (* Mixing would let a [Mutate] round's epoch bump validate a stale
+           [Read] snapshot (see {!role}); force the caller to pick one. *)
+        invalid_arg "Combining.create: scan and apply are exclusive"
+  in
   let cell v = if padded then Padded.atomic v else Atomic.make v in
   {
     epoch = cell 0;
     snapshot = cell 0;
     window;
-    scan;
+    role;
+    pub =
+      (match role with
+      | Read _ -> [||]
+      | Mutate _ ->
+          if padded then Padded.atomic_array n 0
+          else Array.init n (fun _ -> Atomic.make 0));
     obs;
     locals =
       Array.init n (fun _ ->
@@ -46,8 +93,11 @@ let create ?(padded = true) ?(window = default_window)
               scans = 0;
               adopted = 0;
               fallbacks = 0;
+              batched = 0;
             });
   }
+
+(* ----- Read combining (the degenerate case) ----- *)
 
 (* Adoption soundness.  The adopter read [e0] from [epoch] at the start of
    its own operation.  It may return the published snapshot only after
@@ -61,13 +111,13 @@ let create ?(padded = true) ?(window = default_window)
    The snapshot re-check ([epoch] unchanged around the [snapshot] load)
    rules out tearing: a later scanner stores its snapshot only after
    bumping [epoch] to odd, which the second load would see. *)
-let rec adopt t l ~pid e0 i t0 =
+let rec adopt t scan l ~pid e0 i t0 =
   if i >= t.window then begin
     (* Nobody published in time: do the precise read ourselves (without
        claiming the cache — contending for the claim word again would just
        add traffic to the line we are trying to shed). *)
     l.fallbacks <- l.fallbacks + 1;
-    let r = t.scan ~pid in
+    let r = scan ~pid in
     Aba_obs.Obs.record t.obs ~pid ~kind:Aba_obs.Obs.Combine
       ~outcome:Aba_obs.Obs.Fallback ~retries:i t0;
     r
@@ -87,22 +137,27 @@ let rec adopt t l ~pid e0 i t0 =
            produced here. *)
         (v, true)
       end
-      else adopt t l ~pid e0 (i + 1) t0
+      else adopt t scan l ~pid e0 (i + 1) t0
     end
     else begin
       Backoff.once l.bo;
-      adopt t l ~pid e0 (i + 1) t0
+      adopt t scan l ~pid e0 (i + 1) t0
     end
   end
 
 let dread t ~pid =
+  let scan =
+    match t.role with
+    | Read scan -> scan
+    | Mutate _ -> invalid_arg "Combining.dread: a flat-combining instance"
+  in
   let t0 = Aba_obs.Obs.start t.obs in
   let l = t.locals.(pid) in
   let e0 = Atomic.get t.epoch in
   if e0 land 1 = 0 && Atomic.compare_and_set t.epoch e0 (e0 + 1) then begin
     (* Scanner: run the real read, publish, release.  The scanner's own
        result is exact — it ran the full underlying protocol. *)
-    let r = t.scan ~pid in
+    let r = scan ~pid in
     Atomic.set t.snapshot (fst r);
     Atomic.set t.epoch (e0 + 2);
     l.scans <- l.scans + 1;
@@ -112,12 +167,110 @@ let dread t ~pid =
   end
   else begin
     Backoff.reset l.bo;
-    adopt t l ~pid e0 0 t0
+    adopt t scan l ~pid e0 0 t0
   end
+
+(* ----- Full flat combining ----- *)
+
+(* Raw slot-word tests; the hot path never builds an intermediate
+   variant (that would allocate). *)
+let pending_of op = (op lsl 2) lor 1
+let done_of r = (r lsl 2) lor 2
+let claimed_of w = (w land lnot 3) lor 3
+let payload w = w asr 2
+
+(* Called with the claim held (epoch odd): serve every queued mutation.
+   A slot can concurrently move PENDING->EMPTY (its owner withdrawing),
+   so the claim CAS may fail — then the op is simply no longer queued.
+   Once CLAIMED, the owner's withdraw is locked out and the plain DONE
+   store is safe.  Returns the number of ops served. *)
+let drain t apply ~pid =
+  let served = ref 0 in
+  for i = 0 to Array.length t.pub - 1 do
+    let s = t.pub.(i) in
+    let w = Atomic.get s in
+    if w land 3 = 1 && Atomic.compare_and_set s w (claimed_of w) then begin
+      Atomic.set s (done_of (apply ~pid (payload w)));
+      incr served
+    end
+  done;
+  !served
+
+let submit t ~pid op =
+  let apply =
+    match t.role with
+    | Mutate apply -> apply
+    | Read _ -> invalid_arg "Combining.submit: a read-combining instance"
+  in
+  let t0 = Aba_obs.Obs.start t.obs in
+  let l = t.locals.(pid) in
+  let slot = t.pub.(pid) in
+  let pending = pending_of op in
+  (* The slot is EMPTY and owner-owned: a plain store posts the op. *)
+  Atomic.set slot pending;
+  Backoff.reset l.bo;
+  let rec wait i =
+    let w = Atomic.get slot in
+    if w land 3 = 2 then begin
+      (* A combiner served us: its batch application is our
+         linearization point, which lies inside our interval because the
+         op was posted before it was claimed. *)
+      Atomic.set slot 0;
+      l.adopted <- l.adopted + 1;
+      Aba_obs.Obs.record t.obs ~pid ~kind:Aba_obs.Obs.Combine
+        ~outcome:Aba_obs.Obs.Combined ~retries:i t0;
+      payload w
+    end
+    else if w land 3 = 3 then begin
+      (* Claimed mid-application: the result is imminent (the combiner
+         holds the claim and is running [apply]); don't burn window. *)
+      Backoff.once l.bo;
+      wait i
+    end
+    else begin
+      (* Still pending: race for the claim and lead a round ourselves. *)
+      let e0 = Atomic.get t.epoch in
+      if e0 land 1 = 0 && Atomic.compare_and_set t.epoch e0 (e0 + 1) then begin
+        let served = drain t apply ~pid in
+        Atomic.set t.epoch (e0 + 2);
+        (* Our own slot was PENDING and nobody else held the claim, so
+           the drain necessarily served it. *)
+        let r = Atomic.get slot in
+        Atomic.set slot 0;
+        l.scans <- l.scans + 1;
+        l.batched <- l.batched + served - 1;
+        Aba_obs.Obs.record t.obs ~pid ~kind:Aba_obs.Obs.Combine
+          ~outcome:Aba_obs.Obs.Ok ~retries:i t0;
+        payload r
+      end
+      else if i >= t.window then
+        if Atomic.compare_and_set slot pending 0 then begin
+          (* Withdrawn: apply directly, uncombined.  Safe because the
+             underlying structure is itself concurrency-safe — combining
+             here is a traffic optimization, not a lock. *)
+          l.fallbacks <- l.fallbacks + 1;
+          Aba_obs.Obs.record t.obs ~pid ~kind:Aba_obs.Obs.Combine
+            ~outcome:Aba_obs.Obs.Fallback ~retries:i t0;
+          apply ~pid op
+        end
+        else (* a combiner claimed the op just now; take its result *)
+          wait i
+      else begin
+        Backoff.once l.bo;
+        wait (i + 1)
+      end
+    end
+  in
+  wait 0
 
 (* Declared after the hot-path functions so the [local] labels above
    resolve unambiguously. *)
-type stats = { scans : int; adopted : int; fallbacks : int }
+type stats = {
+  scans : int;
+  adopted : int;
+  fallbacks : int;
+  batched : int;
+}
 
 let stats t =
   Array.fold_left
@@ -126,6 +279,7 @@ let stats t =
         scans = acc.scans + l.scans;
         adopted = acc.adopted + l.adopted;
         fallbacks = acc.fallbacks + l.fallbacks;
+        batched = acc.batched + l.batched;
       })
-    { scans = 0; adopted = 0; fallbacks = 0 }
+    { scans = 0; adopted = 0; fallbacks = 0; batched = 0 }
     t.locals

@@ -1,27 +1,41 @@
-(** Read combining for ABA-detecting registers.
+(** Flat combining for ABA-protected structures.
 
-    Under read contention every [DRead] of {!Aba_from_registers} (Figure 4)
-    walks the same shared words: the register [X] plus the reader's
-    announce slot.  With many concurrent readers the work is redundant —
-    any one reader's snapshot would do for all of them, as long as each
-    adopted snapshot linearizes inside the adopter's own interval.
+    Two modes, one mechanism.  Both race the same claim word ([epoch], a
+    seqlock-style counter: odd while a combining round is in flight); the
+    winner does the shared-memory work on everyone's behalf, the losers
+    wait a bounded window ({!Aba_primitives.Backoff}-paced) and take the
+    winner's result.  A loser whose window expires falls back to running
+    the precise underlying operation itself.
 
-    This cache makes that trade explicit.  Readers race a claim word
-    ([epoch], a seqlock-style counter: odd while a scan is in flight); the
-    winner runs the underlying read ([scan]) and publishes its value, the
-    losers spin a bounded window ({!Aba_primitives.Backoff}-paced) and
-    adopt the published snapshot — but only one whose scan provably
-    {e started} after the adopter's own operation began (observed epoch
-    [>= e0 + 2]), which makes the adoption linearizable.  A loser whose
-    window expires falls back to the precise underlying read.
+    {b Read combining} ([create ~scan]) is the original degenerate case:
+    under read contention every [DRead] of {!Aba_from_registers}
+    (Figure 4) walks the same shared words, so any one reader's snapshot
+    serves all of them — as long as each adopted snapshot linearizes
+    inside the adopter's own interval.  The claim winner runs [scan] and
+    publishes its value; a loser adopts it only when the scan provably
+    {e started} after the loser's own operation began (observed epoch
+    [>= e0 + 2]).  The detection flag of an adopted read is
+    conservatively [true]: false positives cost a client retry, false
+    negatives (a missed ABA) are never introduced.
 
-    The detection flag of an adopted read is conservatively [true]: the
-    adopter skipped its own announce-protocol read, so it reports "may
-    have changed".  False positives cost a client retry; false negatives
-    (a missed ABA) are never introduced.  Driven sequentially every read
-    wins the claim and runs the exact underlying protocol, so seq/sim
-    transcripts are unchanged — the combining analogue of
-    {!Aba_primitives.Backoff.Noop} inertness. *)
+    {b Full flat combining} ([create ~apply]) generalizes this to
+    mutations in the spirit of Hendler, Incze, Shavit and Tzafrir: each
+    process posts an encoded operation (an immediate int — push/pop
+    descriptors, say) into its own padded publication slot; the claim
+    winner drains the whole publication array, applies the batch through
+    [apply], and publishes each result back into the poster's slot.  One
+    process does n operations' worth of shared-structure walking while
+    the other n-1 wait on their own cache lines.  The two modes are
+    exclusive per instance because read-combining's adoption rule is only
+    sound when every epoch bump published a fresh snapshot, which
+    mutation rounds do not.
+
+    Driven sequentially every operation wins the claim and runs the exact
+    underlying protocol (a combiner's own op is always in its batch), so
+    seq/sim transcripts are unchanged — the combining analogue of
+    {!Aba_primitives.Backoff.Noop} inertness.  Neither hot path
+    allocates: publication slots hold immediate ints, state-tagged in the
+    low two bits. *)
 
 open Aba_primitives
 
@@ -32,28 +46,55 @@ val create :
   ?window:int ->
   ?backoff:Backoff.spec ->
   ?obs:Aba_obs.Obs.t ->
+  ?scan:(pid:Pid.t -> int * bool) ->
+  ?apply:(pid:Pid.t -> int -> int) ->
   n:int ->
-  scan:(pid:Pid.t -> int * bool) ->
   unit ->
   t
-(** [scan ~pid] is the precise underlying read (e.g. Figure 4's [DRead]);
-    it is called by claim winners and by losers whose adoption window
-    ([window] epoch polls, default 64, each paced by [backoff]) expires.
-    [padded] (default [true]) puts the claim and snapshot words on their
-    own cache lines.  [obs] (default {!Aba_obs.Obs.noop}) records each
-    [dread] as a [Combine] event — outcome [Ok] for the scanner,
-    [Combined] for an adopter, [Fallback] on window expiry, with the poll
-    count as retries.  Raises [Invalid_argument] if [window] or [n] is
-    not positive. *)
+(** Exactly one of [scan] and [apply] must be given; [Invalid_argument]
+    otherwise.  [scan ~pid] is the precise underlying read (e.g.
+    Figure 4's [DRead]) of a read-combining instance — called by claim
+    winners and by losers whose adoption window expires.  [apply ~pid op]
+    applies one encoded mutation of a flat-combining instance and returns
+    its encoded result; it is called by the claim winner for every queued
+    op (with the {e winner's} pid — the underlying structure sees the
+    combiner as the executing process) and by a poster whose window
+    expires after it withdraws its op.  [window] (default 64) bounds the
+    wait in epoch polls, each paced by [backoff].  [padded] (default
+    [true]) puts the claim, snapshot and publication words on their own
+    cache lines.  [obs] (default {!Aba_obs.Obs.noop}) records each
+    operation as a [Combine] event — outcome [Ok] for the combiner,
+    [Combined] for a served waiter, [Fallback] on window expiry, with the
+    poll count as retries.  Raises [Invalid_argument] if [window] or [n]
+    is not positive. *)
 
 val dread : t -> pid:Pid.t -> int * bool
-(** Combined read: scan-and-publish, adopt, or fall back (see above). *)
+(** Combined read: scan-and-publish, adopt, or fall back (see above).
+    Raises [Invalid_argument] on a flat-combining ([~apply]) instance. *)
 
-type stats = { scans : int; adopted : int; fallbacks : int }
-(** [scans] + [adopted] + [fallbacks] = total [dread] calls.  [adopted]
-    are reads served from a concurrent scanner's snapshot — the combining
-    win.  Summed over per-process counters; exact once domains are
-    joined. *)
+val submit : t -> pid:Pid.t -> int -> int
+(** [submit t ~pid op] posts the encoded mutation [op], waits for a
+    combiner to serve it (or becomes the combiner and drains the whole
+    publication array), and returns the encoded result.  The batch
+    application is the linearization point of every served op; it lies
+    inside each poster's interval because an op is posted before it is
+    claimed.  On window expiry the poster withdraws the op (a CAS that
+    can only fail to a combiner having claimed it, in which case its
+    result is taken instead) and applies it directly — safe because the
+    underlying structure is itself concurrency-safe; combining is a
+    traffic optimization, not a lock.  Raises [Invalid_argument] on a
+    read-combining ([~scan]) instance. *)
+
+type stats = {
+  scans : int;  (** claim wins: full scans (read) or led rounds (flat) *)
+  adopted : int;  (** ops served by another process's round *)
+  fallbacks : int;  (** window expiries: precise/direct executions *)
+  batched : int;
+      (** {e other} processes' ops applied inside led rounds — the flat
+          combining win; 0 on a read-combining instance *)
+}
+(** [scans] + [adopted] + [fallbacks] = total [dread]/[submit] calls.
+    Summed over per-process counters; exact once domains are joined. *)
 
 val stats : t -> stats
 

@@ -361,6 +361,83 @@ let ring_scenario ~id ~about ?(heavy = false) ~seq_bits ~capacity scripts =
           ?max_schedules ?preemption_bound ());
   }
 
+(* ----- sharded service scenario -----
+
+   The real {!Aba_apps.Service.Shard_router} functor over shards whose
+   memory is simulator-backed: every head CAS and node read of every
+   shard is a schedulable step, so the explorer drives genuine
+   cross-shard interleavings through the router's steal path.  The
+   router's own bookkeeping (depth estimates, steal counters) lives on
+   plain OCaml state, so — like the hazard/epoch reclaim scenarios —
+   this certifies the shard-step interleavings, not interleavings inside
+   the bookkeeping itself. *)
+
+type sop = S_push of int * int | S_pop of int  (* payloads carry the key *)
+type sres = S_pushed of bool | S_popped of int option
+
+(* A key routed to shard [s]: searched, not assumed — the splitmix64 hash
+   is opaque here. *)
+let service_key ~nshards s =
+  let rec find k =
+    if Aba_apps.Service.hash_key k mod nshards = s then k else find (k + 1)
+  in
+  find 0
+
+let service_instance ~nshards ~capacity ~n () =
+  let sim = Aba_sim.Sim.create ~n in
+  let m = Aba_sim.Sim_mem.make sim in
+  let module TS = Aba_apps.Treiber_stack.Make ((val m : Mem_intf.S)) in
+  let module R = Aba_apps.Service.Shard_router (struct
+    type t = TS.t
+
+    let push = TS.push
+    let pop = TS.pop
+  end) in
+  let shards =
+    Array.init nshards (fun _ ->
+        TS.create ~protection:(Aba_apps.Treiber_stack.Tagged 4) ~capacity ~n
+          ~initial:[])
+  in
+  let r = R.create ~steal:true ~steal_batch:2 ~shards ~n () in
+  let apply pid op () =
+    match op with
+    | S_push (key, v) -> S_pushed (R.push r ~pid ~key v)
+    | S_pop key -> S_popped (R.pop r ~pid ~key)
+  in
+  { Explore.driver = Aba_sim.Driver.create ~sim ~apply }
+
+(* The steal audit, schedule by schedule: values taken by pops must be a
+   sub-multiset of values whose push succeeded — a steal relocates items
+   between shards, it must never duplicate or invent one. *)
+let service_check h =
+  let pushed = ref [] and popped = ref [] in
+  List.iter
+    (fun (_, op, res) ->
+      match (op, res) with
+      | S_push (_, v), Some (S_pushed true) -> pushed := v :: !pushed
+      | S_pop _, Some (S_popped (Some v)) -> popped := v :: !popped
+      | _ -> ())
+    (Event.ops_of h);
+  let remaining =
+    List.fold_left (fun acc v -> remove_first v acc) !pushed !popped
+  in
+  List.length remaining = List.length !pushed - List.length !popped
+
+let service_scenario ~id ~about ?(heavy = false) ~nshards ~capacity scripts =
+  let n = Array.length scripts in
+  {
+    id;
+    about;
+    n_procs = n;
+    expects_violation = false;
+    heavy;
+    run =
+      (fun ?max_schedules ?preemption_bound () ->
+        run_dpor ~name:id ~description:about ~n ~expect_violation:false
+          ~make:(service_instance ~nshards ~capacity ~n)
+          ~scripts ~check:service_check ?max_schedules ?preemption_bound ());
+  }
+
 (* ----- the suite ----- *)
 
 let all () =
@@ -426,6 +503,15 @@ let all () =
       ~scheme:Aba_reclaim.Reclaim.Guarded ~llsc_builder:Instances.llsc_native
       ~capacity:1
       [| [ R_alloc; R_retire ]; [ R_alloc ] |];
+    (let nshards = 2 in
+     let k0 = service_key ~nshards 0 and k1 = service_key ~nshards 1 in
+     service_scenario ~id:"service-2shard-steal"
+       ~about:
+         "2-shard stack router over simulated shards: a pusher keeps one \
+          shard hot while a popper on the other shard's key forces the \
+          bulk-steal path; stolen values must never duplicate"
+       ~nshards ~capacity:3
+       [| [ S_push (k0, 1); S_push (k0, 2) ]; [ S_pop k1; S_pop k1 ] |]);
     ring_scenario ~id:"ring-4bit"
       ~about:
         "bounded MPMC ring with 4-bit slot sequence tags, capacity 2, \

@@ -1,0 +1,284 @@
+open Aba_primitives
+module Sv = Aba_apps.Service
+module Obs = Aba_obs.Obs
+module Histogram = Aba_obs.Histogram
+module Clock = Aba_obs.Clock
+
+(* One row of the service sweep.  [scope] distinguishes the measurement
+   surface: "e2e" is the client-observed open-loop latency (completion
+   minus {e intended} arrival, so queueing delay counts), "shards" is
+   every shard operation's service time merged across shards through
+   {!Histogram.merge}, and "shard<i>" is one shard alone.  [slo] is the
+   fraction of ops within [slo_ns] — exact on the e2e row (counted
+   sample by sample), bucket-conservative on the histogram-derived
+   rows. *)
+type row = {
+  sv_structure : string;  (** stack | queue *)
+  sv_scope : string;
+  sv_shards : int;
+  sv_domains : int;
+  sv_steal : bool;
+  sv_combining : bool;
+  sv_skew : string;  (** uniform | hot *)
+  sv_ops : int;  (** per-domain operation count *)
+  sv_count : int;  (** samples behind this row's percentiles *)
+  sv_throughput : float;
+  sv_p50 : int;
+  sv_p90 : int;
+  sv_p99 : int;
+  sv_p999 : int;
+  sv_slo_ns : int;
+  sv_slo : float;
+  sv_steals : int;
+  sv_stolen : int;
+  sv_spills : int;
+  sv_batched : int;
+}
+
+(* The two concrete services reduced to the closures the workload
+   drives; stats come back as a plain tuple because the two routers'
+   stats records are distinct nominal types. *)
+type svc = {
+  s_push : pid:int -> key:int -> int -> bool;
+  s_pop : pid:int -> key:int -> int option;
+  s_stats : unit -> int * int * int;  (** steals, stolen, spills *)
+  s_batched : unit -> int;
+}
+
+let make_service structure ~shards ~capacity ~n ~steal ~combining ~shard_obs =
+  match structure with
+  | "stack" ->
+      let t =
+        Sv.Stack_service.create ~steal ~combining ~shard_obs ~shards ~capacity
+          ~n ()
+      in
+      {
+        s_push = (fun ~pid ~key v -> Sv.Stack_service.push t ~pid ~key v);
+        s_pop = (fun ~pid ~key -> Sv.Stack_service.pop t ~pid ~key);
+        s_stats =
+          (fun () ->
+            let s = Sv.Stack_service.stats t in
+            Sv.Stack_router.(s.steals, s.stolen, s.spills));
+        s_batched =
+          (fun () ->
+            match Sv.Stack_service.combining_stats t with
+            | None -> 0
+            | Some c -> c.Aba_core.Combining.batched);
+      }
+  | "queue" ->
+      let t =
+        Sv.Queue_service.create ~steal ~combining ~shard_obs ~shards ~capacity
+          ~n ()
+      in
+      {
+        s_push = (fun ~pid ~key v -> Sv.Queue_service.push t ~pid ~key v);
+        s_pop = (fun ~pid ~key -> Sv.Queue_service.pop t ~pid ~key);
+        s_stats =
+          (fun () ->
+            let s = Sv.Queue_service.stats t in
+            Sv.Queue_router.(s.steals, s.stolen, s.spills));
+        s_batched =
+          (fun () ->
+            match Sv.Queue_service.combining_stats t with
+            | None -> 0
+            | Some c -> c.Aba_core.Combining.batched);
+      }
+  | s -> invalid_arg ("Service_bench: unknown structure " ^ s)
+
+let key_space = 4096
+
+(* Deterministic exponential inter-arrival: the quantile transform over
+   the per-pid xorshift stream, so a cell replays the same arrival
+   process run to run and the Poisson process is the same whatever the
+   service does with it — the defining property of an open loop. *)
+let exp_draw rand ~mean_ns =
+  let u = float_of_int (1 + Rand.next_int rand 1_000_000) /. 1_000_000. in
+  -.mean_ns *. Float.log u
+
+let print_header () =
+  Printf.printf "  %-6s %-8s %3s %2s %-5s %-5s %-8s %9s %12s %8s %8s %8s %6s %7s %7s\n"
+    "struct" "scope" "sh" "d" "steal" "comb" "skew" "count" "ops/s" "p50"
+    "p99" "p999" "slo" "steals" "spills"
+
+let print_row r =
+  Printf.printf
+    "  %-6s %-8s %3d %2d %-5b %-5b %-8s %9d %12.0f %8d %8d %8d %6.3f %7d %7d\n"
+    r.sv_structure r.sv_scope r.sv_shards r.sv_domains r.sv_steal
+    r.sv_combining r.sv_skew r.sv_count r.sv_throughput r.sv_p50 r.sv_p99
+    r.sv_p999 r.sv_slo r.sv_steals r.sv_spills
+
+(* One cell: run the open-loop workload, then cut the three row scopes
+   out of the same execution. *)
+let cell ?(quiet = false) ~structure ~shards ~domains ~steal ~combining ~skew
+    ~ops ~slo_ns ~arrival_ns () =
+  let shard_obs = Array.init shards (fun _ -> Obs.create ~trace:0 ~n:domains ()) in
+  let svc =
+    make_service structure ~shards ~capacity:4096 ~n:domains ~steal ~combining
+      ~shard_obs:(fun s -> shard_obs.(s))
+  in
+  let e2e = Histogram.create ~n:domains () in
+  let slo_hits = Array.make domains 0 in
+  let hot_key = 0 in
+  let mean_ns = float_of_int arrival_ns in
+  let t0 = Clock.now_ns () in
+  let _ =
+    Aba_runtime.Harness.run_domains ~n:domains (fun pid ->
+        let rand = Rand.create ~pid in
+        let start = Clock.now_ns () in
+        let intended = ref (float_of_int start) in
+        let hits = ref 0 in
+        for i = 1 to ops do
+          (* Draw the next intended arrival; wait if we are early, never
+             if we are late — the backlog is the point of an open loop. *)
+          intended := !intended +. exp_draw rand ~mean_ns;
+          let due = int_of_float !intended in
+          while Clock.now_ns () < due do
+            Domain.cpu_relax ()
+          done;
+          let key =
+            match skew with
+            | "hot" ->
+                (* 7 in 8 ops hit one key: one shard saturates while its
+                   neighbours idle — the workload stealing exists for. *)
+                if Rand.next_int rand 8 < 7 then hot_key
+                else Rand.next_int rand key_space
+            | _ -> Rand.next_int rand key_space
+          in
+          (if i land 1 = 1 then ignore (svc.s_push ~pid ~key i : bool)
+           else ignore (svc.s_pop ~pid ~key : int option));
+          let lat = Clock.now_ns () - due in
+          Histogram.record e2e ~pid lat;
+          if lat <= slo_ns then incr hits
+        done;
+        slo_hits.(pid) <- !hits)
+  in
+  let dt = Clock.elapsed_s t0 in
+  let total = domains * ops in
+  let steals, stolen, spills = svc.s_stats () in
+  let batched = svc.s_batched () in
+  let base ~scope ~count ~slo (s : Histogram.summary) =
+    {
+      sv_structure = structure;
+      sv_scope = scope;
+      sv_shards = shards;
+      sv_domains = domains;
+      sv_steal = steal;
+      sv_combining = combining;
+      sv_skew = skew;
+      sv_ops = ops;
+      sv_count = count;
+      sv_throughput = float_of_int total /. dt;
+      sv_p50 = s.Histogram.p50;
+      sv_p90 = s.Histogram.p90;
+      sv_p99 = s.Histogram.p99;
+      sv_p999 = s.Histogram.p999;
+      sv_slo_ns = slo_ns;
+      sv_slo = slo;
+      sv_steals = steals;
+      sv_stolen = stolen;
+      sv_spills = spills;
+      sv_batched = batched;
+    }
+  in
+  (* The e2e row: exact SLO attainment from the per-sample counters. *)
+  let e2e_row =
+    base ~scope:"e2e" ~count:(Histogram.count e2e)
+      ~slo:
+        (float_of_int (Array.fold_left ( + ) 0 slo_hits)
+        /. float_of_int total)
+      (Histogram.summarize e2e)
+  in
+  (* Shard service times: each shard's per-kind histograms, merged
+     bucket-wise — first per shard, then across all shards. *)
+  let shard_hists s =
+    List.filter_map (fun k -> Obs.histogram shard_obs.(s) k) Obs.all_kinds
+  in
+  let shard_row s =
+    let h = Histogram.merge (shard_hists s) in
+    base
+      ~scope:(Printf.sprintf "shard%d" s)
+      ~count:(Histogram.count h)
+      ~slo:(Histogram.fraction_le h slo_ns)
+      (Histogram.summarize h)
+  in
+  let merged =
+    Histogram.merge (List.concat_map shard_hists (List.init shards Fun.id))
+  in
+  let merged_row =
+    base ~scope:"shards" ~count:(Histogram.count merged)
+      ~slo:(Histogram.fraction_le merged slo_ns)
+      (Histogram.summarize merged)
+  in
+  let rows = e2e_row :: merged_row :: List.init shards shard_row in
+  if not quiet then List.iter print_row rows;
+  rows
+
+let sweep ?(quiet = false) ?(slo_ns = 10_000) ?(arrival_ns = 1_000)
+    ~structures ~shards ~domains ~ops () =
+  if not quiet then begin
+    Printf.printf
+      "\nService sweep (open loop, mean inter-arrival %d ns, SLO %d ns, %d \
+       ops/domain):\n"
+      arrival_ns slo_ns ops;
+    print_header ()
+  end;
+  let cells = ref [] in
+  let add c = cells := c :: !cells in
+  List.iter
+    (fun structure ->
+      List.iter
+        (fun d ->
+          List.iter
+            (fun s ->
+              (* shards = 1 is the single-instance baseline: there is
+                 nobody to steal from, so only the steal-off ends run. *)
+              let steals = if s = 1 then [ false ] else [ false; true ] in
+              List.iter
+                (fun steal ->
+                  List.iter
+                    (fun combining ->
+                      add
+                        (cell ~quiet ~structure ~shards:s ~domains:d ~steal
+                           ~combining ~skew:"uniform" ~ops ~slo_ns ~arrival_ns
+                           ()))
+                    [ false; true ])
+                steals)
+            shards;
+          (* The skewed-key cells: the steal on/off pair whose p999 gap
+             is the work-stealing claim. *)
+          let s_max = List.fold_left max 1 shards in
+          if s_max > 1 then
+            List.iter
+              (fun steal ->
+                add
+                  (cell ~quiet ~structure ~shards:s_max ~domains:d ~steal
+                     ~combining:false ~skew:"hot" ~ops ~slo_ns ~arrival_ns ()))
+              [ false; true ])
+        domains)
+    structures;
+  List.concat (List.rev !cells)
+
+let row_to_json r =
+  Json.Obj
+    [
+      ("structure", Json.Str r.sv_structure);
+      ("scope", Json.Str r.sv_scope);
+      ("shards", Json.Int r.sv_shards);
+      ("domains", Json.Int r.sv_domains);
+      ("steal", Json.Bool r.sv_steal);
+      ("combining", Json.Bool r.sv_combining);
+      ("skew", Json.Str r.sv_skew);
+      ("ops", Json.Int r.sv_ops);
+      ("count", Json.Int r.sv_count);
+      ("ops_per_sec", Json.Float r.sv_throughput);
+      ("p50_ns", Json.Int r.sv_p50);
+      ("p90_ns", Json.Int r.sv_p90);
+      ("p99_ns", Json.Int r.sv_p99);
+      ("p999_ns", Json.Int r.sv_p999);
+      ("slo_ns", Json.Int r.sv_slo_ns);
+      ("slo", Json.Float r.sv_slo);
+      ("steals", Json.Int r.sv_steals);
+      ("stolen", Json.Int r.sv_stolen);
+      ("spills", Json.Int r.sv_spills);
+      ("batched", Json.Int r.sv_batched);
+    ]

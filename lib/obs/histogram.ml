@@ -34,6 +34,22 @@ let merged t =
   Array.iter (fun row -> Array.iteri (fun i c -> m.(i) <- m.(i) + c) row) t.rows;
   m
 
+(* Cross-instance merge: because a bucket's bounds depend only on its
+   index (never on the recording instance), summing bucket-wise is exactly
+   equivalent to having recorded every sample into one histogram — the
+   property the service tier relies on to get end-to-end percentiles from
+   per-shard histograms without re-recording. *)
+let merge ts =
+  let m = { rows = Array.make_matrix 1 buckets 0 } in
+  let row = m.rows.(0) in
+  List.iter
+    (fun t ->
+      Array.iter
+        (fun r -> Array.iteri (fun i c -> row.(i) <- row.(i) + c) r)
+        t.rows)
+    ts;
+  m
+
 let count t = Array.fold_left (fun acc row -> Array.fold_left ( + ) acc row) 0 t.rows
 
 let percentile t q =
@@ -52,6 +68,21 @@ let percentile t q =
       if cum >= rank then bucket_hi b else walk (b + 1) cum
     in
     walk 0 0
+  end
+
+(* SLO attainment: the fraction of samples whose bucket lies entirely at
+   or below [budget].  The straddling bucket counts only when the budget
+   covers its upper bound, so the estimate is conservative (never reports
+   a sample as in-budget that might not be) and agrees with [percentile]:
+   [fraction_le t (percentile t q) >= q]. *)
+let fraction_le t budget =
+  let m = merged t in
+  let total = Array.fold_left ( + ) 0 m in
+  if total = 0 then 1.
+  else begin
+    let within = ref 0 in
+    Array.iteri (fun b c -> if bucket_hi b <= budget then within := !within + c) m;
+    float_of_int !within /. float_of_int total
   end
 
 type summary = { count : int; p50 : int; p90 : int; p99 : int; p999 : int }

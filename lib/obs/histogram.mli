@@ -30,6 +30,21 @@ val record : t -> pid:int -> int -> unit
 val merged : t -> int array
 (** Per-bucket counts summed over all pids ({!buckets} cells). *)
 
+val merge : t list -> t
+(** Bucket-wise cross-instance merge into a fresh (single-row) histogram.
+    Because bucket bounds depend only on the bucket index, the result is
+    exactly what recording every constituent sample into one histogram
+    would have produced: counts, percentiles and {!fraction_le} all agree.
+    This is how end-to-end service percentiles are computed from per-shard
+    histograms without re-recording.  [merge []] is an empty histogram. *)
+
+val fraction_le : t -> int -> float
+(** [fraction_le t budget] is the fraction of recorded samples whose
+    bucket lies entirely at or below [budget] — the SLO-attainment metric.
+    Conservative under the 2x bucket resolution: a sample is counted as
+    in-budget only when its whole bucket is.  1.0 on an empty histogram
+    (no op violated the budget). *)
+
 val count : t -> int
 (** Total samples recorded. *)
 

@@ -19,6 +19,7 @@ type kind =
   | Retire
   | Wait_full
   | Wait_empty
+  | Steal
 
 let kind_index = function
   | Push -> 0
@@ -34,12 +35,13 @@ let kind_index = function
   | Retire -> 10
   | Wait_full -> 11
   | Wait_empty -> 12
+  | Steal -> 13
 
-let kind_count = 13
+let kind_count = 14
 
 let all_kinds =
   [ Push; Pop; Enqueue; Dequeue; Ll; Sc; Dread; Dwrite; Exchange; Combine;
-    Retire; Wait_full; Wait_empty ]
+    Retire; Wait_full; Wait_empty; Steal ]
 
 let kind_name = function
   | Push -> "push"
@@ -55,6 +57,7 @@ let kind_name = function
   | Retire -> "retire"
   | Wait_full -> "wait-full"
   | Wait_empty -> "wait-empty"
+  | Steal -> "steal"
 
 type outcome =
   | Ok

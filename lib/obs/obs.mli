@@ -32,6 +32,7 @@ type kind =
   | Retire  (** handing a node to the reclaimer *)
   | Wait_full  (** a blocking enqueue's wait for queue space *)
   | Wait_empty  (** a blocking dequeue's wait for an element *)
+  | Steal  (** a service-tier bulk steal from a hot shard *)
 
 (** How it ended. *)
 type outcome =

@@ -86,6 +86,7 @@ type churn_report = {
   pushed : int;
   popped : int;
   remaining : int;
+  by_domain : (int * int) array;
   outcome : (unit, string) result;
 }
 
@@ -176,5 +177,7 @@ let churn ?(mix = Push_heavy) ?(obs = Aba_obs.Obs.noop) ~n ~ops ~push ~pop
     pushed = List.length pushed;
     popped = List.length popped;
     remaining = List.length !remaining;
+    by_domain =
+      Array.map (fun (p, q) -> (List.length p, List.length q)) results;
     outcome = check_multiset ~pushed ~popped ~remaining:!remaining;
   }

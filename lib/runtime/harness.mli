@@ -42,6 +42,11 @@ type churn_report = {
   pushed : int;  (** pushes that found a free node *)
   popped : int;  (** pops by the racing domains *)
   remaining : int;  (** values drained after the run *)
+  by_domain : (int * int) array;
+      (** per-domain (successful pushes, successful pops), indexed by
+          domain — the aggregate [pushed]/[popped] split out so a sharded
+          workload can detect imbalance (one domain doing all the work
+          sums to the same aggregate as an even spread) *)
   outcome : (unit, string) result;  (** the {!check_multiset} verdict *)
 }
 

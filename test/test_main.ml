@@ -21,4 +21,5 @@ let () =
       ("elimination", Test_elimination.suite);
       ("queue", Test_queue.suite);
       ("observability", Test_obs.suite);
+      ("service", Test_service.suite);
     ]

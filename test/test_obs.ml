@@ -86,6 +86,59 @@ let histogram_edges () =
     (Histogram.merged h).(0);
   Alcotest.(check int) "their percentile is 0" 0 (Histogram.percentile h 1.0)
 
+(* Cross-instance merge: splitting a sample stream over several
+   histograms and merging must be indistinguishable — counts, every
+   percentile, and the SLO fraction at arbitrary budgets — from having
+   recorded the whole stream into one histogram.  This is the property
+   the service tier's end-to-end percentiles stand on. *)
+let histogram_merge_equiv =
+  qtest ~count:100 "merge of split streams = single-histogram recording"
+    QCheck2.Gen.(
+      pair
+        (list_size (int_range 0 200)
+           (pair (int_range 0 3) (int_range (-10) 1_000_000)))
+        (int_range 0 1_000_000))
+    (fun (samples, budget) ->
+      let parts = Array.init 4 (fun _ -> Histogram.create ~n:2 ()) in
+      let whole = Histogram.create ~n:1 () in
+      List.iteri
+        (fun i (part, v) ->
+          Histogram.record parts.(part) ~pid:(i land 1) v;
+          Histogram.record whole ~pid:0 v)
+        samples;
+      let m = Histogram.merge (Array.to_list parts) in
+      Histogram.count m = Histogram.count whole
+      && List.for_all
+           (fun q -> Histogram.percentile m q = Histogram.percentile whole q)
+           [ 0.; 0.5; 0.9; 0.99; 0.999; 1. ]
+      && Histogram.fraction_le m budget = Histogram.fraction_le whole budget)
+
+let histogram_fraction_le () =
+  let h = Histogram.create ~n:1 () in
+  Alcotest.(check (float 0.)) "empty histogram: vacuously in budget" 1.
+    (Histogram.fraction_le h 0);
+  List.iter (fun v -> Histogram.record h ~pid:0 v) [ 1; 2; 3; 4; 100 ];
+  (* Buckets: 1 -> [1,1], 2..3 -> [2,3], 4 -> [4,7], 100 -> [64,127].
+     A budget of 3 covers the first two buckets whole (3 samples); the
+     conservative rule excludes the [4,7] bucket even at budget 4. *)
+  Alcotest.(check (float 0.)) "budget 3 covers 3 of 5" 0.6
+    (Histogram.fraction_le h 3);
+  Alcotest.(check (float 0.)) "budget 4 is conservative" 0.6
+    (Histogram.fraction_le h 4);
+  Alcotest.(check (float 0.)) "budget 7 covers 4 of 5" 0.8
+    (Histogram.fraction_le h 7);
+  Alcotest.(check (float 0.)) "budget 127 covers all" 1.
+    (Histogram.fraction_le h 127);
+  (* Agreement with percentile: at a percentile's reported bound, at
+     least that fraction of samples is within budget. *)
+  List.iter
+    (fun q ->
+      Alcotest.(check bool)
+        (Printf.sprintf "fraction_le at p%g >= %g" (q *. 100.) q)
+        true
+        (Histogram.fraction_le h (Histogram.percentile h q) >= q))
+    [ 0.5; 0.9; 0.99 ]
+
 (* ----- Trace codec ----- *)
 
 let trace_codec_roundtrip =
@@ -291,6 +344,8 @@ let suite =
     histogram_percentile_oracle;
     histogram_percentiles_monotone;
     Alcotest.test_case "histogram edge cases" `Quick histogram_edges;
+    histogram_merge_equiv;
+    Alcotest.test_case "histogram SLO fraction" `Quick histogram_fraction_le;
     trace_codec_roundtrip;
     Alcotest.test_case "trace codec saturation and wrap" `Quick
       trace_codec_saturates;

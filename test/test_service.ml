@@ -1,0 +1,368 @@
+(** The sharded service tier: key routing, sequential transparency of a
+    1-shard service, deterministic and churning steal paths under all
+    three head protections, spill-on-full, the flat-combining submit
+    protocol (differential against the direct path, plus a concurrent
+    counter audit), and the per-domain churn split.
+
+    The load-bearing checks are the multiset audits: a steal moves items
+    by ordinary pop-then-push under the victim's own protection scheme,
+    so whatever the interleaving, nothing may be duplicated, lost or
+    invented — the same ABA-corruption signature the bare structures are
+    audited for, now across shard boundaries. *)
+
+module Sv = Aba_apps.Service
+module H = Aba_runtime.Harness
+module T = Aba_runtime.Rt_treiber
+module C = Aba_core.Combining
+
+let qtest ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* A key that routes to shard [s] of [nshards] — found by search; the
+   splitmix64 dispersion makes the expected search length ~ [nshards]. *)
+let key_for ~nshards s =
+  let rec find k =
+    if Sv.hash_key k mod nshards = s then k else find (k + 1)
+  in
+  find 0
+
+(* ----- Routing ----- *)
+
+let routing_in_range =
+  qtest "shard_of_key lands in [0, nshards) and is stable"
+    QCheck2.Gen.(pair (int_range 1 16) (int_range 0 1_000_000))
+    (fun (nshards, key) ->
+      let t =
+        Sv.Stack_service.create ~steal:false ~shards:nshards ~capacity:4 ~n:1
+          ()
+      in
+      let s = Sv.Stack_service.shard_of_key t key in
+      s >= 0 && s < nshards && s = Sv.Stack_service.shard_of_key t key)
+
+let routing_disperses () =
+  (* 4 shards, keys 0..999: splitmix64 must not collapse a dense key
+     range onto a few shards — every shard sees a reasonable share. *)
+  let nshards = 4 in
+  let counts = Array.make nshards 0 in
+  let t = Sv.Stack_service.create ~steal:false ~shards:nshards ~capacity:4 ~n:1 () in
+  for k = 0 to 999 do
+    let s = Sv.Stack_service.shard_of_key t k in
+    counts.(s) <- counts.(s) + 1
+  done;
+  Array.iteri
+    (fun s c ->
+      check_bool (Printf.sprintf "shard %d share %d in [150, 350]" s c) true
+        (c >= 150 && c <= 350))
+    counts
+
+(* ----- Sequential transparency ----- *)
+
+(* A 1-shard service is the bare structure plus a modulo-1 hash: any
+   sequential op sequence must replay the bare Treiber transcript word
+   for word, steal or no steal (with one shard there is nobody to steal
+   from or spill to). *)
+let one_shard_transparency =
+  let gen =
+    QCheck2.Gen.(
+      pair bool
+        (list_size (int_range 1 100)
+           (triple (int_range 0 1) (int_range 0 100) (int_range 0 1_000_000))))
+  in
+  qtest ~count:60 "1-shard service replays the bare stack transcript" gen
+    (fun (steal, ops) ->
+      let bare = T.create ~protection:(T.Tag_bits 16) ~capacity:16 ~n:1 () in
+      let svc = Sv.Stack_service.create ~steal ~shards:1 ~capacity:16 ~n:1 () in
+      List.for_all
+        (fun (op, v, key) ->
+          if op = 0 then T.push bare ~pid:0 v = Sv.Stack_service.push svc ~pid:0 ~key v
+          else T.pop bare ~pid:0 = Sv.Stack_service.pop svc ~pid:0 ~key)
+        ops)
+
+(* ----- Deterministic steal path ----- *)
+
+let forced_steal () =
+  let nshards = 2 in
+  let k0 = key_for ~nshards 0 and k1 = key_for ~nshards 1 in
+  let t =
+    Sv.Stack_service.create ~steal:true ~steal_batch:4 ~shards:nshards
+      ~capacity:64 ~n:1 ()
+  in
+  for v = 1 to 10 do
+    check_bool "seed push" true (Sv.Stack_service.push t ~pid:0 ~key:k0 v)
+  done;
+  check_int "victim depth before" 10 (Sv.Stack_service.depths t).(0);
+  (* Pop through the other shard's key: home is empty, the steal must
+     deliver one of the seeded values and rebalance up to batch-1 more. *)
+  (match Sv.Stack_service.pop t ~pid:0 ~key:k1 with
+  | Some v -> check_bool "stolen value is a seeded one" true (v >= 1 && v <= 10)
+  | None -> Alcotest.fail "steal found nothing despite a deep victim");
+  let st = Sv.Stack_service.stats t in
+  check_int "one steal" 1 st.Sv.Stack_router.steals;
+  check_int "batch moved" 4 st.Sv.Stack_router.stolen;
+  let d = Sv.Stack_service.depths t in
+  check_int "items conserved" 9 (d.(0) + d.(1));
+  check_int "rebalanced into home" 3 d.(1);
+  (* Drain everything through both keys: the multiset must be exactly
+     the unpopped seeds, each exactly once. *)
+  let seen = ref [] in
+  let rec drain key =
+    match Sv.Stack_service.pop t ~pid:0 ~key with
+    | Some v ->
+        seen := v :: !seen;
+        drain key
+    | None -> ()
+  in
+  drain k0;
+  drain k1;
+  check_int "drained the rest" 9 (List.length !seen);
+  check_bool "no duplicates, no inventions" true
+    (List.sort_uniq compare !seen = List.sort compare !seen
+    && List.for_all (fun v -> v >= 1 && v <= 10) !seen)
+
+let steal_disabled_is_local () =
+  let nshards = 2 in
+  let k0 = key_for ~nshards 0 and k1 = key_for ~nshards 1 in
+  let t = Sv.Stack_service.create ~steal:false ~shards:nshards ~capacity:64 ~n:1 () in
+  for v = 1 to 10 do
+    ignore (Sv.Stack_service.push t ~pid:0 ~key:k0 v : bool)
+  done;
+  check_bool "no steal: other key sees empty" true
+    (Sv.Stack_service.pop t ~pid:0 ~key:k1 = None);
+  let st = Sv.Stack_service.stats t in
+  check_int "no steals counted" 0 st.Sv.Stack_router.steals;
+  check_int "no items moved" 0 st.Sv.Stack_router.stolen
+
+let spill_on_full () =
+  let nshards = 2 in
+  let k0 = key_for ~nshards 0 in
+  let t =
+    Sv.Stack_service.create ~steal:true ~shards:nshards ~capacity:4 ~n:1 ()
+  in
+  (* Fill the home shard, then keep pushing the same key: the spill path
+     must land the overflow on the other shard until it too is full. *)
+  for v = 1 to 8 do
+    check_bool (Printf.sprintf "push %d accepted" v) true
+      (Sv.Stack_service.push t ~pid:0 ~key:k0 v)
+  done;
+  check_bool "9th push fails: every pool exhausted" false
+    (Sv.Stack_service.push t ~pid:0 ~key:k0 9);
+  let st = Sv.Stack_service.stats t in
+  check_int "spills counted" 4 st.Sv.Stack_router.spills;
+  let d = Sv.Stack_service.depths t in
+  check_int "home full" 4 d.(0);
+  check_int "spill target full" 4 d.(1)
+
+(* ----- Concurrent steal churn, all three protections ----- *)
+
+(* Skewed-key churn: every value is pushed under a key of shard 0, pops
+   alternate between the hot key and a cold one, so pops through the
+   cold key exercise the steal path constantly while pushes keep the
+   victim deep.  Whatever interleaves, the multiset audit must stay
+   clean — steals move values, never mint them. *)
+let steal_churn protection () =
+  let nshards = 4 and n = 4 in
+  let hot = key_for ~nshards 0 and cold = key_for ~nshards 1 in
+  let obs = Aba_obs.Obs.create ~n ~trace:0 () in
+  let t =
+    Sv.Stack_service.create ~protection ~steal:true ~steal_batch:4
+      ~shards:nshards ~capacity:256 ~n ~obs ()
+  in
+  let flip = Array.init n (fun _ -> ref true) in
+  let report =
+    H.churn ~n ~ops:2_000
+      ~push:(fun ~pid v -> Sv.Stack_service.push t ~pid ~key:hot v)
+      ~pop:(fun ~pid ->
+        let f = flip.(pid) in
+        f := not !f;
+        Sv.Stack_service.pop t ~pid ~key:(if !f then hot else cold))
+      ()
+  in
+  (match report.H.outcome with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail ("multiset audit: " ^ msg));
+  check_int "pushed = popped + remaining" report.H.pushed
+    (report.H.popped + report.H.remaining);
+  let st = Sv.Stack_service.stats t in
+  check_bool "cold-key pops stole" true (st.Sv.Stack_router.steals > 0);
+  (* Every steal attempt (successful or empty-handed) lands one [Steal]
+     event on the service handle; successes are a subset. *)
+  check_bool "steal events observed" true
+    (Aba_obs.Obs.op_count obs Aba_obs.Obs.Steal >= st.Sv.Stack_router.steals)
+
+(* ----- Flat combining ----- *)
+
+(* Differential: a sequential op sequence through a combining service
+   must produce exactly the direct service's results — sequentially
+   every submit wins the claim and applies its own op, so the two paths
+   run the same underlying operations in the same order. *)
+let combining_differential =
+  let gen =
+    QCheck2.Gen.(
+      list_size (int_range 1 120)
+        (triple (int_range 0 1) (int_range (-50) 50) (int_range 0 1_000)))
+  in
+  qtest ~count:60 "combining service replays the direct transcript" gen
+    (fun ops ->
+      let mk combining =
+        Sv.Stack_service.create ~steal:false ~combining ~shards:2 ~capacity:32
+          ~n:1 ()
+      in
+      let direct = mk false and combined = mk true in
+      List.for_all
+        (fun (op, v, key) ->
+          if op = 0 then
+            Sv.Stack_service.push direct ~pid:0 ~key v
+            = Sv.Stack_service.push combined ~pid:0 ~key v
+          else
+            Sv.Stack_service.pop direct ~pid:0 ~key
+            = Sv.Stack_service.pop combined ~pid:0 ~key)
+        ops)
+
+let combining_sequential_stats () =
+  let t = Sv.Stack_service.create ~steal:false ~combining:true ~shards:2 ~capacity:8 ~n:2 () in
+  check_bool "stats absent without combining" true
+    (Sv.Stack_service.combining_stats
+       (Sv.Stack_service.create ~steal:false ~shards:2 ~capacity:8 ~n:2 ())
+    = None);
+  let k = key_for ~nshards:2 0 in
+  for v = 1 to 6 do
+    ignore (Sv.Stack_service.push t ~pid:0 ~key:k v : bool)
+  done;
+  for _ = 1 to 6 do
+    ignore (Sv.Stack_service.pop t ~pid:1 ~key:k : int option)
+  done;
+  match Sv.Stack_service.combining_stats t with
+  | None -> Alcotest.fail "combining stats missing"
+  | Some s ->
+      check_int "every sequential submit led its own round" 12 s.C.scans;
+      check_int "nothing adopted sequentially" 0 s.C.adopted;
+      check_int "nothing fell back sequentially" 0 s.C.fallbacks;
+      check_int "no batching without contention" 0 s.C.batched
+
+(* The submit protocol on a bare combining instance: n domains hammer
+   increments through one flat-combining cell; the applied total must be
+   exact, every call must be accounted to exactly one of the three
+   outcomes, and batched counts only others' ops. *)
+let combining_concurrent_counter () =
+  let n = 4 and per = 5_000 in
+  let counter = Atomic.make 0 in
+  let c =
+    C.create ~n ~apply:(fun ~pid:_ d -> Atomic.fetch_and_add counter d) ()
+  in
+  ignore
+    (H.run_domains ~n (fun pid ->
+         for _ = 1 to per do
+           ignore (C.submit c ~pid 1 : int)
+         done)
+      : unit array);
+  check_int "every increment applied exactly once" (n * per)
+    (Atomic.get counter);
+  let s = C.stats c in
+  check_int "calls conserved across outcomes" (n * per)
+    (s.C.scans + s.C.adopted + s.C.fallbacks);
+  check_int "batched = ops served for others = adopted" s.C.adopted s.C.batched
+
+let combining_concurrent_service () =
+  let n = 4 in
+  let hot = key_for ~nshards:2 0 in
+  let t =
+    Sv.Stack_service.create ~steal:false ~combining:true ~shards:2
+      ~capacity:256 ~n ()
+  in
+  let report =
+    H.churn ~n ~ops:2_000
+      ~push:(fun ~pid v -> Sv.Stack_service.push t ~pid ~key:hot v)
+      ~pop:(fun ~pid -> Sv.Stack_service.pop t ~pid ~key:hot)
+      ()
+  in
+  (match report.H.outcome with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail ("multiset audit: " ^ msg));
+  check_int "pushed = popped + remaining" report.H.pushed
+    (report.H.popped + report.H.remaining)
+
+(* ----- Combining create validation ----- *)
+
+let role_validation () =
+  let bad f = try ignore (f ()); false with Invalid_argument _ -> true in
+  check_bool "neither scan nor apply rejected" true
+    (bad (fun () -> C.create ~n:1 ()));
+  check_bool "both scan and apply rejected" true
+    (bad (fun () ->
+         C.create ~n:1
+           ~scan:(fun ~pid:_ -> (0, false))
+           ~apply:(fun ~pid:_ d -> d)
+           ()));
+  let read = C.create ~n:1 ~scan:(fun ~pid:_ -> (7, false)) () in
+  let flat = C.create ~n:1 ~apply:(fun ~pid:_ d -> d + 1) () in
+  check_bool "submit on a read instance rejected" true
+    (bad (fun () -> C.submit read ~pid:0 3));
+  check_bool "dread on a flat instance rejected" true
+    (bad (fun () -> C.dread flat ~pid:0));
+  check_bool "read instance reads" true (C.dread read ~pid:0 = (7, false));
+  check_int "flat instance applies" 4 (C.submit flat ~pid:0 3)
+
+(* ----- Queue service sanity ----- *)
+
+let queue_service_fifo_per_shard () =
+  let t = Sv.Queue_service.create ~steal:false ~shards:2 ~capacity:16 ~n:1 () in
+  let k = key_for ~nshards:2 1 in
+  for v = 1 to 5 do
+    check_bool "enq" true (Sv.Queue_service.push t ~pid:0 ~key:k v)
+  done;
+  for v = 1 to 5 do
+    check_bool (Printf.sprintf "deq %d in FIFO order" v) true
+      (Sv.Queue_service.pop t ~pid:0 ~key:k = Some v)
+  done;
+  check_bool "drained" true (Sv.Queue_service.pop t ~pid:0 ~key:k = None)
+
+(* ----- Harness per-domain split ----- *)
+
+let churn_by_domain () =
+  let s = T.create ~protection:(T.Tag_bits 16) ~capacity:128 ~n:4 () in
+  let report =
+    H.churn ~n:4 ~ops:1_000
+      ~push:(fun ~pid v -> T.push s ~pid v)
+      ~pop:(fun ~pid -> T.pop s ~pid)
+      ()
+  in
+  check_int "one row per domain" 4 (Array.length report.H.by_domain);
+  let sp = Array.fold_left (fun a (p, _) -> a + p) 0 report.H.by_domain in
+  let sq = Array.fold_left (fun a (_, q) -> a + q) 0 report.H.by_domain in
+  check_int "per-domain pushes sum to the aggregate" report.H.pushed sp;
+  check_int "per-domain pops sum to the aggregate" report.H.popped sq
+
+let suite =
+  [
+    routing_in_range;
+    Alcotest.test_case "dense keys disperse over shards" `Quick
+      routing_disperses;
+    one_shard_transparency;
+    Alcotest.test_case "forced steal: delivery, rebalance, conservation"
+      `Quick forced_steal;
+    Alcotest.test_case "steal disabled: pops stay local" `Quick
+      steal_disabled_is_local;
+    Alcotest.test_case "spill on full home shard" `Quick spill_on_full;
+    Alcotest.test_case "skewed steal churn, 4 domains: tag16" `Quick
+      (steal_churn (T.Tag_bits 16));
+    Alcotest.test_case "skewed steal churn, 4 domains: llsc" `Quick
+      (steal_churn T.Llsc);
+    Alcotest.test_case "skewed steal churn, 4 domains: hazard-reclaimed"
+      `Quick
+      (steal_churn (T.Reclaimed Aba_runtime.Rt_reclaim.Hazard));
+    combining_differential;
+    Alcotest.test_case "combining service: sequential stats" `Quick
+      combining_sequential_stats;
+    Alcotest.test_case "flat combining: concurrent counter exact" `Quick
+      combining_concurrent_counter;
+    Alcotest.test_case "combining service churn audit, 4 domains" `Quick
+      combining_concurrent_service;
+    Alcotest.test_case "combining role validation" `Quick role_validation;
+    Alcotest.test_case "queue service: per-shard FIFO" `Quick
+      queue_service_fifo_per_shard;
+    Alcotest.test_case "churn reports per-domain splits" `Quick
+      churn_by_domain;
+  ]
