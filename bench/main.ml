@@ -277,6 +277,7 @@ let treiber_tests =
     [
       ("naive", Aba_runtime.Rt_treiber.Tag_bits 0);
       ("tag16", Aba_runtime.Rt_treiber.Tag_bits 16);
+      ("announced", Aba_runtime.Rt_treiber.Announced 12);
       ("llsc", Aba_runtime.Rt_treiber.Llsc);
       ("hazard", Aba_runtime.Rt_treiber.Reclaimed Aba_runtime.Rt_reclaim.Hazard);
       ("epoch", Aba_runtime.Rt_treiber.Reclaimed Aba_runtime.Rt_reclaim.Epoch);
@@ -335,6 +336,7 @@ let msqueue_tests =
     [
       ("naive", Aba_runtime.Rt_ms_queue.Tag_bits 0);
       ("tag16", Aba_runtime.Rt_ms_queue.Tag_bits 16);
+      ("announced", Aba_runtime.Rt_ms_queue.Announced 12);
       ( "hazard",
         Aba_runtime.Rt_ms_queue.Reclaimed Aba_runtime.Rt_reclaim.Hazard );
       ("epoch", Aba_runtime.Rt_ms_queue.Reclaimed Aba_runtime.Rt_reclaim.Epoch);
@@ -838,6 +840,165 @@ let ring_hotpath_tests =
            ignore (Aba_queue.Two_lock_queue.dequeue_or tl ~pid:1 ~default:0)));
   ]
 
+(* The announced protection's hot-path claim: an uncontended push +
+   [pop_or] pair costs {e zero} minor words and no per-op retire or scan
+   — the head is one packed atomic int, the announcement a strided-array
+   write of an immediate, and [pop_or] returns the bare int.  The tag16
+   row is the baseline it must match (same packed word, no announcement);
+   the plain [pop] rows allocate only their [Some] box.  Crossing scans
+   are amortised away entirely here: 2^11 installs per scan at k = 12,
+   invisible at bechamel's sample sizes. *)
+let announced_hotpath_tests =
+  let tag =
+    Aba_runtime.Rt_treiber.create
+      ~protection:(Aba_runtime.Rt_treiber.Tag_bits 16) ~capacity:64 ~n:2 ()
+  in
+  let ann =
+    Aba_runtime.Rt_treiber.create
+      ~protection:(Aba_runtime.Rt_treiber.Announced 12) ~capacity:64 ~n:2 ()
+  in
+  let q =
+    Aba_runtime.Rt_ms_queue.create
+      ~protection:(Aba_runtime.Rt_ms_queue.Announced 12) ~capacity:64 ~n:2 ()
+  in
+  (* One resident element: both ends of every pair always succeed. *)
+  ignore (Aba_runtime.Rt_treiber.push tag ~pid:0 1 : bool);
+  ignore (Aba_runtime.Rt_treiber.push ann ~pid:0 1 : bool);
+  ignore (Aba_runtime.Rt_ms_queue.enqueue q ~pid:0 1 : bool);
+  [
+    Test.make ~name:"treiber-tag16.push+pop_or baseline"
+      (staged (fun () ->
+           ignore (Aba_runtime.Rt_treiber.push tag ~pid:1 42 : bool);
+           ignore (Aba_runtime.Rt_treiber.pop_or tag ~pid:1 ~default:0 : int)));
+    Test.make ~name:"treiber-announced.push+pop"
+      (staged (fun () ->
+           ignore (Aba_runtime.Rt_treiber.push ann ~pid:1 42 : bool);
+           ignore (Aba_runtime.Rt_treiber.pop ann ~pid:1 : int option)));
+    Test.make ~name:"treiber-announced.push+pop_or"
+      (staged (fun () ->
+           ignore (Aba_runtime.Rt_treiber.push ann ~pid:1 42 : bool);
+           ignore (Aba_runtime.Rt_treiber.pop_or ann ~pid:1 ~default:0 : int)));
+    Test.make ~name:"msqueue-announced.enq+deq_or"
+      (staged (fun () ->
+           ignore (Aba_runtime.Rt_ms_queue.enqueue q ~pid:1 42 : bool);
+           ignore
+             (Aba_runtime.Rt_ms_queue.dequeue_or q ~pid:1 ~default:0 : int)));
+  ]
+
+(* ----- Part 8: protection sweep (wraparound-safe tags vs reclaimers) -----
+
+   The head-to-head the [Announced] protection exists for: the same
+   contended paired churn as the percentile cases, across every
+   protection regime of both structures, with throughput and per-kind
+   tail latency in one table.  The announced rows run at k = 8 (half
+   window 128) so the crossing scans actually fire at smoke op counts
+   and show up as [scan] rows — their count per op is the "no per-op
+   scan" claim made measurable.  Reclaimer rows must have no scan rows
+   at all (their cost shows as [retire] events instead); CI validates
+   exactly that shape. *)
+
+type protection_row = {
+  pv_structure : string;
+  pv_protection : string;
+  pv_domains : int;
+  pv_ops : int;  (** per-domain operation pairs of the driving loop *)
+  pv_kind : string;
+  pv_count : int;
+  pv_retries : int;
+  pv_throughput : float;  (** total ops/s of the whole churn *)
+  pv_p50 : int;
+  pv_p90 : int;
+  pv_p99 : int;
+  pv_p999 : int;
+}
+
+let protection_sweep ~domains ~ops () =
+  Printf.printf "\nProtection sweep (%d domains x %d op-pairs/domain, ns):\n"
+    domains ops;
+  Printf.printf "  %-9s %-11s %-8s %9s %8s %12s %8s %8s %8s %8s\n" "struct"
+    "protection" "kind" "count" "retries" "ops/s" "p50" "p90" "p99" "p999";
+  let rows = ref [] in
+  let case pv_structure pv_protection setup body =
+    let obs = Obs.create ~trace:0 ~n:domains () in
+    let st = setup obs in
+    let t0 = Aba_obs.Clock.now_ns () in
+    let _ =
+      Aba_runtime.Harness.run_domains ~n:domains (fun pid -> body st pid)
+    in
+    let dt = Aba_obs.Clock.elapsed_s t0 in
+    let pv_throughput = float_of_int (2 * domains * ops) /. dt in
+    List.iter
+      (fun kind ->
+        let count = Obs.op_count obs kind in
+        match Obs.histogram obs kind with
+        | Some h when count > 0 ->
+            let s = Aba_obs.Histogram.summarize h in
+            let row =
+              {
+                pv_structure;
+                pv_protection;
+                pv_domains = domains;
+                pv_ops = ops;
+                pv_kind = Obs.kind_name kind;
+                pv_count = count;
+                pv_retries = Obs.retry_count obs kind;
+                pv_throughput;
+                pv_p50 = s.Aba_obs.Histogram.p50;
+                pv_p90 = s.Aba_obs.Histogram.p90;
+                pv_p99 = s.Aba_obs.Histogram.p99;
+                pv_p999 = s.Aba_obs.Histogram.p999;
+              }
+            in
+            Printf.printf
+              "  %-9s %-11s %-8s %9d %8d %12.0f %8d %8d %8d %8d\n"
+              row.pv_structure row.pv_protection row.pv_kind row.pv_count
+              row.pv_retries row.pv_throughput row.pv_p50 row.pv_p90
+              row.pv_p99 row.pv_p999;
+            rows := row :: !rows
+        | Some _ | None -> ())
+      Obs.all_kinds
+  in
+  List.iter
+    (fun (name, protection) ->
+      case "treiber" name
+        (fun obs ->
+          Aba_runtime.Rt_treiber.create ~obs ~protection ~capacity:1024
+            ~n:domains ())
+        (fun s pid ->
+          for i = 1 to ops do
+            ignore (Aba_runtime.Rt_treiber.push s ~pid i);
+            ignore (Aba_runtime.Rt_treiber.pop s ~pid)
+          done))
+    [
+      ("tag16", Aba_runtime.Rt_treiber.Tag_bits 16);
+      ("announced8", Aba_runtime.Rt_treiber.Announced 8);
+      ("hazard", Aba_runtime.Rt_treiber.Reclaimed Aba_runtime.Rt_reclaim.Hazard);
+      ("epoch", Aba_runtime.Rt_treiber.Reclaimed Aba_runtime.Rt_reclaim.Epoch);
+      ( "guarded",
+        Aba_runtime.Rt_treiber.Reclaimed Aba_runtime.Rt_reclaim.Guarded );
+    ];
+  List.iter
+    (fun (name, protection) ->
+      case "msqueue" name
+        (fun obs ->
+          Aba_runtime.Rt_ms_queue.create ~obs ~protection ~capacity:1024
+            ~n:domains ())
+        (fun q pid ->
+          for i = 1 to ops do
+            ignore (Aba_runtime.Rt_ms_queue.enqueue q ~pid i);
+            ignore (Aba_runtime.Rt_ms_queue.dequeue q ~pid)
+          done))
+    [
+      ("tag16", Aba_runtime.Rt_ms_queue.Tag_bits 16);
+      ("announced8", Aba_runtime.Rt_ms_queue.Announced 8);
+      ( "hazard",
+        Aba_runtime.Rt_ms_queue.Reclaimed Aba_runtime.Rt_reclaim.Hazard );
+      ("epoch", Aba_runtime.Rt_ms_queue.Reclaimed Aba_runtime.Rt_reclaim.Epoch);
+      ( "guarded",
+        Aba_runtime.Rt_ms_queue.Reclaimed Aba_runtime.Rt_reclaim.Guarded );
+    ];
+  List.rev !rows
+
 (* ----- Part 7: sharded service tier (open-loop SLO sweep) -----
 
    The sweep itself lives in {!Aba_experiments.Service_bench} (shared
@@ -892,6 +1053,7 @@ type options = {
   smoke : bool;  (** sweep + JSON only: CI-sized smoke run *)
   elimination : bool;  (** add the elimination/combining axis to the sweep *)
   service : bool;  (** part 7: the sharded-service open-loop sweep *)
+  protections : bool;  (** part 8: the protection head-to-head sweep *)
   slo_ns : int;
   arrival_ns : int;
 }
@@ -907,6 +1069,7 @@ let default_options () =
     smoke = false;
     elimination = false;
     service = false;
+    protections = false;
     slo_ns = 10_000;
     arrival_ns = 1_000;
   }
@@ -915,7 +1078,7 @@ let usage_and_exit code =
   prerr_endline
     "usage: bench [--json FILE] [--domains N] [--ops N] [--max-domains N]\n\
     \             [--sweep-ops N] [--smoke] [--elimination] [--service]\n\
-    \             [--slo-ns N] [--arrival-ns N]\n\n\
+    \             [--protections] [--slo-ns N] [--arrival-ns N]\n\n\
     \  --json FILE     write machine-readable results to FILE\n\
     \  --domains N     domain count for the treiber/reclaim tables \
      (default 4)\n\
@@ -925,6 +1088,8 @@ let usage_and_exit code =
     \  --smoke         only the sweeps + percentiles (plus JSON): CI smoke\n\
     \  --elimination   sweep the elimination/combining axis too (2x2x2)\n\
     \  --service       part 7: the sharded service tier open-loop sweep\n\
+    \  --protections   part 8: protection head-to-head sweep (announced \
+     vs reclaimers)\n\
     \  --slo-ns N      service SLO budget in ns (default 10000)\n\
     \  --arrival-ns N  service mean inter-arrival in ns (default 1000)";
   exit code
@@ -956,6 +1121,7 @@ let parse_options () =
       | "--smoke" -> o := { !o with smoke = true }; go (i + 1)
       | "--elimination" -> o := { !o with elimination = true }; go (i + 1)
       | "--service" -> o := { !o with service = true }; go (i + 1)
+      | "--protections" -> o := { !o with protections = true }; go (i + 1)
       | "--slo-ns" -> o := { !o with slo_ns = int_value i }; go (i + 2)
       | "--arrival-ns" -> o := { !o with arrival_ns = int_value i }; go (i + 2)
       | "--help" | "-h" -> usage_and_exit 0
@@ -985,7 +1151,7 @@ let meta_json () =
   let tm = Unix.gmtime (Unix.time ()) in
   Json.Obj
     [
-      ("schema_version", Json.Int 6);
+      ("schema_version", Json.Int 7);
       ("git_commit", Json.Str (git_commit ()));
       ("ocaml_version", Json.Str Sys.ocaml_version);
       ( "available_domains",
@@ -1052,6 +1218,23 @@ let percentile_row_json r =
       ("p999_ns", Json.Int r.lp_p999);
     ]
 
+let protection_row_json r =
+  Json.Obj
+    [
+      ("structure", Json.Str r.pv_structure);
+      ("protection", Json.Str r.pv_protection);
+      ("domains", Json.Int r.pv_domains);
+      ("ops", Json.Int r.pv_ops);
+      ("kind", Json.Str r.pv_kind);
+      ("count", Json.Int r.pv_count);
+      ("retries", Json.Int r.pv_retries);
+      ("ops_per_sec", Json.Float r.pv_throughput);
+      ("p50_ns", Json.Int r.pv_p50);
+      ("p90_ns", Json.Int r.pv_p90);
+      ("p99_ns", Json.Int r.pv_p99);
+      ("p999_ns", Json.Int r.pv_p999);
+    ]
+
 let capacity_row_json r =
   Json.Obj
     [
@@ -1071,7 +1254,7 @@ let capacity_row_json r =
     ]
 
 let write_json path ~treiber_rows ~reclaim_rows ~sweep_rows ~percentile_rows
-    ~capacity_rows ~service_rows =
+    ~capacity_rows ~service_rows ~protection_rows =
   let doc =
     Json.Obj
       [
@@ -1085,6 +1268,8 @@ let write_json path ~treiber_rows ~reclaim_rows ~sweep_rows ~percentile_rows
         ( "service_sweep",
           Json.Arr
             (List.map Aba_experiments.Service_bench.row_to_json service_rows) );
+        ( "protection_sweep",
+          Json.Arr (List.map protection_row_json protection_rows) );
       ]
   in
   let oc = open_out path in
@@ -1167,8 +1352,22 @@ let () =
         ()
     end
   in
+  (* Part 8: the protection head-to-head, opt-in via --protections.  The
+     announced-hotpath allocation group carries the 0-words/op claim; the
+     sweep carries throughput and tail latency against the reclaimers. *)
+  let protection_rows =
+    if not o.protections then []
+    else begin
+      if not o.smoke then
+        benchmark_report ~alloc:true "announced-hotpath"
+          announced_hotpath_tests;
+      protection_sweep
+        ~domains:(min o.domains o.max_domains)
+        ~ops:o.sweep_ops ()
+    end
+  in
   match o.json with
   | None -> ()
   | Some path ->
       write_json path ~treiber_rows ~reclaim_rows ~sweep_rows ~percentile_rows
-        ~capacity_rows ~service_rows
+        ~capacity_rows ~service_rows ~protection_rows

@@ -169,32 +169,51 @@ let obs_cmd =
   let events =
     Arg.(value & opt int 20 & info [ "events" ] ~doc:"trace events to print")
   in
-  let run domains ops events =
+  let protection =
+    Arg.(
+      value & opt string "hazard"
+      & info [ "protection" ]
+          ~doc:
+            "head protection of the churned stack: $(b,hazard) (reclaimed; \
+             retire events) or $(b,announced) (wraparound-safe 8-bit tags; \
+             crossing scans show up as $(b,scan) rows).")
+  in
+  let run domains ops events protection =
     let module Obs = Aba_obs.Obs in
+    let prot =
+      match protection with
+      | "announced" -> Aba_runtime.Rt_treiber.Announced 8
+      | "hazard" ->
+          Aba_runtime.Rt_treiber.Reclaimed Aba_runtime.Rt_reclaim.Hazard
+      | other ->
+          Printf.eprintf "unknown protection %S (hazard|announced)\n" other;
+          exit 2
+    in
     let obs = Obs.create ~trace:512 ~n:domains () in
     let s =
-      Aba_runtime.Rt_treiber.create ~obs
-        ~protection:
-          (Aba_runtime.Rt_treiber.Reclaimed Aba_runtime.Rt_reclaim.Hazard)
+      Aba_runtime.Rt_treiber.create ~obs ~protection:prot
         ~elimination:Aba_runtime.Elimination.default_spec ~capacity:1024
         ~n:domains ()
     in
-    let rc = Option.get (Aba_runtime.Rt_treiber.reclaimer s) in
     let report =
       Aba_runtime.Harness.churn ~mix:Aba_runtime.Harness.Paired ~n:domains
         ~ops
         ~push:(fun ~pid v -> Aba_runtime.Rt_treiber.push s ~pid v)
         ~pop:(fun ~pid -> Aba_runtime.Rt_treiber.pop s ~pid)
         ~finish:(fun ~pid ->
-          Aba_runtime.Rt_reclaim.release rc ~pid;
-          Aba_runtime.Rt_reclaim.flush rc ~pid)
+          match Aba_runtime.Rt_treiber.reclaimer s with
+          | Some rc ->
+              Aba_runtime.Rt_reclaim.release rc ~pid;
+              Aba_runtime.Rt_reclaim.flush rc ~pid
+          | None -> ())
         ()
     in
     Printf.printf
-      "churn (treiber hazard+elim, paired): attempted=%d pushed=%d popped=%d \
+      "churn (treiber %s+elim, paired): attempted=%d pushed=%d popped=%d \
        remaining=%d multiset=%s\n"
-      report.Aba_runtime.Harness.attempted report.Aba_runtime.Harness.pushed
-      report.Aba_runtime.Harness.popped report.Aba_runtime.Harness.remaining
+      protection report.Aba_runtime.Harness.attempted
+      report.Aba_runtime.Harness.pushed report.Aba_runtime.Harness.popped
+      report.Aba_runtime.Harness.remaining
       (match report.Aba_runtime.Harness.outcome with
       | Ok () -> "ok"
       | Error e -> "CORRUPT: " ^ e);
@@ -233,7 +252,7 @@ let obs_cmd =
        ~doc:
          "Observability demo (E14): instrumented contended churn, merged \
           histogram + trace.")
-    Term.(const run $ domains $ ops $ events)
+    Term.(const run $ domains $ ops $ events $ protection)
 
 (* E15: the ingress tier exercised end to end — a capacity-limited
    bounded churn over the instrumented lock-free ring (with the multiset

@@ -1,0 +1,95 @@
+open Aba_primitives
+
+type outcome = Installed | Contended | Blocked
+
+module Make (M : Mem_intf.S) = struct
+  type t = {
+    g_tag_bits : int;
+    g_total : int;  (** [2^tag_bits] *)
+    g_half : int;  (** [2^(tag_bits-1)]: crossings happen at 0 and here *)
+    g_n : int;
+    g_guard : bool;
+    g_word : int M.cas2;
+    g_slots : int M.register array;  (** announced tag per pid, -1 = none *)
+    mutable g_scans : int;
+  }
+
+  (* Values are node indices with -1 as nil, so [v + 1] is a non-negative
+     immediate encoding and the pair packs into one int on the runtime
+     backend. *)
+  let int_codec =
+    { Mem_intf.encode = (fun v -> v + 1); decode = (fun w -> w - 1) }
+
+  let create ?(guard = true) ?(padded = false)
+      ?(value_bound = Bounded.int_range ~lo:(-1) ~hi:255) ~tag_bits ~name ~n
+      ~init () =
+    if tag_bits < 2 then
+      invalid_arg "Announced_tags.create: tag_bits must be >= 2";
+    let total = 1 lsl tag_bits in
+    let word =
+      M.make_cas2 ~bound:value_bound ~padded ~codec:int_codec ~tag_bits
+        ~name:(name ^ ".word") ~show:string_of_int init 0
+    in
+    let slot_bound = Bounded.int_range ~lo:(-1) ~hi:(total - 1) in
+    let slots =
+      Array.init n (fun p ->
+          M.make_register ~bound:slot_bound ~padded
+            ~name:(Printf.sprintf "%s.ann[%d]" name p)
+            ~show:string_of_int (-1))
+    in
+    {
+      g_tag_bits = tag_bits;
+      g_total = total;
+      g_half = total / 2;
+      g_n = n;
+      g_guard = guard;
+      g_word = word;
+      g_slots = slots;
+      g_scans = 0;
+    }
+
+  let tag_bits t = t.g_tag_bits
+  let peek t = M.cas2_read t.g_word
+
+  let protect t ~pid =
+    let rec validate v g =
+      if t.g_guard then M.write t.g_slots.(pid) g;
+      let v', g' = M.cas2_read t.g_word in
+      if v' = v && g' = g then (v, g) else validate v' g'
+    in
+    let v, g = M.cas2_read t.g_word in
+    validate v g
+
+  let clear t ~pid = if t.g_guard then M.write t.g_slots.(pid) (-1)
+
+  let guarded_cas t ~expect ~expect_tag ~update =
+    let next = (expect_tag + 1) land (t.g_total - 1) in
+    if (not t.g_guard) || next mod t.g_half <> 0 then
+      if
+        M.cas2 t.g_word ~expect ~expect_tag ~update ~update_tag:next
+      then Installed
+      else Contended
+    else begin
+      (* Crossing into the half [next .. next + g_half - 1]: enter just
+         above the highest announced tag in it.  The live tag [expect_tag]
+         sits in the half we are leaving, so neither the caller's own
+         announcement nor any freshly validated one can block us; only a
+         reader parked on the last tag of the target half does. *)
+      t.g_scans <- t.g_scans + 1;
+      let entry = ref 0 in
+      for p = 0 to t.g_n - 1 do
+        let a = M.read t.g_slots.(p) in
+        if a >= next && a < next + t.g_half && a - next + 1 > !entry then
+          entry := a - next + 1
+      done;
+      if !entry >= t.g_half then Blocked
+      else if
+        M.cas2 t.g_word ~expect ~expect_tag ~update
+          ~update_tag:(next + !entry)
+      then Installed
+      else Contended
+    end
+
+  let scans t = t.g_scans
+  let space _ = M.space ()
+end

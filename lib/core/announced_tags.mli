@@ -1,0 +1,93 @@
+(** Announcement-guarded bounded tags: wraparound-safe tagging over a
+    double-word CAS.
+
+    The folklore bounded-tag technique ({!Aba_bounded_tag}, the [Tag_bits]
+    protections in [lib/runtime]) attaches a [2^k]-valued counter to a CAS
+    word; it is unsound across wraparound — [2^k] installs between a read
+    and its dependent CAS reinstate the tag and the stale CAS succeeds
+    (the E6 adversary).  This module makes the {e same} tag space safe with
+    a hazard-pointer idea applied to tags instead of nodes (flock's
+    [tagged.h]): readers {e announce} the tag they rely on in a per-process
+    slot before using it, and writers {e scan} the slots before reusing
+    tags, skipping announced ones.
+
+    The tag space [0 .. 2^k - 1] is split into two halves.  Installs inside
+    a half are plain [tag + 1] — no scan, no shared traffic beyond the CAS
+    itself.  Only when an install would {e cross} into the other half
+    (tag [0] or [2^(k-1)]) does the writer scan the announcement slots: it
+    enters the target half just {e above} the highest announced tag in it,
+    so a tag that has been continuously announced since it was last live is
+    never reinstated.  A crossing is {!outcome.Blocked} when an
+    announcement parks on the very last tag of the target half; the caller
+    retries (with backoff at runtime) — the same bounded-interference
+    caveat as a stalled hazard-pointer holder, except it costs progress,
+    never safety.
+
+    Soundness sketch.  [protect] announces and then {e revalidates}: it
+    re-reads the word until a read matches the announcement it just wrote.
+    From that point the witness pair [(v, g)] cannot be reinstated after
+    being displaced while the announcement stands: tags advance by [+1]
+    within a half, so reinstating [g] requires a later crossing into [g]'s
+    half, whose scan happens after the announcement was visible and
+    therefore enters above [g].  A successful CAS on the witness hence
+    proves the word never changed since validation — exactly the guarantee
+    a Treiber pop or an M&S dequeue needs, with zero per-operation retire
+    or scan cost.
+
+    [guard:false] turns both the announcements and the scans off, leaving
+    the plain (unsound) modular tag discipline on the identical code path —
+    the reference point the wraparound regression pair in
+    [lib/lowerbound/wraparound.ml] is built on. *)
+
+open Aba_primitives
+
+(** Result of a {!Make.guarded_cas} attempt. *)
+type outcome =
+  | Installed  (** the CAS succeeded; the update is published *)
+  | Contended  (** the word no longer matches the witness; re-read *)
+  | Blocked
+      (** crossing refused: an announcement parks on the last tag of the
+          target half; retry after the holder advances *)
+
+module Make (M : Mem_intf.S) : sig
+  type t
+
+  val create :
+    ?guard:bool -> ?padded:bool -> ?value_bound:int Bounded.t ->
+    tag_bits:int -> name:string -> n:int -> init:int -> unit -> t
+  (** A guarded word for [n] processes holding [(init, 0)].  Values must
+      lie in [value_bound] (default [[-1..255]]; [-1] conventionally means
+      "nil") and be at least [-1] — they pack as [v + 1] next to the tag.
+      [tag_bits] must be at least [2] (each half needs room to skip); for
+      progress under adversarial stalls one half should exceed the number
+      of concurrently parked readers: [2^(tag_bits-1) > n].  [guard]
+      (default [true]): [false] disables announce/scan, leaving plain
+      wrapping tags. *)
+
+  val tag_bits : t -> int
+
+  val peek : t -> int * int
+  (** The current [(value, tag)] pair, unprotected — one step. *)
+
+  val protect : t -> pid:Pid.t -> int * int
+  (** Announce-and-revalidate: returns a [(value, tag)] witness that was
+      current after [pid]'s announcement of its tag became visible.  The
+      announcement stays set — the witness stays safe to dereference and
+      CAS on — until {!clear} or the next [protect] by the same process. *)
+
+  val clear : t -> pid:Pid.t -> unit
+  (** Withdraw [pid]'s announcement. *)
+
+  val guarded_cas : t -> expect:int -> expect_tag:int -> update:int -> outcome
+  (** Install [(update, succ expect_tag)] if the word still holds the
+      witness [(expect, expect_tag)], scanning announcements when the
+      successor tag crosses into the other half (and entering above every
+      announced tag there). *)
+
+  val scans : t -> int
+  (** Crossing scans performed so far.  Maintained without
+      synchronization: exact in deterministic (seq/sim) executions, a
+      lower-bound estimate under parallel runtime use. *)
+
+  val space : t -> (string * string) list
+end

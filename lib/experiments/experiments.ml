@@ -120,7 +120,25 @@ let run_wraparound () =
     impls;
   print_endline
     "Paper: a tag modulo T misses an ABA after exactly T writes; only\n\
-     unbounded tags or real detection algorithms are safe."
+     unbounded tags or real detection algorithms are safe.";
+  Printf.printf "\nStale-tag adversary vs announced tags (E18, tag_bits = 2):\n";
+  Printf.printf "%-18s %-12s %-18s %s\n" "variant" "stale CAS" "duplicate pops"
+    "scans";
+  List.iter
+    (fun (label, guard) ->
+      let r = Wraparound.stale_tag_adversary ~guard () in
+      Printf.printf "%-18s %-12s %-18s %d\n" label
+        (if r.Wraparound.stale_cas_won then "WON" else "defeated")
+        (if r.Wraparound.duplicate_pops = [] then "none"
+         else
+           String.concat ";"
+             (List.map string_of_int r.Wraparound.duplicate_pops))
+        r.Wraparound.crossing_scans)
+    [ ("guard disabled", false); ("guard enabled", true) ];
+  print_endline
+    "Same schedule both times: announcing the tag and scanning on each\n\
+     half-space crossing is exactly what turns the wraparound miss into\n\
+     a failed CAS (DESIGN E18)."
 
 (* ----- E2/E5: steps and tradeoff ----- *)
 

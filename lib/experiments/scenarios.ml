@@ -438,6 +438,125 @@ let service_scenario ~id ~about ?(heavy = false) ~nshards ~capacity scripts =
           ~scripts ~check:service_check ?max_schedules ?preemption_bound ());
   }
 
+(* ----- announced-tags scenarios -----
+
+   {!Aba_core.Announced_tags} over simulator memory at tag width 2 — the
+   smallest width where the wraparound adversary fits in a handful of
+   operations.  A three-node Treiber stack (0 -> 1 -> 2) hangs off the
+   double-word head; a reader splits its pop into a protect step and a
+   resume step so the explorer can park it on a stale witness while the
+   writer drains the stack, pushes the old top back (wrapping the tag
+   space), and drains again.  Every operation is single-attempt, so no
+   interleaving can loop: a [Blocked] or [Contended] outcome is just a
+   failed op.  The plain variant ([guard:false], folklore mod-4 tags)
+   must exhibit a duplicate pop on some schedule; the guarded variant
+   must survive every schedule of the same scripts. *)
+
+type top = T_pop | T_push of int | T_protect | T_resume
+
+type tres =
+  | T_popped of int option
+  | T_pushed of bool
+  | T_witness of int * int
+  | T_resumed of int option
+
+let announced_instance ~guard ~n () =
+  let sim = Aba_sim.Sim.create ~n in
+  let m = Aba_sim.Sim_mem.make sim in
+  let module M = (val m : Mem_intf.S) in
+  let module G = Announced_tags.Make (M) in
+  let head = G.create ~guard ~tag_bits:2 ~name:"ann" ~n ~init:0 () in
+  let next = [| 1; 2; -1 |] in
+  (* The reader's stalled witness: value, tag and successor captured at
+     protect time, consumed by the resume step. *)
+  let witness = ref (-1, 0, -1) in
+  let pop pid =
+    let v, g = G.protect head ~pid in
+    if v = -1 then begin
+      G.clear head ~pid;
+      None
+    end
+    else begin
+      let r =
+        match
+          G.guarded_cas head ~expect:v ~expect_tag:g ~update:next.(v)
+        with
+        | Announced_tags.Installed -> Some v
+        | Announced_tags.Contended | Announced_tags.Blocked -> None
+      in
+      G.clear head ~pid;
+      r
+    end
+  in
+  let push v =
+    let h, g = G.peek head in
+    next.(v) <- h;
+    G.guarded_cas head ~expect:h ~expect_tag:g ~update:v
+    = Announced_tags.Installed
+  in
+  let apply pid op () =
+    match op with
+    | T_pop -> T_popped (pop pid)
+    | T_push v -> T_pushed (push v)
+    | T_protect ->
+        let v, g = G.protect head ~pid in
+        witness := (v, g, if v >= 0 then next.(v) else -1);
+        T_witness (v, g)
+    | T_resume ->
+        let v, g, s = !witness in
+        let r =
+          if v = -1 then None
+          else
+            match G.guarded_cas head ~expect:v ~expect_tag:g ~update:s with
+            | Announced_tags.Installed -> Some v
+            | Announced_tags.Contended | Announced_tags.Blocked -> None
+        in
+        G.clear head ~pid;
+        T_resumed r
+  in
+  { Explore.driver = Aba_sim.Driver.create ~sim ~apply }
+
+(* Multiset audit: no value may be popped more often than it was pushed
+   (three initial nodes plus the successful script pushes).  A duplicate
+   pop is exactly the ABA corruption the tag protocol must prevent. *)
+let announced_check h =
+  let pushed = ref [ 0; 1; 2 ] and popped = ref [] in
+  List.iter
+    (fun (_, op, res) ->
+      match (op, res) with
+      | T_push v, Some (T_pushed true) -> pushed := v :: !pushed
+      | T_pop, Some (T_popped (Some v)) -> popped := v :: !popped
+      | T_resume, Some (T_resumed (Some v)) -> popped := v :: !popped
+      | _ -> ())
+    (Event.ops_of h);
+  let count x l = List.length (List.filter (Int.equal x) l) in
+  List.for_all (fun v -> count v !popped <= count v !pushed) !popped
+
+let announced_scenario ~id ~about ~guard ~expects_violation scripts =
+  let n = Array.length scripts in
+  {
+    id;
+    about;
+    n_procs = n;
+    expects_violation;
+    heavy = false;
+    run =
+      (fun ?max_schedules ?preemption_bound () ->
+        run_dpor ~name:id ~description:about ~n
+          ~expect_violation:expects_violation
+          ~make:(announced_instance ~guard ~n)
+          ~scripts ~check:announced_check ?max_schedules ?preemption_bound ());
+  }
+
+(* Writer: drain the stack, push the old top back (the fourth install —
+   one full lap of the 2-bit tag space), drain again; the trailing pops
+   are what surface a corrupt head as duplicate values. *)
+let announced_scripts =
+  [|
+    [ T_pop; T_pop; T_pop; T_push 0; T_pop; T_pop ];
+    [ T_protect; T_resume ];
+  |]
+
 (* ----- the suite ----- *)
 
 let all () =
@@ -512,6 +631,17 @@ let all () =
           bulk-steal path; stolen values must never duplicate"
        ~nshards ~capacity:3
        [| [ S_push (k0, 1); S_push (k0, 2) ]; [ S_pop k1; S_pop k1 ] |]);
+    announced_scenario ~id:"announced-plain-wrap"
+      ~about:
+        "mutation: plain 2-bit tags on the double-word head — a stalled \
+         pop's witness wraps around and some schedule double-pops"
+      ~guard:false ~expects_violation:true announced_scripts;
+    announced_scenario ~id:"announced-guarded-wrap"
+      ~about:
+        "announcement-guarded 2-bit tags survive every schedule of the \
+         same wraparound scripts: crossings scan the slots and skip \
+         announced tags" ~guard:true ~expects_violation:false
+      announced_scripts;
     ring_scenario ~id:"ring-4bit"
       ~about:
         "bounded MPMC ring with 4-bit slot sequence tags, capacity 2, \

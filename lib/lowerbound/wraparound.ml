@@ -31,6 +31,98 @@ type randomized_result = {
   violation_seed : int option;
 }
 
+(* --- Stale-tag adversary over the announcement guard --- *)
+
+type stale_tag_result = {
+  stale_cas_won : bool;
+  duplicate_pops : int list;
+  crossing_scans : int;
+}
+
+(* The classic Treiber wraparound schedule, replayed against the same
+   head word with the announcement guard off (plain mod-2^k tags) and on.
+   Three nodes A=0, B=1, C=2 start stacked A->B->C; a reader protects the
+   head and reads A's successor, then stalls while the writer pops all
+   three and pushes A back.  With [tag_bits = 2] the fourth install wants
+   tag 0 again — exactly the reader's witness — so the unguarded run lets
+   the stale CAS through (installing the long-gone B as head), while the
+   guarded run's crossing scan sees the announced tag and skips it. *)
+let stale_tag_adversary ~guard () =
+  let module Seq = (val Aba_primitives.Seq_mem.make ()) in
+  let module Guarded = Announced_tags.Make (Seq) in
+  let tag_bits = 2 in
+  let reader = 1 in
+  let next = [| 1; 2; -1 |] in
+  let head =
+    Guarded.create ~guard ~tag_bits ~name:"stale" ~n:2 ~init:0 ()
+  in
+  (* Straight-line pop/push loops, fueled: the only process that runs
+     one is alone in the schedule, so a handful of attempts suffices. *)
+  let pop ~pid =
+    let rec go fuel =
+      if fuel = 0 then failwith "stale_tag_adversary: pop did not settle";
+      let v, g = Guarded.protect head ~pid in
+      if v = -1 then begin
+        Guarded.clear head ~pid;
+        None
+      end
+      else
+        match
+          Guarded.guarded_cas head ~expect:v ~expect_tag:g ~update:next.(v)
+        with
+        | Announced_tags.Installed ->
+            Guarded.clear head ~pid;
+            Some v
+        | Announced_tags.Contended | Announced_tags.Blocked -> go (fuel - 1)
+    in
+    go 8
+  in
+  let push v =
+    let rec go fuel =
+      if fuel = 0 then failwith "stale_tag_adversary: push did not settle";
+      let h, g = Guarded.peek head in
+      next.(v) <- h;
+      match Guarded.guarded_cas head ~expect:h ~expect_tag:g ~update:v with
+      | Announced_tags.Installed -> ()
+      | Announced_tags.Contended | Announced_tags.Blocked -> go (fuel - 1)
+    in
+    go 8
+  in
+  (* Reader: protect the head (announcing its tag when guarded), read the
+     successor, stall. *)
+  let hv, hg = Guarded.protect head ~pid:reader in
+  let succ = next.(hv) in
+  (* Writer: pop A, B, C; push A.  2^tag_bits = 4 installs, so the push
+     lands back on the reader's witness tag modulo the guard. *)
+  let writer_pops =
+    List.filter_map (fun () -> pop ~pid:0) [ (); (); () ]
+  in
+  push 0;
+  (* Reader resumes with its stale witness. *)
+  let stale_outcome =
+    Guarded.guarded_cas head ~expect:hv ~expect_tag:hg ~update:succ
+  in
+  let stale_cas_won = stale_outcome = Announced_tags.Installed in
+  let reader_pops =
+    if stale_cas_won then begin
+      Guarded.clear head ~pid:reader;
+      [ hv ]
+    end
+    else
+      match pop ~pid:reader with Some v -> [ v ] | None -> []
+  in
+  let rec drain acc =
+    match pop ~pid:0 with Some v -> drain (v :: acc) | None -> List.rev acc
+  in
+  let popped = writer_pops @ reader_pops @ drain [] in
+  let pushed = [ 0; 1; 2; 0 ] in
+  let count x = List.length (List.filter (Int.equal x) popped) in
+  let budget x = List.length (List.filter (Int.equal x) pushed) in
+  let duplicate_pops =
+    List.sort_uniq compare (List.filter (fun v -> count v > budget v) popped)
+  in
+  { stale_cas_won; duplicate_pops; crossing_scans = Guarded.scans head }
+
 module Check = Aba_spec.Lin_check.Make (Aba_spec.Aba_register_spec)
 
 (* Forget the values: a DRead/DWrite history is a WeakRead/WeakWrite

@@ -30,6 +30,27 @@ type randomized_result = {
       (** seed of the first history that failed the checks, if any *)
 }
 
+type stale_tag_result = {
+  stale_cas_won : bool;
+      (** did the stalled pop's CAS succeed on its wrapped-around witness? *)
+  duplicate_pops : int list;
+      (** values popped more often than they were pushed (ABA corruption) *)
+  crossing_scans : int;
+      (** announcement-slot scans performed by half-space crossings *)
+}
+
+val stale_tag_adversary : guard:bool -> unit -> stale_tag_result
+(** The Treiber-stack wraparound schedule behind the [Announced]
+    protection's regression pair, replayed deterministically over
+    {!Aba_core.Announced_tags} with [tag_bits = 2]: a reader protects the
+    head and stalls on its witness while a writer pops the whole stack
+    and pushes the old top back, landing the head on the reader's tag
+    again after [2^tag_bits] installs.  With [~guard:false] (plain
+    mod-[2^k] tags) the stale CAS wins and the drain double-pops nodes
+    that left the stack long ago; with [~guard:true] the push's crossing
+    scan sees the announced tag, installs past it, and the stale CAS
+    fails — same schedule, [duplicate_pops = []]. *)
+
 val randomized_search :
   Aba_core.Instances.aba_builder ->
   n:int ->

@@ -20,6 +20,7 @@ type kind =
   | Wait_full
   | Wait_empty
   | Steal
+  | Scan
 
 let kind_index = function
   | Push -> 0
@@ -36,12 +37,13 @@ let kind_index = function
   | Wait_full -> 11
   | Wait_empty -> 12
   | Steal -> 13
+  | Scan -> 14
 
-let kind_count = 14
+let kind_count = 15
 
 let all_kinds =
   [ Push; Pop; Enqueue; Dequeue; Ll; Sc; Dread; Dwrite; Exchange; Combine;
-    Retire; Wait_full; Wait_empty; Steal ]
+    Retire; Wait_full; Wait_empty; Steal; Scan ]
 
 let kind_name = function
   | Push -> "push"
@@ -58,6 +60,7 @@ let kind_name = function
   | Wait_full -> "wait-full"
   | Wait_empty -> "wait-empty"
   | Steal -> "steal"
+  | Scan -> "scan"
 
 type outcome =
   | Ok

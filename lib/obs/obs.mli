@@ -33,6 +33,9 @@ type kind =
   | Wait_full  (** a blocking enqueue's wait for queue space *)
   | Wait_empty  (** a blocking dequeue's wait for an element *)
   | Steal  (** a service-tier bulk steal from a hot shard *)
+  | Scan
+      (** an announced-tags crossing scan: the tag window is exhausted and
+          the writer scans the announcement slots before reusing tags *)
 
 (** How it ended. *)
 type outcome =

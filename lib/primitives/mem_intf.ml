@@ -44,12 +44,43 @@
     practical int encoding, plain [make_cas] remains: the runtime backend
     then falls back to a freshly boxed cell per update, which is ABA-free —
     conservative with respect to structural CAS (it can only fail more
-    often), and indistinguishable from it in sequential executions. *)
+    often), and indistinguishable from it in sequential executions.
+
+    {2 Double-word CAS}
+
+    Tagged-pointer schemes (the paper's bounded-tag constructions, flock's
+    announcement-guarded tags, snmalloc's ABA protection) all CAS a
+    {e (value, tag)} pair as one atomic unit — hardware DWCAS, or a single
+    word when both halves fit.  {!S.make_cas2} exposes that capability:
+    when the value has a codec and [encode v] fits in [63 - tag_bits] bits,
+    the pair packs into one immediate int and backends with physical CAS
+    ({!Rt_mem}) run it as a single allocation-free
+    [Atomic.compare_and_set] — the packed-CAS machinery, widened by a tag
+    field.  Without a codec the runtime backend falls back to a boxed
+    emulation ([('a, tag)] pairs CAS'd physically), which is ABA-free and
+    hence conservative, exactly like plain [make_cas].  Tags live in
+    [0 .. 2^tag_bits - 1] and are reduced modulo [2^tag_bits] on every
+    operation, so wraparound behaves identically across backends. *)
 
 (** An injection of ['a] into immediate integers: [decode (encode v) = v]
     for every [v] in the object's domain, and [encode] is injective on it.
     Encodings must fit OCaml's 63-bit [int]. *)
 type 'a codec = { encode : 'a -> int; decode : int -> 'a }
+
+(** {2 Packed (value, tag) words}
+
+    Helpers shared by backends and by hot paths that manipulate encoded
+    double-words directly: the encoded value occupies the high bits, the
+    tag the low [tag_bits] bits. *)
+
+let pack2 ~tag_bits ev tag = (ev lsl tag_bits) lor (tag land ((1 lsl tag_bits) - 1))
+let unpack2_value ~tag_bits w = w lsr tag_bits
+let unpack2_tag ~tag_bits w = w land ((1 lsl tag_bits) - 1)
+
+let check_tag_bits ~what tag_bits =
+  if tag_bits <= 0 || tag_bits >= 62 then
+    invalid_arg
+      (Printf.sprintf "%s: tag_bits must be in 1..61 (got %d)" what tag_bits)
 
 module type S = sig
   val mem_name : string
@@ -116,6 +147,57 @@ module type S = sig
       [Atomic.compare_and_set] on the encoded word.  Raises
       [Invalid_argument] on an object not created with
       {!make_cas_packed}. *)
+
+  (** {1 Double-word CAS objects}
+
+      A [cas2] holds a [(value, tag)] pair and CASes both halves atomically.
+      Tags are reduced modulo [2^tag_bits] by every operation, in every
+      backend, so tag arithmetic wraps identically whether the pair lives in
+      one packed int, a boxed cell, or a simulator cell. *)
+
+  type 'a cas2
+
+  val make_cas2 :
+    ?bound:'a Bounded.t -> ?padded:bool -> ?codec:'a codec -> tag_bits:int ->
+    name:string -> show:('a -> string) -> 'a -> int -> 'a cas2
+  (** [make_cas2 ~tag_bits ~name ~show v t] is a double-word CAS object
+      initially holding [(v, t land (2^tag_bits - 1))].  With [codec] the
+      pair is CAS'd through its packed encoding
+      ({!pack2}[ ~tag_bits (encode v) t]) — on physical-CAS backends a
+      single [int Atomic.t], so the hot path is exact value comparison with
+      zero allocation; [encode v] must fit in [63 - tag_bits] bits.
+      Without [codec] the object still works everywhere, but backends with
+      physical CAS emulate it over a boxed pair (ABA-free, conservative,
+      like plain {!make_cas}), and the packed accessors below raise.
+      Requires [0 < tag_bits < 62]. *)
+
+  val cas2_read : 'a cas2 -> 'a * int
+  (** The current pair, in one step.  (Allocates the result pair; hot paths
+      that must not allocate use {!cas2_read_packed}.) *)
+
+  val cas2 :
+    'a cas2 -> expect:'a -> expect_tag:int -> update:'a -> update_tag:int ->
+    bool
+  (** [cas2 o ~expect ~expect_tag ~update ~update_tag] atomically replaces
+      the pair by [(update, update_tag)] and returns [true] iff the current
+      pair equals [(expect, expect_tag)] — both halves, structurally.  Tag
+      arguments are reduced modulo [2^tag_bits]. *)
+
+  val cas2_pack : 'a cas2 -> 'a -> int -> int
+  (** [cas2_pack o v t] is the packed word for [(v, t)] — what
+      {!cas2_read_packed} would return if the object held that pair.
+      Raises [Invalid_argument] on an object created without a codec. *)
+
+  val cas2_read_packed : 'a cas2 -> int
+  (** The current pair as its packed word, in one step and without
+      allocating.  Raises [Invalid_argument] on an object created without a
+      codec. *)
+
+  val cas2_packed : 'a cas2 -> expect:int -> update:int -> bool
+  (** [cas2_packed o ~expect ~update] is {!cas2} on the decoded words — one
+      step, and on physical-CAS backends a single allocation-free
+      [Atomic.compare_and_set].  Raises [Invalid_argument] on an object
+      created without a codec. *)
 
   (** {1 LL/SC/VL objects}
 

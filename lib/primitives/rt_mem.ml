@@ -140,6 +140,83 @@ end) : Mem_intf.S = struct
   let cas_packed c ~expect ~update =
     Atomic.compare_and_set (packed_cell c) expect update
 
+  (* Double-word CAS.  With a codec the (encoded value, tag) pair lives in
+     one [int Atomic.t] — hardware CAS on the packed word is exact pair
+     comparison, ABAs included, with an allocation-free hot path.  Without
+     a codec the pair is boxed and CAS'd physically: ABA-free and
+     conservative, exactly like the plain [cas] fallback above. *)
+  type 'a pair_box = { pv : 'a; pt : int }
+  type 'a packed2 = { cell2 : int Atomic.t; codec2 : 'a Mem_intf.codec }
+
+  type 'a repr2 =
+    | Boxed2 of 'a pair_box Atomic.t
+    | Packed2 of 'a packed2
+
+  type 'a cas2 = { w_name : string; w_tag_bits : int; w_repr : 'a repr2 }
+
+  let make_cas2 ?bound ?(padded = false) ?codec ~tag_bits ~name ~show:_ init
+      itag =
+    Mem_intf.check_tag_bits ~what:"Rt_mem.make_cas2" tag_bits;
+    guard bound name init;
+    register_object ~name (desc_of bound);
+    let itag = itag land ((1 lsl tag_bits) - 1) in
+    let repr =
+      match codec with
+      | Some k ->
+          let cell =
+            Atomic.make (Mem_intf.pack2 ~tag_bits (k.Mem_intf.encode init) itag)
+          in
+          Packed2
+            { cell2 = (if padded then Padded.copy cell else cell); codec2 = k }
+      | None ->
+          let cell = Atomic.make { pv = init; pt = itag } in
+          Boxed2 (if padded then Padded.copy cell else cell)
+    in
+    { w_name = name; w_tag_bits = tag_bits; w_repr = repr }
+
+  let cas2_read w =
+    match w.w_repr with
+    | Boxed2 cell ->
+        let b = Atomic.get cell in
+        (b.pv, b.pt)
+    | Packed2 { cell2; codec2 } ->
+        let x = Atomic.get cell2 in
+        ( codec2.Mem_intf.decode (Mem_intf.unpack2_value ~tag_bits:w.w_tag_bits x),
+          Mem_intf.unpack2_tag ~tag_bits:w.w_tag_bits x )
+
+  let cas2 w ~expect ~expect_tag ~update ~update_tag =
+    match w.w_repr with
+    | Packed2 { cell2; codec2 } ->
+        Atomic.compare_and_set cell2
+          (Mem_intf.pack2 ~tag_bits:w.w_tag_bits
+             (codec2.Mem_intf.encode expect) expect_tag)
+          (Mem_intf.pack2 ~tag_bits:w.w_tag_bits
+             (codec2.Mem_intf.encode update) update_tag)
+    | Boxed2 cell ->
+        let mask = (1 lsl w.w_tag_bits) - 1 in
+        let seen = Atomic.get cell in
+        seen.pv = expect
+        && seen.pt = expect_tag land mask
+        && Atomic.compare_and_set cell seen
+             { pv = update; pt = update_tag land mask }
+
+  let packed2_of w =
+    match w.w_repr with
+    | Packed2 p -> p
+    | Boxed2 _ ->
+        invalid_arg
+          (Printf.sprintf "Rt_mem: %s is not a packed cas2 object" w.w_name)
+
+  let cas2_pack w v t =
+    Mem_intf.pack2 ~tag_bits:w.w_tag_bits
+      ((packed2_of w).codec2.Mem_intf.encode v)
+      t
+
+  let cas2_read_packed w = Atomic.get (packed2_of w).cell2
+
+  let cas2_packed w ~expect ~update =
+    Atomic.compare_and_set (packed2_of w).cell2 expect update
+
   (* Native LL/SC base object, Moir-style [26]: every successful SC installs
      a fresh box and each process remembers the box its link refers to.  The
      held box is kept alive by the link table, so the GC cannot make two

@@ -85,6 +85,55 @@ module Make () : Mem_intf.S = struct
     let k = codec_of c in
     cas c ~expect:(k.Mem_intf.decode expect) ~update:(k.Mem_intf.decode update)
 
+  type 'a cas2 = {
+    w_name : string;
+    w_bound : 'a Bounded.t option;
+    w_codec : 'a Mem_intf.codec option;
+    w_tag_bits : int;
+    mutable w_value : 'a;
+    mutable w_tag : int;
+  }
+
+  let make_cas2 ?bound ?padded:_ ?codec ~tag_bits ~name ~show:_ init itag =
+    Mem_intf.check_tag_bits ~what:"Seq_mem.make_cas2" tag_bits;
+    guard bound name init;
+    register_object ~name (desc_of bound);
+    { w_name = name; w_bound = bound; w_codec = codec; w_tag_bits = tag_bits;
+      w_value = init; w_tag = itag land ((1 lsl tag_bits) - 1) }
+
+  let cas2_read w = (w.w_value, w.w_tag)
+
+  let cas2 w ~expect ~expect_tag ~update ~update_tag =
+    let mask = (1 lsl w.w_tag_bits) - 1 in
+    if w.w_value = expect && w.w_tag = expect_tag land mask then begin
+      guard w.w_bound w.w_name update;
+      w.w_value <- update;
+      w.w_tag <- update_tag land mask;
+      true
+    end
+    else false
+
+  let codec2_of w =
+    match w.w_codec with
+    | Some k -> k
+    | None ->
+        invalid_arg
+          (Printf.sprintf "Seq_mem: %s is not a packed cas2 object" w.w_name)
+
+  let cas2_pack w v t =
+    Mem_intf.pack2 ~tag_bits:w.w_tag_bits ((codec2_of w).Mem_intf.encode v) t
+
+  let cas2_read_packed w = cas2_pack w w.w_value w.w_tag
+
+  let cas2_packed w ~expect ~update =
+    let k = codec2_of w in
+    let tb = w.w_tag_bits in
+    cas2 w
+      ~expect:(k.Mem_intf.decode (Mem_intf.unpack2_value ~tag_bits:tb expect))
+      ~expect_tag:(Mem_intf.unpack2_tag ~tag_bits:tb expect)
+      ~update:(k.Mem_intf.decode (Mem_intf.unpack2_value ~tag_bits:tb update))
+      ~update_tag:(Mem_intf.unpack2_tag ~tag_bits:tb update)
+
   type 'a llsc = {
     l_name : string;
     l_bound : 'a Bounded.t option;

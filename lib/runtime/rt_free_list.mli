@@ -1,22 +1,32 @@
-(** Lock-free free list of node indices, rebuilt on the reclamation
-    subsystem ({!Rt_reclaim}).
+(** Lock-free free list of node indices: a per-pid single-index cache in
+    front of the reclamation subsystem ({!Rt_reclaim}).
 
-    The old implementation was a GC-dependent stack of boxed cons cells
-    with unbounded recursive retry loops; this one is a facade over a
-    reclaimer, by default the {!Rt_reclaim.Guarded} scheme, whose
-    shared stack is driven through the paper's Figure-3 LL/SC word —
-    bounded, allocation-free in the hot path, and ABA-immune on index
-    reuse by Theorem 2 rather than by leaning on the garbage collector.
-    All retry loops live in [Aba_reclaim] and are flat [while] loops.
+    The shared pool is a reclaimer, by default the {!Rt_reclaim.Guarded}
+    scheme, whose shared stack is driven through the paper's Figure-3
+    LL/SC word — bounded and ABA-immune on index reuse by Theorem 2
+    rather than by leaning on the garbage collector.  In front of it sits
+    one padded atomic slot per pid holding at most one free index: a
+    balanced workload (each pop's node feeds the same domain's next push)
+    never touches the shared pool at all, so the steady-state [take]/[put]
+    pair is one atomic exchange plus one load-and-store — no allocation,
+    no shared-stack traffic.  The slot protocol needs no tags: only the
+    owner ever stores an index into its slot, everyone else only swaps it
+    to empty.
+
+    Capacity stays exact: when the shared pool runs dry, [take] sweeps
+    the other pids' cache slots, so an index parked in a cache is still
+    allocatable and a structure reports full only when every index is
+    really inside it.
 
     Two disciplines coexist:
     - [put]/[take] recycle indices immediately, for clients whose own
-      head word carries the ABA protection (tagged or LL/SC structures);
+      head word carries the ABA protection (tagged, LL/SC or
+      announcement-guarded structures);
     - [retire]/[protect]/[acquire]/[release]/[flush] defer reuse behind
       the reclaimer's grace period, for clients with unprotected words
       (see {!Rt_treiber} and {!Rt_ms_queue}'s [Reclaimed] variants). *)
 
-type t = Rt_reclaim.t
+type t
 
 val create :
   ?scheme:Rt_reclaim.scheme ->
@@ -31,8 +41,22 @@ val create :
     (default {!Aba_obs.Obs.noop}) is passed to the reclaimer, which
     records each [retire] as a [Retire] event. *)
 
+val reclaimer : t -> Rt_reclaim.t
+(** The shared pool, for clients that drive the deferred-reclamation
+    protocol directly or report its {!Rt_reclaim.stats}. *)
+
 val take : t -> pid:int -> int option
+(** Boxing wrapper over {!take_idx} for callers off the hot path. *)
+
+val take_idx : t -> pid:int -> int
+(** A free index, or [-1] when none is left anywhere (cache slots
+    included).  Allocation-free: the cache hit is one exchange on the
+    caller's own padded slot. *)
+
 val put : t -> pid:int -> int -> unit
+(** Return an index for immediate reuse.  Parks it in the caller's cache
+    slot when empty (allocation-free), else recycles into the shared
+    pool. *)
 
 val retire : t -> pid:int -> int -> unit
 val protect : t -> pid:int -> slot:int -> int -> unit

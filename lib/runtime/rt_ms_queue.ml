@@ -1,7 +1,10 @@
 open Aba_primitives
 module Obs = Aba_obs.Obs
 
-type protection = Tag_bits of int | Reclaimed of Rt_reclaim.scheme
+type protection =
+  | Tag_bits of int
+  | Reclaimed of Rt_reclaim.scheme
+  | Announced of int
 
 type tagged = {
   tag_bits : int;
@@ -16,7 +19,31 @@ type reclaimed = {
   r_nexts : int Atomic.t array;  (** plain successor index, -1 = none *)
 }
 
-type impl = Tagged of tagged | Via_reclaim of reclaimed
+(* Counted pointers with announcement-guarded head and tail tags (the
+   queue twin of {!Rt_treiber}'s [Announced] head): operations announce
+   the head/tail tag they rely on in per-pid padded slots and revalidate;
+   installs on those words that cross a half of the tag space scan the
+   matching slot array and skip announced tags.  The per-node link words
+   keep the plain counted-tag discipline of the [Tagged] variant: a link
+   tag wraps only after [2^k] operations funnel through that single node
+   inside one stalled operation's window, a far stronger adversary than
+   the [2^k] total operations that wrap the global head/tail words. *)
+type announced_q = {
+  an_tag_bits : int;
+  an_total : int;
+  an_half : int;
+  an_head : int Atomic.t;
+  an_tail : int Atomic.t;
+  an_nexts : int Atomic.t array;  (** packed (index, tag), plain counted *)
+  an_head_slots : int Atomic.t array;  (** announced head tag per pid *)
+  an_tail_slots : int Atomic.t array;  (** announced tail tag per pid *)
+  an_n : int;
+}
+
+type impl =
+  | Tagged of tagged
+  | Via_reclaim of reclaimed
+  | Via_announced of announced_q
 
 type t = {
   impl : impl;
@@ -91,11 +118,35 @@ let create ?(padded = true) ?(backoff = true) ?(obs = Obs.noop) ~protection
         bo;
         obs;
       }
+  | Announced k ->
+      if k < 2 || k > 40 then
+        invalid_arg "Rt_ms_queue.create: Announced needs tag_bits in 2..40";
+      let free = Rt_free_list.create ~n ~capacity:slots () in
+      let dummy = Option.get (Rt_free_list.take free ~pid:0) in
+      {
+        impl =
+          Via_announced
+            {
+              an_tag_bits = k;
+              an_total = 1 lsl k;
+              an_half = 1 lsl (k - 1);
+              an_head = pad_cell (Atomic.make (pack ~tag_bits:k dummy 0));
+              an_tail = pad_cell (Atomic.make (pack ~tag_bits:k dummy 0));
+              an_nexts = atomics ~padded slots (pack ~tag_bits:k (-1) 0);
+              an_head_slots = atomics ~padded n (-1);
+              an_tail_slots = atomics ~padded n (-1);
+              an_n = n;
+            };
+        values = Array.make slots 0;
+        free;
+        bo;
+        obs;
+      }
 
 let reclaimer t =
   match t.impl with
-  | Via_reclaim _ -> Some (t.free : Rt_reclaim.t)
-  | Tagged _ -> None
+  | Via_reclaim _ -> Some (Rt_free_list.reclaimer t.free)
+  | Tagged _ | Via_announced _ -> None
 
 let reclaim_stats t = Option.map Rt_reclaim.stats (reclaimer t)
 
@@ -257,7 +308,194 @@ let dequeue_reclaimed t q rc ~pid t0 =
   in
   attempt 0
 
-let enqueue t ~pid v =
+(* ----- Announced variant: counted pointers, wraparound-safe -----
+
+   The same structure as [Tagged], with the head and tail words driven
+   through the announce/validate/scan tag discipline.  A successful CAS on
+   an announced-validated witness proves the word never moved since
+   validation — the dereferences in between (the dummy's link, the new
+   dummy's value) are therefore of live nodes, with no reclaimer and no
+   per-operation scan. *)
+
+(* Announce-and-revalidate on one of the two guarded words.  The loop is
+   top-level so it carries no closure environment — the announced paths
+   below are the structure's 0-words/op hot paths, and every local
+   function or tuple they would close over costs a per-call block. *)
+let rec q_revalidate word slot mask packed =
+  Atomic.set slot (packed land mask);
+  let packed' = Atomic.get word in
+  if packed' = packed then packed else q_revalidate word slot mask packed'
+
+let q_protect q slots word ~pid =
+  q_revalidate word slots.(pid) (q.an_total - 1) (Atomic.get word)
+
+(* Install [(update, succ tag)] on a guarded word; scans [slots] at half
+   crossings and enters above every announced tag.  [false] = lost race or
+   blocked crossing; callers retry (or, for optional tail swings, simply
+   move on).  The [Scan] event's [retries] counts skipped tags. *)
+let q_install t q ~pid slots word ~witness ~update =
+  let mask = q.an_total - 1 in
+  let next = ((witness land mask) + 1) land mask in
+  if next mod q.an_half <> 0 then
+    Atomic.compare_and_set word witness
+      (pack ~tag_bits:q.an_tag_bits update next)
+  else begin
+    let t0 = Obs.start t.obs in
+    let entry = ref 0 in
+    for p = 0 to q.an_n - 1 do
+      let s = Atomic.get slots.(p) in
+      if s >= next && s < next + q.an_half && s - next + 1 > !entry then
+        entry := s - next + 1
+    done;
+    if !entry >= q.an_half then begin
+      Obs.record t.obs ~pid ~kind:Obs.Scan ~outcome:Obs.Fail ~retries:!entry
+        t0;
+      false
+    end
+    else begin
+      Obs.record t.obs ~pid ~kind:Obs.Scan ~outcome:Obs.Ok ~retries:!entry t0;
+      Atomic.compare_and_set word witness
+        (pack ~tag_bits:q.an_tag_bits update (next + !entry))
+    end
+  end
+
+(* Returns the failed-link-CAS count, as in {!enqueue_tagged}.  The link
+   words keep the plain counted discipline; only the tail word (the one a
+   stalled enqueuer can hold a stale witness of across the whole queue's
+   traffic) goes through the guard. *)
+let rec enqueue_announced_loop t q ~pid i retries =
+  let tag_bits = q.an_tag_bits in
+  let tail_seen = q_protect q q.an_tail_slots q.an_tail ~pid in
+  let t_idx = (tail_seen lsr tag_bits) - 1 in
+  let next_seen = Atomic.get q.an_nexts.(t_idx) in
+  let n_idx = (next_seen lsr tag_bits) - 1 in
+  if n_idx = -1 then
+    if
+      Atomic.compare_and_set q.an_nexts.(t_idx) next_seen
+        (pack ~tag_bits i ((next_seen land (q.an_total - 1)) + 1))
+    then begin
+      (* The swing is best-effort: a lost race or a blocked crossing
+         leaves it to the next operation's helping step. *)
+      ignore
+        (q_install t q ~pid q.an_tail_slots q.an_tail ~witness:tail_seen
+           ~update:i);
+      retries
+    end
+    else begin
+      if retries = 0 then Backoff.reset t.bo.(pid);
+      Backoff.once t.bo.(pid);
+      enqueue_announced_loop t q ~pid i (retries + 1)
+    end
+  else begin
+    ignore
+      (q_install t q ~pid q.an_tail_slots q.an_tail ~witness:tail_seen
+         ~update:n_idx);
+    enqueue_announced_loop t q ~pid i retries
+  end
+
+let enqueue_announced t q ~pid i =
+  let tag_bits = q.an_tag_bits in
+  (* Reset the link, bumping its counter so CASes armed against the
+     node's previous life fail. *)
+  let old = Atomic.get q.an_nexts.(i) in
+  Atomic.set q.an_nexts.(i)
+    (pack ~tag_bits (-1) ((old land (q.an_total - 1)) + 1));
+  let retries = enqueue_announced_loop t q ~pid i 0 in
+  Atomic.set q.an_tail_slots.(pid) (-1);
+  retries
+
+let rec dequeue_announced t q ~pid t0 retries =
+  let tag_bits = q.an_tag_bits in
+  let head_seen = q_protect q q.an_head_slots q.an_head ~pid in
+  let h_idx = (head_seen lsr tag_bits) - 1 in
+  let t_idx = (Atomic.get q.an_tail lsr tag_bits) - 1 in
+  let n_idx = (Atomic.get q.an_nexts.(h_idx) lsr tag_bits) - 1 in
+  if h_idx = t_idx then
+    if n_idx = -1 then begin
+      Atomic.set q.an_head_slots.(pid) (-1);
+      Obs.record t.obs ~pid ~kind:Obs.Dequeue ~outcome:Obs.Empty ~retries t0;
+      None
+    end
+    else begin
+      (* Help the lagging tail forward — through the guard, with a
+         witness validated under our own announcement, so a wrapped
+         stale tail can never be installed. *)
+      let tail_seen = q_protect q q.an_tail_slots q.an_tail ~pid in
+      if (tail_seen lsr tag_bits) - 1 = h_idx then
+        ignore
+          (q_install t q ~pid q.an_tail_slots q.an_tail ~witness:tail_seen
+             ~update:n_idx);
+      Atomic.set q.an_tail_slots.(pid) (-1);
+      dequeue_announced t q ~pid t0 retries
+    end
+  else if n_idx = -1 then
+    (* Stale snapshot: the observed dummy was recycled (its link reset)
+       between our reads; the head CAS below would fail anyway. *)
+    dequeue_announced t q ~pid t0 retries
+  else begin
+    (* Read the value before the CAS; CAS success proves the head never
+       moved since validation, so [n_idx] was never dequeued — let alone
+       recycled — before the read. *)
+    let v = t.values.(n_idx) in
+    if
+      q_install t q ~pid q.an_head_slots q.an_head ~witness:head_seen
+        ~update:n_idx
+    then begin
+      Atomic.set q.an_head_slots.(pid) (-1);
+      Rt_free_list.put t.free ~pid h_idx;
+      Obs.record t.obs ~pid ~kind:Obs.Dequeue ~outcome:Obs.Ok ~retries t0;
+      Some v
+    end
+    else begin
+      if retries = 0 then Backoff.reset t.bo.(pid);
+      Backoff.once t.bo.(pid);
+      dequeue_announced t q ~pid t0 (retries + 1)
+    end
+  end
+
+(* [dequeue_announced] minus the option cell, for the allocation-free
+   round trip. *)
+let rec dequeue_or_announced t q ~pid ~default t0 retries =
+  let tag_bits = q.an_tag_bits in
+  let head_seen = q_protect q q.an_head_slots q.an_head ~pid in
+  let h_idx = (head_seen lsr tag_bits) - 1 in
+  let t_idx = (Atomic.get q.an_tail lsr tag_bits) - 1 in
+  let n_idx = (Atomic.get q.an_nexts.(h_idx) lsr tag_bits) - 1 in
+  if h_idx = t_idx then
+    if n_idx = -1 then begin
+      Atomic.set q.an_head_slots.(pid) (-1);
+      Obs.record t.obs ~pid ~kind:Obs.Dequeue ~outcome:Obs.Empty ~retries t0;
+      default
+    end
+    else begin
+      let tail_seen = q_protect q q.an_tail_slots q.an_tail ~pid in
+      if (tail_seen lsr tag_bits) - 1 = h_idx then
+        ignore
+          (q_install t q ~pid q.an_tail_slots q.an_tail ~witness:tail_seen
+             ~update:n_idx);
+      Atomic.set q.an_tail_slots.(pid) (-1);
+      dequeue_or_announced t q ~pid ~default t0 retries
+    end
+  else if n_idx = -1 then dequeue_or_announced t q ~pid ~default t0 retries
+  else begin
+    let v = t.values.(n_idx) in
+    if
+      q_install t q ~pid q.an_head_slots q.an_head ~witness:head_seen
+        ~update:n_idx
+    then begin
+      Atomic.set q.an_head_slots.(pid) (-1);
+      Rt_free_list.put t.free ~pid h_idx;
+      Obs.record t.obs ~pid ~kind:Obs.Dequeue ~outcome:Obs.Ok ~retries t0;
+      v
+    end
+    else begin
+      if retries = 0 then Backoff.reset t.bo.(pid);
+      Backoff.once t.bo.(pid);
+      dequeue_or_announced t q ~pid ~default t0 (retries + 1)
+    end
+  end
+
+let enqueue_pooled t ~pid v =
   let t0 = Obs.start t.obs in
   match Rt_free_list.take t.free ~pid with
   | None ->
@@ -270,14 +508,46 @@ let enqueue t ~pid v =
         match t.impl with
         | Tagged q -> enqueue_tagged q t.bo.(pid) i
         | Via_reclaim q ->
-            enqueue_reclaimed q (t.free : Rt_reclaim.t) t.bo.(pid) ~pid i
+            enqueue_reclaimed q (Rt_free_list.reclaimer t.free) t.bo.(pid)
+              ~pid i
+        | Via_announced _ -> assert false (* specialized in [enqueue] *)
       in
       Obs.record t.obs ~pid ~kind:Obs.Enqueue ~outcome:Obs.Ok ~retries t0;
       true
 
+let enqueue t ~pid v =
+  match t.impl with
+  | Via_announced q ->
+      let t0 = Obs.start t.obs in
+      let i = Rt_free_list.take_idx t.free ~pid in
+      if i < 0 then begin
+        Obs.record t.obs ~pid ~kind:Obs.Enqueue ~outcome:Obs.Fail ~retries:0
+          t0;
+        false
+      end
+      else begin
+        t.values.(i) <- v;
+        let retries = enqueue_announced t q ~pid i in
+        Obs.record t.obs ~pid ~kind:Obs.Enqueue ~outcome:Obs.Ok ~retries t0;
+        true
+      end
+  | Tagged _ | Via_reclaim _ -> enqueue_pooled t ~pid v
+
 let dequeue t ~pid =
   let t0 = Obs.start t.obs in
-  Backoff.reset t.bo.(pid);
   match t.impl with
-  | Tagged q -> dequeue_tagged t q ~pid t0
-  | Via_reclaim q -> dequeue_reclaimed t q (t.free : Rt_reclaim.t) ~pid t0
+  | Tagged q ->
+      Backoff.reset t.bo.(pid);
+      dequeue_tagged t q ~pid t0
+  | Via_reclaim q ->
+      Backoff.reset t.bo.(pid);
+      dequeue_reclaimed t q (Rt_free_list.reclaimer t.free) ~pid t0
+  | Via_announced q -> dequeue_announced t q ~pid t0 0
+
+let dequeue_or t ~pid ~default =
+  match t.impl with
+  | Via_announced q ->
+      let t0 = Obs.start t.obs in
+      dequeue_or_announced t q ~pid ~default t0 0
+  | Tagged _ | Via_reclaim _ -> (
+      match dequeue t ~pid with Some v -> v | None -> default)

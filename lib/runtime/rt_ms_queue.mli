@@ -13,12 +13,27 @@
       the observed dummy and its successor through the given
       {!Rt_reclaim.scheme}, and retired dummies wait out a grace period
       before reuse.
+    - [Announced k] — counted pointers made wraparound-safe on the head
+      and tail words (the queue twin of {!Rt_treiber}'s [Announced] and
+      of {!Aba_core.Announced_tags}): operations announce the [k]-bit tag
+      they rely on in per-pid padded slots and revalidate, and installs
+      that cross a half of the tag space scan the slots and skip announced
+      tags ([Obs.Scan] events, one per [2^(k-1)] installs — no per-op
+      retire or scan).  Nodes recycle immediately.  The per-node link
+      words keep plain counted tags: wrapping one requires [2^k]
+      operations through a {e single} node inside one stalled operation's
+      window, a far stronger adversary than the [2^k] total queue
+      operations that break [Tag_bits].  For progress under stalls keep
+      [2^(k-1)] above [n].
 
     Audit executions with {!Harness.check_multiset}. *)
 
 type t
 
-type protection = Tag_bits of int | Reclaimed of Rt_reclaim.scheme
+type protection =
+  | Tag_bits of int
+  | Reclaimed of Rt_reclaim.scheme
+  | Announced of int
 
 val create :
   ?padded:bool -> ?backoff:bool -> ?obs:Aba_obs.Obs.t ->
@@ -36,6 +51,11 @@ val enqueue : t -> pid:int -> int -> bool
 (** [false] when the pool is exhausted. *)
 
 val dequeue : t -> pid:int -> int option
+
+val dequeue_or : t -> pid:int -> default:int -> int
+(** [dequeue] without the option cell: [default] when empty.  Under
+    [Announced] the whole uncontended round trip is allocation-free; the
+    other variants fall back to boxing internally. *)
 
 val reclaimer : t -> Rt_reclaim.t option
 val reclaim_stats : t -> Rt_reclaim.stats option

@@ -1,12 +1,33 @@
 open Aba_primitives
 module Obs = Aba_obs.Obs
 
-type protection = Tag_bits of int | Llsc | Reclaimed of Rt_reclaim.scheme
+type protection =
+  | Tag_bits of int
+  | Llsc
+  | Reclaimed of Rt_reclaim.scheme
+  | Announced of int
+
+(* Announcement-guarded tagged head (the runtime-specialized twin of
+   {!Aba_core.Announced_tags}): a packed (index, tag) word plus per-pid
+   padded announcement slots.  Pops announce the tag they rely on and
+   revalidate; installs that cross a half of the tag space scan the slots
+   and enter above every announced tag, so a stale witness can never match
+   again while its holder's announcement stands — bounded tags made
+   wraparound-safe with no retire lists and no per-op scans. *)
+type announced = {
+  a_cell : int Atomic.t;
+  a_tag_bits : int;
+  a_total : int;
+  a_half : int;
+  a_slots : int Atomic.t array;  (** announced tag per pid, -1 = none *)
+  a_n : int;
+}
 
 type head_impl =
   | Packed of { cell : int Atomic.t; tag_bits : int }
   | Via_llsc of Rt_llsc.Packed_fig3.t
   | Via_reclaim of int Atomic.t  (** plain node index, -1 = empty *)
+  | Via_announced of announced
 
 type t = {
   head : head_impl;
@@ -58,6 +79,23 @@ let create ?(padded = true) ?(backoff = true) ?(elimination = Elimination.Noop)
            land in the same timeline as the pops that caused them. *)
         ( Via_reclaim (pad_cell (Atomic.make (-1))),
           Rt_free_list.create ~scheme ~slots:1 ~obs ~n ~capacity () )
+    | Announced k ->
+        (* Each half needs room to enter above announced tags, and progress
+           under stalls wants a half larger than the process count. *)
+        if k < 2 || k > 40 then
+          invalid_arg "Rt_treiber.create: Announced needs tag_bits in 2..40";
+        ( Via_announced
+            {
+              a_cell = pad_cell (Atomic.make (pack ~tag_bits:k (-1) 0));
+              a_tag_bits = k;
+              a_total = 1 lsl k;
+              a_half = 1 lsl (k - 1);
+              a_slots =
+                (if padded then Padded.atomic_array n (-1)
+                 else Array.init n (fun _ -> Atomic.make (-1)));
+              a_n = n;
+            },
+          Rt_free_list.create ~n ~capacity () )
   in
   {
     head;
@@ -71,8 +109,8 @@ let create ?(padded = true) ?(backoff = true) ?(elimination = Elimination.Noop)
 
 let reclaimer t =
   match t.head with
-  | Via_reclaim _ -> Some (t.free : Rt_reclaim.t)
-  | Packed _ | Via_llsc _ -> None
+  | Via_reclaim _ -> Some (Rt_free_list.reclaimer t.free)
+  | Packed _ | Via_llsc _ | Via_announced _ -> None
 
 let reclaim_stats t = Option.map Rt_reclaim.stats (reclaimer t)
 
@@ -87,6 +125,7 @@ let read_head t ~pid =
       (index, packed)
   | Via_llsc obj -> (Rt_llsc.Packed_fig3.ll obj ~pid - 1, 0)
   | Via_reclaim cell -> (Atomic.get cell, 0)
+  | Via_announced _ -> assert false (* announced ops are specialized below *)
 
 let cas_head t ~pid ~witness ~update =
   match t.head with
@@ -95,6 +134,58 @@ let cas_head t ~pid ~witness ~update =
       Atomic.compare_and_set cell witness (pack ~tag_bits update (tag + 1))
   | Via_llsc obj -> Rt_llsc.Packed_fig3.sc obj ~pid (update + 1)
   | Via_reclaim _ -> assert false (* reclaimed pops go through pop_reclaimed *)
+  | Via_announced _ -> assert false (* announced ops are specialized below *)
+
+(* Install [(update, succ tag)] on the announced head if it still matches
+   [witness].  Inside a half this is one packed CAS — the tag-discipline
+   cost of the uncontended hot path is zero extra words and zero extra
+   shared accesses.  At a half crossing (tag 0 or 2^(k-1)) the slots are
+   scanned and the new half entered above every announced tag in it, so a
+   tag continuously announced since it was last live is never reinstated.
+   [false] covers both a lost race and a blocked crossing (a reader parked
+   on the last tag of the target half); the caller backs off and retries
+   either way.  The [Scan] event's [retries] field counts skipped tags. *)
+let announced_install t a ~pid ~witness ~update =
+  let mask = a.a_total - 1 in
+  let next = ((witness land mask) + 1) land mask in
+  if next mod a.a_half <> 0 then
+    Atomic.compare_and_set a.a_cell witness
+      (pack ~tag_bits:a.a_tag_bits update next)
+  else begin
+    let t0 = Obs.start t.obs in
+    let entry = ref 0 in
+    for p = 0 to a.a_n - 1 do
+      let s = Atomic.get a.a_slots.(p) in
+      if s >= next && s < next + a.a_half && s - next + 1 > !entry then
+        entry := s - next + 1
+    done;
+    if !entry >= a.a_half then begin
+      Obs.record t.obs ~pid ~kind:Obs.Scan ~outcome:Obs.Fail ~retries:!entry
+        t0;
+      false
+    end
+    else begin
+      Obs.record t.obs ~pid ~kind:Obs.Scan ~outcome:Obs.Ok ~retries:!entry t0;
+      Atomic.compare_and_set a.a_cell witness
+        (pack ~tag_bits:a.a_tag_bits update (next + !entry))
+    end
+  end
+
+(* Announce-and-revalidate: loop until a read of the head matches the tag
+   we just announced.  From that point the returned witness cannot be
+   displaced and reinstated while the announcement stands, so a successful
+   CAS on it proves the head never moved since validation — which makes
+   the successor read below safe without any reclaimer.  Top-level so the
+   loop carries no closure environment: one slot store plus one head read
+   per iteration, no allocation. *)
+let rec announced_revalidate a slot mask packed =
+  Atomic.set slot (packed land mask);
+  let packed' = Atomic.get a.a_cell in
+  if packed' = packed then packed else announced_revalidate a slot mask packed'
+
+let announced_protect a ~pid =
+  announced_revalidate a a.a_slots.(pid) (a.a_total - 1)
+    (Atomic.get a.a_cell)
 
 (* After a failed head CAS the push first visits the exchanger: a
    concurrent pop that takes the value there linearizes the pair off the
@@ -102,9 +193,36 @@ let cas_head t ~pid ~witness ~update =
    head word never learns the pair existed.  The backoff reset is lazy
    ([retries = 0]): an uncontended operation does zero backoff stores. *)
 
+(* The announced hot paths are top-level loops taking all their state as
+   arguments: no local-closure environment, no tuple, no option — an
+   uncontended operation allocates nothing at all.  (The local [rec
+   attempt] style used by the other variants allocates its closure's
+   environment once per call in classic-mode native compilation.) *)
+
+(* A push needs no announcement: its CAS compares the head index, and
+   [nexts.(i)] is re-read on every attempt, so success never publishes a
+   stale successor.  It does go through [announced_install] so every tag
+   it burns respects the crossing discipline the poppers rely on. *)
+let rec announced_push_loop t a ~pid v i t0 retries =
+  let packed = Atomic.get a.a_cell in
+  t.nexts.(i) <- (packed lsr a.a_tag_bits) - 1;
+  if announced_install t a ~pid ~witness:packed ~update:i then
+    Obs.record t.obs ~pid ~kind:Obs.Push ~outcome:Obs.Ok ~retries t0
+  else if Elimination.exchange_push t.elim ~pid v then begin
+    Obs.record t.obs ~pid ~kind:Obs.Push ~outcome:Obs.Eliminated ~retries t0;
+    (* The value went straight to a pop; the node was never published, so
+       no stale reference to it can exist and it recycles immediately. *)
+    Rt_free_list.put t.free ~pid i
+  end
+  else begin
+    if retries = 0 then Backoff.reset t.bo.(pid);
+    Backoff.once t.bo.(pid);
+    announced_push_loop t a ~pid v i t0 (retries + 1)
+  end
+
 (* Pooled variants recycle immediately: their own head word (tag or
    LL/SC) is the ABA protection, exactly as before the reclaim layer. *)
-let push t ~pid v =
+let push_pooled t ~pid v =
   let t0 = Obs.start t.obs in
   match Rt_free_list.take t.free ~pid with
   | None ->
@@ -160,6 +278,7 @@ let push t ~pid v =
               end
             in
             attempt 0
+        | Via_announced _ -> assert false (* specialized in [push] below *)
       in
       (match outcome with
       | `Pushed -> ()
@@ -170,6 +289,22 @@ let push t ~pid v =
              disciplines. *)
           Rt_free_list.put t.free ~pid i);
       true
+
+let push t ~pid v =
+  match t.head with
+  | Via_announced a ->
+      let t0 = Obs.start t.obs in
+      let i = Rt_free_list.take_idx t.free ~pid in
+      if i < 0 then begin
+        Obs.record t.obs ~pid ~kind:Obs.Push ~outcome:Obs.Fail ~retries:0 t0;
+        false
+      end
+      else begin
+        t.values.(i) <- v;
+        announced_push_loop t a ~pid v i t0 0;
+        true
+      end
+  | Packed _ | Via_llsc _ | Via_reclaim _ -> push_pooled t ~pid v
 
 (* The reclaimed pop is the hazard-pointer protocol: announce the head
    node, re-validate, and only then read its successor — the reclaimer
@@ -210,10 +345,79 @@ let pop_reclaimed t rc cell ~pid t0 =
   in
   attempt 0
 
+(* The announced pop is the hazard-pointer protocol applied to the tag:
+   announce, revalidate, and only then read the successor.  Unlike
+   [pop_reclaimed] there is no retire and no per-op scan — the node goes
+   straight back to the free list, and the announcement is one padded
+   store.  [pop_announced] pays exactly the option cell for its result;
+   [pop_or_announced] is the allocation-free twin returning [default]
+   when empty. *)
+let rec pop_announced t a ~pid t0 retries =
+  let packed = announced_protect a ~pid in
+  let h = (packed lsr a.a_tag_bits) - 1 in
+  if h = -1 then begin
+    Atomic.set a.a_slots.(pid) (-1);
+    Obs.record t.obs ~pid ~kind:Obs.Pop ~outcome:Obs.Empty ~retries t0;
+    None
+  end
+  else begin
+    let nxt = t.nexts.(h) in
+    if announced_install t a ~pid ~witness:packed ~update:nxt then begin
+      let v = t.values.(h) in
+      Atomic.set a.a_slots.(pid) (-1);
+      Rt_free_list.put t.free ~pid h;
+      Obs.record t.obs ~pid ~kind:Obs.Pop ~outcome:Obs.Ok ~retries t0;
+      Some v
+    end
+    else
+      match Elimination.exchange_pop t.elim ~pid with
+      | Some _ as eliminated ->
+          Atomic.set a.a_slots.(pid) (-1);
+          Obs.record t.obs ~pid ~kind:Obs.Pop ~outcome:Obs.Eliminated ~retries
+            t0;
+          eliminated
+      | None ->
+          if retries = 0 then Backoff.reset t.bo.(pid);
+          Backoff.once t.bo.(pid);
+          pop_announced t a ~pid t0 (retries + 1)
+  end
+
+let rec pop_or_announced t a ~pid ~default t0 retries =
+  let packed = announced_protect a ~pid in
+  let h = (packed lsr a.a_tag_bits) - 1 in
+  if h = -1 then begin
+    Atomic.set a.a_slots.(pid) (-1);
+    Obs.record t.obs ~pid ~kind:Obs.Pop ~outcome:Obs.Empty ~retries t0;
+    default
+  end
+  else begin
+    let nxt = t.nexts.(h) in
+    if announced_install t a ~pid ~witness:packed ~update:nxt then begin
+      let v = t.values.(h) in
+      Atomic.set a.a_slots.(pid) (-1);
+      Rt_free_list.put t.free ~pid h;
+      Obs.record t.obs ~pid ~kind:Obs.Pop ~outcome:Obs.Ok ~retries t0;
+      v
+    end
+    else
+      match Elimination.exchange_pop t.elim ~pid with
+      | Some v ->
+          Atomic.set a.a_slots.(pid) (-1);
+          Obs.record t.obs ~pid ~kind:Obs.Pop ~outcome:Obs.Eliminated ~retries
+            t0;
+          v
+      | None ->
+          if retries = 0 then Backoff.reset t.bo.(pid);
+          Backoff.once t.bo.(pid);
+          pop_or_announced t a ~pid ~default t0 (retries + 1)
+  end
+
 let pop t ~pid =
   let t0 = Obs.start t.obs in
   match t.head with
-  | Via_reclaim cell -> pop_reclaimed t (t.free : Rt_reclaim.t) cell ~pid t0
+  | Via_reclaim cell ->
+      pop_reclaimed t (Rt_free_list.reclaimer t.free) cell ~pid t0
+  | Via_announced a -> pop_announced t a ~pid t0 0
   | Packed _ | Via_llsc _ ->
       let rec attempt retries =
         let h, witness = read_head t ~pid in
@@ -243,5 +447,13 @@ let pop t ~pid =
         end
       in
       attempt 0
+
+let pop_or t ~pid ~default =
+  match t.head with
+  | Via_announced a ->
+      let t0 = Obs.start t.obs in
+      pop_or_announced t a ~pid ~default t0 0
+  | Packed _ | Via_llsc _ | Via_reclaim _ -> (
+      match pop t ~pid with Some v -> v | None -> default)
 
 let check_multiset = Harness.check_multiset

@@ -14,10 +14,20 @@
       reclaimer ({!Rt_reclaim.Hazard}, {!Rt_reclaim.Epoch} or the
       paper-built {!Rt_reclaim.Guarded}) and retire nodes instead of
       recycling them immediately, so a node can re-enter the stack only
-      after every stale reference to it is gone.
+      after every stale reference to it is gone;
+    - [Announced k] — folklore tagging made wraparound-safe (the runtime
+      twin of {!Aba_core.Announced_tags}): pops announce the [k]-bit tag
+      they rely on in a per-process padded slot and revalidate, and
+      installs that cross a half of the tag space scan the slots and skip
+      announced tags.  Uncontended push/pop cost 0 extra words and no
+      per-op retire or scan — scans happen only every [2^(k-1)] installs
+      (recorded as [Obs.Scan] events) — yet a stalled pop's witness stays
+      safe across arbitrarily many intervening operations, which [Tag_bits
+      k] cannot guarantee.  For progress under adversarial stalls keep
+      [2^(k-1)] above [n].
 
-    The tagged and LL/SC variants recycle through the free list
-    immediately (their head word is the protection); the [Reclaimed]
+    The tagged, LL/SC and announced variants recycle through the free
+    list immediately (their head word is the protection); the [Reclaimed]
     variants are where retirement and grace periods actually run.
 
     With [elimination] a push and a pop that collide on the head can also
@@ -33,7 +43,11 @@
 
 type t
 
-type protection = Tag_bits of int | Llsc | Reclaimed of Rt_reclaim.scheme
+type protection =
+  | Tag_bits of int
+  | Llsc
+  | Reclaimed of Rt_reclaim.scheme
+  | Announced of int
 
 val create :
   ?padded:bool -> ?backoff:bool -> ?elimination:Elimination.spec ->
@@ -56,6 +70,12 @@ val push : t -> pid:int -> int -> bool
 (** [false] when the pool is exhausted. *)
 
 val pop : t -> pid:int -> int option
+
+val pop_or : t -> pid:int -> default:int -> int
+(** [pop_or t ~pid ~default] is [pop] returning [default] when the stack
+    is empty.  Under [Announced] this path is allocation-free — no option
+    box — which is what the [announced-hotpath] bench group measures; the
+    other protections route through {!pop}. *)
 
 val reclaimer : t -> Rt_reclaim.t option
 (** The backing reclaimer of a [Reclaimed] stack ([None] otherwise). *)

@@ -28,6 +28,12 @@ end) : Mem_intf.S = struct
   type 'a cas = 'a typed
   type 'a llsc = 'a typed
 
+  (* A double-word CAS object is one cell holding the (value, tag) pair:
+     [cas2] is a single [Step.Cas] on that cell, so its DPOR footprint is
+     the same Rmw footprint as any CAS and explored schedules stay
+     certifiable without new step kinds. *)
+  type 'a cas2 = { p2 : ('a * int) typed; p2_tag_bits : int }
+
   let project (o : 'a typed) (u : Univ.t) : 'a =
     match o.embed.prj u with
     | Some v -> v
@@ -118,6 +124,51 @@ end) : Mem_intf.S = struct
     | Step.Unit -> ()
     | Step.Value _ | Step.Bool _ ->
         invalid_arg "Sim_mem: write returned a non-unit outcome"
+
+  let make_cas2 ?bound ?padded:_ ?codec ~tag_bits ~name ~show init itag =
+    Mem_intf.check_tag_bits ~what:"Sim_mem.make_cas2" tag_bits;
+    let mask = (1 lsl tag_bits) - 1 in
+    let tag_bound = Bounded.bits ~width:tag_bits in
+    let pair_bound =
+      match bound with
+      | Some b -> Bounded.pair b tag_bound
+      | None -> Bounded.pair (Bounded.unbounded ~describe:"any value") tag_bound
+    in
+    let pair_codec =
+      Option.map
+        (fun (k : 'a Mem_intf.codec) ->
+          {
+            Mem_intf.encode =
+              (fun (v, t) -> Mem_intf.pack2 ~tag_bits (k.Mem_intf.encode v) t);
+            decode =
+              (fun w ->
+                ( k.Mem_intf.decode (Mem_intf.unpack2_value ~tag_bits w),
+                  Mem_intf.unpack2_tag ~tag_bits w ));
+          })
+        codec
+    in
+    let show_pair (v, t) = Printf.sprintf "(%s, t%d)" (show v) t in
+    {
+      p2 =
+        make_typed ~bound:pair_bound ?codec:pair_codec ~name ~show:show_pair
+          ~kind:Cell.Cas_obj
+          (init, itag land mask);
+      p2_tag_bits = tag_bits;
+    }
+
+  let cas2_read w = cas_read w.p2
+
+  let cas2 w ~expect ~expect_tag ~update ~update_tag =
+    let mask = (1 lsl w.p2_tag_bits) - 1 in
+    cas w.p2
+      ~expect:(expect, expect_tag land mask)
+      ~update:(update, update_tag land mask)
+
+  let cas2_pack w v t =
+    (codec_of w.p2).Mem_intf.encode (v, t land ((1 lsl w.p2_tag_bits) - 1))
+
+  let cas2_read_packed w = cas_read_packed w.p2
+  let cas2_packed w ~expect ~update = cas_packed w.p2 ~expect ~update
 
   let make_llsc ?bound ?padded:_ ~name ~show init =
     make_typed ?bound ~name ~show ~kind:Cell.Llsc_obj init

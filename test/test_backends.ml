@@ -214,6 +214,140 @@ let ring_contended =
       in
       agree "ring contended" t_seq t_seq t_rt)
 
+(* --- Double-word CAS (cas2) ---
+
+   The same discipline for the pair-CAS objects: identical transcripts
+   across the three backends, with and without a codec (with one, the rt
+   backend packs the pair into a single atomic int; without, it emulates
+   over a boxed pair — both must be observationally identical to the
+   structural reference).  3-bit tags wrap every 8 advances, so a 120-op
+   sequence differentially checks tag wraparound arithmetic too. *)
+
+let id_codec = { Aba_primitives.Mem_intf.encode = Fun.id; decode = Fun.id }
+
+let cas2_transcript ~wrap ~codec mem ops =
+  let module M = (val mem : Aba_primitives.Mem_intf.S) in
+  let codec = if codec then Some id_codec else None in
+  let o =
+    M.make_cas2 ?codec
+      ~bound:(Aba_primitives.Bounded.int_range ~lo:0 ~hi:100)
+      ~tag_bits:3 ~name:"w2" ~show:string_of_int 0 0
+  in
+  List.map
+    (fun (p_sel, op_sel, v) ->
+      let p = p_sel mod n in
+      match op_sel mod 3 with
+      | 0 ->
+          let value, tag = wrap.run p (fun () -> M.cas2_read o) in
+          Printf.sprintf "p%d:read=%d,t%d" p value tag
+      | 1 ->
+          (* advance: CAS from the current pair, bumping the tag *)
+          let v0, t0 = wrap.run p (fun () -> M.cas2_read o) in
+          let ok =
+            wrap.run p (fun () ->
+                M.cas2 o ~expect:v0 ~expect_tag:t0 ~update:(v mod 100)
+                  ~update_tag:(t0 + 1))
+          in
+          Printf.sprintf "p%d:adv %d=%b" p (v mod 100) ok
+      | _ ->
+          (* stale: right value, wrong tag — must fail in every backend *)
+          let v0, t0 = wrap.run p (fun () -> M.cas2_read o) in
+          let ok =
+            wrap.run p (fun () ->
+                M.cas2 o ~expect:v0 ~expect_tag:(t0 + 1) ~update:(v mod 100)
+                  ~update_tag:(t0 + 2))
+          in
+          Printf.sprintf "p%d:stale=%b" p ok)
+    ops
+
+let cas2_cross ~codec label =
+  qtest (label ^ ": seq, sim and rt backends agree") gen_ops (fun ops ->
+      let t_seq =
+        cas2_transcript ~wrap:direct ~codec (Aba_primitives.Seq_mem.make ())
+          ops
+      in
+      let sim = Aba_sim.Sim.create ~n in
+      let t_sim =
+        cas2_transcript ~wrap:(solo sim) ~codec (Aba_sim.Sim_mem.make sim) ops
+      in
+      let t_rt =
+        cas2_transcript ~wrap:direct ~codec
+          (Aba_primitives.Rt_mem.make ~n ())
+          ops
+      in
+      agree label t_seq t_sim t_rt)
+
+let cas2_packed_vs_emulated =
+  qtest "cas2: packed and boxed rt representations agree" gen_ops (fun ops ->
+      let t_packed =
+        cas2_transcript ~wrap:direct ~codec:true
+          (Aba_primitives.Rt_mem.make ~n ())
+          ops
+      in
+      let t_boxed =
+        cas2_transcript ~wrap:direct ~codec:false
+          (Aba_primitives.Rt_mem.make ~n ())
+          ops
+      in
+      agree "cas2 packed vs boxed" t_packed t_packed t_boxed)
+
+(* The packed accessors — the allocation-free hot path of the announced
+   protections — against the same three backends. *)
+let cas2_packed_transcript ~wrap mem ops =
+  let module M = (val mem : Aba_primitives.Mem_intf.S) in
+  let o =
+    M.make_cas2 ~codec:id_codec
+      ~bound:(Aba_primitives.Bounded.int_range ~lo:0 ~hi:100)
+      ~tag_bits:3 ~name:"w2p" ~show:string_of_int 0 0
+  in
+  List.map
+    (fun (p_sel, op_sel, v) ->
+      let p = p_sel mod n in
+      if op_sel mod 2 = 0 then
+        Printf.sprintf "p%d:readp=%d" p
+          (wrap.run p (fun () -> M.cas2_read_packed o))
+      else begin
+        let w0 = wrap.run p (fun () -> M.cas2_read_packed o) in
+        let t0 = Aba_primitives.Mem_intf.unpack2_tag ~tag_bits:3 w0 in
+        let upd = M.cas2_pack o (v mod 100) (t0 + 1) in
+        Printf.sprintf "p%d:casp %d=%b" p upd
+          (wrap.run p (fun () -> M.cas2_packed o ~expect:w0 ~update:upd))
+      end)
+    ops
+
+let cas2_packed_cross =
+  qtest "cas2 packed accessors: seq, sim and rt backends agree" gen_ops
+    (fun ops ->
+      let t_seq =
+        cas2_packed_transcript ~wrap:direct (Aba_primitives.Seq_mem.make ())
+          ops
+      in
+      let sim = Aba_sim.Sim.create ~n in
+      let t_sim =
+        cas2_packed_transcript ~wrap:(solo sim) (Aba_sim.Sim_mem.make sim) ops
+      in
+      let t_rt =
+        cas2_packed_transcript ~wrap:direct
+          (Aba_primitives.Rt_mem.make ~n ())
+          ops
+      in
+      agree "cas2 packed accessors" t_seq t_sim t_rt)
+
+(* The wide packed codec itself: [pack2] must round-trip any value that
+   fits in [63 - tag_bits] bits and saturate the tag modulo [2^tag_bits]
+   (tags beyond the mask alias, which is exactly the wraparound the
+   announced protection guards against). *)
+let pack2_roundtrip =
+  qtest ~count:200 "pack2/unpack2: roundtrip and tag saturation"
+    QCheck2.Gen.(
+      triple (int_range 1 40) (int_range 0 0xFFFFF) (int_range 0 (1 lsl 30)))
+    (fun (tag_bits, v, t) ->
+      let open Aba_primitives.Mem_intf in
+      let w = pack2 ~tag_bits v t in
+      unpack2_value ~tag_bits w = v
+      && unpack2_tag ~tag_bits w = t land ((1 lsl tag_bits) - 1)
+      && pack2 ~tag_bits v (t + (1 lsl tag_bits)) = w)
+
 (* The runtime wrappers in [lib/runtime] are the same functors over the
    same backend; spot-check that they too match the sequential reference,
    through their own (packed, validated) [create] paths. *)
@@ -257,6 +391,13 @@ let suite =
         ring_cross "ring queue";
         ring_cross ~seq_bits:4 "ring queue, 4-bit tags (wrapping)";
         ring_contended;
+      ];
+      [
+        cas2_cross ~codec:true "cas2 (packed)";
+        cas2_cross ~codec:false "cas2 (boxed emulation)";
+        cas2_packed_vs_emulated;
+        cas2_packed_cross;
+        pack2_roundtrip;
       ];
       [
         Alcotest.test_case "runtime wrapper transcripts" `Quick

@@ -143,6 +143,29 @@ let wraparound_randomized () =
   | { violation_seed = Some seed; _ } ->
       Alcotest.failf "figure 4 violated at seed %d" seed
 
+let wraparound_stale_tag_plain () =
+  (* Regression: plain mod-2^k tags demonstrably fail the stale-tag
+     schedule — the stalled pop's CAS wins on the wrapped witness and the
+     drain double-pops long-gone nodes. *)
+  let r = Wraparound.stale_tag_adversary ~guard:false () in
+  Alcotest.(check bool) "stale CAS won on the wrapped tag" true
+    r.Wraparound.stale_cas_won;
+  Alcotest.(check (list int)) "B and C popped twice" [ 1; 2 ]
+    r.Wraparound.duplicate_pops;
+  Alcotest.(check int) "no crossing scans without the guard" 0
+    r.Wraparound.crossing_scans
+
+let wraparound_stale_tag_announced () =
+  (* The same schedule with the announcement guard on: the push's
+     crossing scan skips the announced tag, so the stale CAS fails and
+     the audit is clean. *)
+  let r = Wraparound.stale_tag_adversary ~guard:true () in
+  Alcotest.(check bool) "stale CAS rejected" false r.Wraparound.stale_cas_won;
+  Alcotest.(check (list int)) "no duplicate pops" []
+    r.Wraparound.duplicate_pops;
+  Alcotest.(check bool) "crossings scanned the slots" true
+    (r.Wraparound.crossing_scans >= 1)
+
 (* --- Tradeoff (E2/E3/E5) --- *)
 
 let tradeoff_llsc () =
@@ -235,6 +258,10 @@ let suite =
       `Quick wraparound_directed_correct;
     Alcotest.test_case "wraparound: randomized search" `Quick
       wraparound_randomized;
+    Alcotest.test_case "wraparound: stale-tag adversary beats plain tags"
+      `Quick wraparound_stale_tag_plain;
+    Alcotest.test_case "wraparound: announced tags defeat the adversary"
+      `Quick wraparound_stale_tag_announced;
     Alcotest.test_case "tradeoff: LL/SC implementations" `Quick tradeoff_llsc;
     Alcotest.test_case "tradeoff: ABA-register implementations" `Quick
       tradeoff_aba;

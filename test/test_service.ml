@@ -353,6 +353,9 @@ let suite =
     Alcotest.test_case "skewed steal churn, 4 domains: hazard-reclaimed"
       `Quick
       (steal_churn (T.Reclaimed Aba_runtime.Rt_reclaim.Hazard));
+    Alcotest.test_case "skewed steal churn, 4 domains: announced"
+      `Quick
+      (steal_churn (T.Announced 8));
     combining_differential;
     Alcotest.test_case "combining service: sequential stats" `Quick
       combining_sequential_stats;
