@@ -999,6 +999,160 @@ let protection_sweep ~domains ~ops () =
     ];
   List.rev !rows
 
+(* ----- Part 9: recovery sweep (detectable stack crash-churn) -----
+
+   The cost of detectability under fire: the detectable Treiber stack
+   ({!Aba_core.Detectable}) churned with the harness's crash plan — every
+   [crash_every]-th round per domain is killed at a randomized shared
+   access and resolved by the stack's recovery protocol — across the
+   three head protections, with the exactly-once multiset audit as the
+   pass/fail and the new [crash]/[recover] Obs kinds in the same
+   per-kind percentile table as every other sweep.  A crash-free control
+   row set (crash_period 0) pins the baseline; CI asserts its crash and
+   recover counters are exactly zero. *)
+
+type recovery_row = {
+  rv_structure : string;
+  rv_protection : string;
+  rv_domains : int;
+  rv_ops : int;
+  rv_crash_every : int;  (** 0 = crash injection disabled (control) *)
+  rv_kind : string;
+  rv_count : int;
+  rv_retries : int;
+  rv_throughput : float;
+  rv_p50 : int;
+  rv_p90 : int;
+  rv_p99 : int;
+  rv_p999 : int;
+  rv_crashes : int;
+  rv_recoveries : int;
+  rv_audit_ok : bool;
+}
+
+let recovery_sweep ~domains ~ops ~crash_every () =
+  Printf.printf
+    "\nRecovery sweep (detectable stack, %d domains x %d rounds/domain, \
+     crash every %d, ns):\n"
+    domains ops crash_every;
+  Printf.printf "  %-11s %6s %-8s %9s %12s %8s %8s %8s %8s %7s %7s %6s\n"
+    "protection" "period" "kind" "count" "ops/s" "p50" "p90" "p99" "p999"
+    "crashes" "recover" "audit";
+  let rows = ref [] in
+  let case rv_protection protection rv_crash_every =
+    let m = Aba_primitives.Rt_mem.make ~n:domains () in
+    let module M = (val m : Aba_primitives.Mem_intf.S) in
+    let module D = Aba_core.Detectable.Make (M) in
+    let fuse = Aba_runtime.Harness.Fuse.create ~n:domains in
+    let st =
+      D.Stack.create ~protection ~tag_bits:8
+        ~on_step:(Aba_runtime.Harness.Fuse.on_step fuse)
+        ~name:"dstk" ~n:domains
+        ~capacity:(((domains + 2) * ops) + 8)
+        ()
+    in
+    let crashes =
+      if rv_crash_every = 0 then None
+      else
+        Some
+          {
+            Aba_runtime.Harness.fuse;
+            crash_every = rv_crash_every;
+            fuse_steps = Aba_runtime.Harness.default_fuse_steps;
+            recover =
+              (fun ~pid ->
+                match D.Stack.recover st ~pid with
+                | Aba_core.Detectable.R_none ->
+                    {
+                      Aba_runtime.Harness.completed = false;
+                      r_pushed = [];
+                      r_popped = [];
+                    }
+                | Aba_core.Detectable.R_pushed v ->
+                    {
+                      Aba_runtime.Harness.completed = true;
+                      r_pushed = [ v ];
+                      r_popped = [];
+                    }
+                | Aba_core.Detectable.R_popped (Some v) ->
+                    {
+                      Aba_runtime.Harness.completed = true;
+                      r_pushed = [];
+                      r_popped = [ v ];
+                    }
+                | Aba_core.Detectable.R_popped None ->
+                    {
+                      Aba_runtime.Harness.completed = true;
+                      r_pushed = [];
+                      r_popped = [];
+                    });
+          }
+    in
+    let obs = Obs.create ~trace:0 ~n:domains () in
+    let t0 = Aba_obs.Clock.now_ns () in
+    let report =
+      Aba_runtime.Harness.churn ~mix:Aba_runtime.Harness.Paired ~obs ?crashes
+        ~n:domains ~ops
+        ~push:(fun ~pid v ->
+          D.Stack.push st ~pid v;
+          true)
+        ~pop:(fun ~pid -> D.Stack.pop st ~pid)
+        ()
+    in
+    let dt = Aba_obs.Clock.elapsed_s t0 in
+    let rv_throughput = float_of_int (2 * domains * ops) /. dt in
+    let rv_audit_ok = Result.is_ok report.Aba_runtime.Harness.outcome in
+    (match report.Aba_runtime.Harness.outcome with
+    | Ok () -> ()
+    | Error e -> Printf.printf "  AUDIT FAILURE (%s): %s\n" rv_protection e);
+    List.iter
+      (fun kind ->
+        let count = Obs.op_count obs kind in
+        match Obs.histogram obs kind with
+        | Some h when count > 0 ->
+            let s = Aba_obs.Histogram.summarize h in
+            let row =
+              {
+                rv_structure = "dstack";
+                rv_protection;
+                rv_domains = domains;
+                rv_ops = ops;
+                rv_crash_every;
+                rv_kind = Obs.kind_name kind;
+                rv_count = count;
+                rv_retries = Obs.retry_count obs kind;
+                rv_throughput;
+                rv_p50 = s.Aba_obs.Histogram.p50;
+                rv_p90 = s.Aba_obs.Histogram.p90;
+                rv_p99 = s.Aba_obs.Histogram.p99;
+                rv_p999 = s.Aba_obs.Histogram.p999;
+                rv_crashes = report.Aba_runtime.Harness.crashed;
+                rv_recoveries = report.Aba_runtime.Harness.recovered;
+                rv_audit_ok;
+              }
+            in
+            Printf.printf
+              "  %-11s %6d %-8s %9d %12.0f %8d %8d %8d %8d %7d %7d %6s\n"
+              row.rv_protection row.rv_crash_every row.rv_kind row.rv_count
+              row.rv_throughput row.rv_p50 row.rv_p90 row.rv_p99 row.rv_p999
+              row.rv_crashes row.rv_recoveries
+              (if row.rv_audit_ok then "ok" else "FAIL");
+            rows := row :: !rows
+        | Some _ | None -> ())
+      Obs.all_kinds
+  in
+  List.iter
+    (fun (name, protection) ->
+      (* Crash-free control first, then the crash-churn run. *)
+      case name protection 0;
+      case name protection crash_every)
+    [
+      ("tag8", Aba_core.Detectable.Tag_bits);
+      ("llsc", Aba_core.Detectable.Llsc);
+      ("announced8", Aba_core.Detectable.Announced);
+    ];
+  List.rev !rows
+
 (* ----- Part 7: sharded service tier (open-loop SLO sweep) -----
 
    The sweep itself lives in {!Aba_experiments.Service_bench} (shared
@@ -1054,6 +1208,8 @@ type options = {
   elimination : bool;  (** add the elimination/combining axis to the sweep *)
   service : bool;  (** part 7: the sharded-service open-loop sweep *)
   protections : bool;  (** part 8: the protection head-to-head sweep *)
+  recovery : bool;  (** part 9: the detectable-stack crash-churn sweep *)
+  crash_every : int;  (** crash period of the recovery sweep *)
   slo_ns : int;
   arrival_ns : int;
 }
@@ -1070,6 +1226,8 @@ let default_options () =
     elimination = false;
     service = false;
     protections = false;
+    recovery = false;
+    crash_every = 7;
     slo_ns = 10_000;
     arrival_ns = 1_000;
   }
@@ -1078,7 +1236,8 @@ let usage_and_exit code =
   prerr_endline
     "usage: bench [--json FILE] [--domains N] [--ops N] [--max-domains N]\n\
     \             [--sweep-ops N] [--smoke] [--elimination] [--service]\n\
-    \             [--protections] [--slo-ns N] [--arrival-ns N]\n\n\
+    \             [--protections] [--recovery] [--crash-every N]\n\
+    \             [--slo-ns N] [--arrival-ns N]\n\n\
     \  --json FILE     write machine-readable results to FILE\n\
     \  --domains N     domain count for the treiber/reclaim tables \
      (default 4)\n\
@@ -1090,6 +1249,9 @@ let usage_and_exit code =
     \  --service       part 7: the sharded service tier open-loop sweep\n\
     \  --protections   part 8: protection head-to-head sweep (announced \
      vs reclaimers)\n\
+    \  --recovery      part 9: detectable-stack crash-churn sweep \
+     (exactly-once audit)\n\
+    \  --crash-every N recovery sweep crash period in rounds (default 7)\n\
     \  --slo-ns N      service SLO budget in ns (default 10000)\n\
     \  --arrival-ns N  service mean inter-arrival in ns (default 1000)";
   exit code
@@ -1122,6 +1284,8 @@ let parse_options () =
       | "--elimination" -> o := { !o with elimination = true }; go (i + 1)
       | "--service" -> o := { !o with service = true }; go (i + 1)
       | "--protections" -> o := { !o with protections = true }; go (i + 1)
+      | "--recovery" -> o := { !o with recovery = true }; go (i + 1)
+      | "--crash-every" -> o := { !o with crash_every = int_value i }; go (i + 2)
       | "--slo-ns" -> o := { !o with slo_ns = int_value i }; go (i + 2)
       | "--arrival-ns" -> o := { !o with arrival_ns = int_value i }; go (i + 2)
       | "--help" | "-h" -> usage_and_exit 0
@@ -1151,7 +1315,7 @@ let meta_json () =
   let tm = Unix.gmtime (Unix.time ()) in
   Json.Obj
     [
-      ("schema_version", Json.Int 7);
+      ("schema_version", Json.Int 8);
       ("git_commit", Json.Str (git_commit ()));
       ("ocaml_version", Json.Str Sys.ocaml_version);
       ( "available_domains",
@@ -1235,6 +1399,27 @@ let protection_row_json r =
       ("p999_ns", Json.Int r.pv_p999);
     ]
 
+let recovery_row_json r =
+  Json.Obj
+    [
+      ("structure", Json.Str r.rv_structure);
+      ("protection", Json.Str r.rv_protection);
+      ("domains", Json.Int r.rv_domains);
+      ("ops", Json.Int r.rv_ops);
+      ("crash_period", Json.Int r.rv_crash_every);
+      ("kind", Json.Str r.rv_kind);
+      ("count", Json.Int r.rv_count);
+      ("retries", Json.Int r.rv_retries);
+      ("ops_per_sec", Json.Float r.rv_throughput);
+      ("p50_ns", Json.Int r.rv_p50);
+      ("p90_ns", Json.Int r.rv_p90);
+      ("p99_ns", Json.Int r.rv_p99);
+      ("p999_ns", Json.Int r.rv_p999);
+      ("crashes", Json.Int r.rv_crashes);
+      ("recoveries", Json.Int r.rv_recoveries);
+      ("audit_ok", Json.Bool r.rv_audit_ok);
+    ]
+
 let capacity_row_json r =
   Json.Obj
     [
@@ -1254,7 +1439,7 @@ let capacity_row_json r =
     ]
 
 let write_json path ~treiber_rows ~reclaim_rows ~sweep_rows ~percentile_rows
-    ~capacity_rows ~service_rows ~protection_rows =
+    ~capacity_rows ~service_rows ~protection_rows ~recovery_rows =
   let doc =
     Json.Obj
       [
@@ -1270,6 +1455,8 @@ let write_json path ~treiber_rows ~reclaim_rows ~sweep_rows ~percentile_rows
             (List.map Aba_experiments.Service_bench.row_to_json service_rows) );
         ( "protection_sweep",
           Json.Arr (List.map protection_row_json protection_rows) );
+        ( "recovery_sweep",
+          Json.Arr (List.map recovery_row_json recovery_rows) );
       ]
   in
   let oc = open_out path in
@@ -1366,8 +1553,23 @@ let () =
         ~ops:o.sweep_ops ()
     end
   in
-  match o.json with
+  (* Part 9: the detectable-stack crash-churn sweep, opt-in via
+     --recovery.  Every row carries the exactly-once audit verdict; a
+     failed audit fails the whole bench run. *)
+  let recovery_rows =
+    if not o.recovery then []
+    else
+      recovery_sweep
+        ~domains:(min o.domains o.max_domains)
+        ~ops:(min o.sweep_ops 5_000)
+        ~crash_every:o.crash_every ()
+  in
+  if List.exists (fun r -> not r.rv_audit_ok) recovery_rows then begin
+    prerr_endline "bench: recovery sweep exactly-once audit FAILED";
+    exit 1
+  end;
+  (match o.json with
   | None -> ()
   | Some path ->
       write_json path ~treiber_rows ~reclaim_rows ~sweep_rows ~percentile_rows
-        ~capacity_rows ~service_rows ~protection_rows
+        ~capacity_rows ~service_rows ~protection_rows ~recovery_rows)

@@ -416,6 +416,174 @@ let service_cmd =
       const run $ structures $ shards $ domains $ ops $ slo_ns $ arrival_ns
       $ json)
 
+(* E19: crash recovery end to end — the detectable counter and stack
+   churned on real domains while the harness fuse kills operations at
+   randomized shared accesses, each audited for exactly-once effect,
+   then the DPOR crash-move certification of the same protocols (the
+   detectable/naive scenario pair plus the stack). *)
+let recover_cmd =
+  (* Crash-churn over-subscribed on too few cores degrades badly: every
+     injected crash parks stale shared state that other domains
+     spin-help against until the crashed domain is rescheduled, so the
+     default domain count follows the machine (floor 2 to keep real
+     cross-domain helping in play). *)
+  let auto_domains =
+    max 2 (min 4 (Aba_runtime.Harness.available_parallelism ()))
+  in
+  let domains =
+    Arg.(
+      value & opt int auto_domains
+      & info [ "domains" ] ~doc:"concurrent domains")
+  in
+  let ops =
+    Arg.(value & opt int 2_000 & info [ "ops" ] ~doc:"rounds per domain")
+  in
+  let crash_every =
+    Arg.(
+      value & opt int 7
+      & info [ "crash-every" ] ~doc:"crash period in rounds per domain")
+  in
+  let run domains ops crash_every =
+    let module H = Aba_runtime.Harness in
+    let module Obs = Aba_obs.Obs in
+    if crash_every < 1 then begin
+      prerr_endline "recover: --crash-every must be positive";
+      exit 2
+    end;
+    let failed = ref false in
+    (* Counter: every increment must count exactly once through crashes. *)
+    let () =
+      let m = Aba_primitives.Rt_mem.make ~n:domains () in
+      let module M = (val m : Aba_primitives.Mem_intf.S) in
+      let module D = Aba_core.Detectable.Make (M) in
+      let fuse = H.Fuse.create ~n:domains in
+      let c =
+        D.Counter.create ~on_step:(H.Fuse.on_step fuse) ~name:"ctr"
+          ~n:domains ()
+      in
+      let results =
+        H.run_domains ~n:domains (fun d ->
+            let eff = ref 0 and crashes = ref 0 in
+            for i = 1 to ops do
+              if i mod crash_every = 0 then begin
+                H.Fuse.arm fuse ~pid:d
+                  ~steps:(H.default_fuse_steps ~pid:d ~round:i);
+                try
+                  ignore (D.Counter.inc c ~pid:d : int);
+                  H.Fuse.disarm fuse ~pid:d;
+                  incr eff
+                with H.Injected_crash -> (
+                  incr crashes;
+                  match D.Counter.recover c ~pid:d with
+                  | Some _ -> incr eff
+                  | None -> ())
+              end
+              else begin
+                ignore (D.Counter.inc c ~pid:d : int);
+                incr eff
+              end
+            done;
+            (!eff, !crashes))
+      in
+      let eff = Array.fold_left (fun a (e, _) -> a + e) 0 results in
+      let crashes = Array.fold_left (fun a (_, c) -> a + c) 0 results in
+      let final = D.Counter.read c in
+      let ok = final = eff in
+      if not ok then failed := true;
+      Printf.printf
+        "detectable counter: domains=%d ops/domain=%d crashes=%d \
+         effective=%d final=%d exactly-once=%s\n"
+        domains ops crashes eff final
+        (if ok then "ok" else "FAIL")
+    in
+    (* Stack: crash-churn under each head protection, exactly-once
+       multiset audit, crash/recover events on the Obs handle. *)
+    List.iter
+      (fun (pname, protection) ->
+        let m = Aba_primitives.Rt_mem.make ~n:domains () in
+        let module M = (val m : Aba_primitives.Mem_intf.S) in
+        let module D = Aba_core.Detectable.Make (M) in
+        let fuse = H.Fuse.create ~n:domains in
+        let st =
+          D.Stack.create ~protection ~tag_bits:8
+            ~on_step:(H.Fuse.on_step fuse) ~name:"dstk" ~n:domains
+            ~capacity:(((domains + 2) * ops) + 8)
+            ()
+        in
+        let plan =
+          {
+            H.fuse;
+            crash_every;
+            fuse_steps = H.default_fuse_steps;
+            recover =
+              (fun ~pid ->
+                match D.Stack.recover st ~pid with
+                | Aba_core.Detectable.R_none ->
+                    { H.completed = false; r_pushed = []; r_popped = [] }
+                | Aba_core.Detectable.R_pushed v ->
+                    { H.completed = true; r_pushed = [ v ]; r_popped = [] }
+                | Aba_core.Detectable.R_popped (Some v) ->
+                    { H.completed = true; r_pushed = []; r_popped = [ v ] }
+                | Aba_core.Detectable.R_popped None ->
+                    { H.completed = true; r_pushed = []; r_popped = [] });
+          }
+        in
+        let obs = Obs.create ~trace:0 ~n:domains () in
+        let report =
+          H.churn ~mix:H.Paired ~obs ~crashes:plan ~n:domains ~ops
+            ~push:(fun ~pid v ->
+              D.Stack.push st ~pid v;
+              true)
+            ~pop:(fun ~pid -> D.Stack.pop st ~pid)
+            ()
+        in
+        if Result.is_error report.H.outcome then failed := true;
+        Printf.printf
+          "detectable stack (%-10s): pushed=%d popped=%d remaining=%d \
+           crashed=%d recovered=%d obs(crash=%d recover=%d) exactly-once=%s\n"
+          pname report.H.pushed report.H.popped report.H.remaining
+          report.H.crashed report.H.recovered
+          (Obs.op_count obs Obs.Crash)
+          (Obs.op_count obs Obs.Recover)
+          (match report.H.outcome with
+          | Ok () -> "ok"
+          | Error e -> "FAIL: " ^ e))
+      [
+        ("tag8", Aba_core.Detectable.Tag_bits);
+        ("llsc", Aba_core.Detectable.Llsc);
+        ("announced8", Aba_core.Detectable.Announced);
+      ];
+    (* The simulator side of the same story: DPOR over crash moves. *)
+    let module S = Aba_experiments.Scenarios in
+    print_newline ();
+    List.iter
+      (fun id ->
+        match S.find id with
+        | None ->
+            Printf.eprintf "missing crash scenario %S\n" id;
+            failed := true
+        | Some s ->
+            let r = s.S.run () in
+            if not r.S.passed then failed := true;
+            Printf.printf
+              "dpor %-25s verdict=%-9s explored=%d crashes_injected=%d %s\n"
+              r.S.name r.S.verdict r.S.stats.Aba_sim.Explore.explored
+              r.S.stats.Aba_sim.Explore.crashes_injected
+              (if r.S.passed then "ok" else "FAIL"))
+      [
+        "detectable-counter-crash"; "naive-counter-crash";
+        "detectable-stack-crash";
+      ];
+    if !failed then exit 1
+  in
+  Cmd.v
+    (Cmd.info "recover"
+       ~doc:
+         "Crash recovery demo (E19): detectable counter/stack crash-churn \
+          with exactly-once audits, then the DPOR crash-move \
+          certification.")
+    Term.(const run $ domains $ ops $ crash_every)
+
 let all_cmd =
   let run () =
     run_space [ 3; 4; 6; 8 ];
@@ -437,7 +605,7 @@ let main =
     [
       space_cmd; covering_cmd; wraparound_cmd; tradeoff_cmd; steps_cmd;
       explore_cmd; ablate_cmd; stack_cmd; reclaim_cmd; obs_cmd; queue_cmd;
-      service_cmd; all_cmd;
+      service_cmd; recover_cmd; all_cmd;
     ]
 
 let () = exit (Cmd.eval main)

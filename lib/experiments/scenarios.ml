@@ -37,10 +37,12 @@ type t = {
   run : ?max_schedules:int -> ?preemption_bound:int -> unit -> report;
 }
 
-let run_dpor ~name ~description ~n ~expect_violation ~make ~scripts ~check
-    ?(max_schedules = 500_000) ?preemption_bound () =
+let run_dpor ~name ~description ~n ~expect_violation ?(crash_bound = 0)
+    ?on_crash ~make ~scripts ~check ?(max_schedules = 500_000)
+    ?preemption_bound () =
   let { Explore.verdict; stats } =
-    Explore.dpor ~make ~scripts ~check ~max_schedules ?preemption_bound ()
+    Explore.dpor ~make ~scripts ~check ~max_schedules ?preemption_bound
+      ~crash_bound ?on_crash ()
   in
   let verdict_s, schedules, violation_schedule =
     match verdict with
@@ -557,6 +559,172 @@ let announced_scripts =
     [ T_protect; T_resume ];
   |]
 
+(* ----- crash-recovery scenarios -----
+
+   {!Aba_core.Detectable} under the explorer's crash moves: at every
+   node any in-flight operation may be killed ({!Aba_sim.Sim.crash}
+   erases its program state, every cell survives) and the process comes
+   back running its recovery program.  The check needs the object's
+   final state, which no surviving response carries, so [make] parks a
+   solo reader closure in a ref and the leaf check invokes it as a
+   zero-contention operation of pid 0 — sound because every process is
+   idle at a leaf and the explorer rebuilds the instance from scratch
+   before its next advance, discarding the probe's execution. *)
+
+type cop = C_inc | C_recover
+type cres = C_got of int | C_recovered of int option
+
+let counter_instance ~naive ~n final () =
+  let sim = Aba_sim.Sim.create ~n in
+  let m = Aba_sim.Sim_mem.make sim in
+  let module M = (val m : Mem_intf.S) in
+  let module D = Detectable.Make (M) in
+  let inc, recover, read =
+    if naive then
+      let c = D.Naive_counter.create ~name:"nctr" ~n () in
+      ( (fun pid -> D.Naive_counter.inc c ~pid),
+        (fun pid -> D.Naive_counter.recover c ~pid),
+        fun () -> D.Naive_counter.read c )
+    else
+      let c = D.Counter.create ~name:"ctr" ~n () in
+      ( (fun pid -> D.Counter.inc c ~pid),
+        (fun pid -> D.Counter.recover c ~pid),
+        fun () -> D.Counter.read c )
+  in
+  let apply pid op () =
+    match op with
+    | C_inc -> C_got (inc pid)
+    | C_recover -> C_recovered (recover pid)
+  in
+  final :=
+    (fun () ->
+      let pr = Aba_sim.Sim.invoke sim 0 read in
+      Aba_sim.Sim.run_solo sim 0;
+      Option.get (Aba_sim.Sim.result pr));
+  { Explore.driver = Aba_sim.Driver.create ~sim ~apply }
+
+(* Exactly-once, leaf by leaf: the final counter value must equal the
+   number of increments that took effect — completed [C_inc]s plus
+   recoveries that resolved an in-flight one (the crashed [C_inc]'s own
+   invoke stays unmatched, so the pair counts its effect exactly once).
+   The naive mutant re-runs an increment that had already landed on some
+   crash placement, overshooting by one. *)
+let counter_check final h =
+  let effective = ref 0 in
+  List.iter
+    (fun (_, op, res) ->
+      match (op, res) with
+      | C_inc, Some (C_got _) -> incr effective
+      | C_recover, Some (C_recovered (Some _)) -> incr effective
+      | _ -> ())
+    (Event.ops_of h);
+  !final () = !effective
+
+let counter_crash_scenario ~id ~about ~naive ~expects_violation scripts =
+  let n = Array.length scripts in
+  let final = ref (fun () -> -1) in
+  {
+    id;
+    about;
+    n_procs = n;
+    expects_violation;
+    heavy = false;
+    run =
+      (fun ?max_schedules ?preemption_bound () ->
+        run_dpor ~name:id ~description:about ~n
+          ~expect_violation:expects_violation ~crash_bound:1
+          ~on_crash:(fun _ -> [ C_recover ])
+          ~make:(counter_instance ~naive ~n final)
+          ~scripts
+          ~check:(counter_check final)
+          ?max_schedules ?preemption_bound ());
+  }
+
+type kop = K_push of int | K_pop | K_recover
+
+type kres =
+  | K_done
+  | K_popped of int option
+  | K_recovered of Detectable.stack_recovery
+
+let stack_instance ~n final () =
+  let sim = Aba_sim.Sim.create ~n in
+  let m = Aba_sim.Sim_mem.make sim in
+  let module M = (val m : Mem_intf.S) in
+  let module D = Detectable.Make (M) in
+  (* Tag_bits head: the cheapest protection in steps, keeping the crash
+     interleaving space explorable; capacity covers the scripts, one
+     recovery re-run, and the leaf probe's drain. *)
+  let st =
+    D.Stack.create ~protection:Detectable.Tag_bits ~name:"dstk" ~n
+      ~capacity:8 ()
+  in
+  let apply pid op () =
+    match op with
+    | K_push v ->
+        D.Stack.push st ~pid v;
+        K_done
+    | K_pop -> K_popped (D.Stack.pop st ~pid)
+    | K_recover -> K_recovered (D.Stack.recover st ~pid)
+  in
+  final :=
+    (fun () ->
+      let drain () =
+        let acc = ref [] in
+        let rec go () =
+          match D.Stack.pop st ~pid:0 with
+          | Some v ->
+              acc := v :: !acc;
+              go ()
+          | None -> !acc
+        in
+        go ()
+      in
+      let pr = Aba_sim.Sim.invoke sim 0 drain in
+      Aba_sim.Sim.run_solo sim 0;
+      Option.get (Aba_sim.Sim.result pr));
+  { Explore.driver = Aba_sim.Driver.create ~sim ~apply }
+
+(* Exactly-once over the whole stack: values popped by operations or
+   recoveries plus values still in the stack at the leaf must equal, as
+   a multiset, the values pushed by completed or recovered pushes. *)
+let stack_check final h =
+  let pushed = ref [] and popped = ref [] in
+  List.iter
+    (fun (_, op, res) ->
+      match (op, res) with
+      | K_push v, Some K_done -> pushed := v :: !pushed
+      | K_pop, Some (K_popped (Some v)) -> popped := v :: !popped
+      | K_recover, Some (K_recovered r) -> (
+          match r with
+          | Detectable.R_pushed v -> pushed := v :: !pushed
+          | Detectable.R_popped (Some v) -> popped := v :: !popped
+          | Detectable.R_popped None | Detectable.R_none -> ())
+      | _ -> ())
+    (Event.ops_of h);
+  let remaining = !final () in
+  List.sort compare (remaining @ !popped) = List.sort compare !pushed
+
+let stack_crash_scenario ~id ~about scripts =
+  let n = Array.length scripts in
+  let final = ref (fun () -> []) in
+  {
+    id;
+    about;
+    n_procs = n;
+    expects_violation = false;
+    heavy = false;
+    run =
+      (fun ?max_schedules ?preemption_bound () ->
+        run_dpor ~name:id ~description:about ~n ~expect_violation:false
+          ~crash_bound:1
+          ~on_crash:(fun _ -> [ K_recover ])
+          ~make:(stack_instance ~n final)
+          ~scripts
+          ~check:(stack_check final)
+          ?max_schedules ?preemption_bound ());
+  }
+
 (* ----- the suite ----- *)
 
 let all () =
@@ -642,6 +810,26 @@ let all () =
          same wraparound scripts: crossings scan the slots and skip \
          announced tags" ~guard:true ~expects_violation:false
       announced_scripts;
+    counter_crash_scenario ~id:"detectable-counter-crash"
+      ~about:
+        "detectable fetch-and-increment under one crash move per \
+         schedule: recovery resolves the interrupted increment exactly \
+         once at every crash placement" ~naive:false
+      ~expects_violation:false
+      [| [ C_inc ]; [ C_inc ] |];
+    counter_crash_scenario ~id:"naive-counter-crash"
+      ~about:
+        "mutation: counter without provenance or ack handover — recovery \
+         re-runs an increment that already landed when the crash falls \
+         between its CAS and its Done write" ~naive:true
+      ~expects_violation:true
+      [| [ C_inc ]; [ C_inc ] |];
+    stack_crash_scenario ~id:"detectable-stack-crash"
+      ~about:
+        "detectable Treiber stack (tagged head, per-(pid,seq) arena) \
+         under one crash move per schedule: pushes and pops resolve \
+         exactly once across every crash placement"
+      [| [ K_push 1 ]; [ K_push 2; K_pop ] |];
     ring_scenario ~id:"ring-4bit"
       ~about:
         "bounded MPMC ring with 4-bit slot sequence tags, capacity 2, \
@@ -681,6 +869,7 @@ let stats_to_json (s : Explore.dpor_stats) =
       ("sleep_set_prunes", Json.Int s.Explore.sleep_set_prunes);
       ("preemption_prunes", Json.Int s.Explore.preemption_prunes);
       ("races_detected", Json.Int s.Explore.races_detected);
+      ("crashes_injected", Json.Int s.Explore.crashes_injected);
       ("max_depth_reached", Json.Int s.Explore.max_depth_reached);
       ("rebuilds", Json.Int s.Explore.rebuilds);
       ("actions_executed", Json.Int s.Explore.actions_executed);

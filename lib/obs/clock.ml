@@ -5,7 +5,19 @@
    every caller falls back to the wall clock, which is at least usable
    even though NTP slew can distort it. *)
 let raw_ns () = Int64.to_int (Monotonic_clock.now ())
-let wall_ns () = int_of_float (Unix.gettimeofday () *. 1e9)
+
+(* Epoch nanoseconds (~2^60.6) exceed the 53-bit double mantissa, so
+   [int_of_float (t *. 1e9)] quantizes to ~256 ns and adjacent stamps can
+   tie or regress.  Split the float first: whole seconds are exact in a
+   double, and the fractional part carries full microsecond resolution
+   (gettimeofday's native granularity), so each piece converts to int
+   losslessly before the widening multiply. *)
+let ns_of_unix_time t =
+  let secs = floor t in
+  let frac_us = Float.round ((t -. secs) *. 1e6) in
+  (int_of_float secs * 1_000_000_000) + (int_of_float frac_us * 1_000)
+
+let wall_ns () = ns_of_unix_time (Unix.gettimeofday ())
 
 let monotonic =
   let a = raw_ns () in

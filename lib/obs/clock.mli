@@ -6,6 +6,12 @@
     through bechamel's C stub and guards it with a startup probe, falling
     back to the wall clock only when the stub is unusable. *)
 
+val ns_of_unix_time : float -> int
+(** Integer nanoseconds for a [Unix.gettimeofday]-style epoch-seconds
+    float.  The naive [int_of_float (t *. 1e9)] loses the low ~8 bits of
+    an epoch timestamp to the 53-bit double mantissa; this splits whole
+    seconds from the fractional microseconds so both convert exactly. *)
+
 val monotonic : bool
 (** Whether the monotonic source passed the startup probe; when [false],
     {!now_ns} reads the wall clock. *)

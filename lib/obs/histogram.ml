@@ -5,20 +5,28 @@
 type t = { rows : int array array }
 
 let buckets = 63
+let top_bucket = buckets - 1
 
 (* Number of significant bits of [v]: bucket [b >= 1] covers
    [2^(b-1), 2^b - 1]; bucket 0 absorbs zero and negative values (a
    non-monotonic clock is the only way to produce the latter, and the
-   fallback in {!Clock} makes even that benign). *)
+   fallback in {!Clock} makes even that benign).  A positive int has at
+   most 62 significant bits, but the cap keeps [record] in-bounds even if
+   [buckets] ever shrinks. *)
 let bucket_of v =
   if v <= 0 then 0
   else begin
     let rec bits acc v = if v = 0 then acc else bits (acc + 1) (v lsr 1) in
-    bits 0 v
+    min (bits 0 v) top_bucket
   end
 
 let bucket_lo = function 0 -> 0 | i -> 1 lsl (i - 1)
-let bucket_hi = function 0 -> 0 | i -> (1 lsl i) - 1
+
+(* The top bucket's bound is [max_int] by definition, not via
+   [(1 lsl 62) - 1] — that expression only equals [max_int] by wrapping
+   through [min_int - 1], an accident of signed-shift overflow. *)
+let bucket_hi i =
+  if i <= 0 then 0 else if i >= top_bucket then max_int else (1 lsl i) - 1
 
 let create ~n () =
   if n < 1 then invalid_arg "Obs.Histogram.create: n must be positive";

@@ -19,7 +19,8 @@ val bucket_lo : int -> int
 val bucket_hi : int -> int
 (** Bucket index of a value and the inclusive bounds of a bucket:
     [bucket_lo (bucket_of v) <= v <= bucket_hi (bucket_of v)] for all
-    [v >= 0]. *)
+    [v >= 0], including [v = max_int], whose bucket's upper bound is
+    explicitly [max_int] (not a signed-shift wraparound). *)
 
 val create : n:int -> unit -> t
 (** One row per pid in [0, n).  Raises [Invalid_argument] if [n < 1]. *)

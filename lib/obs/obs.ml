@@ -21,6 +21,8 @@ type kind =
   | Wait_empty
   | Steal
   | Scan
+  | Crash
+  | Recover
 
 let kind_index = function
   | Push -> 0
@@ -38,12 +40,14 @@ let kind_index = function
   | Wait_empty -> 12
   | Steal -> 13
   | Scan -> 14
+  | Crash -> 15
+  | Recover -> 16
 
-let kind_count = 15
+let kind_count = 17
 
 let all_kinds =
   [ Push; Pop; Enqueue; Dequeue; Ll; Sc; Dread; Dwrite; Exchange; Combine;
-    Retire; Wait_full; Wait_empty; Steal; Scan ]
+    Retire; Wait_full; Wait_empty; Steal; Scan; Crash; Recover ]
 
 let kind_name = function
   | Push -> "push"
@@ -61,6 +65,8 @@ let kind_name = function
   | Wait_empty -> "wait-empty"
   | Steal -> "steal"
   | Scan -> "scan"
+  | Crash -> "crash"
+  | Recover -> "recover"
 
 type outcome =
   | Ok

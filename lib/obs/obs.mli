@@ -36,6 +36,9 @@ type kind =
   | Scan
       (** an announced-tags crossing scan: the tag window is exhausted and
           the writer scans the announcement slots before reusing tags *)
+  | Crash  (** a worker's in-flight operation was killed mid-run *)
+  | Recover
+      (** a post-crash detectable recovery resolved the killed operation *)
 
 (** How it ended. *)
 type outcome =

@@ -3,10 +3,10 @@ open Aba_primitives
 module Event = struct
   type t = { ts : int; kind : int; outcome : int; pid : int; retries : int }
 
-  let kind_bits = 4
+  let kind_bits = 5
   let outcome_bits = 3
   let pid_bits = 8
-  let retries_bits = 10
+  let retries_bits = 9
   let ts_bits = 37
   let max_kind = (1 lsl kind_bits) - 1
   let max_outcome = (1 lsl outcome_bits) - 1

@@ -35,11 +35,20 @@ let create ?value_bound ?seq_bits ?padded
 let ring t = t.q
 let capacity t = Rt_ring.capacity t.q
 let length t = Rt_ring.length t.q
+let wait_spins t ~pid = Backoff.current t.waits.(pid)
+
+(* Reset discipline: the window is reset on wait-phase entry AND on both
+   exits (success or timeout).  Entry reset alone already guarantees a
+   fresh window per operation; the exit reset keeps the invariant "the
+   stored window is at base between operations" observable, so a maxed
+   window can never leak into a future operation even if the entry path
+   is refactored. *)
 
 let rec wait_enq t ~pid v t0 polls =
   if polls >= t.max_polls then begin
     Obs.record t.obs ~pid ~kind:Obs.Wait_full ~outcome:Obs.Timeout
       ~retries:polls t0;
+    Backoff.reset t.waits.(pid);
     false
   end
   else begin
@@ -47,6 +56,7 @@ let rec wait_enq t ~pid v t0 polls =
     if Rt_ring.try_enqueue t.q ~pid v then begin
       Obs.record t.obs ~pid ~kind:Obs.Wait_full ~outcome:Obs.Ok
         ~retries:(polls + 1) t0;
+      Backoff.reset t.waits.(pid);
       true
     end
     else wait_enq t ~pid v t0 (polls + 1)
@@ -64,6 +74,7 @@ let rec wait_deq t ~pid t0 polls =
   if polls >= t.max_polls then begin
     Obs.record t.obs ~pid ~kind:Obs.Wait_empty ~outcome:Obs.Timeout
       ~retries:polls t0;
+    Backoff.reset t.waits.(pid);
     None
   end
   else begin
@@ -72,6 +83,7 @@ let rec wait_deq t ~pid t0 polls =
     | Some _ as r ->
         Obs.record t.obs ~pid ~kind:Obs.Wait_empty ~outcome:Obs.Ok
           ~retries:(polls + 1) t0;
+        Backoff.reset t.waits.(pid);
         r
     | None -> wait_deq t ~pid t0 (polls + 1)
   end

@@ -34,6 +34,13 @@ val ring : t -> Rt_ring.t
 val capacity : t -> int
 val length : t -> int
 
+val wait_spins : t -> pid:Aba_primitives.Pid.t -> int
+(** The pid's current wait-phase pacing window, in spins.  Reset to the
+    base window on wait-phase entry and on both exits (success and
+    timeout), so between operations this always reads the base — a
+    timed-out wait never inflates the next operation's pacing.  Exposed
+    for tests auditing that discipline. *)
+
 val enqueue : t -> pid:Aba_primitives.Pid.t -> int -> bool
 (** [false] only after the full wait window expired with the queue full. *)
 

@@ -56,47 +56,130 @@ let run_domains ~n body =
 
 let available_parallelism () = Domain.recommended_domain_count ()
 
+module Counts = Map.Make (Int)
+
+let count_multiset l =
+  List.fold_left
+    (fun m v ->
+      Counts.update v (fun c -> Some (1 + Option.value ~default:0 c)) m)
+    Counts.empty l
+
+let multiset_excess ~over ~under =
+  (* Elements of [over] appearing more often than in [under]. *)
+  Counts.fold
+    (fun v c acc ->
+      let have = Option.value ~default:0 (Counts.find_opt v under) in
+      if c > have then (v, c, have) :: acc else acc)
+    over []
+
 let check_multiset ~pushed ~popped ~remaining =
-  let module Counts = Map.Make (Int) in
-  let count l =
-    List.fold_left
-      (fun m v ->
-        Counts.update v (fun c -> Some (1 + Option.value ~default:0 c)) m)
-      Counts.empty l
-  in
-  let available = count pushed in
-  let consumed = count (popped @ remaining) in
+  let available = count_multiset pushed in
+  let consumed = count_multiset (popped @ remaining) in
   let bad =
-    Counts.fold
-      (fun v c acc ->
-        let have = Option.value ~default:0 (Counts.find_opt v available) in
-        if c > have then
-          Printf.sprintf "value %d consumed %d times but pushed %d times" v c
-            have
-          :: acc
-        else acc)
-      consumed []
+    List.map
+      (fun (v, c, have) ->
+        Printf.sprintf "value %d consumed %d times but pushed %d times" v c
+          have)
+      (multiset_excess ~over:consumed ~under:available)
   in
   match bad with
   | [] -> Result.Ok ()
   | msgs -> Result.Error (String.concat "; " msgs)
+
+let check_multiset_exact ~pushed ~popped ~remaining =
+  let available = count_multiset pushed in
+  let consumed = count_multiset (popped @ remaining) in
+  let dup =
+    List.map
+      (fun (v, c, have) ->
+        Printf.sprintf "value %d consumed %d times but pushed %d times" v c
+          have)
+      (multiset_excess ~over:consumed ~under:available)
+  in
+  let lost =
+    List.map
+      (fun (v, c, have) ->
+        Printf.sprintf "value %d pushed %d times but consumed %d times" v c
+          have)
+      (multiset_excess ~over:available ~under:consumed)
+  in
+  match dup @ lost with
+  | [] -> Result.Ok ()
+  | msgs -> Result.Error (String.concat "; " msgs)
+
+(* {2 Crash injection}
+
+   A fuse is a per-pid countdown over the structure's [on_step] hook:
+   [arm] loads it with a number of shared-memory accesses to survive,
+   and the access that burns it down raises {!Injected_crash} out of the
+   structure's own operation — mid-protocol, at a point chosen in
+   shared-access granularity, which is exactly the crash model of the
+   simulator's crash moves.  Each slot is touched only by its owning
+   domain, so plain ints suffice. *)
+
+exception Injected_crash
+
+module Fuse = struct
+  type t = int array
+
+  let disarmed = max_int
+
+  let create ~n =
+    if n < 1 then invalid_arg "Harness.Fuse.create: n < 1";
+    Array.make n disarmed
+
+  let arm t ~pid ~steps =
+    if steps < 1 then invalid_arg "Harness.Fuse.arm: steps < 1";
+    t.(pid) <- steps
+
+  let disarm t ~pid = t.(pid) <- disarmed
+
+  let on_step t pid =
+    let c = t.(pid) in
+    if c <> disarmed then
+      if c <= 1 then begin
+        (* Disarm before raising so the recovery protocol's own shared
+           accesses run the hook without re-crashing. *)
+        t.(pid) <- disarmed;
+        raise Injected_crash
+      end
+      else t.(pid) <- c - 1
+end
+
+type recovery = {
+  completed : bool;
+  r_pushed : int list;
+  r_popped : int list;
+}
+
+type crash_plan = {
+  fuse : Fuse.t;
+  crash_every : int;
+  fuse_steps : pid:int -> round:int -> int;
+  recover : pid:int -> recovery;
+}
+
+let default_fuse_steps ~pid ~round = 1 + (((round * 7) + (pid * 3)) mod 13)
 
 type churn_report = {
   attempted : int;
   pushed : int;
   popped : int;
   remaining : int;
+  crashed : int;
+  recovered : int;
   by_domain : (int * int) array;
   outcome : (unit, string) result;
 }
 
 type mix = Push_heavy | Paired | Bounded
 
-let churn ?(mix = Push_heavy) ?(obs = Aba_obs.Obs.noop) ~n ~ops ~push ~pop
-    ?(finish = fun ~pid:_ -> ()) () =
+let churn ?(mix = Push_heavy) ?(obs = Aba_obs.Obs.noop) ?crashes ~n ~ops
+    ~push ~pop ?(finish = fun ~pid:_ -> ()) () =
   let results =
     run_domains ~n (fun d ->
         let pushed = ref [] and popped = ref [] in
+        let crashed = ref 0 and recovered = ref 0 in
         let record_pop () =
           let t0 = Aba_obs.Obs.start obs in
           match pop ~pid:d with
@@ -122,10 +205,7 @@ let churn ?(mix = Push_heavy) ?(obs = Aba_obs.Obs.noop) ~n ~ops ~push ~pop
             false
           end
         in
-        for i = 1 to ops do
-          (* Unique values per domain, so any re-delivered or invented
-             value is caught by the audit. *)
-          let v = (d * ops) + i in
+        let round i v =
           let ok = attempt_push v in
           match mix with
           | Push_heavy ->
@@ -154,12 +234,47 @@ let churn ?(mix = Push_heavy) ?(obs = Aba_obs.Obs.noop) ~n ~ops ~push ~pop
                 ignore (attempt_push v : bool)
               end;
               if i land 3 = 0 then record_pop ()
+        in
+        for i = 1 to ops do
+          (* Unique values per domain, so any re-delivered or invented
+             value is caught by the audit. *)
+          let v = (d * ops) + i in
+          match crashes with
+          | Some c when i mod c.crash_every = 0 ->
+              (* Arm the fuse and let whichever operation of this round
+                 burns it down die mid-protocol; the plan's recovery then
+                 resolves the interrupted operation exactly once, and its
+                 verdict — not the harness's interrupted bookkeeping — is
+                 what enters the audit lists. *)
+              Fuse.arm c.fuse ~pid:d ~steps:(c.fuse_steps ~pid:d ~round:i);
+              (try
+                 round i v;
+                 Fuse.disarm c.fuse ~pid:d
+               with Injected_crash ->
+                 incr crashed;
+                 let t0 = Aba_obs.Obs.start obs in
+                 Aba_obs.Obs.record obs ~pid:d ~kind:Aba_obs.Obs.Crash
+                   ~outcome:Aba_obs.Obs.Ok ~retries:0 t0;
+                 let t1 = Aba_obs.Obs.start obs in
+                 let r = c.recover ~pid:d in
+                 Aba_obs.Obs.record obs ~pid:d ~kind:Aba_obs.Obs.Recover
+                   ~outcome:
+                     (if r.completed then Aba_obs.Obs.Ok
+                      else Aba_obs.Obs.Empty)
+                   ~retries:0 t1;
+                 if r.completed then incr recovered;
+                 pushed := r.r_pushed @ !pushed;
+                 popped := r.r_popped @ !popped)
+          | _ -> round i v
         done;
         finish ~pid:d;
-        (!pushed, !popped))
+        (!pushed, !popped, !crashed, !recovered))
   in
-  let pushed = List.concat_map fst (Array.to_list results) in
-  let popped = List.concat_map snd (Array.to_list results) in
+  let results =
+    Array.map (fun (p, q, c, r) -> ((p, q), (c, r))) results
+  in
+  let pushed = List.concat_map (fun ((p, _), _) -> p) (Array.to_list results) in
+  let popped = List.concat_map (fun ((_, q), _) -> q) (Array.to_list results) in
   let remaining = ref [] in
   let draining = ref true in
   while !draining do
@@ -177,7 +292,21 @@ let churn ?(mix = Push_heavy) ?(obs = Aba_obs.Obs.noop) ~n ~ops ~push ~pop
     pushed = List.length pushed;
     popped = List.length popped;
     remaining = List.length !remaining;
+    crashed =
+      Array.fold_left (fun acc (_, (c, _)) -> acc + c) 0 results;
+    recovered =
+      Array.fold_left (fun acc (_, (_, r)) -> acc + r) 0 results;
     by_domain =
-      Array.map (fun (p, q) -> (List.length p, List.length q)) results;
-    outcome = check_multiset ~pushed ~popped ~remaining:!remaining;
+      Array.map (fun ((p, q), _) -> (List.length p, List.length q)) results;
+    outcome =
+      (* With crash injection the audit tightens to exact equality:
+         recovery claims an exact resolution for every interrupted
+         operation, so a value may neither appear twice (duplicated
+         re-run) nor vanish (landed push reported as not landed).  The
+         exact check presumes the structure never drops a successful
+         push, which holds for the detectable structures this mode is
+         for. *)
+      (match crashes with
+      | Some _ -> check_multiset_exact ~pushed ~popped ~remaining:!remaining
+      | None -> check_multiset ~pushed ~popped ~remaining:!remaining);
   }

@@ -37,11 +37,86 @@ val check_multiset :
     some value was duplicated or invented — the signature of an ABA
     corruption. *)
 
+val check_multiset_exact :
+  pushed:int list ->
+  popped:int list ->
+  remaining:int list ->
+  (unit, string) result
+(** As {!check_multiset}, but in both directions: [popped @ remaining]
+    must {e equal} [pushed] as a multiset.  The exactly-once audit for
+    crash-recovery runs — a duplicate marks a re-run of an operation
+    that had already landed, a missing value a landed operation reported
+    as lost.  Only sound for structures whose successful pushes never
+    drop values (no capacity slack). *)
+
+(** {1 Crash injection} *)
+
+exception Injected_crash
+(** Raised out of a structure operation by a burning {!Fuse} — the
+    harness-side crash model: the operation dies at a randomized
+    shared-memory access with its program state (the OCaml stack)
+    discarded, while the structure's cells survive for recovery to read,
+    mirroring {!Aba_sim.Sim.crash}. *)
+
+(** A per-pid countdown wired into a structure's [on_step] hook (see
+    {!Aba_core.Detectable.Make.Counter.create}): once armed with a
+    step budget, the shared access that exhausts it raises
+    {!Injected_crash}.  Each slot is only ever touched by its owning
+    domain. *)
+module Fuse : sig
+  type t
+
+  val create : n:int -> t
+  (** One disarmed slot per pid.  Raises [Invalid_argument] if [n < 1]. *)
+
+  val arm : t -> pid:int -> steps:int -> unit
+  (** The [steps]-th subsequent hook call of [pid] raises.  Raises
+      [Invalid_argument] if [steps < 1]. *)
+
+  val disarm : t -> pid:int -> unit
+
+  val on_step : t -> Aba_primitives.Pid.t -> unit
+  (** The hook to pass as the structure's [?on_step].  Disarms itself
+      before raising, so the recovery protocol's own shared accesses run
+      crash-free. *)
+end
+
+(** What a {!crash_plan}'s recovery resolved: [completed] is true iff an
+    interrupted operation was in flight and is now finished exactly
+    once; [r_pushed]/[r_popped] are the values the resolution
+    contributes to the audit's pushed/popped lists. *)
+type recovery = {
+  completed : bool;
+  r_pushed : int list;
+  r_popped : int list;
+}
+
+(** Crash-churn configuration for {!churn}: every [crash_every]-th round
+    of each domain arms [fuse] with [fuse_steps] shared accesses (see
+    {!default_fuse_steps}), catches the resulting {!Injected_crash}, and
+    calls [recover] — the structure's detectable recovery — whose
+    verdict replaces the interrupted round's bookkeeping. *)
+type crash_plan = {
+  fuse : Fuse.t;
+  crash_every : int;
+  fuse_steps : pid:int -> round:int -> int;
+  recover : pid:int -> recovery;
+}
+
+val default_fuse_steps : pid:int -> round:int -> int
+(** Deterministic spread over [1..13] varying with both pid and round,
+    so crash points cover invocation, mid-protocol, and post-
+    linearization accesses without a PRNG. *)
+
 type churn_report = {
   attempted : int;  (** push attempts = n * ops *)
   pushed : int;  (** pushes that found a free node *)
   popped : int;  (** pops by the racing domains *)
   remaining : int;  (** values drained after the run *)
+  crashed : int;  (** crashes injected (0 without a crash plan) *)
+  recovered : int;
+      (** recoveries that resolved an in-flight operation (the rest
+          found nothing in flight or popped empty) *)
   by_domain : (int * int) array;
       (** per-domain (successful pushes, successful pops), indexed by
           domain — the aggregate [pushed]/[popped] split out so a sharded
@@ -66,6 +141,7 @@ type mix = Push_heavy | Paired | Bounded
 val churn :
   ?mix:mix ->
   ?obs:Aba_obs.Obs.t ->
+  ?crashes:crash_plan ->
   n:int ->
   ops:int ->
   push:(pid:int -> int -> bool) ->
@@ -87,4 +163,12 @@ val churn :
     whole-callback latency, outcome [Ok]/[Fail]/[Empty], retries unknown
     at this level (0).  Structures instrumented with their own [?obs]
     record the same operations with retry counts; give [churn] a
-    different handle to avoid double counting. *)
+    different handle to avoid double counting.
+
+    [crashes] switches the run into crash-churn mode: every
+    [crash_every]-th round per domain is killed mid-operation by the
+    plan's fuse and resolved by its [recover]; each crash/recovery pair
+    is recorded as [Crash]/[Recover] events on [obs] (the [Recover]
+    outcome is [Ok] when an in-flight operation was resolved, [Empty]
+    otherwise), and the final audit tightens from sub-multiset to the
+    exactly-once {!check_multiset_exact}. *)

@@ -60,6 +60,20 @@ let step d p =
       Sim.step d.sim p;
       complete d p call
 
+(* A crash drops the pending call: the simulator erases [p]'s program
+   state, and the call's Invoke event stays unmatched in the history — the
+   standard representation of an operation that neither returned nor can
+   be assumed to have taken effect.  Checkers for crash workloads decide
+   from the final shared state whether the unmatched operation landed. *)
+let crash d p =
+  match d.pending.(p) with
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Driver.crash: process %d has no pending operation" p)
+  | Some _ ->
+      Sim.crash d.sim p;
+      d.pending.(p) <- None
+
 let finish d p =
   let rec go () =
     match d.pending.(p) with
@@ -81,18 +95,28 @@ module Incremental = struct
      if it is idle, then execute one shared-memory step (unless the
      invocation completed with zero steps).  This is the unit of
      scheduling of both explorers; the executed step's footprint is
-     returned so the DPOR engine can compute dependences. *)
+     returned so the DPOR engine can compute dependences.
+
+     A path entry is a {e move}: process [p]'s ordinary action is recorded
+     as [p] itself, a crash of [p] as the negative code [-(p + 1)].  Both
+     replay deterministically, so a rewind reproduces crash-containing
+     prefixes exactly. *)
   type ('op, 'res) u = {
     make : unit -> ('op, 'res) t;
     scripts : 'op list array;
+    on_crash : Pid.t -> 'op list;
     mutable driver : ('op, 'res) t;
     mutable remaining : 'op list array;
-    mutable path_rev : Pid.t list;  (** executed actions, newest first *)
+    mutable path_rev : Pid.t list;  (** executed moves, newest first *)
     mutable depth : int;
     mutable rebuilds : int;
     mutable actions_executed : int;
     mutable actions_replayed : int;
   }
+
+  let crash_move p = -(p + 1)
+  let is_crash_move m = m < 0
+  let pid_of_move m = if m >= 0 then m else -m - 1
 
   let act u p =
     let d = u.driver in
@@ -114,10 +138,28 @@ module Incremental = struct
           end
           else None (* zero-step operation: empty footprint *)
 
-  let create ~make ~scripts =
+  (* The crash half of a move: kill the pending operation and queue the
+     recovery program (possibly empty) ahead of the pid's remaining
+     script.  Deterministic, hence replayable. *)
+  let crash_act u p =
+    crash u.driver p;
+    match u.on_crash p with
+    | [] -> ()
+    | recovery -> u.remaining.(p) <- recovery @ u.remaining.(p)
+
+  let do_move u m =
+    let p = pid_of_move m in
+    if is_crash_move m then begin
+      crash_act u p;
+      None
+    end
+    else act u p
+
+  let create ?(on_crash = fun _ -> []) ~make ~scripts () =
     {
       make;
       scripts;
+      on_crash;
       driver = make ();
       remaining = Array.copy scripts;
       path_rev = [];
@@ -147,6 +189,12 @@ module Incremental = struct
     u.actions_executed <- u.actions_executed + 1;
     fp
 
+  let crash u p =
+    crash_act u p;
+    u.path_rev <- crash_move p :: u.path_rev;
+    u.depth <- u.depth + 1;
+    u.actions_executed <- u.actions_executed + 1
+
   (* Checkpointed re-execution: the retained path is the checkpoint.  A
      rewind to depth [d] rebuilds a fresh instance and replays exactly the
      deepest common prefix (the first [d] actions) — once per backtrack,
@@ -165,9 +213,9 @@ module Incremental = struct
       u.depth <- 0;
       u.rebuilds <- u.rebuilds + 1;
       List.iter
-        (fun p ->
-          ignore (act u p);
-          u.path_rev <- p :: u.path_rev;
+        (fun m ->
+          ignore (do_move u m);
+          u.path_rev <- m :: u.path_rev;
           u.depth <- u.depth + 1;
           u.actions_replayed <- u.actions_replayed + 1)
         prefix

@@ -30,6 +30,13 @@ val step : ('op, 'res) t -> Pid.t -> unit
 (** One shared-memory step of [p]'s pending operation; records the response
     event if this step completed the operation. *)
 
+val crash : ('op, 'res) t -> Pid.t -> unit
+(** Kill [p]'s pending operation: {!Sim.crash} erases the program state
+    while every cell survives, and the operation's Invoke event stays
+    unmatched in the history (it neither returned nor certainly took
+    effect).  Raises [Invalid_argument] if [p] has no pending
+    operation. *)
+
 val finish : ('op, 'res) t -> Pid.t -> unit
 (** Step [p] until its pending operation (if any) completes. *)
 
@@ -63,10 +70,23 @@ module Incremental : sig
   type ('op, 'res) u
 
   val create :
-    make:(unit -> ('op, 'res) t) -> scripts:'op list array -> ('op, 'res) u
+    ?on_crash:(Pid.t -> 'op list) ->
+    make:(unit -> ('op, 'res) t) ->
+    scripts:'op list array ->
+    unit ->
+    ('op, 'res) u
   (** [make ()] must build a fresh driver over a fresh simulator/instance;
       [scripts.(p)] is process [p]'s operation list.  Determinism of
-      [make] is what makes replay sound. *)
+      [make] is what makes replay sound.  [on_crash p] is the recovery
+      program queued ahead of [p]'s remaining script when {!crash} kills
+      its in-flight operation (default: none — the operation is simply
+      lost). *)
+
+  val crash_move : Pid.t -> Pid.t
+  val is_crash_move : Pid.t -> bool
+  val pid_of_move : Pid.t -> Pid.t
+  (** Path entries are {e moves}: process [p]'s ordinary action is the
+      value [p] itself, a crash of [p] the negative code [-(p + 1)]. *)
 
   val driver : ('op, 'res) u -> ('op, 'res) t
   (** The current live driver (changes across {!rewind}). *)
@@ -75,7 +95,8 @@ module Incremental : sig
   (** Number of actions executed on the current path. *)
 
   val path : _ u -> Pid.t list
-  (** The executed actions, oldest first. *)
+  (** The executed moves, oldest first ({!pid_of_move} decodes crash
+      entries). *)
 
   val enabled : _ u -> Pid.t list
   (** Processes that can take an action: pending mid-operation, or idle
@@ -91,10 +112,15 @@ module Incremental : sig
       step, or [None] for a zero-step operation.  Raises
       [Invalid_argument] if [p] is not enabled. *)
 
+  val crash : ('op, 'res) u -> Pid.t -> unit
+  (** The crash move: {!Driver.crash} [p]'s pending operation, queue
+      [on_crash p] ahead of its remaining script, and record the
+      [crash_move p] path entry.  Counts as one executed action. *)
+
   val rewind : ('op, 'res) u -> depth:int -> unit
-  (** Truncate the path to its first [depth] actions by rebuilding a
-      fresh instance and replaying that prefix.  No-op when [depth] is
-      the current depth. *)
+  (** Truncate the path to its first [depth] moves by rebuilding a
+      fresh instance and replaying that prefix (crash moves included).
+      No-op when [depth] is the current depth. *)
 
   type stats = {
     rebuilds : int;  (** fresh instances built by {!rewind} *)

@@ -103,6 +103,7 @@ type dpor_stats = {
   sleep_set_prunes : int;
   preemption_prunes : int;
   races_detected : int;
+  crashes_injected : int;
   max_depth_reached : int;
   rebuilds : int;
   actions_executed : int;
@@ -138,7 +139,8 @@ let independent fpa fpb =
   | None, _ | _, None -> true
 
 let dpor ~make ~scripts ~check ?(max_schedules = 2_000_000)
-    ?(max_depth = 10_000) ?preemption_bound () =
+    ?(max_depth = 10_000) ?preemption_bound ?(crash_bound = 0)
+    ?(on_crash = fun _ -> []) () =
   let n = Array.length scripts in
   let make_driver () = (make () : _ instance).driver in
   (* Reference solo run: per-process action counts under the sequential
@@ -147,7 +149,7 @@ let dpor ~make ~scripts ~check ?(max_schedules = 2_000_000)
      dependent, so for such workloads the bound is a reference point, not
      a certified maximum. *)
   let ref_counts =
-    let u = Driver.Incremental.create ~make:make_driver ~scripts in
+    let u = Driver.Incremental.create ~make:make_driver ~scripts () in
     let counts = Array.make (max n 1) 0 in
     for p = 0 to n - 1 do
       while List.mem p (Driver.Incremental.enabled u) do
@@ -157,13 +159,19 @@ let dpor ~make ~scripts ~check ?(max_schedules = 2_000_000)
     done;
     if n = 0 then [||] else counts
   in
-  let schedule_bound = count_schedules_opt ~n_actions:ref_counts in
-  let u = Driver.Incremental.create ~make:make_driver ~scripts in
+  (* Crash moves add schedules outside the crash-free interleaving count,
+     so the multinomial is not an upper bound for a crash-augmented
+     search; report no bound rather than a misleading one. *)
+  let schedule_bound =
+    if crash_bound > 0 then None else count_schedules_opt ~n_actions:ref_counts
+  in
+  let u = Driver.Incremental.create ~on_crash ~make:make_driver ~scripts () in
   let frames : frame option array = Array.make (max_depth + 1) None in
   let explored = ref 0 in
   let sleep_set_prunes = ref 0 in
   let preemption_prunes = ref 0 in
   let races_detected = ref 0 in
+  let crashes_injected = ref 0 in
   let deepest = ref 0 in
   let violation = ref None in
   let frame_at j =
@@ -218,7 +226,7 @@ let dpor ~make ~scripts ~check ?(max_schedules = 2_000_000)
     cv.(p) <- d + 1;
     fr.f_clock <- cv
   in
-  let rec node depth sleep preemptions =
+  let rec node depth sleep preemptions crashes =
     if depth > max_depth then
       failwith "Explore.dpor: branch exceeded max_depth";
     if depth > !deepest then deepest := depth;
@@ -233,72 +241,115 @@ let dpor ~make ~scripts ~check ?(max_schedules = 2_000_000)
           raise (Found path)
         end;
         if !explored >= max_schedules then raise (Stop !explored)
-    | _ -> (
+    | _ ->
         let sleeping p = List.exists (fun (q, _) -> q = p) sleep in
         let awake = List.filter (fun p -> not (sleeping p)) enabled in
-        match awake with
-        | [] -> incr sleep_set_prunes
-        | _ ->
-            let prev =
-              if depth = 0 then -1 else (frame_at (depth - 1)).f_chosen
+        (* Crash moves are extra children, explored unconditionally for
+           every process with an in-flight operation (the budget aside):
+           they never enter backtrack, done or sleep sets, a sound
+           over-approximation — a crash is a distinct move of the same
+           process, so a sleeping process's step move must not suppress
+           it.  The configuration at this node is determined by the
+           prefix, so the crashable set is computed on entry, while [u]
+           still sits at [depth]. *)
+        let crashable =
+          if crashes >= crash_bound then []
+          else
+            List.filter
+              (fun p -> Driver.pending (Driver.Incremental.driver u) p)
+              enabled
+        in
+        if awake = [] && crashable = [] then incr sleep_set_prunes
+        else begin
+          let prev =
+            if depth = 0 then -1 else (frame_at (depth - 1)).f_chosen
+          in
+          (* Prefer continuing the previous process: keeps the schedule
+             preemption-free by default, so a preemption bound prunes
+             only genuine context switches. *)
+          let first =
+            match awake with
+            | [] -> None
+            | _ ->
+                Some
+                  (if prev >= 0 && List.mem prev awake then prev
+                   else List.hd awake)
+          in
+          let fr =
+            {
+              f_enabled = enabled;
+              f_backtrack =
+                (match first with
+                | None -> Pid_set.empty
+                | Some p -> Pid_set.singleton p);
+              f_done = Pid_set.empty;
+              f_done_moves = [];
+              f_sleep = sleep;
+              f_chosen = -1;
+              f_fp = None;
+              f_clock = [||];
+            }
+          in
+          frames.(depth) <- Some fr;
+          let rec loop () =
+            let todo =
+              Pid_set.filter
+                (fun p -> not (sleeping p))
+                (Pid_set.diff fr.f_backtrack fr.f_done)
             in
-            (* Prefer continuing the previous process: keeps the schedule
-               preemption-free by default, so a preemption bound prunes
-               only genuine context switches. *)
-            let first =
-              if prev >= 0 && List.mem prev awake then prev
-              else List.hd awake
-            in
-            let fr =
-              {
-                f_enabled = enabled;
-                f_backtrack = Pid_set.singleton first;
-                f_done = Pid_set.empty;
-                f_done_moves = [];
-                f_sleep = sleep;
-                f_chosen = -1;
-                f_fp = None;
-                f_clock = [||];
-              }
-            in
-            frames.(depth) <- Some fr;
-            let rec loop () =
-              let todo =
-                Pid_set.filter
-                  (fun p -> not (sleeping p))
-                  (Pid_set.diff fr.f_backtrack fr.f_done)
+            match Pid_set.min_elt_opt todo with
+            | None -> ()
+            | Some p ->
+                fr.f_done <- Pid_set.add p fr.f_done;
+                let preemptions' =
+                  if prev >= 0 && p <> prev && List.mem prev enabled then
+                    preemptions + 1
+                  else preemptions
+                in
+                (match preemption_bound with
+                | Some b when preemptions' > b -> incr preemption_prunes
+                | _ ->
+                    if Driver.Incremental.depth u <> depth then
+                      Driver.Incremental.rewind u ~depth;
+                    let fp = Driver.Incremental.advance u p in
+                    fr.f_chosen <- p;
+                    fr.f_fp <- fp;
+                    update_clock_and_races depth p fp fr;
+                    let child_sleep =
+                      List.filter
+                        (fun (_, fpq) -> independent fpq fp)
+                        (fr.f_sleep @ fr.f_done_moves)
+                    in
+                    node (depth + 1) child_sleep preemptions' crashes;
+                    fr.f_done_moves <- (p, fp) :: fr.f_done_moves);
+                loop ()
+          in
+          (match awake with [] -> incr sleep_set_prunes | _ -> loop ());
+          (* The crash children.  A crash touches no shared memory (its
+             footprint is empty), so it commutes with every other
+             process's moves: the inherited sleep entries stay valid —
+             except the crashed process's own, which is a different move
+             of the same process and must wake. *)
+          List.iter
+            (fun p ->
+              if Driver.Incremental.depth u <> depth then
+                Driver.Incremental.rewind u ~depth;
+              Driver.Incremental.crash u p;
+              incr crashes_injected;
+              fr.f_chosen <- p;
+              fr.f_fp <- None;
+              update_clock_and_races depth p None fr;
+              let child_sleep =
+                List.filter
+                  (fun (q, _) -> q <> p)
+                  (fr.f_sleep @ fr.f_done_moves)
               in
-              match Pid_set.min_elt_opt todo with
-              | None -> ()
-              | Some p ->
-                  fr.f_done <- Pid_set.add p fr.f_done;
-                  let preemptions' =
-                    if prev >= 0 && p <> prev && List.mem prev enabled then
-                      preemptions + 1
-                    else preemptions
-                  in
-                  (match preemption_bound with
-                  | Some b when preemptions' > b -> incr preemption_prunes
-                  | _ ->
-                      if Driver.Incremental.depth u <> depth then
-                        Driver.Incremental.rewind u ~depth;
-                      let fp = Driver.Incremental.advance u p in
-                      fr.f_chosen <- p;
-                      fr.f_fp <- fp;
-                      update_clock_and_races depth p fp fr;
-                      let child_sleep =
-                        List.filter
-                          (fun (_, fpq) -> independent fpq fp)
-                          (fr.f_sleep @ fr.f_done_moves)
-                      in
-                      node (depth + 1) child_sleep preemptions';
-                      fr.f_done_moves <- (p, fp) :: fr.f_done_moves);
-                  loop ()
-            in
-            loop ())
+              node (depth + 1) child_sleep preemptions (crashes + 1))
+            crashable
+        end
   in
   let verdict =
-    match node 0 [] 0 with
+    match node 0 [] 0 0 with
     | () -> Ok !explored
     | exception Stop k -> Budget_exhausted k
     | exception Found _ -> (
@@ -316,6 +367,7 @@ let dpor ~make ~scripts ~check ?(max_schedules = 2_000_000)
         sleep_set_prunes = !sleep_set_prunes;
         preemption_prunes = !preemption_prunes;
         races_detected = !races_detected;
+        crashes_injected = !crashes_injected;
         max_depth_reached = !deepest;
         rebuilds = istats.Driver.Incremental.rebuilds;
         actions_executed = istats.Driver.Incremental.actions_executed;

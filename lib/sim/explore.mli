@@ -65,6 +65,9 @@ type dpor_stats = {
       (** nodes cut because every enabled process was sleeping *)
   preemption_prunes : int;  (** children cut by the preemption bound *)
   races_detected : int;  (** reversible races that scheduled a backtrack *)
+  crashes_injected : int;
+      (** crash moves executed across the whole search (0 without
+          [crash_bound]) *)
   max_depth_reached : int;
   rebuilds : int;  (** fresh instances built on backtrack *)
   actions_executed : int;  (** forward actions *)
@@ -83,6 +86,8 @@ val dpor :
   ?max_schedules:int ->
   ?max_depth:int ->
   ?preemption_bound:int ->
+  ?crash_bound:int ->
+  ?on_crash:(Pid.t -> 'op list) ->
   unit ->
   ('op, 'res) dpor_result
 (** [dpor ~make ~scripts ~check ()] explores a reduced but sufficient set
@@ -104,7 +109,20 @@ val dpor :
     bounded heuristic — [Ok] then certifies only the bounded schedule
     space.  Other parameters are as in {!exhaustive}.  [Found]/[Stop]
     never escape; verdicts are returned in [verdict] together with the
-    per-run reduction statistics. *)
+    per-run reduction statistics.
+
+    [crash_bound] (default 0) additionally explores {e crash moves}: at
+    every node, each process with an in-flight operation may crash —
+    {!Sim.crash} erases its program state, shared cells survive, and
+    [on_crash p] (default none) queues its recovery program — up to
+    [crash_bound] crashes per schedule.  Crash children are explored
+    unconditionally (they never enter backtrack or sleep sets — a sound
+    over-approximation), so [Ok] certifies the workload under every
+    explored crash placement; in a violating schedule the crash moves
+    appear as negative path entries
+    ({!Driver.Incremental.pid_of_move}).  With a positive [crash_bound]
+    the crash-free multinomial no longer bounds the search, so
+    [schedule_bound] is reported as [None]. *)
 
 (** {1 Schedule counting} *)
 

@@ -119,6 +119,28 @@ let step sim p =
       | Crashed e -> raise (Process_crashed (p, e))
       | Idle | Poised _ -> ())
 
+(* A crash erases the process's program state — the poised step and the
+   suspended continuation are simply dropped (an unresumed one-shot
+   continuation is GC'd; discontinuing it would run the method's exception
+   handlers, which a crashed process never gets to do) — while every cell
+   registered with the simulator survives untouched.  The pending call's
+   promise is never fulfilled: the operation neither returned nor, as far
+   as the crashed process can tell, certainly took effect.  That is the
+   crash-recovery model of detectable objects (shared memory persists,
+   private state is lost). *)
+let crash sim p =
+  let pr = proc sim p in
+  match pr.state with
+  | Idle -> invalid_arg (Printf.sprintf "Sim.crash: process %d is idle" p)
+  | Crashed e -> raise (Process_crashed (p, e))
+  | Poised (_, _) ->
+      pr.state <- Idle;
+      pr.call_steps <- ref 0;
+      if sim.recording then
+        sim.trace_rev <-
+          { index = sim.total_steps; pid = p; descr = "crash" }
+          :: sim.trace_rev
+
 let run_schedule sim sigma = List.iter (step sim) sigma
 let result promise = promise.value
 let steps_of promise = !(promise.counter)

@@ -51,6 +51,15 @@ val step : t -> Pid.t -> unit
 (** Execute the poised step of [p], then run [p]'s local computation to its
     next step or return.  Raises [Invalid_argument] if [p] is idle. *)
 
+val crash : t -> Pid.t -> unit
+(** Erase [p]'s program state: the poised step and suspended continuation
+    are dropped and [p] returns to idle, while all cells survive — the
+    crash-recovery model of detectable objects (shared memory persists,
+    private state is lost).  The in-flight call's promise is never
+    fulfilled; whether its last shared step took effect is exactly what a
+    detectable recovery must determine.  Raises [Invalid_argument] if [p]
+    is idle (there is nothing to crash). *)
+
 val run_schedule : t -> Pid.t list -> unit
 (** [run_schedule sim sigma] steps processes in the order of [sigma]. *)
 

@@ -142,7 +142,7 @@ let incremental_replay () =
   let make () =
     (Test_explore.make_aba_instance Instances.aba_fig4 n ()).Explore.driver
   in
-  let u = Aba_sim.Driver.Incremental.create ~make ~scripts in
+  let u = Aba_sim.Driver.Incremental.create ~make ~scripts () in
   let run_all u schedule =
     List.iter
       (fun p -> ignore (Aba_sim.Driver.Incremental.advance u p))
@@ -171,7 +171,7 @@ let incremental_replay () =
     "replayed exactly the common prefix" 2
     stats.Aba_sim.Driver.Incremental.actions_replayed;
   (* The same suffix from a fresh instance gives the same history. *)
-  let u' = Aba_sim.Driver.Incremental.create ~make ~scripts in
+  let u' = Aba_sim.Driver.Incremental.create ~make ~scripts () in
   let h2' = run_all u' [ 0; 0; 1; 1; 0; 0 ] in
   ignore h2';
   (* Both complete runs linearize; the rewound one is a real history. *)

@@ -22,4 +22,5 @@ let () =
       ("queue", Test_queue.suite);
       ("observability", Test_obs.suite);
       ("service", Test_service.suite);
+      ("detectable", Test_detectable.suite);
     ]

@@ -113,6 +113,53 @@ let histogram_merge_equiv =
            [ 0.; 0.5; 0.9; 0.99; 0.999; 1. ]
       && Histogram.fraction_le m budget = Histogram.fraction_le whole budget)
 
+(* The top bucket's upper bound is explicitly [max_int]: the naive
+   [(1 lsl i) - 1] overflows the 63-bit native int into a negative
+   number at the top index, which silently broke any percentile or SLO
+   check over a sample near [max_int]. *)
+let histogram_top_bucket () =
+  let top = Histogram.buckets - 1 in
+  Alcotest.(check int)
+    "max_int lands in the top bucket" top
+    (Histogram.bucket_of max_int);
+  Alcotest.(check int)
+    "top bucket hi is max_int, not a shift wraparound" max_int
+    (Histogram.bucket_hi top);
+  Alcotest.(check bool)
+    "every bucket's upper bound is non-negative" true
+    (List.for_all
+       (fun b -> Histogram.bucket_hi b >= 0)
+       (List.init Histogram.buckets Fun.id));
+  let h = Histogram.create ~n:1 () in
+  Histogram.record h ~pid:0 max_int;
+  Alcotest.(check int)
+    "p100 of a max_int sample is max_int" max_int
+    (Histogram.percentile h 1.0);
+  Alcotest.(check (float 0.))
+    "a max_int sample fits a max_int budget" 1.0
+    (Histogram.fraction_le h max_int)
+
+(* SLO self-consistency: at least a [q] fraction of samples must fit a
+   budget of [percentile t q] — every bucket at or below the rank-th
+   bucket is entirely within its own upper bound.  The extreme samples
+   (0, 1, near max_int) pin the regression above: with a negative top
+   bucket bound the near-max samples fell out of every budget. *)
+let histogram_slo_vs_percentile =
+  qtest "histogram: fraction_le at percentile q covers at least q"
+    QCheck2.Gen.(
+      pair
+        (list_size (int_range 1 60)
+           (oneof
+              [
+                return 0; return 1; int_range (max_int - 1000) max_int;
+                int_bound 1_000_000;
+              ]))
+        (oneof [ return 0.; return 1.; float_bound_inclusive 1.0 ]))
+    (fun (samples, q) ->
+      let h = Histogram.create ~n:2 () in
+      List.iteri (fun i v -> Histogram.record h ~pid:(i land 1) v) samples;
+      Histogram.fraction_le h (Histogram.percentile h q) >= q)
+
 let histogram_fraction_le () =
   let h = Histogram.create ~n:1 () in
   Alcotest.(check (float 0.)) "empty histogram: vacuously in budget" 1.
@@ -228,6 +275,38 @@ let counter_merges =
            [ 0; 1; 2; 3; 4 ])
 
 (* ----- Clock ----- *)
+
+(* Epoch-seconds floats carry exactly microsecond resolution near the
+   mantissa limit; the regression was [int_of_float (t *. 1e9)], which
+   quantizes epoch nanoseconds to ~256 ns so adjacent microsecond stamps
+   could tie or regress.  The cases straddle a microsecond boundary at
+   epoch scale, where the naive conversion is wrong. *)
+let clock_unix_ns () =
+  let s = 1_754_700_000 in
+  Alcotest.(check int)
+    "whole seconds convert exactly"
+    (s * 1_000_000_000)
+    (Clock.ns_of_unix_time (float_of_int s));
+  Alcotest.(check int)
+    "the last microsecond of a second holds its value"
+    ((s * 1_000_000_000) + 999_999_000)
+    (Clock.ns_of_unix_time (float_of_int s +. 0.999999));
+  Alcotest.(check int)
+    "the next tick lands exactly on the following second"
+    ((s + 1) * 1_000_000_000)
+    (Clock.ns_of_unix_time (float_of_int (s + 1)));
+  Alcotest.(check int)
+    "adjacent microsecond stamps differ by exactly 1000 ns" 1_000
+    (Clock.ns_of_unix_time (float_of_int s +. 0.123457)
+    - Clock.ns_of_unix_time (float_of_int s +. 0.123456))
+
+let clock_us_exact =
+  qtest "clock: epoch stamps convert with exact microsecond resolution"
+    QCheck2.Gen.(
+      pair (int_range 1_000_000_000 2_000_000_000) (int_range 0 999_999))
+    (fun (s, us) ->
+      Clock.ns_of_unix_time (float_of_int s +. (float_of_int us /. 1e6))
+      = (s * 1_000_000_000) + (us * 1_000))
 
 let clock_monotone () =
   let a = Clock.now_ns () in
@@ -345,6 +424,9 @@ let suite =
     histogram_percentiles_monotone;
     Alcotest.test_case "histogram edge cases" `Quick histogram_edges;
     histogram_merge_equiv;
+    Alcotest.test_case "histogram top bucket bounds" `Quick
+      histogram_top_bucket;
+    histogram_slo_vs_percentile;
     Alcotest.test_case "histogram SLO fraction" `Quick histogram_fraction_le;
     trace_codec_roundtrip;
     Alcotest.test_case "trace codec saturation and wrap" `Quick
@@ -352,6 +434,9 @@ let suite =
     trace_words_sort_by_ts;
     Alcotest.test_case "trace ring wraparound" `Quick trace_ring_wraps;
     counter_merges;
+    Alcotest.test_case "clock epoch conversion straddles microseconds"
+      `Quick clock_unix_ns;
+    clock_us_exact;
     Alcotest.test_case "clock is monotone" `Quick clock_monotone;
     Alcotest.test_case "noop handle is inert" `Quick obs_noop_inert;
     Alcotest.test_case "live handle feeds all channels" `Quick

@@ -209,6 +209,34 @@ let blocking_producer_consumer () =
   check_int "all values sent" total results.(0);
   check_int "all values received in order" total results.(1)
 
+(* Wait-phase pacing discipline: the per-pid backoff window must read
+   its base value between operations — in particular after a timed-out
+   wait, which walks the window all the way up to its max.  The
+   regression was a timeout path that left the window inflated, so the
+   next operation's first polls were paced as if it had already been
+   waiting. *)
+let blocking_wait_window_reset () =
+  let q =
+    Blocking.create
+      ~backoff:(Backoff.Exp { min_spins = 1; max_spins = 64 })
+      ~max_polls:8 ~capacity:2 ~n:1 ()
+  in
+  check_int "base window before any wait" 1 (Blocking.wait_spins q ~pid:0);
+  check_bool "enq 1" true (Blocking.enqueue q ~pid:0 1);
+  check_bool "enq 2" true (Blocking.enqueue q ~pid:0 2);
+  check_int "fast-path enqueues leave the window untouched" 1
+    (Blocking.wait_spins q ~pid:0);
+  (* Single domain, full queue: the wait can only time out, and its 8
+     backoff-paced polls double the window well past the base. *)
+  check_bool "enq on full times out" false (Blocking.enqueue q ~pid:0 3);
+  check_int "post-timeout window is back at base" 1
+    (Blocking.wait_spins q ~pid:0);
+  check_bool "deq 1" true (Blocking.dequeue q ~pid:0 = Some 1);
+  check_bool "deq 2" true (Blocking.dequeue q ~pid:0 = Some 2);
+  check_bool "deq on empty times out" true (Blocking.dequeue q ~pid:0 = None);
+  check_int "post-empty-timeout window is back at base" 1
+    (Blocking.wait_spins q ~pid:0)
+
 let blocking_validation () =
   check_bool "max_polls 0 rejected" true
     (try
@@ -293,6 +321,8 @@ let suite =
       blocking_bounds_and_obs;
     Alcotest.test_case "blocking producer/consumer across the bound" `Quick
       blocking_producer_consumer;
+    Alcotest.test_case "blocking wait window resets to base" `Quick
+      blocking_wait_window_reset;
     Alcotest.test_case "blocking create validation" `Quick blocking_validation;
     Alcotest.test_case "two-lock FIFO and bounds" `Quick two_lock_fifo;
     Alcotest.test_case "ring obs: outcomes per kind" `Quick ring_obs_counts;
